@@ -1,0 +1,21 @@
+#!/usr/bin/env python3
+"""Insert rendered result sections into EXPERIMENTS.md.
+
+Usage: python3 tools/update_experiments.py results.csv
+Replaces everything between '## Table I' and '## Known deviations' with the
+renderer's output.
+"""
+import subprocess
+import sys
+
+csv_path = sys.argv[1]
+rendered = subprocess.run(
+    [sys.executable, "tools/render_experiments.py", csv_path],
+    capture_output=True, text=True, check=True,
+).stdout
+
+doc = open("EXPERIMENTS.md").read()
+start = doc.index("## Table I")
+end = doc.index("## Known deviations")
+open("EXPERIMENTS.md", "w").write(doc[:start] + rendered.rstrip() + "\n\n" + doc[end:])
+print("EXPERIMENTS.md updated")
