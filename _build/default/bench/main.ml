@@ -1,0 +1,198 @@
+(* Benchmark harness.
+
+   Running this executable regenerates every experimental artifact of the
+   paper on a stratified benchmark sample — Table I (REP counts), Figure 2
+   (TM/SM means), Figure 3 (Pearson matrix), Table II / Figure 4 (hybrid
+   unions) — and then times each regeneration stage and the substrate
+   operations with Bechamel (one Test.make per table/figure).
+
+   Environment:
+     BENCH_SAMPLE   variants per domain for the embedded study (default 2;
+                    the full-scale run is `specrepair evaluate`). *)
+
+open Bechamel
+open Toolkit
+module S = Specrepair
+
+let sample_size =
+  match Sys.getenv_opt "BENCH_SAMPLE" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 2)
+  | None -> 2
+
+let () =
+  Printf.printf
+    "== specrepair bench: study on %d variant(s) per domain ==\n%!"
+    sample_size
+
+let variants = S.Benchmarks.Generate.sample ~per_domain:sample_size ()
+
+let results = S.Eval.Study.run variants
+
+(* {2 Artifact regeneration (the paper's tables and figures)} *)
+
+let () =
+  print_endline (S.Eval.Tables.table1 results);
+  print_endline (S.Eval.Tables.fig2 results);
+  print_endline (S.Eval.Tables.fig3 results);
+  print_endline (S.Eval.Tables.table2 results);
+  print_endline (S.Eval.Tables.summary results)
+
+(* {2 Ablation study (design choices of the multi-round pipeline)} *)
+
+let () =
+  let tasks = List.map S.Benchmarks.Generate.to_task variants in
+  let count f = List.length (List.filter f tasks) in
+  let full =
+    count (fun t ->
+        (S.Llm.Multi_round.repair t S.Llm.Multi_round.No_feedback).repaired)
+  in
+  let no_hc =
+    count (fun t ->
+        (S.Llm.Multi_round.repair ~hill_climb:false t
+           S.Llm.Multi_round.No_feedback)
+          .repaired)
+  in
+  let no_mc =
+    count (fun t ->
+        (S.Llm.Multi_round.repair ~mental_check:false t
+           S.Llm.Multi_round.No_feedback)
+          .repaired)
+  in
+  let portfolio =
+    count (fun t -> (fst (S.Eval.Portfolio.repair t)).repaired)
+  in
+  let weaker_model =
+    count (fun t ->
+        (S.Llm.Multi_round.repair ~profile:S.Llm.Model.gpt35 t
+           S.Llm.Multi_round.No_feedback)
+          .repaired)
+  in
+  let n = List.length tasks in
+  Printf.printf
+    "ABLATION (Multi-Round_None on %d sampled variants)\n\n\
+    \  full pipeline:        %d/%d\n\
+    \  without hill-climb:   %d/%d\n\
+    \  without mental check: %d/%d\n\
+    \  portfolio (ATR->MR):  %d/%d\n\
+    \  gpt-3.5 profile:      %d/%d\n\n%!"
+    n full n no_hc n no_mc n portfolio n weaker_model n
+
+(* {2 Timed benchmarks} *)
+
+(* inputs for the substrate benches *)
+let graph_env =
+  lazy
+    (S.Alloy.Typecheck.check
+       (S.Alloy.Parser.parse
+          {|
+sig Node { edges: set Node }
+fact Acyclic { no n: Node | n in n.^edges }
+assert NoLoop { all n: Node | n not in n.^edges }
+check NoLoop for 3
+run { some edges } for 3
+|}))
+
+let faulty_env =
+  lazy
+    (S.Alloy.Typecheck.check
+       (S.Alloy.Parser.parse
+          {|
+sig Node { edges: set Node }
+fact Acyclic { some n: Node | n in n.^edges }
+assert NoLoop { all n: Node | n not in n.^edges }
+check NoLoop for 3
+run { some edges } for 3
+|}))
+
+let first_variant = List.hd variants
+
+let bench_tests =
+  Test.make_grouped ~name:"specrepair" ~fmt:"%s/%s"
+    [
+      (* one per paper artifact *)
+      Test.make ~name:"table1-rep-counts"
+        (Staged.stage (fun () -> S.Eval.Tables.table1 results));
+      Test.make ~name:"fig2-similarity-means"
+        (Staged.stage (fun () -> S.Eval.Tables.fig2 results));
+      Test.make ~name:"fig3-pearson-matrix"
+        (Staged.stage (fun () -> S.Eval.Tables.fig3 results));
+      Test.make ~name:"table2-hybrid-unions"
+        (Staged.stage (fun () -> S.Eval.Tables.table2 results));
+      (* substrate: the operations the study spends its time in *)
+      Test.make ~name:"analyzer-check"
+        (Staged.stage (fun () ->
+             S.Analyzer.check_assert (Lazy.force graph_env)
+               S.Analyzer.default_scope "NoLoop"));
+      Test.make ~name:"repair-beafix"
+        (Staged.stage (fun () -> S.Repair.Beafix.repair (Lazy.force faulty_env)));
+      Test.make ~name:"repair-atr"
+        (Staged.stage (fun () -> S.Repair.Atr.repair (Lazy.force faulty_env)));
+      Test.make ~name:"repair-multi-round"
+        (Staged.stage (fun () ->
+             S.Llm.Multi_round.repair
+               (S.Benchmarks.Generate.to_task first_variant)
+               S.Llm.Multi_round.No_feedback));
+      Test.make ~name:"metric-rep"
+        (Staged.stage (fun () ->
+             S.Metrics.Rep.rep ~ground_truth:first_variant.ground_truth
+               ~candidate:first_variant.injected.faulty ()));
+      Test.make ~name:"metric-token-match"
+        (Staged.stage (fun () ->
+             S.Metrics.Bleu.token_match
+               ~reference:
+                 (S.Alloy.Pretty.spec_to_string first_variant.ground_truth)
+               ~candidate:
+                 (S.Alloy.Pretty.spec_to_string
+                    first_variant.injected.faulty)));
+      Test.make ~name:"metric-syntax-match"
+        (Staged.stage (fun () ->
+             S.Metrics.Tree_kernel.syntax_match first_variant.ground_truth
+               first_variant.injected.faulty));
+      Test.make ~name:"benchmark-inject"
+        (Staged.stage (fun () ->
+             S.Benchmarks.Fault.inject ~seed:99
+               (List.hd S.Benchmarks.Domains.all)
+               ~index:0));
+      (* ablations of the multi-round design choices (see DESIGN.md) *)
+      Test.make ~name:"ablation-mr-no-hill-climb"
+        (Staged.stage (fun () ->
+             S.Llm.Multi_round.repair ~hill_climb:false
+               (S.Benchmarks.Generate.to_task first_variant)
+               S.Llm.Multi_round.No_feedback));
+      Test.make ~name:"ablation-mr-no-mental-check"
+        (Staged.stage (fun () ->
+             S.Llm.Multi_round.repair ~mental_check:false
+               (S.Benchmarks.Generate.to_task first_variant)
+               S.Llm.Multi_round.No_feedback));
+      Test.make ~name:"portfolio-hybrid-tool"
+        (Staged.stage (fun () ->
+             S.Eval.Portfolio.repair
+               (S.Benchmarks.Generate.to_task first_variant)));
+    ]
+
+let () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances bench_tests in
+  let analyzed = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "== timings (monotonic clock, per run) ==";
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) analyzed [] in
+  List.iter
+    (fun (name, ols_result) ->
+      match Analyze.OLS.estimates ols_result with
+      | Some (est :: _) ->
+          let value, unit_ =
+            if est > 1e9 then (est /. 1e9, "s")
+            else if est > 1e6 then (est /. 1e6, "ms")
+            else if est > 1e3 then (est /. 1e3, "us")
+            else (est, "ns")
+          in
+          Printf.printf "  %-36s %10.2f %s/run\n" name value unit_
+      | _ -> Printf.printf "  %-36s (no estimate)\n" name)
+    (List.sort compare rows);
+  print_endline "\nbench: done"

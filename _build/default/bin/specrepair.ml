@@ -1,0 +1,252 @@
+(* specrepair — command-line front end.
+
+   Subcommands: parse, analyze, repair, evaluate, domains.  `evaluate`
+   regenerates the paper's tables and figures (optionally on a stratified
+   sample for quick runs). *)
+
+open Cmdliner
+module Alloy = Specrepair_alloy
+module Solver = Specrepair_solver
+module Repair = Specrepair_repair
+module Llm = Specrepair_llm
+module Benchmarks = Specrepair_benchmarks
+module Eval = Specrepair_eval
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_env path =
+  let spec = Alloy.Parser.parse (read_file path) in
+  Alloy.Typecheck.check spec
+
+(* {2 parse} *)
+
+let parse_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file =
+    match load_env file with
+    | env ->
+        print_string (Alloy.Pretty.spec_to_string env.Alloy.Typecheck.spec);
+        `Ok ()
+    | exception Alloy.Parser.Parse_error msg -> `Error (false, msg)
+    | exception Alloy.Lexer.Lex_error msg -> `Error (false, msg)
+    | exception Alloy.Typecheck.Type_error msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse and type-check a specification, reprint it")
+    Term.(ret (const run $ file))
+
+(* {2 analyze} *)
+
+let analyze_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file =
+    match load_env file with
+    | env ->
+        if env.Alloy.Typecheck.spec.commands = [] then
+          print_endline "no commands to run"
+        else
+          List.iter
+            (fun (c : Alloy.Ast.command) ->
+              let label =
+                match c.cmd_kind with
+                | Alloy.Ast.Run_pred n -> "run " ^ n
+                | Alloy.Ast.Run_fmla _ -> "run {...}"
+                | Alloy.Ast.Check n -> "check " ^ n
+              in
+              match Solver.Analyzer.run_command env c with
+              | Solver.Analyzer.Sat inst ->
+                  Format.printf "%s: SAT@.%a@." label Alloy.Instance.pp inst
+              | Solver.Analyzer.Unsat -> Format.printf "%s: UNSAT@." label
+              | Solver.Analyzer.Unknown -> Format.printf "%s: UNKNOWN@." label)
+            env.Alloy.Typecheck.spec.commands;
+        `Ok ()
+    | exception Alloy.Parser.Parse_error msg -> `Error (false, msg)
+    | exception Alloy.Lexer.Lex_error msg -> `Error (false, msg)
+    | exception Alloy.Typecheck.Type_error msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Run every command of a specification")
+    Term.(ret (const run $ file))
+
+(* {2 repair} *)
+
+let repair_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let tool =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("beafix", `Beafix);
+               ("atr", `Atr);
+               ("multi-round", `Multi);
+               ("portfolio", `Portfolio);
+             ])
+          `Beafix
+      & info [ "tool" ]
+          ~doc:"Repair engine: beafix, atr, multi-round, or portfolio")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ]) in
+  let run file tool seed =
+    match load_env file with
+    | env ->
+        let result =
+          match tool with
+          | `Beafix -> Repair.Beafix.repair env
+          | `Atr -> Repair.Atr.repair env
+          | `Multi ->
+              let task =
+                Llm.Task.make ~spec_id:file ~domain:"cli"
+                  ~faulty:env.Alloy.Typecheck.spec ()
+              in
+              Llm.Multi_round.repair ~seed task Llm.Multi_round.Generic
+          | `Portfolio ->
+              let task =
+                Llm.Task.make ~spec_id:file ~domain:"cli"
+                  ~faulty:env.Alloy.Typecheck.spec ()
+              in
+              fst (Eval.Portfolio.repair ~seed task)
+        in
+        Format.printf "tool: %s@.repaired: %b@.candidates tried: %d@.@.%s"
+          result.Repair.Common.tool result.repaired result.candidates_tried
+          (Alloy.Pretty.spec_to_string result.final_spec);
+        `Ok ()
+    | exception Alloy.Parser.Parse_error msg -> `Error (false, msg)
+    | exception Alloy.Lexer.Lex_error msg -> `Error (false, msg)
+    | exception Alloy.Typecheck.Type_error msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:"Repair a faulty specification against its own commands")
+    Term.(ret (const run $ file $ tool $ seed))
+
+(* {2 domains} *)
+
+let domains_cmd =
+  let run () =
+    Printf.printf "%-14s %-8s %6s  %s\n" "domain" "bench" "count" "fault mix";
+    List.iter
+      (fun (d : Benchmarks.Domains.t) ->
+        Printf.printf "%-14s %-8s %6d  %s\n" d.name
+          (Benchmarks.Domains.benchmark_to_string d.benchmark)
+          d.count
+          (String.concat ", "
+             (List.map (fun (c, w) -> Printf.sprintf "%s:%.2f" c w) d.fault_mix)))
+      Benchmarks.Domains.all;
+    Printf.printf "\nTotal: A4F %d + ARepair %d = %d\n"
+      (Benchmarks.Domains.total_count Benchmarks.Domains.A4F)
+      (Benchmarks.Domains.total_count Benchmarks.Domains.ARepair_bench)
+      (Benchmarks.Domains.total_count Benchmarks.Domains.A4F
+      + Benchmarks.Domains.total_count Benchmarks.Domains.ARepair_bench)
+  in
+  Cmd.v (Cmd.info "domains" ~doc:"List benchmark domains") Term.(const run $ const ())
+
+(* {2 evaluate} *)
+
+let evaluate_cmd =
+  let sample =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sample" ] ~docv:"N" ~doc:"Use only the first N variants per domain")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ]) in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~doc:"Parallel worker processes")
+  in
+  let what =
+    Arg.(
+      value
+      & opt_all (enum [ ("table1", `T1); ("fig2", `F2); ("fig3", `F3); ("table2", `T2); ("summary", `S) ]) []
+      & info [ "show" ] ~doc:"Artifacts to print (default: all)")
+  in
+  let csv_out =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write raw results CSV")
+  in
+  let csv_in =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "from-csv" ] ~docv:"FILE" ~doc:"Render from a cached results CSV instead of running")
+  in
+  let artifacts_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "artifacts-dir" ] ~docv:"DIR"
+          ~doc:"Also write table1.csv, fig2.csv, fig3.csv, table2.csv to DIR")
+  in
+  let run sample seed jobs what csv_out csv_in artifacts_dir =
+    let results =
+      match csv_in with
+      | Some path -> Eval.Study.of_csv (read_file path)
+      | None ->
+          let variants =
+            match sample with
+            | Some n -> Benchmarks.Generate.sample ~seed ~per_domain:n ()
+            | None -> Benchmarks.Generate.all ~seed ()
+          in
+          Printf.eprintf "running %d variants x %d techniques...\n%!"
+            (List.length variants)
+            (List.length Eval.Technique.all);
+          Eval.Study.run_parallel ~seed ~jobs
+            ~progress:(fun msg -> Printf.eprintf "  %s\n%!" msg)
+            variants
+    in
+    (match csv_out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Eval.Study.to_csv results);
+        close_out oc
+    | None -> ());
+    (match artifacts_dir with
+    | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iter
+          (fun (name, text) ->
+            let oc = open_out (Filename.concat dir name) in
+            output_string oc text;
+            close_out oc)
+          [
+            ("table1.csv", Eval.Tables.table1_csv results);
+            ("fig2.csv", Eval.Tables.fig2_csv results);
+            ("fig3.csv", Eval.Tables.fig3_csv results);
+            ("table2.csv", Eval.Tables.table2_csv results);
+          ]
+    | None -> ());
+    let what = if what = [] then [ `T1; `F2; `F3; `T2; `S ] else what in
+    List.iter
+      (fun w ->
+        let text =
+          match w with
+          | `T1 -> Eval.Tables.table1 results
+          | `F2 -> Eval.Tables.fig2 results
+          | `F3 -> Eval.Tables.fig3 results
+          | `T2 -> Eval.Tables.table2 results
+          | `S -> Eval.Tables.summary results
+        in
+        print_endline text)
+      what
+  in
+  Cmd.v
+    (Cmd.info "evaluate"
+       ~doc:"Run the study and regenerate the paper's tables and figures")
+    Term.(const run $ sample $ seed $ jobs $ what $ csv_out $ csv_in $ artifacts_dir)
+
+let () =
+  let info =
+    Cmd.info "specrepair" ~version:"1.0.0"
+      ~doc:
+        "Alloy specification repair: traditional and LLM-based techniques \
+         (DSN'25 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ parse_cmd; analyze_cmd; repair_cmd; domains_cmd; evaluate_cmd ]))

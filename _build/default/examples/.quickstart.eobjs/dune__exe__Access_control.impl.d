@@ -1,0 +1,1 @@
+examples/access_control.ml: Alloy Analyzer Eval List Llm Mutation Printf Specrepair

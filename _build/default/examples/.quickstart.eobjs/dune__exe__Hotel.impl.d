@@ -1,0 +1,1 @@
+examples/hotel.ml: Alloy Analyzer List Llm Mutation Printf Specrepair

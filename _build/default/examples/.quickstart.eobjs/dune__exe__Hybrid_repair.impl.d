@@ -1,0 +1,1 @@
+examples/hybrid_repair.ml: Benchmarks Eval List Llm Printf Specrepair String

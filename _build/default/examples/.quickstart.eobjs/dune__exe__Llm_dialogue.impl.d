@@ -1,0 +1,1 @@
+examples/llm_dialogue.ml: Alloy Benchmarks List Llm Metrics Option Printf Specrepair String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Alloy Analyzer Format List Metrics Printf Repair Specrepair

@@ -1,0 +1,60 @@
+(* A look inside the LLM pipelines: the rendered prompt, the model's raw
+   response (chatter and all), the extraction step, and the multi-round
+   dialogue with analyzer feedback.
+
+   Run with: dune exec examples/llm_dialogue.exe *)
+
+open Specrepair
+
+let () =
+  (* pick a benchmark variant with a known fault *)
+  let d = Option.get (Benchmarks.Domains.find "graphs") in
+  let v = List.hd (Benchmarks.Generate.variants d) in
+  let task = Benchmarks.Generate.to_task v in
+  Printf.printf "=== task: %s (fault class: %s)\n\n" v.id
+    v.injected.class_name;
+
+  (* the single-round prompt, as a real deployment would send it *)
+  let prompt = Llm.Prompt.single task Llm.Prompt.SLoc_fix in
+  Printf.printf "--- prompt (Single-Round, Loc+Fix) ---\n%s\n"
+    (Llm.Prompt.render prompt);
+
+  (* the model's raw response *)
+  let rng = Llm.Rng.of_context ~seed:42 [ v.id; "example" ] in
+  let response = Llm.Model.respond Llm.Model.gpt4 ~rng Llm.Model.no_guidance prompt in
+  Printf.printf "--- response ---\n%s\n\n" response;
+
+  (* extraction: fenced block -> parsed spec *)
+  (match Llm.Extract.spec_of_response response with
+  | Some spec ->
+      Printf.printf "--- extracted specification (%d AST nodes) ---\n\n"
+        (Alloy.Ast.spec_size spec)
+  | None -> Printf.printf "--- extraction failed (malformed response) ---\n\n");
+
+  (* the multi-round dialogue, with the analyzer in the loop; trace the
+     conversation as it happens *)
+  let result =
+    Llm.Multi_round.repair ~seed:42
+      ~trace:(fun ~round ~prompt ~response ->
+        Printf.printf "--- round %d feedback ---\n%s\n--- round %d response (truncated) ---\n%s...\n\n"
+          round
+          (Option.value ~default:"(none)" prompt.Llm.Prompt.feedback)
+          round
+          (String.sub response 0 (min 120 (String.length response))))
+      task Llm.Multi_round.Generic
+  in
+  Printf.printf
+    "=== Multi-Round_Generic: repaired=%b after %d round(s)\n\n"
+    result.repaired result.iterations;
+  if result.repaired then begin
+    let rep =
+      Metrics.Rep.rep ~ground_truth:v.ground_truth
+        ~candidate:result.final_spec ()
+    in
+    Printf.printf "REP vs ground truth: %b\n" rep;
+    Printf.printf "TM: %.3f  SM: %.3f\n"
+      (Metrics.Bleu.token_match
+         ~reference:(Alloy.Pretty.spec_to_string v.ground_truth)
+         ~candidate:(Alloy.Pretty.spec_to_string result.final_spec))
+      (Metrics.Tree_kernel.syntax_match v.ground_truth result.final_spec)
+  end

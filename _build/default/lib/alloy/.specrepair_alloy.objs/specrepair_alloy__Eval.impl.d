@@ -1,0 +1,1 @@
+lib/alloy/eval.ml: Array Ast Format Implicit Instance List Typecheck

@@ -1,0 +1,1 @@
+lib/alloy/eval.mli: Ast Instance Typecheck

@@ -1,0 +1,1 @@
+lib/alloy/implicit.ml: Ast Fun Hashtbl List Option Printf Typecheck

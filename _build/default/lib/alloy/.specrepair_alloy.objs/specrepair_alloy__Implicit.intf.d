@@ -1,0 +1,1 @@
+lib/alloy/implicit.mli: Ast Typecheck

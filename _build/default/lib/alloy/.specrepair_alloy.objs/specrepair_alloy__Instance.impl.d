@@ -1,0 +1,1 @@
+lib/alloy/instance.ml: Array Format List Printf Set Stdlib String

@@ -1,0 +1,1 @@
+lib/alloy/instance.mli: Format Set

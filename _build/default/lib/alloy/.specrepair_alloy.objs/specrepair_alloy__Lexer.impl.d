@@ -1,0 +1,1 @@
+lib/alloy/lexer.ml: Array List Printf String

@@ -1,0 +1,1 @@
+lib/alloy/pretty.ml: Ast Buffer Format List

@@ -1,0 +1,1 @@
+lib/alloy/pretty.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/alloy/typecheck.ml: Ast Format Hashtbl List Option

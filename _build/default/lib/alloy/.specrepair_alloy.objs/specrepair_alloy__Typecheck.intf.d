@@ -1,0 +1,1 @@
+lib/alloy/typecheck.mli: Ast Hashtbl

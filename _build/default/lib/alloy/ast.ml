@@ -1,0 +1,180 @@
+(* Abstract syntax of Mini-Alloy, the kernel of the Alloy specification
+   language used by the benchmarks: signatures with fields, facts,
+   predicates, assertions, and run/check commands over relational
+   expressions and first-order formulas.
+
+   The type definitions are deliberately public (no .mli): every layer above
+   — pretty printer, type checker, evaluator, compiler, mutation engine —
+   pattern-matches on them. *)
+
+(* Multiplicity keywords, used on signatures, field ranges, and as formula
+   quantifiers over expressions ("some e"). *)
+type mult = Mone | Mlone | Msome | Mset
+
+type unop =
+  | Transpose (* ~e  : converse of a binary relation *)
+  | Closure (* ^e  : transitive closure *)
+  | Rclosure (* *e  : reflexive-transitive closure *)
+
+type binop =
+  | Join (* e1 . e2 *)
+  | Product (* e1 -> e2 *)
+  | Union (* e1 + e2 *)
+  | Diff (* e1 - e2 *)
+  | Inter (* e1 & e2 *)
+  | Override (* e1 ++ e2 *)
+  | Domrestr (* e1 <: e2 *)
+  | Ranrestr (* e1 :> e2 *)
+
+type quant = Qall | Qsome | Qno | Qlone | Qone
+
+(* Multiplicity tests on expressions in formula position. *)
+type fmult = Fno | Fsome | Flone | Fone
+
+type cmpop = Cin | Cnotin | Ceq | Cneq
+
+type intcmp = Ilt | Ile | Ieq | Ineq | Ige | Igt
+
+type expr =
+  | Rel of string (* signature, field, bound variable, or predicate param *)
+  | Univ
+  | Iden
+  | None_
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Ite of fmla * expr * expr (* f implies e1 else e2, expression form *)
+  | Compr of (string * expr) list * fmla
+      (* { x: A, y: B | f } — set comprehension; arity = number of decls *)
+
+and fmla =
+  | True
+  | False
+  | Cmp of cmpop * expr * expr
+  | Multf of fmult * expr (* no e / some e / lone e / one e *)
+  | Card of intcmp * expr * int (* #e op k, k a literal *)
+  | Not of fmla
+  | And of fmla * fmla
+  | Or of fmla * fmla
+  | Implies of fmla * fmla
+  | Iff of fmla * fmla
+  | Quant of quant * (string * expr) list * fmla
+  | Call of string * expr list (* predicate invocation *)
+  | Let of string * expr * fmla (* let x = e | f ; x may have any arity *)
+
+type field = {
+  fld_name : string;
+  fld_cols : expr list; (* column domains after the owning sig; length = arity-1 *)
+  fld_mult : mult; (* multiplicity of the final column *)
+}
+
+type sig_decl = {
+  sig_name : string;
+  sig_parent : string option; (* extends *)
+  sig_abstract : bool;
+  sig_mult : mult; (* one/lone/some sig; Mset = unconstrained *)
+  sig_fields : field list;
+}
+
+(* A relational function: semantically the derived relation
+   {(p1, .., pn, r1, .., rm) | body(p1..pn) contains (r1..rm)}; function
+   application is then ordinary join, as in Alloy. *)
+type fun_decl = {
+  fun_name : string;
+  fun_params : (string * expr) list;
+  fun_result : expr; (* declared result bound (checked for arity) *)
+  fun_body : expr;
+}
+
+type pred_decl = {
+  pred_name : string;
+  pred_params : (string * expr) list; (* parameter name, bounding expr *)
+  pred_body : fmla;
+}
+
+type fact_decl = { fact_name : string option; fact_body : fmla }
+
+type assert_decl = { assert_name : string; assert_body : fmla }
+
+type cmd_kind = Run_pred of string | Run_fmla of fmla | Check of string
+
+type command = {
+  cmd_kind : cmd_kind;
+  cmd_scope : int; (* default bound for every top-level signature *)
+  cmd_scopes : (string * int) list; (* "but" overrides *)
+}
+
+type spec = {
+  module_name : string option;
+  sigs : sig_decl list;
+  facts : fact_decl list;
+  preds : pred_decl list;
+  funs : fun_decl list;
+  asserts : assert_decl list;
+  commands : command list;
+}
+
+let empty_spec =
+  {
+    module_name = None;
+    sigs = [];
+    facts = [];
+    preds = [];
+    funs = [];
+    asserts = [];
+    commands = [];
+  }
+
+(* Structural equality is the derived one; expose named versions for
+   readability at call sites. *)
+let equal_expr (a : expr) (b : expr) = a = b
+let equal_fmla (a : fmla) (b : fmla) = a = b
+let equal_spec (a : spec) (b : spec) = a = b
+
+let find_sig spec name = List.find_opt (fun s -> s.sig_name = name) spec.sigs
+
+let find_pred spec name =
+  List.find_opt (fun p -> p.pred_name = name) spec.preds
+
+let find_fun spec name = List.find_opt (fun f -> f.fun_name = name) spec.funs
+
+let find_assert spec name =
+  List.find_opt (fun a -> a.assert_name = name) spec.asserts
+
+let find_field spec name =
+  List.find_map
+    (fun s ->
+      List.find_map
+        (fun f -> if f.fld_name = name then Some (s, f) else None)
+        s.sig_fields)
+    spec.sigs
+
+(* {2 Size measures} *)
+
+let rec expr_size = function
+  | Rel _ | Univ | Iden | None_ -> 1
+  | Unop (_, e) -> 1 + expr_size e
+  | Binop (_, a, b) -> 1 + expr_size a + expr_size b
+  | Ite (f, a, b) -> 1 + fmla_size f + expr_size a + expr_size b
+  | Compr (decls, f) ->
+      1 + List.fold_left (fun n (_, e) -> n + expr_size e) 0 decls + fmla_size f
+
+and fmla_size = function
+  | True | False -> 1
+  | Cmp (_, a, b) -> 1 + expr_size a + expr_size b
+  | Multf (_, e) | Card (_, e, _) -> 1 + expr_size e
+  | Not f -> 1 + fmla_size f
+  | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) ->
+      1 + fmla_size a + fmla_size b
+  | Quant (_, decls, f) ->
+      1 + List.fold_left (fun n (_, e) -> n + expr_size e) 0 decls + fmla_size f
+  | Call (_, args) -> 1 + List.fold_left (fun n e -> n + expr_size e) 0 args
+  | Let (_, e, f) -> 1 + expr_size e + fmla_size f
+
+let spec_size spec =
+  let field_size f = List.fold_left (fun n e -> n + expr_size e) 1 f.fld_cols in
+  let sig_size s = 1 + List.fold_left (fun n f -> n + field_size f) 0 s.sig_fields in
+  List.fold_left (fun n s -> n + sig_size s) 0 spec.sigs
+  + List.fold_left (fun n f -> n + fmla_size f.fact_body) 0 spec.facts
+  + List.fold_left (fun n p -> n + fmla_size p.pred_body) 0 spec.preds
+  + List.fold_left (fun n f -> n + expr_size f.fun_body) 0 spec.funs
+  + List.fold_left (fun n a -> n + fmla_size a.assert_body) 0 spec.asserts

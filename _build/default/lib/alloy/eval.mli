@@ -1,0 +1,28 @@
+(** Direct evaluation of expressions and formulas over a ground instance.
+
+    This is the semantic reference for the language: the bounded model
+    finder is property-tested against it.  It is also the workhorse of the
+    repair engines (AUnit test execution, candidate pruning against
+    collected instances and counterexamples). *)
+
+exception Eval_error of string
+
+type bindings = (string * Instance.Tuple_set.t) list
+(** Values of quantified variables and predicate parameters in scope.
+    Innermost bindings first; names shadow the instance relations. *)
+
+val expr :
+  Typecheck.env -> Instance.t -> bindings -> Ast.expr -> Instance.Tuple_set.t
+(** Value of an expression.  Raises {!Eval_error} on unknown names or
+    arity violations that the type checker would reject. *)
+
+val fmla : Typecheck.env -> Instance.t -> bindings -> Ast.fmla -> bool
+(** Truth of a formula. *)
+
+val facts_hold : Typecheck.env -> Instance.t -> bool
+(** Do all explicit facts and all implicit constraints (signature
+    hierarchy, multiplicities, field typing) hold in the instance? *)
+
+val pred_sat : Typecheck.env -> Instance.t -> Ast.pred_decl -> bool
+(** Truth of a predicate whose parameters are existentially quantified over
+    their bounds (the semantics of [run p]). *)

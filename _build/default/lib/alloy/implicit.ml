@@ -1,0 +1,84 @@
+open Ast
+
+let sig_ref name = Rel name
+
+(* all _m0: S, _m1: C1, ... | mult (_m(k-1) . ( ... (_m0 . f))) *)
+let field_mult_constraint owner f =
+  let arity = List.length f.fld_cols in
+  let fm =
+    match f.fld_mult with
+    | Mone -> Fone
+    | Mlone -> Flone
+    | Msome -> Fsome
+    | Mset -> Fsome (* unreachable; Mset yields no constraint *)
+  in
+  let var i = Printf.sprintf "_m%d" i in
+  let decls =
+    (var 0, sig_ref owner)
+    :: List.mapi (fun i col -> (var (i + 1), col)) (List.filteri (fun i _ -> i < arity - 1) f.fld_cols)
+  in
+  let joined =
+    List.fold_left
+      (fun acc i -> Binop (Join, Rel (var i), acc))
+      (Rel f.fld_name)
+      (List.init arity Fun.id)
+  in
+  Quant (Qall, decls, Multf (fm, joined))
+
+let field_typing owner f =
+  let product =
+    List.fold_left
+      (fun acc col -> Binop (Product, acc, col))
+      (sig_ref owner) f.fld_cols
+  in
+  Cmp (Cin, Rel f.fld_name, product)
+
+let constraints (env : Typecheck.env) =
+  let spec = env.spec in
+  let acc = ref [] in
+  let add f = acc := f :: !acc in
+  List.iter
+    (fun s ->
+      (* containment in the parent *)
+      (match s.sig_parent with
+      | Some p -> add (Cmp (Cin, sig_ref s.sig_name, sig_ref p))
+      | None -> ());
+      (* signature multiplicity *)
+      (match s.sig_mult with
+      | Mone -> add (Multf (Fone, sig_ref s.sig_name))
+      | Mlone -> add (Multf (Flone, sig_ref s.sig_name))
+      | Msome -> add (Multf (Fsome, sig_ref s.sig_name))
+      | Mset -> ());
+      (* sibling disjointness and abstract exhaustiveness *)
+      let children =
+        Option.value ~default:[] (Hashtbl.find_opt env.children s.sig_name)
+      in
+      let rec pairwise = function
+        | [] -> ()
+        | c :: rest ->
+            List.iter
+              (fun c' ->
+                add (Multf (Fno, Binop (Inter, sig_ref c, sig_ref c'))))
+              rest;
+            pairwise rest
+      in
+      pairwise children;
+      (match (s.sig_abstract, children) with
+      | true, first :: rest ->
+          let union =
+            List.fold_left
+              (fun acc c -> Binop (Union, acc, sig_ref c))
+              (sig_ref first) rest
+          in
+          add (Cmp (Cin, sig_ref s.sig_name, union))
+      | _ -> ());
+      (* fields *)
+      List.iter
+        (fun f ->
+          add (field_typing s.sig_name f);
+          match f.fld_mult with
+          | Mset -> ()
+          | _ -> add (field_mult_constraint s.sig_name f))
+        s.sig_fields)
+    spec.sigs;
+  List.rev !acc

@@ -1,0 +1,13 @@
+(** Implicit constraints of a specification: everything the Alloy semantics
+    imposes beyond the explicit facts.  Shared between the evaluator (to
+    check candidate instances) and the bounded model finder (conjoined to
+    every translation).
+
+    Generated constraints cover: [extends] containment, disjointness of
+    sibling subsignatures, exhaustiveness of abstract signatures, signature
+    multiplicities ([one sig] etc.), field typing, and field-range
+    multiplicities. *)
+
+val constraints : Typecheck.env -> Ast.fmla list
+(** Internal quantified variables are named ["_m0"], ["_m1"], ... which
+    cannot clash with parsed programs in practice and print/parse cleanly. *)

@@ -1,0 +1,61 @@
+module Tuple = struct
+  type t = string array
+
+  let compare = Stdlib.compare
+
+  let pp ppf t =
+    Format.fprintf ppf "(%s)" (String.concat ", " (Array.to_list t))
+end
+
+module Tuple_set = Set.Make (Tuple)
+
+type t = {
+  sigs : (string * string list) list;
+  fields : (string * Tuple_set.t) list;
+}
+
+let sig_atoms inst name =
+  match List.assoc_opt name inst.sigs with
+  | Some atoms -> atoms
+  | None -> raise Not_found
+
+let field_tuples inst name =
+  match List.assoc_opt name inst.fields with
+  | Some tuples -> tuples
+  | None -> raise Not_found
+
+let universe inst =
+  List.sort_uniq String.compare (List.concat_map snd inst.sigs)
+
+let tuples_of_atoms atoms =
+  Tuple_set.of_list (List.map (fun a -> [| a |]) atoms)
+
+let normalize inst =
+  ( List.sort compare
+      (List.map (fun (n, ats) -> (n, List.sort_uniq String.compare ats)) inst.sigs),
+    List.sort compare inst.fields )
+
+let equal a b =
+  let sa, fa = normalize a and sb, fb = normalize b in
+  sa = sb && List.length fa = List.length fb
+  && List.for_all2
+       (fun (n1, t1) (n2, t2) -> n1 = n2 && Tuple_set.equal t1 t2)
+       fa fb
+
+let pp ppf inst =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (name, atoms) ->
+      Format.fprintf ppf "%s = {%s}@," name (String.concat ", " atoms))
+    inst.sigs;
+  List.iter
+    (fun (name, tuples) ->
+      Format.fprintf ppf "%s = {%s}@," name
+        (String.concat ", "
+           (List.map
+              (fun t -> Format.asprintf "%a" Tuple.pp t)
+              (Tuple_set.elements tuples))))
+    inst.fields;
+  Format.fprintf ppf "@]"
+
+let atom_name sig_name i = Printf.sprintf "%s$%d" sig_name i

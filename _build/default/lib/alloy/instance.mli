@@ -1,0 +1,39 @@
+(** Ground instances (models) of a specification: a finite universe of atoms
+    and a valuation of every signature and field relation.
+
+    Instances are produced by the bounded model finder and consumed by the
+    evaluator; AUnit-style tests also describe instances directly. *)
+
+module Tuple : sig
+  type t = string array
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Tuple_set : Set.S with type elt = Tuple.t
+
+type t = {
+  sigs : (string * string list) list;  (** every signature -> its atoms *)
+  fields : (string * Tuple_set.t) list;  (** every field -> its tuples *)
+}
+
+val universe : t -> string list
+(** All atoms (the union of top-level signature atom sets), sorted. *)
+
+val sig_atoms : t -> string -> string list
+(** Atoms of a signature; raises [Not_found] for unknown names. *)
+
+val field_tuples : t -> string -> Tuple_set.t
+(** Valuation of a field; raises [Not_found] for unknown names. *)
+
+val tuples_of_atoms : string list -> Tuple_set.t
+(** Unary tuple set over the given atoms. *)
+
+val equal : t -> t -> bool
+(** Valuation equality (signature and field contents, order-insensitive). *)
+
+val pp : Format.formatter -> t -> unit
+
+val atom_name : string -> int -> string
+(** [atom_name "Room" 2] is ["Room$2"], the conventional atom spelling. *)

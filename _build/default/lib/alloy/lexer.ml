@@ -1,0 +1,287 @@
+type token =
+  | Tident of string
+  | Tint of int
+  | Tmodule
+  | Tsig
+  | Tabstract
+  | Textends
+  | Tone
+  | Tlone
+  | Tsome
+  | Tset
+  | Tall
+  | Tno
+  | Tfact
+  | Tpred
+  | Tfun
+  | Tlet
+  | Tassert
+  | Tcheck
+  | Trun
+  | Tfor
+  | Tbut
+  | Tin
+  | Tnot
+  | Tand
+  | Tor
+  | Timplies
+  | Tiff
+  | Telse
+  | Tuniv
+  | Tiden
+  | Tnone
+  | Tlbrace
+  | Trbrace
+  | Tlbrack
+  | Trbrack
+  | Tlparen
+  | Trparen
+  | Tcolon
+  | Tcomma
+  | Tdot
+  | Tbar
+  | Tplus
+  | Tminus
+  | Tamp
+  | Tplusplus
+  | Tarrow
+  | Tdomres
+  | Tranres
+  | Ttilde
+  | Tcaret
+  | Tstar
+  | Thash
+  | Teq
+  | Tneq
+  | Tlt
+  | Tle
+  | Tgt
+  | Tge
+  | Tbang
+  | Tampamp
+  | Tbarbar
+  | Tfatarrow
+  | Tiffarrow
+  | Teof
+
+exception Lex_error of string
+
+let keywords =
+  [
+    ("module", Tmodule);
+    ("sig", Tsig);
+    ("abstract", Tabstract);
+    ("extends", Textends);
+    ("one", Tone);
+    ("lone", Tlone);
+    ("some", Tsome);
+    ("set", Tset);
+    ("all", Tall);
+    ("no", Tno);
+    ("fact", Tfact);
+    ("pred", Tpred);
+    ("fun", Tfun);
+    ("let", Tlet);
+    ("assert", Tassert);
+    ("check", Tcheck);
+    ("run", Trun);
+    ("for", Tfor);
+    ("but", Tbut);
+    ("in", Tin);
+    ("not", Tnot);
+    ("and", Tand);
+    ("or", Tor);
+    ("implies", Timplies);
+    ("iff", Tiff);
+    ("else", Telse);
+    ("univ", Tuniv);
+    ("iden", Tiden);
+    ("none", Tnone);
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+(* '$' admits atom names such as Node$0, which the evaluator resolves to
+   singleton sets (as in the Alloy evaluator REPL). *)
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '\'' || c = '$'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let peek k = if !i + k < n then src.[!i + k] else '\000' in
+  let emit tok = tokens := (tok, !line) :: !tokens in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = '/' then
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    else if c = '-' && peek 1 = '-' then
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    else if c = '/' && peek 1 = '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && peek 1 = '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then
+        raise (Lex_error (Printf.sprintf "line %d: unterminated comment" !line))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      match List.assoc_opt word keywords with
+      | Some kw -> emit kw
+      | None -> emit (Tident word)
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      emit (Tint (int_of_string (String.sub src start (!i - start))))
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      let tok2 =
+        match two with
+        | "++" -> Some Tplusplus
+        | "->" -> Some Tarrow
+        | "<:" -> Some Tdomres
+        | ":>" -> Some Tranres
+        | "!=" -> Some Tneq
+        | "<=" -> if peek 2 = '>' then None else Some Tle
+        | ">=" -> Some Tge
+        | "&&" -> Some Tampamp
+        | "||" -> Some Tbarbar
+        | "=>" -> Some Tfatarrow
+        | _ -> None
+      in
+      match tok2 with
+      | Some t ->
+          emit t;
+          i := !i + 2
+      | None ->
+          if two = "<=" && peek 2 = '>' then begin
+            emit Tiffarrow;
+            i := !i + 3
+          end
+          else begin
+            (match c with
+            | '{' -> emit Tlbrace
+            | '}' -> emit Trbrace
+            | '[' -> emit Tlbrack
+            | ']' -> emit Trbrack
+            | '(' -> emit Tlparen
+            | ')' -> emit Trparen
+            | ':' -> emit Tcolon
+            | ',' -> emit Tcomma
+            | '.' -> emit Tdot
+            | '|' -> emit Tbar
+            | '+' -> emit Tplus
+            | '-' -> emit Tminus
+            | '&' -> emit Tamp
+            | '~' -> emit Ttilde
+            | '^' -> emit Tcaret
+            | '*' -> emit Tstar
+            | '#' -> emit Thash
+            | '=' -> emit Teq
+            | '<' -> emit Tlt
+            | '>' -> emit Tgt
+            | '!' -> emit Tbang
+            | _ ->
+                raise
+                  (Lex_error
+                     (Printf.sprintf "line %d: unexpected character %C" !line c)));
+            incr i
+          end
+    end
+  done;
+  emit Teof;
+  Array.of_list (List.rev !tokens)
+
+let token_to_string = function
+  | Tident s -> s
+  | Tint k -> string_of_int k
+  | Tmodule -> "module"
+  | Tsig -> "sig"
+  | Tabstract -> "abstract"
+  | Textends -> "extends"
+  | Tone -> "one"
+  | Tlone -> "lone"
+  | Tsome -> "some"
+  | Tset -> "set"
+  | Tall -> "all"
+  | Tno -> "no"
+  | Tfact -> "fact"
+  | Tpred -> "pred"
+  | Tfun -> "fun"
+  | Tlet -> "let"
+  | Tassert -> "assert"
+  | Tcheck -> "check"
+  | Trun -> "run"
+  | Tfor -> "for"
+  | Tbut -> "but"
+  | Tin -> "in"
+  | Tnot -> "not"
+  | Tand -> "and"
+  | Tor -> "or"
+  | Timplies -> "implies"
+  | Tiff -> "iff"
+  | Telse -> "else"
+  | Tuniv -> "univ"
+  | Tiden -> "iden"
+  | Tnone -> "none"
+  | Tlbrace -> "{"
+  | Trbrace -> "}"
+  | Tlbrack -> "["
+  | Trbrack -> "]"
+  | Tlparen -> "("
+  | Trparen -> ")"
+  | Tcolon -> ":"
+  | Tcomma -> ","
+  | Tdot -> "."
+  | Tbar -> "|"
+  | Tplus -> "+"
+  | Tminus -> "-"
+  | Tamp -> "&"
+  | Tplusplus -> "++"
+  | Tarrow -> "->"
+  | Tdomres -> "<:"
+  | Tranres -> ":>"
+  | Ttilde -> "~"
+  | Tcaret -> "^"
+  | Tstar -> "*"
+  | Thash -> "#"
+  | Teq -> "="
+  | Tneq -> "!="
+  | Tlt -> "<"
+  | Tle -> "<="
+  | Tgt -> ">"
+  | Tge -> ">="
+  | Tbang -> "!"
+  | Tampamp -> "&&"
+  | Tbarbar -> "||"
+  | Tfatarrow -> "=>"
+  | Tiffarrow -> "<=>"
+  | Teof -> "<eof>"

@@ -1,0 +1,80 @@
+(** Tokenizer for Mini-Alloy source text. *)
+
+type token =
+  | Tident of string
+  | Tint of int
+  (* keywords *)
+  | Tmodule
+  | Tsig
+  | Tabstract
+  | Textends
+  | Tone
+  | Tlone
+  | Tsome
+  | Tset
+  | Tall
+  | Tno
+  | Tfact
+  | Tpred
+  | Tfun
+  | Tlet
+  | Tassert
+  | Tcheck
+  | Trun
+  | Tfor
+  | Tbut
+  | Tin
+  | Tnot
+  | Tand
+  | Tor
+  | Timplies
+  | Tiff
+  | Telse
+  | Tuniv
+  | Tiden
+  | Tnone
+  (* punctuation and operators *)
+  | Tlbrace
+  | Trbrace
+  | Tlbrack
+  | Trbrack
+  | Tlparen
+  | Trparen
+  | Tcolon
+  | Tcomma
+  | Tdot
+  | Tbar
+  | Tplus
+  | Tminus
+  | Tamp
+  | Tplusplus
+  | Tarrow
+  | Tdomres
+  | Tranres
+  | Ttilde
+  | Tcaret
+  | Tstar
+  | Thash
+  | Teq
+  | Tneq
+  | Tlt
+  | Tle
+  | Tgt
+  | Tge
+  | Tbang
+  | Tampamp
+  | Tbarbar
+  | Tfatarrow (* => *)
+  | Tiffarrow (* <=> *)
+  | Teof
+
+exception Lex_error of string
+(** Raised on an unrecognised character; the message includes the line. *)
+
+val tokenize : string -> (token * int) array
+(** [tokenize src] is the token stream with 1-based line numbers, terminated
+    by [Teof]. Comments ([//], [--], [/* */]) and whitespace are skipped. *)
+
+val token_to_string : token -> string
+(** Surface syntax of a token (keywords and operators as written;
+    identifiers and integers verbatim). *)

@@ -1,0 +1,613 @@
+open Lexer
+
+exception Parse_error of string
+
+type state = { tokens : (token * int) array; mutable pos : int }
+
+let current st = fst st.tokens.(st.pos)
+let current_line st = snd st.tokens.(st.pos)
+let peek_at st k =
+  let i = st.pos + k in
+  if i < Array.length st.tokens then fst st.tokens.(i) else Teof
+
+let advance st = st.pos <- st.pos + 1
+
+let fail st msg =
+  raise
+    (Parse_error
+       (Printf.sprintf "line %d: %s (found %s)" (current_line st) msg
+          (token_to_string (current st))))
+
+let expect st tok msg =
+  if current st = tok then advance st else fail st ("expected " ^ msg)
+
+let expect_ident st msg =
+  match current st with
+  | Tident s ->
+      advance st;
+      s
+  | _ -> fail st ("expected " ^ msg)
+
+let accept st tok =
+  if current st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+(* Is the upcoming token sequence a quantifier declaration, i.e.
+   ident (, ident)* : ...?  Distinguishes "some x: A | f" from "some e". *)
+let rec looks_like_decls st k =
+  match peek_at st k with
+  | Tident _ -> (
+      match peek_at st (k + 1) with
+      | Tcolon -> true
+      | Tcomma -> looks_like_decls st (k + 2)
+      | _ -> false)
+  | _ -> false
+
+let quant_of_token = function
+  | Tall -> Some Ast.Qall
+  | Tsome -> Some Ast.Qsome
+  | Tno -> Some Ast.Qno
+  | Tlone -> Some Ast.Qlone
+  | Tone -> Some Ast.Qone
+  | _ -> None
+
+let fmult_of_token = function
+  | Tno -> Some Ast.Fno
+  | Tsome -> Some Ast.Fsome
+  | Tlone -> Some Ast.Flone
+  | Tone -> Some Ast.Fone
+  | _ -> None
+
+(* {2 Expressions}
+
+   Precedence, tightest first: unary [~ ^ "*"], join [. and box],
+   restriction [<: :>], product [->], intersection [&], override [++],
+   union/difference [+ -]. *)
+
+let rec parse_expr_prec st = parse_union st
+
+and parse_union st =
+  let rec loop acc =
+    if accept st Tplus then loop (Ast.Binop (Union, acc, parse_override st))
+    else if accept st Tminus then loop (Ast.Binop (Diff, acc, parse_override st))
+    else acc
+  in
+  loop (parse_override st)
+
+and parse_override st =
+  let rec loop acc =
+    if accept st Tplusplus then loop (Ast.Binop (Override, acc, parse_inter st))
+    else acc
+  in
+  loop (parse_inter st)
+
+and parse_inter st =
+  let rec loop acc =
+    if accept st Tamp then loop (Ast.Binop (Inter, acc, parse_product st))
+    else acc
+  in
+  loop (parse_product st)
+
+and parse_product st =
+  let rec loop acc =
+    (* field declarations also use ->, but those are parsed separately *)
+    if accept st Tarrow then loop (Ast.Binop (Product, acc, parse_restrict st))
+    else acc
+  in
+  loop (parse_restrict st)
+
+and parse_restrict st =
+  let rec loop acc =
+    if accept st Tdomres then loop (Ast.Binop (Domrestr, acc, parse_join st))
+    else if accept st Tranres then loop (Ast.Binop (Ranrestr, acc, parse_join st))
+    else acc
+  in
+  loop (parse_join st)
+
+and parse_join st =
+  let rec loop acc =
+    if accept st Tdot then loop (Ast.Binop (Join, acc, parse_unary st))
+    else if current st = Tlbrack then begin
+      (* box join: e[a, b] = b.(a.e) *)
+      advance st;
+      let args = parse_expr_list st in
+      expect st Trbrack "]";
+      let joined =
+        List.fold_left (fun acc arg -> Ast.Binop (Join, arg, acc)) acc args
+      in
+      loop joined
+    end
+    else acc
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match current st with
+  | Ttilde ->
+      advance st;
+      Ast.Unop (Transpose, parse_unary st)
+  | Tcaret ->
+      advance st;
+      Ast.Unop (Closure, parse_unary st)
+  | Tstar ->
+      advance st;
+      Ast.Unop (Rclosure, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match current st with
+  | Tlbrace ->
+      (* set comprehension: { x: A, y: B | f } *)
+      advance st;
+      let rec parse_decls () =
+        let name = expect_ident st "comprehension variable" in
+        expect st Tcolon ":";
+        let bound = parse_expr_prec st in
+        if accept st Tcomma then (name, bound) :: parse_decls ()
+        else [ (name, bound) ]
+      in
+      let decls = parse_decls () in
+      expect st Tbar "|";
+      let body = parse_fmla_prec st in
+      expect st Trbrace "}";
+      Ast.Compr (decls, body)
+  | Tident name ->
+      advance st;
+      Ast.Rel name
+  | Tuniv ->
+      advance st;
+      Ast.Univ
+  | Tiden ->
+      advance st;
+      Ast.Iden
+  | Tnone ->
+      advance st;
+      Ast.None_
+  | Tlparen ->
+      advance st;
+      let e = parse_expr_prec st in
+      expect st Trparen ")";
+      e
+  | _ -> fail st "expected an expression"
+
+and parse_expr_list st =
+  let e = parse_expr_prec st in
+  if accept st Tcomma then e :: parse_expr_list st else [ e ]
+
+(* {2 Formulas}
+
+   Alloy precedence, loosest first: quantified formulas, then [||], [<=>],
+   [=>] (right-assoc, with [else]), [&&], [!]. *)
+
+and parse_fmla_prec st = parse_or st
+
+and parse_or st =
+  let lhs = parse_iff st in
+  let rec loop acc =
+    if accept st Tbarbar || accept st Tor then loop (Ast.Or (acc, parse_iff st))
+    else acc
+  in
+  loop lhs
+
+and parse_iff st =
+  let lhs = parse_implies st in
+  let rec loop acc =
+    if accept st Tiffarrow || accept st Tiff then
+      loop (Ast.Iff (acc, parse_implies st))
+    else acc
+  in
+  loop lhs
+
+and parse_implies st =
+  let lhs = parse_and st in
+  if accept st Tfatarrow || accept st Timplies then begin
+    let thn = parse_implies st in
+    if accept st Telse then
+      let els = parse_implies st in
+      Ast.Or (Ast.And (lhs, thn), Ast.And (Ast.Not lhs, els))
+    else Ast.Implies (lhs, thn)
+  end
+  else lhs
+
+and parse_and st =
+  let lhs = parse_neg st in
+  let rec loop acc =
+    if accept st Tampamp || accept st Tand then loop (Ast.And (acc, parse_neg st))
+    else acc
+  in
+  loop lhs
+
+and parse_neg st =
+  if accept st Tbang || accept st Tnot then Ast.Not (parse_neg st)
+  else parse_atom st
+
+and parse_quantified st quant =
+  (* decls := names ':' expr (',' decls)?   names := ident (',' ident)*
+     Commas before the colon separate names of one group; a comma after a
+     bound starts a fresh group. *)
+  let rec parse_decls () =
+    let rec parse_names acc =
+      let name = expect_ident st "variable name" in
+      let acc = name :: acc in
+      if accept st Tcomma then parse_names acc else acc
+    in
+    let names = parse_names [] in
+    expect st Tcolon ":";
+    let bound = parse_expr_prec st in
+    let decls = List.rev_map (fun n -> (n, bound)) names in
+    if accept st Tcomma then decls @ parse_decls () else decls
+  in
+  let decls = parse_decls () in
+  let body =
+    if accept st Tbar then parse_fmla_prec st
+    else if current st = Tlbrace then parse_block st
+    else fail st "expected | or { after quantifier declarations"
+  in
+  Ast.Quant (quant, decls, body)
+
+and parse_atom st =
+  match current st with
+  | Tlet ->
+      advance st;
+      let name = expect_ident st "let-bound name" in
+      expect st Teq "=";
+      let value = parse_expr_prec st in
+      let body =
+        if accept st Tbar then parse_fmla_prec st
+        else if current st = Tlbrace then parse_block st
+        else fail st "expected | or { after let binding"
+      in
+      Ast.Let (name, value, body)
+  | Tlbrace when looks_like_decls st 1 ->
+      (* a comprehension expression opening a comparison *)
+      parse_comparison st
+  | Tlbrace -> parse_block st
+  | Tall | Tsome | Tno | Tlone | Tone -> (
+      let tok = current st in
+      if looks_like_decls st 1 then begin
+        advance st;
+        match quant_of_token tok with
+        | Some q -> parse_quantified st q
+        | None -> assert false
+      end
+      else
+        match fmult_of_token tok with
+        | Some m ->
+            advance st;
+            Ast.Multf (m, parse_expr_prec st)
+        | None -> fail st "'all' requires variable declarations")
+  | Thash ->
+      advance st;
+      let e = parse_expr_prec st in
+      let op =
+        match current st with
+        | Teq -> Ast.Ieq
+        | Tneq -> Ast.Ineq
+        | Tlt -> Ast.Ilt
+        | Tle -> Ast.Ile
+        | Tgt -> Ast.Igt
+        | Tge -> Ast.Ige
+        | _ -> fail st "expected a comparison operator after #expr"
+      in
+      advance st;
+      (match current st with
+      | Tint k ->
+          advance st;
+          Ast.Card (op, e, k)
+      | _ -> fail st "expected an integer literal in cardinality comparison")
+  | Tlparen ->
+      (* Could be a parenthesised formula or a parenthesised expression that
+         begins a comparison.  Try the formula reading first; back off when
+         it fails, or when the closing paren is followed by a token that can
+         only continue an expression. *)
+      let saved = st.pos in
+      let as_formula =
+        try
+          advance st;
+          let f = parse_fmla_prec st in
+          expect st Trparen ")";
+          Some f
+        with Parse_error _ -> None
+      in
+      let continues_expr () =
+        match current st with
+        | Teq | Tneq | Tin | Tdot | Tlbrack | Tarrow | Tplus | Tminus | Tamp
+        | Tplusplus | Tdomres | Tranres ->
+            true
+        | Tnot | Tbang -> peek_at st 1 = Tin
+        | _ -> false
+      in
+      (match as_formula with
+      | Some f when not (continues_expr ()) -> f
+      | _ ->
+          st.pos <- saved;
+          parse_comparison st)
+  | _ -> parse_comparison st
+
+and parse_block st =
+  expect st Tlbrace "{";
+  let rec loop acc =
+    if accept st Trbrace then acc
+    else
+      let f = parse_fmla_prec st in
+      let acc = match acc with Ast.True -> f | _ -> Ast.And (acc, f) in
+      loop acc
+  in
+  loop Ast.True
+
+(* expr (in | not in | = | !=) expr, or a predicate call *)
+and parse_comparison st =
+  let lhs = parse_expr_prec st in
+  match current st with
+  | Tin ->
+      advance st;
+      Ast.Cmp (Cin, lhs, parse_expr_prec st)
+  | Tnot | Tbang when peek_at st 1 = Tin ->
+      advance st;
+      advance st;
+      Ast.Cmp (Cnotin, lhs, parse_expr_prec st)
+  | Teq ->
+      advance st;
+      Ast.Cmp (Ceq, lhs, parse_expr_prec st)
+  | Tneq ->
+      advance st;
+      Ast.Cmp (Cneq, lhs, parse_expr_prec st)
+  | _ -> (
+      (* No comparison: the expression must denote a predicate call. *)
+      match expr_to_call lhs with
+      | Some f -> f
+      | None -> fail st "expected a comparison operator")
+
+(* Reinterpret a parsed expression as a predicate call: [p] becomes
+   [Call(p, [])] and [p[a, b]] — parsed as b.(a.p) — becomes
+   [Call(p, [a; b])]. *)
+and expr_to_call e =
+  let rec split = function
+    | Ast.Rel name -> Some (name, [])
+    | Ast.Binop (Join, arg, rest) -> (
+        match split rest with
+        | Some (name, args) -> Some (name, arg :: args)
+        | None -> None)
+    | _ -> None
+  in
+  match split e with
+  | Some (name, args) -> Some (Ast.Call (name, List.rev args))
+  | None -> None
+
+(* {2 Paragraphs} *)
+
+let parse_mult_opt st =
+  match current st with
+  | Tone ->
+      advance st;
+      Some Ast.Mone
+  | Tlone ->
+      advance st;
+      Some Ast.Mlone
+  | Tsome ->
+      advance st;
+      Some Ast.Msome
+  | Tset ->
+      advance st;
+      Some Ast.Mset
+  | _ -> None
+
+(* field declaration: name : [mult] col (-> [mult] col)*.  Only the
+   multiplicity of the final column is retained; an unannotated binary field
+   ("f: A") defaults to [one] as in Alloy, higher-arity fields default to
+   [set]. *)
+let parse_field st =
+  let name = expect_ident st "field name" in
+  expect st Tcolon ":";
+  let rec parse_cols acc =
+    let m = parse_mult_opt st in
+    (* columns parse at restriction level so arrows remain column breaks;
+       looser column expressions require parentheses *)
+    let col = parse_restrict st in
+    if accept st Tarrow then parse_cols ((col, m) :: acc)
+    else (col, m) :: acc
+  in
+  let cols_rev = parse_cols [] in
+  let cols = List.rev_map fst cols_rev in
+  let mult =
+    match cols_rev with
+    | (_, Some m) :: _ -> m
+    | (_, None) :: _ -> if List.length cols = 1 then Ast.Mone else Ast.Mset
+    | [] -> assert false
+  in
+  { Ast.fld_name = name; fld_cols = cols; fld_mult = mult }
+
+let parse_sig st ~is_abstract ~mult =
+  expect st Tsig "sig";
+  let name = expect_ident st "signature name" in
+  let parent =
+    if accept st Textends then Some (expect_ident st "parent signature name")
+    else None
+  in
+  expect st Tlbrace "{";
+  let fields = ref [] in
+  if not (accept st Trbrace) then begin
+    let rec loop () =
+      fields := parse_field st :: !fields;
+      if accept st Tcomma then loop () else expect st Trbrace "}"
+    in
+    loop ()
+  end;
+  {
+    Ast.sig_name = name;
+    sig_parent = parent;
+    sig_abstract = is_abstract;
+    sig_mult = mult;
+    sig_fields = List.rev !fields;
+  }
+
+let parse_params st close =
+  let rec loop () =
+    let name = expect_ident st "parameter name" in
+    expect st Tcolon ":";
+    let bound = parse_expr_prec st in
+    if accept st Tcomma then (name, bound) :: loop () else [ (name, bound) ]
+  in
+  let params = if current st = close then [] else loop () in
+  expect st close (if close = Trbrack then "]" else ")");
+  params
+
+let parse_scopes st =
+  if accept st Tfor then begin
+    let scope =
+      match current st with
+      | Tint k ->
+          advance st;
+          k
+      | _ -> fail st "expected a scope"
+    in
+    let overrides = ref [] in
+    if accept st Tbut then begin
+      let rec loop () =
+        (match current st with
+        | Tint k ->
+            advance st;
+            let name = expect_ident st "signature name" in
+            overrides := (name, k) :: !overrides
+        | _ -> fail st "expected INT SigName in scope override");
+        if accept st Tcomma then loop ()
+      in
+      loop ()
+    end;
+    (scope, List.rev !overrides)
+  end
+  else (3, [])
+
+let parse_spec st =
+  let module_name =
+    if accept st Tmodule then Some (expect_ident st "module name") else None
+  in
+  let sigs = ref [] in
+  let facts = ref [] in
+  let preds = ref [] in
+  let funs = ref [] in
+  let asserts = ref [] in
+  let commands = ref [] in
+  let rec loop () =
+    match current st with
+    | Teof -> ()
+    | Tabstract ->
+        advance st;
+        let mult =
+          match parse_mult_opt st with Some m -> m | None -> Ast.Mset
+        in
+        sigs := parse_sig st ~is_abstract:true ~mult :: !sigs;
+        loop ()
+    | Tone | Tlone | Tsome when peek_at st 1 = Tsig ->
+        let mult =
+          match parse_mult_opt st with Some m -> m | None -> Ast.Mset
+        in
+        sigs := parse_sig st ~is_abstract:false ~mult :: !sigs;
+        loop ()
+    | Tsig ->
+        sigs := parse_sig st ~is_abstract:false ~mult:Ast.Mset :: !sigs;
+        loop ()
+    | Tfact ->
+        advance st;
+        let name =
+          match current st with
+          | Tident s ->
+              advance st;
+              Some s
+          | _ -> None
+        in
+        let body = parse_block st in
+        facts := { Ast.fact_name = name; fact_body = body } :: !facts;
+        loop ()
+    | Tpred ->
+        advance st;
+        let name = expect_ident st "predicate name" in
+        let params =
+          if accept st Tlbrack then parse_params st Trbrack
+          else if accept st Tlparen then parse_params st Trparen
+          else []
+        in
+        let body = parse_block st in
+        preds :=
+          { Ast.pred_name = name; pred_params = params; pred_body = body }
+          :: !preds;
+        loop ()
+    | Tfun ->
+        (* fun name [params] : result-bound { body-expr } *)
+        advance st;
+        let name = expect_ident st "function name" in
+        let params =
+          if accept st Tlbrack then parse_params st Trbrack
+          else if accept st Tlparen then parse_params st Trparen
+          else []
+        in
+        expect st Tcolon ":";
+        (* an optional leading multiplicity keyword on the result is noise *)
+        ignore (parse_mult_opt st);
+        let result = parse_expr_prec st in
+        expect st Tlbrace "{";
+        let body = parse_expr_prec st in
+        expect st Trbrace "}";
+        funs :=
+          {
+            Ast.fun_name = name;
+            fun_params = params;
+            fun_result = result;
+            fun_body = body;
+          }
+          :: !funs;
+        loop ()
+    | Tassert ->
+        advance st;
+        let name = expect_ident st "assertion name" in
+        let body = parse_block st in
+        asserts := { Ast.assert_name = name; assert_body = body } :: !asserts;
+        loop ()
+    | Trun ->
+        advance st;
+        let kind =
+          match current st with
+          | Tident s ->
+              advance st;
+              Ast.Run_pred s
+          | Tlbrace -> Ast.Run_fmla (parse_block st)
+          | _ -> fail st "expected predicate name or block after run"
+        in
+        let scope, scopes = parse_scopes st in
+        commands :=
+          { Ast.cmd_kind = kind; cmd_scope = scope; cmd_scopes = scopes }
+          :: !commands;
+        loop ()
+    | Tcheck ->
+        advance st;
+        let name = expect_ident st "assertion name" in
+        let scope, scopes = parse_scopes st in
+        commands :=
+          { Ast.cmd_kind = Check name; cmd_scope = scope; cmd_scopes = scopes }
+          :: !commands;
+        loop ()
+    | _ -> fail st "expected a paragraph (sig, fact, pred, assert, run, check)"
+  in
+  loop ();
+  {
+    Ast.module_name;
+    sigs = List.rev !sigs;
+    facts = List.rev !facts;
+    preds = List.rev !preds;
+    funs = List.rev !funs;
+    asserts = List.rev !asserts;
+    commands = List.rev !commands;
+  }
+
+let with_state src f =
+  let st = { tokens = Lexer.tokenize src; pos = 0 } in
+  let result = f st in
+  if current st <> Teof then fail st "trailing input";
+  result
+
+let parse src = with_state src parse_spec
+let parse_fmla src = with_state src parse_fmla_prec
+let parse_expr src = with_state src parse_expr_prec

@@ -1,0 +1,21 @@
+(** Recursive-descent parser for Mini-Alloy.
+
+    The accepted grammar is the Alloy kernel (see DESIGN.md): signature
+    declarations with fields, [fact]/[pred]/[assert] paragraphs and
+    [run]/[check] commands.  Operator precedence follows Alloy: negation
+    binds tightest, then [&&], then [=>]/[implies] (right-associative, with
+    optional [else]), then [<=>], then [||]; quantifier bodies extend as far
+    right as possible. *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.spec
+(** Parses a complete specification.  Raises {!Parse_error} or
+    {!Lexer.Lex_error} with a line-numbered message on malformed input. *)
+
+val parse_fmla : string -> Ast.fmla
+(** Parses a single formula (used by tests and by the LLM response
+    extractor). *)
+
+val parse_expr : string -> Ast.expr
+(** Parses a single relational expression. *)

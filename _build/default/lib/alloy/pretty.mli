@@ -1,0 +1,18 @@
+(** Pretty printer for Mini-Alloy.
+
+    Output is stable and re-parseable: [Parser.parse (spec_to_string s)]
+    yields a spec structurally equal to [s] (modulo the [implies-else]
+    sugar, which the parser desugars).  The printed token stream is also the
+    input to the Token-Match metric, so formatting is deterministic. *)
+
+val mult_to_string : Ast.mult -> string
+val fmult_to_string : Ast.fmult -> string
+val quant_to_string : Ast.quant -> string
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_fmla : Format.formatter -> Ast.fmla -> unit
+val pp_spec : Format.formatter -> Ast.spec -> unit
+
+val expr_to_string : Ast.expr -> string
+val fmla_to_string : Ast.fmla -> string
+val spec_to_string : Ast.spec -> string

@@ -1,0 +1,266 @@
+open Ast
+
+exception Type_error of string
+
+type env = {
+  spec : Ast.spec;
+  sig_order : string list;
+  top_sigs : string list;
+  arity : (string, int) Hashtbl.t;
+  owner : (string, string) Hashtbl.t;
+  children : (string, string list) Hashtbl.t;
+}
+
+let err fmt = Format.kasprintf (fun msg -> raise (Type_error msg)) fmt
+
+let root_of env name =
+  let rec up n =
+    match find_sig env.spec n with
+    | Some { sig_parent = Some p; _ } -> up p
+    | _ -> n
+  in
+  up name
+
+let descendants env name =
+  let rec go n =
+    n :: List.concat_map go (Option.value ~default:[] (Hashtbl.find_opt env.children n))
+  in
+  go name
+
+(* Arity of an expression; [vars] maps bound variables and predicate
+   parameters to their arities. *)
+let rec expr_arity env vars = function
+  | Rel n -> (
+      match List.assoc_opt n vars with
+      | Some a -> a
+      | None -> (
+          match Hashtbl.find_opt env.arity n with
+          | Some a -> a
+          | None -> err "unknown name %s" n))
+  | Univ -> 1
+  | Iden -> 2
+  | None_ -> 1
+  | Unop (op, e) -> (
+      let a = expr_arity env vars e in
+      match op with
+      | Transpose | Closure | Rclosure ->
+          if a <> 2 then
+            err "%s applied to a relation of arity %d (needs 2)"
+              (match op with Transpose -> "~" | Closure -> "^" | Rclosure -> "*")
+              a
+          else 2)
+  | Binop (op, l, r) -> (
+      let al = expr_arity env vars l and ar = expr_arity env vars r in
+      match op with
+      | Join ->
+          let a = al + ar - 2 in
+          if a < 1 then err "join of arities %d and %d is empty-arity" al ar
+          else a
+      | Product -> al + ar
+      | Union | Diff | Inter ->
+          if al <> ar then
+            err "arity mismatch in set operation: %d vs %d" al ar
+          else al
+      | Override ->
+          if al <> ar then err "arity mismatch in ++: %d vs %d" al ar
+          else if al < 2 then err "++ needs arity >= 2"
+          else al
+      | Domrestr ->
+          if al <> 1 then err "<: needs a set on the left" else ar
+      | Ranrestr ->
+          if ar <> 1 then err ":> needs a set on the right" else al)
+  | Ite (c, t, e) ->
+      check_fmla env vars c;
+      let at = expr_arity env vars t and ae = expr_arity env vars e in
+      if at <> ae then err "arity mismatch in conditional expression" else at
+  | Compr (decls, body) ->
+      let vars =
+        List.fold_left
+          (fun vars (name, bound) ->
+            let a = expr_arity env vars bound in
+            if a <> 1 then
+              err "comprehension variable %s must range over a set (arity 1)"
+                name;
+            (name, 1) :: vars)
+          vars decls
+      in
+      check_fmla env vars body;
+      List.length decls
+
+and check_fmla env vars = function
+  | True | False -> ()
+  | Cmp (_, l, r) ->
+      let al = expr_arity env vars l and ar = expr_arity env vars r in
+      if al <> ar then err "arity mismatch in comparison: %d vs %d" al ar
+  | Multf (_, e) -> ignore (expr_arity env vars e)
+  | Card (_, e, k) ->
+      ignore (expr_arity env vars e);
+      if k < 0 then err "negative cardinality bound %d" k
+  | Not f -> check_fmla env vars f
+  | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) ->
+      check_fmla env vars a;
+      check_fmla env vars b
+  | Quant (_, decls, body) ->
+      let vars =
+        List.fold_left
+          (fun vars (name, bound) ->
+            let a = expr_arity env vars bound in
+            if a <> 1 then
+              err "quantified variable %s must range over a set (arity 1)" name;
+            (name, 1) :: vars)
+          vars decls
+      in
+      check_fmla env vars body
+  | Let (name, value, body) ->
+      let a = expr_arity env vars value in
+      check_fmla env ((name, a) :: vars) body
+  | Call (name, args) -> (
+      match find_pred env.spec name with
+      | None -> err "call to unknown predicate %s" name
+      | Some p ->
+          let expected = List.length p.pred_params in
+          let got = List.length args in
+          if expected <> got then
+            err "predicate %s expects %d arguments, got %d" name expected got;
+          List.iter
+            (fun arg ->
+              if expr_arity env vars arg <> 1 then
+                err "arguments of %s must be scalars (arity 1)" name)
+            args)
+
+let build_tables spec =
+  let arity = Hashtbl.create 32 in
+  let owner = Hashtbl.create 32 in
+  let children = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      if Hashtbl.mem arity s.sig_name then
+        err "duplicate signature name %s" s.sig_name;
+      Hashtbl.add arity s.sig_name 1)
+    spec.sigs;
+  List.iter
+    (fun s ->
+      (match s.sig_parent with
+      | Some p ->
+          if not (Hashtbl.mem arity p) then
+            err "signature %s extends unknown signature %s" s.sig_name p;
+          let existing = Option.value ~default:[] (Hashtbl.find_opt children p) in
+          Hashtbl.replace children p (existing @ [ s.sig_name ])
+      | None -> ());
+      List.iter
+        (fun f ->
+          if Hashtbl.mem arity f.fld_name then
+            err "field name %s clashes with an existing name (fields must be globally unique)"
+              f.fld_name;
+          Hashtbl.add arity f.fld_name (1 + List.length f.fld_cols);
+          Hashtbl.add owner f.fld_name s.sig_name)
+        s.sig_fields)
+    spec.sigs;
+  (arity, owner, children)
+
+(* Topological order of the extends hierarchy, detecting cycles. *)
+let order_sigs spec =
+  let visited = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec visit trail s =
+    if List.mem s.sig_name trail then
+      err "cyclic extends involving %s" s.sig_name;
+    if not (Hashtbl.mem visited s.sig_name) then begin
+      (match s.sig_parent with
+      | Some p -> (
+          match find_sig spec p with
+          | Some parent -> visit (s.sig_name :: trail) parent
+          | None -> err "signature %s extends unknown signature %s" s.sig_name p)
+      | None -> ());
+      Hashtbl.add visited s.sig_name ();
+      order := s.sig_name :: !order
+    end
+  in
+  List.iter (visit []) spec.sigs;
+  List.rev !order
+
+let check spec =
+  let arity, owner, children = build_tables spec in
+  let sig_order = order_sigs spec in
+  let top_sigs =
+    List.filter_map
+      (fun s -> if s.sig_parent = None then Some s.sig_name else None)
+      spec.sigs
+  in
+  let env = { spec; sig_order; top_sigs; arity; owner; children } in
+  (* field column domains are arity-1 expressions over signatures *)
+  List.iter
+    (fun s ->
+      List.iter
+        (fun f ->
+          List.iter
+            (fun col ->
+              if expr_arity env [] col <> 1 then
+                err "field %s: column domains must have arity 1" f.fld_name)
+            f.fld_cols)
+        s.sig_fields)
+    spec.sigs;
+  (* functions: processed in declaration order so earlier functions are
+     usable by later ones; self- and forward references are rejected as
+     unknown names, which also rules out recursion *)
+  List.iter
+    (fun (f : fun_decl) ->
+      if Hashtbl.mem env.arity f.fun_name then
+        err "duplicate name %s (function)" f.fun_name;
+      let vars =
+        List.map
+          (fun (name, bound) ->
+            if expr_arity env [] bound <> 1 then
+              err "parameter %s of function %s must range over a set" name
+                f.fun_name;
+            (name, 1))
+          f.fun_params
+      in
+      let body_arity = expr_arity env vars f.fun_body in
+      let result_arity = expr_arity env vars f.fun_result in
+      if body_arity <> result_arity then
+        err "function %s: body arity %d does not match declared result arity %d"
+          f.fun_name body_arity result_arity;
+      Hashtbl.add env.arity f.fun_name (List.length f.fun_params + body_arity))
+    spec.funs;
+  (* paragraph bodies *)
+  List.iter (fun f -> check_fmla env [] f.fact_body) spec.facts;
+  List.iter
+    (fun p ->
+      let vars =
+        List.map
+          (fun (name, bound) ->
+            if expr_arity env [] bound <> 1 then
+              err "parameter %s of %s must range over a set (arity 1)" name
+                p.pred_name;
+            (name, 1))
+          p.pred_params
+      in
+      check_fmla env vars p.pred_body)
+    spec.preds;
+  List.iter (fun a -> check_fmla env [] a.assert_body) spec.asserts;
+  (* commands *)
+  List.iter
+    (fun c ->
+      (match c.cmd_kind with
+      | Run_pred name ->
+          if find_pred spec name = None then
+            err "run of unknown predicate %s" name
+      | Check name ->
+          if find_assert spec name = None then
+            err "check of unknown assertion %s" name
+      | Run_fmla f -> check_fmla env [] f);
+      if c.cmd_scope < 1 then err "command scope must be at least 1";
+      List.iter
+        (fun (name, k) ->
+          if not (Hashtbl.mem arity name) then
+            err "scope override for unknown signature %s" name;
+          if k < 0 then err "negative scope for %s" name)
+        c.cmd_scopes)
+    spec.commands;
+  env
+
+let check_result spec =
+  match check spec with
+  | env -> Ok env
+  | exception Type_error msg -> Error msg

@@ -1,0 +1,38 @@
+(** Name resolution and arity checking for Mini-Alloy specifications.
+
+    Produces an environment consumed by the evaluator and the bounded model
+    finder: signature hierarchy (parents before children), relation arities,
+    and field ownership.
+
+    Restrictions enforced beyond well-formedness: field names are globally
+    unique (name-based resolution, no overloading), quantified variables and
+    predicate parameters range over arity-1 expressions, and [extends]
+    hierarchies are acyclic. *)
+
+exception Type_error of string
+
+type env = {
+  spec : Ast.spec;
+  sig_order : string list;  (** all signature names, parents first *)
+  top_sigs : string list;  (** signatures without a parent *)
+  arity : (string, int) Hashtbl.t;  (** sigs (1) and fields (1 + #cols) *)
+  owner : (string, string) Hashtbl.t;  (** field name -> declaring sig *)
+  children : (string, string list) Hashtbl.t;  (** sig -> direct subsigs *)
+}
+
+val check : Ast.spec -> env
+(** Full check of a specification; raises {!Type_error} with a message
+    naming the offending construct. *)
+
+val check_result : Ast.spec -> (env, string) result
+
+val expr_arity : env -> (string * int) list -> Ast.expr -> int
+(** [expr_arity env vars e] is the arity of [e] where [vars] gives arities
+    of bound variables in scope; raises {!Type_error} on ill-formed
+    expressions. *)
+
+val root_of : env -> string -> string
+(** [root_of env s] is the top-level ancestor of signature [s]. *)
+
+val descendants : env -> string -> string list
+(** A signature together with all its transitive subsignatures. *)

@@ -1,0 +1,1 @@
+lib/aunit/aunit.ml: List Printf Specrepair_alloy Specrepair_solver

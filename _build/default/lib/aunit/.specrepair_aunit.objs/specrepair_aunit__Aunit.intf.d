@@ -1,0 +1,1 @@
+lib/aunit/aunit.mli: Specrepair_alloy Specrepair_solver

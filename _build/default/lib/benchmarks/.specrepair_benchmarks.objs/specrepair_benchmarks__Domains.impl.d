@@ -1,0 +1,1 @@
+lib/benchmarks/domains.ml: Hashtbl List Specrepair_alloy

@@ -1,0 +1,1 @@
+lib/benchmarks/domains.mli: Specrepair_alloy

@@ -1,0 +1,1 @@
+lib/benchmarks/fault.ml: Domains Fun Hashtbl List Printf Specrepair_alloy Specrepair_llm Specrepair_mutation Specrepair_solver

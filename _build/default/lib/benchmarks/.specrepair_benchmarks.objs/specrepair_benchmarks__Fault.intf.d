@@ -1,0 +1,1 @@
+lib/benchmarks/fault.mli: Domains Specrepair_alloy Specrepair_mutation

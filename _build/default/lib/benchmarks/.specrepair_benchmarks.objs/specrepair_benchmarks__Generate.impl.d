@@ -1,0 +1,1 @@
+lib/benchmarks/generate.ml: Domains Fault Hashtbl List Printf Specrepair_alloy Specrepair_llm Specrepair_mutation

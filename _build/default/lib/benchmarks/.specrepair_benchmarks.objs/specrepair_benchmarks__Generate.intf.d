@@ -1,0 +1,1 @@
+lib/benchmarks/generate.mli: Domains Fault Specrepair_alloy Specrepair_llm

@@ -1,0 +1,834 @@
+module Alloy = Specrepair_alloy
+
+type benchmark = A4F | ARepair_bench
+
+let benchmark_to_string = function A4F -> "A4F" | ARepair_bench -> "ARepair"
+
+type t = {
+  name : string;
+  benchmark : benchmark;
+  source : string;
+  count : int;
+  fault_mix : (string * float) list;
+  familiarity : float;
+}
+
+(* {2 Alloy4Fun domains} *)
+
+let classroom_src =
+  {|
+module classroom
+
+abstract sig Person {}
+sig Teacher extends Person {}
+sig Student extends Person {
+  tutor: lone Teacher
+}
+sig Class {
+  taughtBy: one Teacher,
+  enrolled: set Student
+}
+
+fact Enrollment {
+  all c: Class | some c.enrolled
+  all s: Student | some enrolled.s
+}
+
+fact Tutoring {
+  all s: Student | s.tutor in enrolled.s.taughtBy
+}
+
+assert TutorTeachesOwnClass {
+  all s: Student | s.tutor in enrolled.s.taughtBy
+}
+
+assert EveryoneEnrolled {
+  all s: Student | some c: Class | s in c.enrolled
+}
+
+pred tutoringHappens {
+  some tutor
+}
+
+check TutorTeachesOwnClass for 3
+check EveryoneEnrolled for 3
+run tutoringHappens for 3
+|}
+
+let cv_src =
+  {|
+module cv
+
+sig Skill {}
+sig Person {
+  skills: set Skill
+}
+sig Job {
+  requires: set Skill,
+  holder: lone Person
+}
+
+fact SomeRequirement {
+  all j: Job | some j.requires
+}
+
+fact Qualified {
+  all j: Job | j.requires in j.holder.skills
+}
+
+assert HoldersQualified {
+  all j: Job, s: Skill | s in j.requires => s in j.holder.skills
+}
+
+assert JobsFilled {
+  all j: Job | some j.holder
+}
+
+pred employment {
+  some holder
+}
+
+check HoldersQualified for 3
+check JobsFilled for 3
+run employment for 3
+|}
+
+let graphs_src =
+  {|
+module graphs
+
+sig Node {
+  adj: set Node
+}
+
+fact Undirected {
+  adj = ~adj
+}
+
+fact NoSelfLoop {
+  no iden & adj
+}
+
+assert SymmetricReach {
+  all a: Node, b: Node | b in a.^adj => a in b.^adj
+}
+
+assert Irreflexive {
+  all n: Node | n not in n.adj
+}
+
+pred connected {
+  all a: Node, b: Node | a != b => b in a.^adj
+}
+
+check SymmetricReach for 3
+check Irreflexive for 3
+run connected for 3
+|}
+
+let lts_src =
+  {|
+module lts
+
+sig Label {}
+sig State {
+  next: set State,
+  emits: set Label
+}
+one sig Init extends State {}
+sig Final extends State {}
+
+fact AllReachable {
+  State in Init.*next
+}
+
+fact Progress {
+  all s: State | s not in Final => some s.next
+}
+
+fact FinalSink {
+  all f: Final | no f.next
+}
+
+fact Observable {
+  all s: State | some s.next => some s.emits
+}
+
+assert InitReachesAll {
+  all s: State | s in Init.*next
+}
+
+assert DeadEndsAreFinal {
+  all s: State | no s.next => s in Final
+}
+
+assert FinalHasNoSuccessor {
+  no Final.next
+}
+
+assert ActiveStatesEmit {
+  all s: State | some s.next => some s.emits
+}
+
+pred loops {
+  some s: State | s in s.^next
+}
+
+pred terminating {
+  some Final && Final in Init.^next
+}
+
+check InitReachesAll for 3
+check DeadEndsAreFinal for 3
+check FinalHasNoSuccessor for 3
+check ActiveStatesEmit for 3
+run loops for 3
+run terminating for 3
+|}
+
+let production_src =
+  {|
+module production
+
+abstract sig Resource {}
+sig Material extends Resource {}
+sig Product extends Resource {
+  parts: set Material
+}
+sig Machine {
+  consumes: set Material,
+  produces: set Product
+}
+
+fact ProductsNeedParts {
+  all p: Product | some p.parts
+}
+
+fact MachinesStocked {
+  all m: Machine, p: Product | p in m.produces => p.parts in m.consumes
+}
+
+assert NoFreeLunch {
+  all m: Machine | some m.produces => some m.consumes
+}
+
+assert PartsAvailable {
+  all m: Machine, p: Product | p in m.produces => p.parts in m.consumes
+}
+
+pred working {
+  some produces
+}
+
+check NoFreeLunch for 3
+check PartsAvailable for 3
+run working for 3
+|}
+
+let trash_src =
+  {|
+module trash
+
+sig File {}
+one sig Trash {
+  contents: set File
+}
+one sig Live {
+  files: set File
+}
+
+fact Partition {
+  no Trash.contents & Live.files
+  File in Trash.contents + Live.files
+  all f: File | f in Live.files || f in Trash.contents
+  all f: File | f in Trash.contents => f not in Live.files
+  all f: File | f in Live.files => f not in Trash.contents
+}
+
+assert NoLimbo {
+  all f: File | f in Trash.contents || f in Live.files
+}
+
+assert NoBoth {
+  no f: File | f in Trash.contents && f in Live.files
+}
+
+pred somethingDeleted {
+  some Trash.contents
+}
+
+check NoLimbo for 3
+check NoBoth for 3
+run somethingDeleted for 3
+|}
+
+(* {2 ARepair benchmark problems} *)
+
+let addr_src =
+  {|
+module addr
+
+sig Name {}
+sig Addr {}
+one sig Book {
+  entries: Name -> lone Addr
+}
+
+fact Total {
+  all n: Name | some n.(Book.entries)
+}
+
+assert Resolvable {
+  all n: Name | one n.(Book.entries)
+}
+
+check Resolvable for 3
+run { some Book.entries } for 3
+|}
+
+let arr_src =
+  {|
+module arr
+
+sig Elem {
+  nxt: lone Elem,
+  leq: set Elem
+}
+
+fact ReflexiveOrder {
+  all e: Elem | e in e.leq
+}
+
+fact AntisymmetricOrder {
+  all a: Elem, b: Elem | b in a.leq && a in b.leq => a = b
+}
+
+fact TransitiveOrder {
+  all a: Elem, b: Elem, c: Elem | b in a.leq && c in b.leq => c in a.leq
+}
+
+fact SortedChain {
+  all e: Elem | e.nxt in e.leq
+}
+
+assert ChainSorted {
+  all e: Elem | e.^nxt in e.leq
+}
+
+check ChainSorted for 3
+run { some nxt } for 3
+|}
+
+let balanced_bst_src =
+  {|
+module balancedBST
+
+sig BNode {
+  left: lone BNode,
+  right: lone BNode
+}
+one sig BRoot extends BNode {}
+
+fact TreeShape {
+  no n: BNode | n in n.^(left + right)
+  all n: BNode | lone (left + right).n
+  BNode in BRoot.*(left + right)
+}
+
+fact DistinctChildren {
+  no left & right
+}
+
+assert NonRootHasParent {
+  all n: BNode | n != BRoot => one (left + right).n
+}
+
+check NonRootHasParent for 3
+run { some left } for 3
+|}
+
+let bempl_src =
+  {|
+module bempl
+
+sig Employee {
+  manager: lone Employee
+}
+one sig CEO extends Employee {}
+
+fact Hierarchy {
+  no CEO.manager
+  all e: Employee | e != CEO => CEO in e.^manager
+}
+
+fact NoCycles {
+  no e: Employee | e in e.^manager
+}
+
+assert NoSelfManager {
+  all e: Employee | e not in e.manager
+}
+
+check NoSelfManager for 3
+run { some manager } for 3
+|}
+
+let cd_src =
+  {|
+module cd
+
+sig ClassNode {
+  ext: lone ClassNode,
+  methods: set Method
+}
+sig Method {}
+
+fact AcyclicInheritance {
+  no c: ClassNode | c in c.^ext
+}
+
+fact MethodsOwned {
+  all m: Method | some methods.m
+}
+
+assert NoSelfInheritance {
+  all c: ClassNode | c.ext != c
+}
+
+check NoSelfInheritance for 3
+run { some ext } for 3
+|}
+
+let ctree_src =
+  {|
+module ctree
+
+abstract sig Color {}
+one sig Red extends Color {}
+one sig Black extends Color {}
+sig CNode {
+  children: set CNode,
+  color: one Color
+}
+
+fact TreeShape {
+  no n: CNode | n in n.^children
+  all n: CNode | lone children.n
+}
+
+fact RedHasBlackChildren {
+  all n: CNode | n.color = Red => n.children.color in Black
+}
+
+assert NoRedRed {
+  all n: CNode, c: CNode | c in n.children && n.color = Red => c.color = Black
+}
+
+check NoRedRed for 3 but 2 Color
+run { some children } for 3 but 2 Color
+|}
+
+let dll_src =
+  {|
+module dll
+
+sig DNode {
+  nxt: lone DNode,
+  prv: lone DNode
+}
+
+fact Linked {
+  all a: DNode, b: DNode | b in a.nxt <=> a in b.prv
+}
+
+fact AcyclicList {
+  no n: DNode | n in n.^nxt
+}
+
+assert PrvIsInverse {
+  prv = ~nxt
+}
+
+check PrvIsInverse for 3
+run { some nxt } for 3
+|}
+
+let farmer_src =
+  {|
+module farmer
+
+abstract sig Object {}
+one sig Farmer extends Object {}
+one sig Fox extends Object {}
+one sig Chicken extends Object {}
+one sig Grain extends Object {}
+sig CrossState {
+  near: set Object,
+  far: set Object
+}
+
+fact Partition {
+  all s: CrossState | no s.near & s.far
+  all s: CrossState | Object in s.near + s.far
+}
+
+fact Safety {
+  all s: CrossState | Farmer not in s.near => !(Fox in s.near && Chicken in s.near)
+  all s: CrossState | Farmer not in s.near => !(Chicken in s.near && Grain in s.near)
+  all s: CrossState | Farmer not in s.far => !(Fox in s.far && Chicken in s.far)
+  all s: CrossState | Farmer not in s.far => !(Chicken in s.far && Grain in s.far)
+}
+
+assert ChickenProtected {
+  all s: CrossState | Fox in s.near && Chicken in s.near => Farmer in s.near
+}
+
+check ChickenProtected for 3 but 4 Object
+run { some s: CrossState | Farmer in s.near } for 3 but 4 Object
+|}
+
+let fsm_src =
+  {|
+module fsm
+
+sig FsmState {
+  transition: set FsmState
+}
+one sig Start extends FsmState {}
+one sig Final extends FsmState {}
+
+fact Connected {
+  FsmState in Start.*transition
+}
+
+fact NoDeadEnd {
+  all s: FsmState | s != Final => some s.transition
+}
+
+assert FinalReachable {
+  Final in Start.*transition
+}
+
+check FinalReachable for 3
+run { some transition } for 3
+|}
+
+let grade_src =
+  {|
+module grade
+
+sig GStudent {}
+sig Score {}
+sig Assignment {
+  score: GStudent -> lone Score
+}
+
+fact AllGraded {
+  all a: Assignment, s: GStudent | some s.(a.score)
+}
+
+assert ExactlyOneGrade {
+  all a: Assignment, s: GStudent | one s.(a.score)
+}
+
+check ExactlyOneGrade for 3
+run { some score } for 3
+|}
+
+let other_src =
+  {|
+module other
+
+sig Thing {
+  rel: set Thing
+}
+
+fact Reflexive {
+  all t: Thing | t in t.rel
+}
+
+fact Transitive {
+  all a: Thing, b: Thing, c: Thing | b in a.rel && c in b.rel => c in a.rel
+}
+
+assert ClosureStable {
+  all t: Thing | t.*rel = t.rel
+}
+
+check ClosureStable for 3
+run { some rel } for 3
+|}
+
+let student_src =
+  {|
+module student
+
+sig LNode {
+  link: lone LNode
+}
+one sig List {
+  head: lone LNode
+}
+
+fact Reachable {
+  LNode in List.head.*link
+}
+
+fact AcyclicChain {
+  no n: LNode | n in n.^link
+}
+
+assert ChainTerminates {
+  some LNode => some n: LNode | no n.link
+}
+
+check ChainTerminates for 3
+run { some link } for 3
+|}
+
+(* {2 Domain records}
+
+   Fault mixtures are the study's main calibration surface: they determine
+   which repair strategies can reach each domain's faults, reproducing the
+   per-domain structure of Table I (see DESIGN.md, "Expected shape"). *)
+
+let a4f =
+  [
+    {
+      name = "classroom";
+      benchmark = A4F;
+      source = classroom_src;
+      count = 999;
+      fault_mix =
+        [
+          ("quant", 0.22);
+          ("cmpop", 0.18);
+          ("binop", 0.14);
+          ("mult", 0.14);
+          ("junct-drop", 0.10);
+          ("connective", 0.10);
+          ("wrong-rel", 0.07);
+          ("compound", 0.05);
+        ];
+      familiarity = 1.0;
+    };
+    {
+      name = "cv";
+      benchmark = A4F;
+      source = cv_src;
+      count = 138;
+      fault_mix =
+        [
+          ("underconstrain", 0.45);
+          ("junct-drop", 0.10);
+          ("quant", 0.20);
+          ("cmpop", 0.15);
+          ("compound", 0.10);
+        ];
+      familiarity = 1.1;
+    };
+    {
+      name = "graphs";
+      benchmark = A4F;
+      source = graphs_src;
+      count = 283;
+      fault_mix =
+        [
+          ("binop", 0.30);
+          ("closure", 0.30);
+          ("quant", 0.15);
+          ("cmpop", 0.15);
+          ("compound", 0.10);
+        ];
+      familiarity = 0.8;
+    };
+    {
+      name = "lts";
+      benchmark = A4F;
+      source = lts_src;
+      count = 249;
+      fault_mix =
+        [
+          ("wrong-rel", 0.40);
+          ("compound", 0.35);
+          ("closure", 0.15);
+          ("card", 0.10);
+        ];
+      familiarity = 0.7;
+    };
+    {
+      name = "production";
+      benchmark = A4F;
+      source = production_src;
+      count = 61;
+      fault_mix =
+        [
+          ("binop", 0.30);
+          ("quant", 0.20);
+          ("mult", 0.20);
+          ("cmpop", 0.20);
+          ("negation", 0.10);
+        ];
+      familiarity = 1.2;
+    };
+    {
+      name = "trash";
+      benchmark = A4F;
+      source = trash_src;
+      count = 206;
+      fault_mix =
+        [
+          ("quant", 0.25);
+          ("cmpop", 0.20);
+          ("binop", 0.15);
+          ("negation", 0.10);
+          ("compound", 0.30);
+        ];
+      familiarity = 1.0;
+    };
+  ]
+
+let arepair_mix_simple =
+  [
+    ("quant", 0.25);
+    ("cmpop", 0.25);
+    ("binop", 0.20);
+    ("mult", 0.15);
+    ("negation", 0.15);
+  ]
+
+let arepair =
+  [
+    {
+      name = "addr";
+      benchmark = ARepair_bench;
+      source = addr_src;
+      count = 1;
+      fault_mix = arepair_mix_simple;
+      familiarity = 1.2;
+    };
+    {
+      name = "arr";
+      benchmark = ARepair_bench;
+      source = arr_src;
+      count = 2;
+      fault_mix = [ ("cmpop", 0.4); ("quant", 0.3); ("closure", 0.3) ];
+      familiarity = 1.0;
+    };
+    {
+      name = "balancedBST";
+      benchmark = ARepair_bench;
+      source = balanced_bst_src;
+      count = 3;
+      fault_mix = [ ("compound", 0.5); ("binop", 0.3); ("quant", 0.2) ];
+      familiarity = 0.9;
+    };
+    {
+      name = "bempl";
+      benchmark = ARepair_bench;
+      source = bempl_src;
+      count = 1;
+      fault_mix = [ ("negation", 0.5); ("quant", 0.5) ];
+      familiarity = 1.0;
+    };
+    {
+      name = "cd";
+      benchmark = ARepair_bench;
+      source = cd_src;
+      count = 2;
+      fault_mix = arepair_mix_simple;
+      familiarity = 1.1;
+    };
+    {
+      name = "ctree";
+      benchmark = ARepair_bench;
+      source = ctree_src;
+      count = 1;
+      fault_mix = [ ("wrong-rel", 0.6); ("compound", 0.4) ];
+      familiarity = 1.1;
+    };
+    {
+      name = "dll";
+      benchmark = ARepair_bench;
+      source = dll_src;
+      count = 4;
+      fault_mix = [ ("connective", 0.4); ("cmpop", 0.3); ("negation", 0.3) ];
+      familiarity = 1.2;
+    };
+    {
+      name = "farmer";
+      benchmark = ARepair_bench;
+      source = farmer_src;
+      count = 1;
+      fault_mix = [ ("compound", 0.6); ("negation", 0.4) ];
+      familiarity = 1.2;
+    };
+    {
+      name = "fsm";
+      benchmark = ARepair_bench;
+      source = fsm_src;
+      count = 2;
+      fault_mix = arepair_mix_simple;
+      familiarity = 1.0;
+    };
+    {
+      name = "grade";
+      benchmark = ARepair_bench;
+      source = grade_src;
+      count = 1;
+      fault_mix = [ ("mult", 0.5); ("quant", 0.5) ];
+      familiarity = 1.0;
+    };
+    {
+      name = "other";
+      benchmark = ARepair_bench;
+      source = other_src;
+      count = 1;
+      fault_mix = [ ("closure", 0.5); ("quant", 0.5) ];
+      familiarity = 1.0;
+    };
+    {
+      name = "student";
+      benchmark = ARepair_bench;
+      source = student_src;
+      count = 19;
+      fault_mix =
+        [
+          ("quant", 0.25);
+          ("cmpop", 0.20);
+          ("mult", 0.15);
+          ("closure", 0.15);
+          ("junct-drop", 0.10);
+          ("compound", 0.15);
+        ];
+      familiarity = 1.0;
+    };
+  ]
+
+let all = a4f @ arepair
+
+let find name = List.find_opt (fun d -> d.name = name) all
+
+let spec_cache : (string, Alloy.Ast.spec) Hashtbl.t = Hashtbl.create 18
+let env_cache : (string, Alloy.Typecheck.env) Hashtbl.t = Hashtbl.create 18
+
+let spec d =
+  match Hashtbl.find_opt spec_cache d.name with
+  | Some s -> s
+  | None ->
+      let s = Alloy.Parser.parse d.source in
+      Hashtbl.replace spec_cache d.name s;
+      s
+
+let env d =
+  match Hashtbl.find_opt env_cache d.name with
+  | Some e -> e
+  | None ->
+      let e = Alloy.Typecheck.check (spec d) in
+      Hashtbl.replace env_cache d.name e;
+      e
+
+let total_count bench =
+  List.fold_left
+    (fun acc d -> if d.benchmark = bench then acc + d.count else acc)
+    0 all

@@ -1,0 +1,40 @@
+(** The benchmark domains: ground-truth specifications for the six
+    Alloy4Fun problem families and the twelve ARepair problems, together
+    with the per-domain parameters that shape the study — variant counts
+    (Table I row sizes), fault-class mixtures, and the simulated model's
+    domain familiarity.
+
+    Every ground truth is verified by the test suite to type-check, to pass
+    its own commands (checks hold, runs are satisfiable), and to admit
+    observable faults. *)
+
+module Alloy = Specrepair_alloy
+
+type benchmark = A4F | ARepair_bench
+
+val benchmark_to_string : benchmark -> string
+
+type t = {
+  name : string;
+  benchmark : benchmark;
+  source : string;  (** Mini-Alloy text of the ground truth *)
+  count : int;  (** number of faulty variants to derive (Table I) *)
+  fault_mix : (string * float) list;
+      (** fault-class name -> weight; see {!Fault.classes} *)
+  familiarity : float;
+      (** simulated-model familiarity (sampling sharpness), 1.0 = baseline *)
+}
+
+val all : t list
+val a4f : t list
+val arepair : t list
+val find : string -> t option
+
+val spec : t -> Alloy.Ast.spec
+(** Parsed ground truth (memoized). *)
+
+val env : t -> Alloy.Typecheck.env
+(** Type-checked ground truth (memoized). *)
+
+val total_count : benchmark -> int
+(** 1936 for A4F, 38 for the ARepair benchmark. *)

@@ -1,0 +1,289 @@
+module Alloy = Specrepair_alloy
+module Solver = Specrepair_solver
+module Ast = Alloy.Ast
+module Mutation = Specrepair_mutation
+module Location = Mutation.Location
+module Rng = Specrepair_llm.Rng
+
+type injected = {
+  faulty : Alloy.Ast.spec;
+  mutations : Mutation.Mutate.t list;
+  sites : Mutation.Location.site list;
+  revert_classes : string list;
+  description : string;
+  class_name : string;
+}
+
+let class_table =
+  [
+    ("quant", [ "quant-swap" ]);
+    ("mult", [ "fmult-swap" ]);
+    ("cmpop", [ "cmpop-swap" ]);
+    ("binop", [ "binop-swap" ]);
+    ("closure", [ "closure-swap"; "closure-drop"; "closure-add" ]);
+    ("negation", [ "negation-add"; "negation-drop" ]);
+    ("junct-drop", [ "junct-drop" ]);
+    ("overconstrain", [ "junct-add-and" ]);
+    ("underconstrain", [ "junct-add-or" ]);
+    ("wrong-rel", [ "expr-replace" ]);
+    ("card", [ "card-bump"; "intcmp-swap" ]);
+    ("connective", [ "connective-swap"; "implies-flip" ]);
+  ]
+
+let classes = "compound" :: List.map fst class_table
+
+let ops_of_class c =
+  match List.assoc_opt c class_table with Some ops -> ops | None -> []
+
+let simple_classes = List.map fst class_table
+
+let describe_op site op =
+  let where = Location.site_to_string site in
+  match op with
+  | "quant-swap" -> Printf.sprintf "the quantifier in %s is wrong" where
+  | "fmult-swap" ->
+      Printf.sprintf "the multiplicity keyword in %s is wrong" where
+  | "cmpop-swap" ->
+      Printf.sprintf "a comparison operator in %s is wrong" where
+  | "binop-swap" -> Printf.sprintf "a set operator in %s is wrong" where
+  | "closure-swap" | "closure-drop" | "closure-add" ->
+      Printf.sprintf "a closure operator in %s is wrong or missing" where
+  | "negation-add" | "negation-drop" ->
+      Printf.sprintf "a negation in %s is wrong" where
+  | "junct-drop" ->
+      Printf.sprintf "a constraint conjunct is missing from %s" where
+  | "junct-add-and" | "junct-add-or" ->
+      Printf.sprintf "%s contains a spurious constraint" where
+  | "expr-replace" ->
+      Printf.sprintf "an expression in %s refers to the wrong relation" where
+  | "card-bump" | "intcmp-swap" ->
+      Printf.sprintf "a cardinality comparison in %s is wrong" where
+  | "connective-swap" | "implies-flip" ->
+      Printf.sprintf "a logical connective in %s is wrong" where
+  | other -> Printf.sprintf "the constraint in %s needs %s" where other
+
+(* Command outcomes of the ground truth, memoized per domain. *)
+let gt_outcomes_cache : (string, [ `Sat | `Unsat | `Unknown ] list) Hashtbl.t =
+  Hashtbl.create 18
+
+let outcome_tag = function
+  | Solver.Analyzer.Sat _ -> `Sat
+  | Solver.Analyzer.Unsat -> `Unsat
+  | Solver.Analyzer.Unknown -> `Unknown
+
+let gt_outcomes (d : Domains.t) =
+  match Hashtbl.find_opt gt_outcomes_cache d.name with
+  | Some o -> o
+  | None ->
+      let env = Domains.env d in
+      let o =
+        List.map
+          (fun c -> outcome_tag (Solver.Analyzer.run_command env c))
+          env.spec.commands
+      in
+      Hashtbl.replace gt_outcomes_cache d.name o;
+      o
+
+(* Observability: some command outcome differs from the ground truth. *)
+let observable (d : Domains.t) (candidate : Ast.spec) =
+  match Alloy.Typecheck.check_result candidate with
+  | Error _ -> false
+  | Ok env' -> (
+      let gt = gt_outcomes d in
+      match
+        List.map2
+          (fun c o -> outcome_tag (Solver.Analyzer.run_command env' c) <> o)
+          env'.spec.commands gt
+      with
+      | diffs -> List.exists Fun.id diffs
+      | exception Invalid_argument _ -> false)
+
+(* Revertibility: the repair search space at the mutated location contains
+   an edit restoring the original node.  Returns the reverting operator
+   name. *)
+let revert_op gt_spec (faulty : Ast.spec) (m : Mutation.Mutate.t) =
+  match Alloy.Typecheck.check_result faulty with
+  | Error _ -> None
+  | Ok env' -> (
+      match Location.get (Location.body gt_spec m.site) m.path with
+      | original ->
+          let candidates =
+            Mutation.Mutate.mutations_at env' faulty m.site m.path
+              ~with_pool:true ()
+          in
+          List.find_map
+            (fun (r : Mutation.Mutate.t) ->
+              if r.replacement = original then Some r.op else None)
+            candidates
+      | exception Not_found -> None)
+
+(* One simple fault of the given class; [rng] drives all choices.  Faults
+   land mostly in facts, sometimes in predicates, occasionally in
+   assertions — mirroring where users write buggy constraints.
+   [only_site] restricts candidates (used by same-site compound faults). *)
+let try_simple_fault ?only_site rng base_spec class_name =
+  let ops = ops_of_class class_name in
+  match Alloy.Typecheck.check_result base_spec with
+  | Error _ -> None
+  | Ok env ->
+      let with_pool =
+        List.exists
+          (fun op -> op = "expr-replace" || op = "junct-add-and" || op = "junct-add-or")
+          ops
+      in
+      let site_kind =
+        Rng.choose_weighted rng [ (`Fact, 0.65); (`Pred, 0.15); (`Assert, 0.2) ]
+      in
+      let kind_matches (s : Location.site) =
+        match (site_kind, s) with
+        | Some `Fact, Location.Fact_site _ -> true
+        | Some `Pred, Location.Pred_site _ -> true
+        | Some `Assert, Location.Assert_site _ -> true
+        | _ -> false
+      in
+      let all = Mutation.Mutate.all_mutations env base_spec ~with_pool () in
+      let of_class =
+        List.filter (fun (m : Mutation.Mutate.t) -> List.mem m.op ops) all
+      in
+      let of_class =
+        match only_site with
+        | Some site ->
+            let restricted =
+              List.filter (fun (m : Mutation.Mutate.t) -> m.site = site) of_class
+            in
+            if restricted = [] then of_class else restricted
+        | None -> of_class
+      in
+      let preferred =
+        List.filter (fun (m : Mutation.Mutate.t) -> kind_matches m.site) of_class
+      in
+      let candidates = if preferred = [] then of_class else preferred in
+      let shuffled = Rng.shuffle rng candidates in
+      List.find_map
+        (fun (m : Mutation.Mutate.t) ->
+          match Mutation.Mutate.apply base_spec m with
+          | faulty when faulty <> base_spec -> (
+              match Alloy.Typecheck.check_result faulty with
+              | Ok _ -> (
+                  match revert_op base_spec faulty m with
+                  | Some rop -> Some (m, faulty, rop)
+                  | None -> None)
+              | Error _ -> None)
+          | _ -> None
+          | exception _ -> None)
+        (List.filteri (fun i _ -> i < 40) shuffled)
+
+let pick_class rng (d : Domains.t) =
+  match Rng.choose_weighted rng d.fault_mix with
+  | Some c -> c
+  | None -> "quant"
+
+(* Compound faults prefer a second edit in the same site (so that
+   single-location template tools are not shut out), falling back to any
+   site. *)
+let try_compound rng (d : Domains.t) gt =
+  let simple_of_mix =
+    List.filter (fun (c, _) -> c <> "compound") d.fault_mix
+  in
+  let pick () =
+    match Rng.choose_weighted rng simple_of_mix with
+    | Some c -> c
+    | None -> List.nth simple_classes (Rng.int rng (List.length simple_classes))
+  in
+  match try_simple_fault rng gt (pick ()) with
+  | None -> None
+  | Some (m1, spec1, rop1) -> (
+      (* prefer a second edit in the same site (same-constraint compound
+         bugs are the common real-world shape) *)
+      let second_try () =
+        if Rng.float rng < 0.7 then
+          try_simple_fault ~only_site:m1.Mutation.Mutate.site rng spec1 (pick ())
+        else try_simple_fault rng spec1 (pick ())
+      in
+      let rec attempt n =
+        if n = 0 then None
+        else
+          match second_try () with
+          | Some (m2, spec2, rop2) when spec2 <> gt -> Some (m2, spec2, rop2)
+          | _ -> attempt (n - 1)
+      in
+      match attempt 4 with
+      | None -> None
+      | Some (m2, spec2, rop2) ->
+          if observable d spec2 then
+            Some
+              {
+                faulty = spec2;
+                mutations = [ m1; m2 ];
+                sites =
+                  List.sort_uniq compare [ m1.Mutation.Mutate.site; m2.Mutation.Mutate.site ];
+                revert_classes = List.sort_uniq compare [ rop1; rop2 ];
+                description =
+                  describe_op m1.site m1.op ^ "; also, "
+                  ^ describe_op m2.site m2.op;
+                class_name = "compound";
+              }
+          else None)
+
+(* With some probability the benchmark's fix comment is misleading — it
+   names the wrong kind of edit, as human-written annotations sometimes
+   do.  (A pipeline that trusts the Fix hint then anchors on the wrong
+   edit family: the paper's Loc+Fix setting trails Loc on Alloy4Fun.) *)
+let misleading_probability = 0.45
+
+let mislead rng site actual_op =
+  let families =
+    [ "quant-swap"; "cmpop-swap"; "binop-swap"; "fmult-swap"; "negation-drop";
+      "expr-replace"; "junct-drop" ]
+  in
+  let others = List.filter (fun o -> o <> actual_op) families in
+  let wrong = List.nth others (Rng.int rng (List.length others)) in
+  (wrong, describe_op site wrong)
+
+let inject_once rng (d : Domains.t) class_name =
+  let gt = Domains.spec d in
+  if class_name = "compound" then try_compound rng d gt
+  else
+    match try_simple_fault rng gt class_name with
+    | Some (m, faulty, rop) when observable d faulty ->
+        let revert_classes, description =
+          if Rng.float rng < misleading_probability then
+            let wrong_op, text = mislead rng m.site rop in
+            ([ wrong_op ], text)
+          else ([ rop ], describe_op m.site m.op)
+        in
+        Some
+          {
+            faulty;
+            mutations = [ m ];
+            sites = [ m.site ];
+            revert_classes;
+            description;
+            class_name;
+          }
+    | _ -> None
+
+let inject ~seed (d : Domains.t) ~index =
+  let rec attempt try_no =
+    if try_no > 40 then
+      failwith
+        (Printf.sprintf "Fault.inject: no observable fault for %s variant %d"
+           d.name index)
+    else begin
+      let rng =
+        Rng.of_context ~seed
+          [ "fault"; d.name; string_of_int index; string_of_int try_no ]
+      in
+      let class_name =
+        (* after a few failures, cycle through every class *)
+        if try_no < 6 then pick_class rng d
+        else
+          List.nth ("compound" :: simple_classes)
+            (try_no mod (1 + List.length simple_classes))
+      in
+      match inject_once rng d class_name with
+      | Some inj -> inj
+      | None -> attempt (try_no + 1)
+    end
+  in
+  attempt 0

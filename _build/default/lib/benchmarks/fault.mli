@@ -1,0 +1,36 @@
+(** Seeded fault injection into ground-truth specifications.
+
+    Each injected fault is
+    - {e observable}: at least one command outcome differs from the ground
+      truth (otherwise the variant would trivially count as repaired), and
+    - {e revertible}: the mutation space the repair tools search (same
+      operators, same expression pool) contains an edit restoring the
+      original node, so every benchmark fault is reachable in principle by
+      every engine — difficulty comes from search, not from impossibility.
+
+    Fault classes group the mutation operators of
+    {!Specrepair_mutation.Mutate} into the taxonomy used by the domains'
+    difficulty mixtures; [compound] composes two simple faults. *)
+
+module Alloy = Specrepair_alloy
+module Mutation = Specrepair_mutation
+
+type injected = {
+  faulty : Alloy.Ast.spec;
+  mutations : Mutation.Mutate.t list;  (** the edits applied, in order *)
+  sites : Mutation.Location.site list;  (** fault locations (Loc hint) *)
+  revert_classes : string list;
+      (** operator names of the reverting edits (Fix hint) *)
+  description : string;  (** natural-language fix description *)
+  class_name : string;  (** fault-class label, for reporting *)
+}
+
+val classes : string list
+val ops_of_class : string -> string list
+
+val inject :
+  seed:int -> Domains.t -> index:int -> injected
+(** Derives the [index]-th faulty variant of a domain.  Deterministic in
+    [(seed, domain, index)].  Raises [Failure] if no observable, revertible
+    fault can be constructed (a ground-truth authoring error, caught by the
+    test suite). *)

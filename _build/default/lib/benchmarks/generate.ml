@@ -1,0 +1,63 @@
+module Alloy = Specrepair_alloy
+module Llm = Specrepair_llm
+module Ast = Alloy.Ast
+
+type variant = {
+  id : string;
+  domain : Domains.t;
+  ground_truth : Alloy.Ast.spec;
+  injected : Fault.injected;
+}
+
+let variant_id (d : Domains.t) index = Printf.sprintf "%s_%04d" d.name index
+
+let make_variant ~seed (d : Domains.t) index =
+  {
+    id = variant_id d index;
+    domain = d;
+    ground_truth = Domains.spec d;
+    injected = Fault.inject ~seed d ~index;
+  }
+
+let cache : (int * string, variant list) Hashtbl.t = Hashtbl.create 32
+
+let variants ?(seed = 42) (d : Domains.t) =
+  match Hashtbl.find_opt cache (seed, d.name) with
+  | Some vs -> vs
+  | None ->
+      let vs = List.init d.count (make_variant ~seed d) in
+      Hashtbl.replace cache (seed, d.name) vs;
+      vs
+
+let benchmark ?(seed = 42) bench =
+  List.concat_map
+    (fun d -> if d.Domains.benchmark = bench then variants ~seed d else [])
+    Domains.all
+
+let all ?(seed = 42) () =
+  benchmark ~seed Domains.A4F @ benchmark ~seed Domains.ARepair_bench
+
+let sample ?(seed = 42) ~per_domain () =
+  List.concat_map
+    (fun (d : Domains.t) ->
+      List.init
+        (min per_domain d.count)
+        (fun i -> make_variant ~seed d i))
+    Domains.all
+
+let to_task v =
+  let check_names =
+    List.filter_map
+      (fun (c : Ast.command) ->
+        match c.cmd_kind with Ast.Check name -> Some name | _ -> None)
+      v.ground_truth.commands
+  in
+  let fault_paths =
+    List.map
+      (fun (m : Specrepair_mutation.Mutate.t) -> (m.site, m.path))
+      v.injected.Fault.mutations
+  in
+  Llm.Task.make ~spec_id:v.id ~domain:v.domain.name
+    ~faulty:v.injected.Fault.faulty ~fault_sites:v.injected.Fault.sites
+    ~fault_paths ~fault_classes:v.injected.Fault.revert_classes
+    ~fix_description:v.injected.Fault.description ~check_names ()

@@ -1,0 +1,28 @@
+(** Materialisation of the two benchmarks: 1,936 Alloy4Fun variants and 38
+    ARepair variants, each a faulty specification paired with its ground
+    truth and fault metadata.  Deterministic in the study seed. *)
+
+module Alloy = Specrepair_alloy
+module Llm = Specrepair_llm
+
+type variant = {
+  id : string;  (** e.g. "classroom_0017" *)
+  domain : Domains.t;
+  ground_truth : Alloy.Ast.spec;
+  injected : Fault.injected;
+}
+
+val variants : ?seed:int -> Domains.t -> variant list
+(** The domain's [count] variants. *)
+
+val benchmark : ?seed:int -> Domains.benchmark -> variant list
+
+val all : ?seed:int -> unit -> variant list
+(** Both benchmarks; 1,974 variants at the default seed (42). *)
+
+val sample : ?seed:int -> per_domain:int -> unit -> variant list
+(** A stratified subsample (first [per_domain] variants of each domain),
+    for quick evaluation runs. *)
+
+val to_task : variant -> Llm.Task.t
+(** Package a variant for the LLM pipelines, exposing the hint metadata. *)

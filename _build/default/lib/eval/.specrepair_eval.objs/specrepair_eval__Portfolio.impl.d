@@ -1,0 +1,1 @@
+lib/eval/portfolio.ml: Specrepair_alloy Specrepair_llm Specrepair_repair

@@ -1,0 +1,1 @@
+lib/eval/portfolio.mli: Specrepair_llm Specrepair_repair

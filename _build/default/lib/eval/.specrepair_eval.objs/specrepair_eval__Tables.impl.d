@@ -1,0 +1,1 @@
+lib/eval/tables.ml: Array Buffer Hashtbl List Printf Specrepair_benchmarks Specrepair_metrics String Study Technique

@@ -1,0 +1,1 @@
+lib/eval/technique.ml: List Specrepair_llm

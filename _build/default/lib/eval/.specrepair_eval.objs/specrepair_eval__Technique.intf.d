@@ -1,0 +1,1 @@
+lib/eval/technique.mli: Specrepair_llm

@@ -1,0 +1,40 @@
+module Alloy = Specrepair_alloy
+module Repair = Specrepair_repair
+module Llm = Specrepair_llm
+module Common = Repair.Common
+
+type stage = Traditional_sufficed | Llm_finished | Unrepaired
+
+let stage_to_string = function
+  | Traditional_sufficed -> "traditional"
+  | Llm_finished -> "llm"
+  | Unrepaired -> "unrepaired"
+
+let repair ?(seed = 42) ?(budget = Common.default_budget)
+    ?(profile = Llm.Model.gpt4) (task : Llm.Task.t) =
+  match Alloy.Typecheck.check_result task.faulty with
+  | Error _ ->
+      ( Common.result ~tool:"Portfolio" ~repaired:false task.faulty
+          ~candidates:0 ~iterations:0,
+        Unrepaired )
+  | Ok env -> (
+      let atr = Repair.Atr.repair ~budget env in
+      if atr.repaired then
+        ( { atr with Common.tool = "Portfolio" }, Traditional_sufficed )
+      else begin
+        (* hand the traditional engine's best effort to the LLM loop *)
+        let task' = { task with Llm.Task.faulty = atr.final_spec } in
+        let mr =
+          Llm.Multi_round.repair ~seed ~profile
+            ~max_conflicts:budget.Common.max_conflicts task'
+            Llm.Multi_round.Auto
+        in
+        let combined =
+          {
+            mr with
+            Common.tool = "Portfolio";
+            candidates_tried = atr.candidates_tried + mr.candidates_tried;
+          }
+        in
+        (combined, if mr.repaired then Llm_finished else Unrepaired)
+      end)

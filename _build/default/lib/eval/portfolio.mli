@@ -1,0 +1,22 @@
+(** The hybrid repair tool the paper's discussion sketches as future work:
+    a dynamic pipeline that first lets a traditional engine attempt a
+    systematic repair and, when it falls short, hands the engine's
+    best-effort candidate to the Multi-Round LLM pipeline to finish the
+    job.  This is RQ3's union made operational in a single tool. *)
+
+module Llm = Specrepair_llm
+module Common = Specrepair_repair.Common
+
+type stage = Traditional_sufficed | Llm_finished | Unrepaired
+
+val stage_to_string : stage -> string
+
+val repair :
+  ?seed:int ->
+  ?budget:Common.budget ->
+  ?profile:Llm.Model.profile ->
+  Llm.Task.t ->
+  Common.result * stage
+(** Runs ATR first (structured, template-based); on failure, continues with
+    Multi-Round/Auto from ATR's best-effort spec so partial progress (for
+    example one of two compound faults already fixed) is preserved. *)

@@ -1,0 +1,225 @@
+module Alloy = Specrepair_alloy
+module Benchmarks = Specrepair_benchmarks
+module Repair = Specrepair_repair
+module Llm = Specrepair_llm
+module Metrics = Specrepair_metrics
+module Aunit = Specrepair_aunit.Aunit
+
+type spec_result = {
+  variant_id : string;
+  domain : string;
+  benchmark : Benchmarks.Domains.benchmark;
+  technique : string;
+  rep : int;
+  tm : float;
+  sm : float;
+  tool_claimed : bool;
+  time_ms : float;
+}
+
+let suite_cache : (string, Aunit.test list) Hashtbl.t = Hashtbl.create 18
+
+let aunit_suite (d : Benchmarks.Domains.t) =
+  match Hashtbl.find_opt suite_cache d.name with
+  | Some s -> s
+  | None ->
+      let env = Benchmarks.Domains.env d in
+      let scope =
+        (* generate valuations at the commands' scope *)
+        match env.spec.commands with
+        | c :: _ -> Specrepair_solver.Bounds.scope_of_command c
+        | [] -> Specrepair_solver.Analyzer.default_scope
+      in
+      let s = Aunit.generate ~per_kind:4 env ~scope in
+      Hashtbl.replace suite_cache d.name s;
+      s
+
+(* The model profile for a domain: familiarity sharpens (or flattens) the
+   proposal distribution. *)
+let profile_for (d : Benchmarks.Domains.t) =
+  { Llm.Model.gpt4 with temperature = 1.0 /. d.familiarity }
+
+(* Per-tool budget calibration: the knobs that align each engine's search
+   effort with the scale of its real counterpart (see EXPERIMENTS.md). *)
+let budget_for technique (base : Repair.Common.budget) =
+  match (technique : Technique.t) with
+  | Technique.ARepair ->
+      { base with locations = 2; max_candidates = 50; max_depth = 2 }
+  | Technique.BeAFix ->
+      (* the bounded-exhaustive sweep hits its exploration ceiling quickly —
+         the analogue of the original tool's timeouts on its benchmarks *)
+      { base with locations = 5; max_candidates = 14; use_pool = false }
+  | Technique.ATR -> { base with locations = 5; max_candidates = 380 }
+  | Technique.ICEBAR ->
+      { base with max_iterations = 4; max_candidates = 480 }
+  | Technique.Single _ | Technique.Multi _ -> base
+
+let apply_technique ~seed ~budget technique (v : Benchmarks.Generate.variant) =
+  let budget = budget_for technique budget in
+  let faulty_env () =
+    match Alloy.Typecheck.check_result v.injected.Benchmarks.Fault.faulty with
+    | Ok env -> env
+    | Error msg -> failwith ("faulty variant does not type-check: " ^ msg)
+  in
+  let take n xs = List.filteri (fun i _ -> i < n) xs in
+  match (technique : Technique.t) with
+  | Technique.ARepair ->
+      (* ARepair sees a thinner suite than ICEBAR accumulates, mirroring the
+         limited hand-written AUnit tests it shipped with *)
+      Repair.Arepair.repair ~budget (faulty_env ())
+        (take 3 (aunit_suite v.domain))
+  | Technique.ICEBAR ->
+      Repair.Icebar.repair ~budget (faulty_env ()) (aunit_suite v.domain)
+  | Technique.BeAFix -> Repair.Beafix.repair ~budget (faulty_env ())
+  | Technique.ATR -> Repair.Atr.repair ~budget (faulty_env ())
+  | Technique.Single setting ->
+      Llm.Single_round.repair ~seed ~profile:(profile_for v.domain)
+        (Benchmarks.Generate.to_task v) setting
+  | Technique.Multi fb ->
+      Llm.Multi_round.repair ~seed ~profile:(profile_for v.domain)
+        ~max_conflicts:budget.Repair.Common.max_conflicts
+        (Benchmarks.Generate.to_task v) fb
+
+let run_one ?(seed = 42) ?(budget = Repair.Common.default_budget) technique
+    (v : Benchmarks.Generate.variant) =
+  let t0 = Unix.gettimeofday () in
+  let result = apply_technique ~seed ~budget technique v in
+  let elapsed = (Unix.gettimeofday () -. t0) *. 1000. in
+  let final = result.Repair.Common.final_spec in
+  let rep =
+    Metrics.Rep.rep_score
+      ~max_conflicts:budget.Repair.Common.max_conflicts
+      ~ground_truth:v.ground_truth ~candidate:final ()
+  in
+  let gt_text = Alloy.Pretty.spec_to_string v.ground_truth in
+  let cand_text = Alloy.Pretty.spec_to_string final in
+  let tm = Metrics.Bleu.token_match ~reference:gt_text ~candidate:cand_text in
+  let sm = Metrics.Tree_kernel.syntax_match v.ground_truth final in
+  {
+    variant_id = v.id;
+    domain = v.domain.name;
+    benchmark = v.domain.benchmark;
+    technique = Technique.name technique;
+    rep;
+    tm;
+    sm;
+    tool_claimed = result.Repair.Common.repaired;
+    time_ms = elapsed;
+  }
+
+let run ?(seed = 42) ?(budget = Repair.Common.default_budget)
+    ?(techniques = Technique.all) ?(progress = fun _ -> ()) variants =
+  let total = List.length variants * List.length techniques in
+  let done_count = ref 0 in
+  List.concat_map
+    (fun v ->
+      List.map
+        (fun t ->
+          let r = run_one ~seed ~budget t v in
+          incr done_count;
+          if !done_count mod 100 = 0 then
+            progress
+              (Printf.sprintf "%d/%d (%s on %s)" !done_count total r.technique
+                 r.variant_id);
+          r)
+        techniques)
+    variants
+
+(* {2 CSV round trip} *)
+
+let header = "variant_id,domain,benchmark,technique,rep,tm,sm,tool_claimed,time_ms"
+
+let to_csv results =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%s,%s,%d,%.6f,%.6f,%b,%.3f\n" r.variant_id
+           r.domain
+           (Benchmarks.Domains.benchmark_to_string r.benchmark)
+           r.technique r.rep r.tm r.sm r.tool_claimed r.time_ms))
+    results;
+  Buffer.contents buf
+
+let of_csv text =
+  let lines = String.split_on_char '\n' text in
+  List.filter_map
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line = header then None
+      else
+        match String.split_on_char ',' line with
+        | [ vid; dom; bench; tech; rep; tm; sm; claimed; time_ms ] ->
+            Some
+              {
+                variant_id = vid;
+                domain = dom;
+                benchmark =
+                  (if bench = "A4F" then Benchmarks.Domains.A4F
+                   else Benchmarks.Domains.ARepair_bench);
+                technique = tech;
+                rep = int_of_string rep;
+                tm = float_of_string tm;
+                sm = float_of_string sm;
+                tool_claimed = bool_of_string claimed;
+                time_ms = float_of_string time_ms;
+              }
+        | _ -> None)
+    lines
+
+(* {2 Parallel runner}
+
+   Forks worker processes, each running a slice of the variants and
+   writing its rows as CSV to a temp file; the parent merges.  Safe because
+   every run is deterministic and workers share nothing. *)
+
+let run_parallel ?(seed = 42) ?(budget = Repair.Common.default_budget)
+    ?(techniques = Technique.all) ?(jobs = 1) ?(progress = fun _ -> ())
+    variants =
+  if jobs <= 1 then run ~seed ~budget ~techniques ~progress variants
+  else begin
+    let arr = Array.of_list variants in
+    let n = Array.length arr in
+    let slice w =
+      (* round-robin so heavy domains spread across workers *)
+      List.filter_map
+        (fun i -> if i mod jobs = w then Some arr.(i) else None)
+        (List.init n Fun.id)
+    in
+    let children =
+      List.init jobs (fun w ->
+          let path =
+            Filename.temp_file (Printf.sprintf "specrepair_w%d_" w) ".csv"
+          in
+          match Unix.fork () with
+          | 0 ->
+              (* worker *)
+              let rows = run ~seed ~budget ~techniques (slice w) in
+              let oc = open_out path in
+              output_string oc (to_csv rows);
+              close_out oc;
+              Stdlib.exit 0
+          | pid -> (pid, path))
+    in
+    let results =
+      List.concat_map
+        (fun (pid, path) ->
+          let _, status = Unix.waitpid [] pid in
+          (match status with
+          | Unix.WEXITED 0 -> ()
+          | _ -> failwith "Study.run_parallel: worker failed");
+          let ic = open_in_bin path in
+          let text = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          Sys.remove path;
+          of_csv text)
+        children
+    in
+    progress (Printf.sprintf "%d rows from %d workers" (List.length results) jobs);
+    (* restore deterministic order: by variant then technique *)
+    List.stable_sort
+      (fun a b -> compare (a.variant_id, a.technique) (b.variant_id, b.technique))
+      results
+  end

@@ -1,0 +1,54 @@
+(** The study runner: applies every technique to every benchmark variant
+    and records REP / TM / SM per (variant, technique) — the raw data
+    behind all tables and figures. *)
+
+module Alloy = Specrepair_alloy
+module Benchmarks = Specrepair_benchmarks
+
+type spec_result = {
+  variant_id : string;
+  domain : string;
+  benchmark : Benchmarks.Domains.benchmark;
+  technique : string;
+  rep : int;  (** 1 = command outcomes match the ground truth *)
+  tm : float;  (** Token Match of the final candidate vs ground truth *)
+  sm : float;  (** Syntax Match of the final candidate vs ground truth *)
+  tool_claimed : bool;  (** the technique's own success verdict *)
+  time_ms : float;
+}
+
+val run_one :
+  ?seed:int ->
+  ?budget:Specrepair_repair.Common.budget ->
+  Technique.t ->
+  Benchmarks.Generate.variant ->
+  spec_result
+
+val run :
+  ?seed:int ->
+  ?budget:Specrepair_repair.Common.budget ->
+  ?techniques:Technique.t list ->
+  ?progress:(string -> unit) ->
+  Benchmarks.Generate.variant list ->
+  spec_result list
+(** Row-major: every technique applied to every variant. *)
+
+val run_parallel :
+  ?seed:int ->
+  ?budget:Specrepair_repair.Common.budget ->
+  ?techniques:Technique.t list ->
+  ?jobs:int ->
+  ?progress:(string -> unit) ->
+  Benchmarks.Generate.variant list ->
+  spec_result list
+(** Like {!run} but fanned out over [jobs] forked worker processes
+    (results identical to the sequential run, reordered canonically). *)
+
+val to_csv : spec_result list -> string
+val of_csv : string -> spec_result list
+(** Round-trips {!to_csv}; used to cache study runs on disk. *)
+
+val aunit_suite : Benchmarks.Domains.t -> Specrepair_aunit.Aunit.test list
+(** The domain's test suite, generated from the ground truth (memoized);
+    shared by ARepair and ICEBAR, as the benchmark ships one suite per
+    problem. *)

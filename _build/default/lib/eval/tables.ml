@@ -1,0 +1,360 @@
+module Benchmarks = Specrepair_benchmarks
+module Metrics = Specrepair_metrics
+
+let techniques_in results =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun (r : Study.spec_result) ->
+      if Hashtbl.mem seen r.technique then None
+      else begin
+        Hashtbl.add seen r.technique ();
+        Some r.technique
+      end)
+    results
+
+(* keep the paper's column order where possible *)
+let ordered_techniques results =
+  let present = techniques_in results in
+  let canonical = List.map Technique.name Technique.all in
+  List.filter (fun t -> List.mem t present) canonical
+  @ List.filter (fun t -> not (List.mem t canonical)) present
+
+let for_technique results technique =
+  List.filter (fun (r : Study.spec_result) -> r.technique = technique) results
+
+let rep_count results ~technique =
+  List.fold_left
+    (fun acc (r : Study.spec_result) -> acc + r.rep)
+    0
+    (for_technique results technique)
+
+let rep_count_in results ~technique ~benchmark =
+  List.fold_left
+    (fun acc (r : Study.spec_result) ->
+      if r.benchmark = benchmark then acc + r.rep else acc)
+    0
+    (for_technique results technique)
+
+let mean f results ~technique =
+  match for_technique results technique with
+  | [] -> 0.
+  | rs ->
+      List.fold_left (fun acc r -> acc +. f r) 0. rs /. float_of_int (List.length rs)
+
+let mean_tm = mean (fun (r : Study.spec_result) -> r.tm)
+let mean_sm = mean (fun (r : Study.spec_result) -> r.sm)
+
+(* per-variant match score vectors, aligned across techniques *)
+let score_vectors results t1 t2 =
+  let score (r : Study.spec_result) = (r.tm +. r.sm) /. 2. in
+  let by_variant technique =
+    let tbl = Hashtbl.create 256 in
+    List.iter
+      (fun (r : Study.spec_result) ->
+        if r.technique = technique then Hashtbl.replace tbl r.variant_id (score r))
+      results;
+    tbl
+  in
+  let v1 = by_variant t1 and v2 = by_variant t2 in
+  let shared =
+    Hashtbl.fold
+      (fun id s1 acc ->
+        match Hashtbl.find_opt v2 id with
+        | Some s2 -> (id, s1, s2) :: acc
+        | None -> acc)
+      v1 []
+    |> List.sort compare
+  in
+  ( Array.of_list (List.map (fun (_, s, _) -> s) shared),
+    Array.of_list (List.map (fun (_, _, s) -> s) shared) )
+
+let correlation results ~t1 ~t2 =
+  let xs, ys = score_vectors results t1 t2 in
+  Metrics.Pearson.correlate xs ys
+
+let repaired_set results technique =
+  List.filter_map
+    (fun (r : Study.spec_result) ->
+      if r.technique = technique && r.rep = 1 then Some r.variant_id else None)
+    results
+  |> List.sort_uniq compare
+
+let hybrid results ~traditional ~llm =
+  let a = repaired_set results traditional in
+  let b = repaired_set results llm in
+  let overlap = List.length (List.filter (fun x -> List.mem x b) a) in
+  (List.length a, overlap, List.length a + List.length b - overlap)
+
+(* {2 Text rendering} *)
+
+let domain_order =
+  List.map (fun (d : Benchmarks.Domains.t) -> d.name) Benchmarks.Domains.all
+
+let domains_in results =
+  let present =
+    List.sort_uniq compare
+      (List.map (fun (r : Study.spec_result) -> r.domain) results)
+  in
+  List.filter (fun d -> List.mem d present) domain_order
+
+let count_where results pred =
+  List.fold_left
+    (fun acc (r : Study.spec_result) -> if pred r then acc + r.rep else acc)
+    0 results
+
+let variants_of_domain results domain =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun (r : Study.spec_result) ->
+         if r.domain = domain then Some r.variant_id else None)
+       results)
+
+let table1 results =
+  let techniques = ordered_techniques results in
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "TABLE I: REP scores (specifications repaired) per technique\n\n";
+  add "%-14s %6s" "Domain" "#spec";
+  List.iter (fun t -> add " %14s" t) techniques;
+  add "\n";
+  let row label nspec count_for =
+    add "%-14s %6d" label nspec;
+    List.iter (fun t -> add " %14d" (count_for t)) techniques;
+    add "\n"
+  in
+  let benches =
+    [ (Benchmarks.Domains.A4F, "A4F benchmark");
+      (Benchmarks.Domains.ARepair_bench, "ARepair benchmark") ]
+  in
+  List.iter
+    (fun (bench, bench_label) ->
+      let bench_results =
+        List.filter (fun (r : Study.spec_result) -> r.benchmark = bench) results
+      in
+      if bench_results <> [] then begin
+        add "-- %s --\n" bench_label;
+        List.iter
+          (fun domain ->
+            let nspec = List.length (variants_of_domain bench_results domain) in
+            if nspec > 0 then
+              row domain nspec (fun t ->
+                  count_where bench_results (fun r ->
+                      r.domain = domain && r.technique = t)))
+          (domains_in bench_results);
+        let nspec =
+          List.length
+            (List.sort_uniq compare
+               (List.map (fun (r : Study.spec_result) -> r.variant_id) bench_results))
+        in
+        row "Summary" nspec (fun t ->
+            count_where bench_results (fun r -> r.technique = t))
+      end)
+    benches;
+  let nspec =
+    List.length
+      (List.sort_uniq compare
+         (List.map (fun (r : Study.spec_result) -> r.variant_id) results))
+  in
+  add "-- Total --\n";
+  add "%-14s %6d" "Total" nspec;
+  List.iter (fun t -> add " %14d" (rep_count results ~technique:t)) techniques;
+  add "\n";
+  Buffer.contents buf
+
+let fig2 results =
+  let techniques = ordered_techniques results in
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "FIGURE 2: similarity to ground truth (mean over all candidates)\n\n";
+  add "%-24s %8s %8s\n" "Technique" "TM" "SM";
+  List.iter
+    (fun t ->
+      add "%-24s %8.3f %8.3f\n" t (mean_tm results ~technique:t)
+        (mean_sm results ~technique:t))
+    techniques;
+  Buffer.contents buf
+
+let fig3 results =
+  let techniques = ordered_techniques results in
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "FIGURE 3: Pearson correlation of per-spec match scores\n\n";
+  add "%-24s" "";
+  List.iter (fun t -> add " %10s" (String.sub t 0 (min 10 (String.length t)))) techniques;
+  add "\n";
+  let insignificant = ref 0 in
+  List.iter
+    (fun t1 ->
+      add "%-24s" t1;
+      List.iter
+        (fun t2 ->
+          let r, p = correlation results ~t1 ~t2 in
+          if p >= 0.001 && t1 <> t2 then incr insignificant;
+          add " %10.3f" r)
+        techniques;
+      add "\n")
+    techniques;
+  add "\n(%d off-diagonal pairs with p >= 0.001)\n" (!insignificant / 2);
+  Buffer.contents buf
+
+let table2 results =
+  let techniques = ordered_techniques results in
+  let traditional =
+    List.filter
+      (fun t -> List.mem t (List.map Technique.name Technique.traditional))
+      techniques
+  in
+  let llms =
+    List.filter
+      (fun t -> List.mem t (List.map Technique.name Technique.llm_based))
+      techniques
+  in
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "TABLE II: hybrid approaches (traditional + LLM)\n\n";
+  add "%-10s %8s  %-24s %8s %8s %8s\n" "Trad." "repairs" "LLM technique"
+    "repairs" "overlap" "union";
+  List.iter
+    (fun trad ->
+      let trad_repairs = rep_count results ~technique:trad in
+      List.iter
+        (fun llm ->
+          let llm_repairs = rep_count results ~technique:llm in
+          let _, overlap, union = hybrid results ~traditional:trad ~llm in
+          add "%-10s %8d  %-24s %8d %8d %8d\n" trad trad_repairs llm
+            llm_repairs overlap union)
+        llms)
+    traditional;
+  Buffer.contents buf
+
+let summary results =
+  let techniques = ordered_techniques results in
+  let nspec =
+    List.length
+      (List.sort_uniq compare
+         (List.map (fun (r : Study.spec_result) -> r.variant_id) results))
+  in
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "SUMMARY (%d specifications)\n\n" nspec;
+  let ranked =
+    List.sort
+      (fun a b -> compare (snd b) (snd a))
+      (List.map (fun t -> (t, rep_count results ~technique:t)) techniques)
+  in
+  add "Individual techniques by repairs:\n";
+  List.iter
+    (fun (t, c) ->
+      add "  %-24s %5d (%.1f%%)\n" t c (100. *. float_of_int c /. float_of_int (max 1 nspec)))
+    ranked;
+  let traditional = List.map Technique.name Technique.traditional in
+  let llms = List.map Technique.name Technique.llm_based in
+  let best_hybrid =
+    List.concat_map
+      (fun tr ->
+        List.map
+          (fun llm ->
+            let _, _, union = hybrid results ~traditional:tr ~llm in
+            ((tr, llm), union))
+          (List.filter (fun t -> List.mem t techniques) llms))
+      (List.filter (fun t -> List.mem t techniques) traditional)
+    |> List.sort (fun a b -> compare (snd b) (snd a))
+  in
+  (match best_hybrid with
+  | ((tr, llm), union) :: _ ->
+      add "\nBest hybrid: %s + %s = %d repairs (%.1f%%)\n" tr llm union
+        (100. *. float_of_int union /. float_of_int (max 1 nspec))
+  | [] -> ());
+  add "\nMean runtime per attempt:\n";
+  List.iter
+    (fun t ->
+      let rs = for_technique results t in
+      let mean_ms =
+        List.fold_left (fun acc (r : Study.spec_result) -> acc +. r.time_ms) 0. rs
+        /. float_of_int (max 1 (List.length rs))
+      in
+      add "  %-24s %8.1f ms\n" t mean_ms)
+    techniques;
+  Buffer.contents buf
+
+(* {2 CSV artifacts} *)
+
+let table1_csv results =
+  let techniques = ordered_techniques results in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("benchmark,domain,n," ^ String.concat "," techniques ^ "\n");
+  List.iter
+    (fun (bench, label) ->
+      let bench_results =
+        List.filter (fun (r : Study.spec_result) -> r.benchmark = bench) results
+      in
+      List.iter
+        (fun domain ->
+          let n = List.length (variants_of_domain bench_results domain) in
+          if n > 0 then begin
+            Buffer.add_string buf (Printf.sprintf "%s,%s,%d" label domain n);
+            List.iter
+              (fun t ->
+                Buffer.add_string buf
+                  (Printf.sprintf ",%d"
+                     (count_where bench_results (fun r ->
+                          r.domain = domain && r.technique = t))))
+              techniques;
+            Buffer.add_char buf '\n'
+          end)
+        (domains_in bench_results))
+    [ (Benchmarks.Domains.A4F, "A4F"); (Benchmarks.Domains.ARepair_bench, "ARepair") ];
+  Buffer.contents buf
+
+let fig2_csv results =
+  let techniques = ordered_techniques results in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "technique,tm,sm\n";
+  List.iter
+    (fun t ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%.6f,%.6f\n" t (mean_tm results ~technique:t)
+           (mean_sm results ~technique:t)))
+    techniques;
+  Buffer.contents buf
+
+let fig3_csv results =
+  let techniques = ordered_techniques results in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "t1,t2,r,p\n";
+  List.iter
+    (fun t1 ->
+      List.iter
+        (fun t2 ->
+          let r, p = correlation results ~t1 ~t2 in
+          Buffer.add_string buf (Printf.sprintf "%s,%s,%.6f,%.6g\n" t1 t2 r p))
+        techniques)
+    techniques;
+  Buffer.contents buf
+
+let table2_csv results =
+  let techniques = ordered_techniques results in
+  let traditional =
+    List.filter
+      (fun t -> List.mem t (List.map Technique.name Technique.traditional))
+      techniques
+  in
+  let llms =
+    List.filter
+      (fun t -> List.mem t (List.map Technique.name Technique.llm_based))
+      techniques
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "traditional,trad_repairs,llm,llm_repairs,overlap,union\n";
+  List.iter
+    (fun trad ->
+      List.iter
+        (fun llm ->
+          let trad_repairs, overlap, union = hybrid results ~traditional:trad ~llm in
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%d,%s,%d,%d,%d\n" trad trad_repairs llm
+               (rep_count results ~technique:llm)
+               overlap union))
+        llms)
+    traditional;
+  Buffer.contents buf

@@ -1,0 +1,27 @@
+module Llm = Specrepair_llm
+
+type t =
+  | ARepair
+  | ICEBAR
+  | BeAFix
+  | ATR
+  | Single of Llm.Prompt.single_setting
+  | Multi of Llm.Multi_round.feedback
+
+let traditional = [ ARepair; ICEBAR; BeAFix; ATR ]
+
+let llm_based =
+  List.map (fun s -> Single s) Llm.Prompt.all_single_settings
+  @ List.map (fun f -> Multi f) Llm.Multi_round.all_feedbacks
+
+let all = traditional @ llm_based
+
+let name = function
+  | ARepair -> "ARepair"
+  | ICEBAR -> "ICEBAR"
+  | BeAFix -> "BeAFix"
+  | ATR -> "ATR"
+  | Single s -> Llm.Single_round.tool_name s
+  | Multi f -> Llm.Multi_round.tool_name f
+
+let of_name n = List.find_opt (fun t -> name t = n) all

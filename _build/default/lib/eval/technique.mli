@@ -1,0 +1,23 @@
+(** The twelve repair techniques of the study: four traditional tools, five
+    Single-Round prompt settings, three Multi-Round feedback settings. *)
+
+module Llm = Specrepair_llm
+
+type t =
+  | ARepair
+  | ICEBAR
+  | BeAFix
+  | ATR
+  | Single of Llm.Prompt.single_setting
+  | Multi of Llm.Multi_round.feedback
+
+val all : t list
+(** In the paper's column order. *)
+
+val traditional : t list
+val llm_based : t list
+
+val name : t -> string
+(** Column label as printed in the tables, e.g. "Single-Round_Loc+Fix". *)
+
+val of_name : string -> t option

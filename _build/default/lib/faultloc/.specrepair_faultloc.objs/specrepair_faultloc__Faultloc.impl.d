@@ -1,0 +1,1 @@
+lib/faultloc/faultloc.ml: Format Fun List Specrepair_alloy Specrepair_aunit Specrepair_mutation

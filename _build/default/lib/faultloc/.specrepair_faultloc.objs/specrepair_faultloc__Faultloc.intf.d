@@ -1,0 +1,1 @@
+lib/faultloc/faultloc.mli: Format Specrepair_alloy Specrepair_aunit Specrepair_mutation

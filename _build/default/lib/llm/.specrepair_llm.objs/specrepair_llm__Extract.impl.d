@@ -1,0 +1,1 @@
+lib/llm/extract.ml: List Specrepair_alloy String

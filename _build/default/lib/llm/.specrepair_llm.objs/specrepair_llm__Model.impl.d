@@ -1,0 +1,1 @@
+lib/llm/model.ml: List Option Printf Prompt Result Rng Specrepair_alloy Specrepair_mutation String Task

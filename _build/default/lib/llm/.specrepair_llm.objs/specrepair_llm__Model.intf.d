@@ -1,0 +1,1 @@
+lib/llm/model.mli: Prompt Rng Specrepair_alloy Specrepair_mutation Task

@@ -1,0 +1,1 @@
+lib/llm/prompt.ml: Buffer List Printf Specrepair_alloy Specrepair_mutation Task

@@ -1,0 +1,1 @@
+lib/llm/single_round.ml: Extract List Model Prompt Rng Specrepair_alloy Specrepair_repair Task

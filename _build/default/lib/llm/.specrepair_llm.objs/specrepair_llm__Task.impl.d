@@ -1,0 +1,1 @@
+lib/llm/task.ml: Specrepair_alloy Specrepair_mutation

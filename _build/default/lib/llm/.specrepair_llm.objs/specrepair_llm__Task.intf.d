@@ -1,0 +1,1 @@
+lib/llm/task.mli: Specrepair_alloy Specrepair_mutation

@@ -1,0 +1,63 @@
+module Alloy = Specrepair_alloy
+
+let code_blocks text =
+  let lines = String.split_on_char '\n' text in
+  let rec scan acc current inside = function
+    | [] -> List.rev acc
+    | line :: rest ->
+        let trimmed = String.trim line in
+        let is_fence =
+          String.length trimmed >= 3 && String.sub trimmed 0 3 = "```"
+        in
+        if is_fence then
+          if inside then scan (String.concat "\n" (List.rev current) :: acc) [] false rest
+          else scan acc [] true rest
+        else if inside then scan acc (line :: current) inside rest
+        else scan acc current inside rest
+  in
+  scan [] [] false lines
+
+let paragraph_keywords =
+  [ "module"; "sig"; "abstract"; "one sig"; "fact"; "pred"; "assert" ]
+
+let starts_with_keyword line =
+  let trimmed = String.trim line in
+  List.exists
+    (fun kw ->
+      String.length trimmed >= String.length kw
+      && String.sub trimmed 0 (String.length kw) = kw)
+    paragraph_keywords
+
+(* Fallback: take everything from the first line that looks like a
+   paragraph opener to the end of the text. *)
+let keyword_slice text =
+  let lines = String.split_on_char '\n' text in
+  let rec drop = function
+    | [] -> None
+    | line :: rest when starts_with_keyword line ->
+        Some (String.concat "\n" (line :: rest))
+    | _ :: rest -> drop rest
+  in
+  drop lines
+
+let try_parse src =
+  match Alloy.Parser.parse src with
+  | spec -> (
+      (* an extracted spec must also type-check to count *)
+      match Alloy.Typecheck.check_result spec with
+      | Ok _ -> Some spec
+      | Error _ -> None)
+  | exception Alloy.Parser.Parse_error _ -> None
+  | exception Alloy.Lexer.Lex_error _ -> None
+
+let spec_of_response text =
+  let candidates = code_blocks text in
+  let rec first_ok = function
+    | [] -> (
+        match keyword_slice text with
+        | Some src -> try_parse src
+        | None -> None)
+    | block :: rest -> (
+        match try_parse block with Some s -> Some s | None -> first_ok rest)
+  in
+  first_ok candidates

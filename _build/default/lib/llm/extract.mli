@@ -1,0 +1,11 @@
+(** Extraction of Alloy specifications from LLM response text — the
+    "specialized parser" of the study's experimental setup.
+
+    Responses mix prose with code; the extractor prefers fenced code blocks
+    and falls back to scanning for the first paragraph keyword.  Returns
+    [None] when nothing in the response parses as a specification. *)
+
+val spec_of_response : string -> Specrepair_alloy.Ast.spec option
+
+val code_blocks : string -> string list
+(** All fenced (```) block bodies, in order of appearance. *)

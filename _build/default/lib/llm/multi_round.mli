@@ -1,0 +1,37 @@
+(** The Multi-Round LLM repair pipeline (Alhanahnah et al. [34]): a
+    dual-agent loop in which the Repair Agent proposes a fix, the analyzer
+    evaluates it, and — depending on the feedback setting — the next round
+    is steered by nothing but a binary verdict (No-feedback), a templated
+    summary of the analyzer report (Generic), or a Prompt Agent that turns
+    the report and the proposed spec into targeted advice (Auto). *)
+
+module Alloy = Specrepair_alloy
+module Common = Specrepair_repair.Common
+
+type feedback = No_feedback | Generic | Auto
+
+val feedback_to_string : feedback -> string
+val all_feedbacks : feedback list
+
+val tool_name : feedback -> string
+(** "Multi-Round_None" etc., as in the paper's tables. *)
+
+val repair :
+  ?seed:int ->
+  ?profile:Model.profile ->
+  ?rounds:int ->
+  ?max_conflicts:int ->
+  ?hill_climb:bool ->
+  ?mental_check:bool ->
+  ?trace:(round:int -> prompt:Prompt.t -> response:string -> unit) ->
+  Task.t ->
+  feedback ->
+  Common.result
+(** [repaired] is the analyzer's confirmation that every command of the
+    proposed spec behaves (checks pass, runs are satisfiable).  Default 6
+    rounds.  [hill_climb] (default true) lets the dialogue carry the best
+    proposal so far as the next round's base; [mental_check] (default true)
+    enables the Repair Agent's internal scope-2 self-verification.  Both
+    exist for the ablation benchmarks.  [trace] observes every round's
+    rendered prompt (including the analyzer feedback text) and the model's
+    raw response. *)

@@ -1,0 +1,60 @@
+module Alloy = Specrepair_alloy
+
+type hint = Loc | Fix | Pass
+
+type single_setting = SLoc_fix | SLoc | SPass | SNone | SLoc_pass
+
+let hints_of_setting = function
+  | SLoc_fix -> [ Loc; Fix ]
+  | SLoc -> [ Loc ]
+  | SPass -> [ Pass ]
+  | SNone -> []
+  | SLoc_pass -> [ Loc; Pass ]
+
+let single_setting_to_string = function
+  | SLoc_fix -> "Loc+Fix"
+  | SLoc -> "Loc"
+  | SPass -> "Pass"
+  | SNone -> "None"
+  | SLoc_pass -> "Loc+Pass"
+
+let all_single_settings = [ SLoc_fix; SLoc; SPass; SNone; SLoc_pass ]
+
+type t = {
+  task : Task.t;
+  hints : hint list;
+  round : int;
+  feedback : string option;
+}
+
+let single task setting = { task; hints = hints_of_setting setting; round = 0; feedback = None }
+
+let render p =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add
+    "You are an expert in the Alloy specification language. The following \
+     Alloy specification is faulty. Repair it and return the complete \
+     corrected specification in a fenced code block.\n\n";
+  add "```alloy\n%s```\n\n" (Alloy.Pretty.spec_to_string p.task.Task.faulty);
+  List.iter
+    (fun h ->
+      match h with
+      | Loc ->
+          List.iter
+            (fun site ->
+              add "Hint: the bug is located in %s.\n"
+                (Specrepair_mutation.Location.site_to_string site))
+            p.task.Task.fault_sites
+      | Fix ->
+          if p.task.Task.fix_description <> "" then
+            add "Hint: a possible fix is: %s.\n" p.task.Task.fix_description
+      | Pass ->
+          List.iter
+            (fun name -> add "The repaired specification must pass: check %s.\n" name)
+            p.task.Task.check_names)
+    p.hints;
+  (match p.feedback with
+  | Some fb -> add "\nFeedback on your previous attempt (round %d):\n%s\n" p.round fb
+  | None -> ());
+  Buffer.contents buf

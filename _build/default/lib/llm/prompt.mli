@@ -1,0 +1,26 @@
+(** Prompt construction for the LLM repair pipelines.
+
+    Mirrors the study's two prompt families: single zero-shot prompts with
+    optional Loc / Fix / Pass hints (Hasan et al. [33]) and the iterative
+    multi-round dialogue with analyzer feedback (Alhanahnah et al. [34]).
+    The rendered text is what a real deployment would send; the simulated
+    model consumes the structured form and the rendered text is used by
+    examples and documentation. *)
+
+type hint = Loc | Fix | Pass
+
+type single_setting = SLoc_fix | SLoc | SPass | SNone | SLoc_pass
+
+val hints_of_setting : single_setting -> hint list
+val single_setting_to_string : single_setting -> string
+val all_single_settings : single_setting list
+
+type t = {
+  task : Task.t;
+  hints : hint list;
+  round : int;  (** 0 for single-round *)
+  feedback : string option;  (** analyzer feedback text, multi-round *)
+}
+
+val single : Task.t -> single_setting -> t
+val render : t -> string

@@ -1,0 +1,56 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+(* Fold a context string into the seed with a simple 64-bit FNV-ish hash. *)
+let hash_string h s =
+  String.fold_left
+    (fun h c -> Int64.mul (Int64.logxor h (Int64.of_int (Char.code c))) 0x100000001B3L)
+    h s
+
+let of_context ~seed context =
+  let h =
+    List.fold_left
+      (fun h s -> hash_string (Int64.add h 0x517CC1B727220A95L) s)
+      (Int64.of_int seed) context
+  in
+  create (mix h)
+
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992. (* 2^53 *)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int";
+  int_of_float (float t *. float_of_int n)
+
+let choose_weighted t weighted =
+  let total = List.fold_left (fun acc (_, w) -> acc +. max 0. w) 0. weighted in
+  if total <= 0. then None
+  else begin
+    let target = float t *. total in
+    let rec pick acc = function
+      | [] -> None
+      | (x, w) :: rest ->
+          let acc = acc +. max 0. w in
+          if target < acc then Some x else pick acc rest
+    in
+    pick 0. weighted
+  end
+
+let shuffle t xs =
+  xs
+  |> List.map (fun x -> (next_int64 t, x))
+  |> List.sort (fun (a, _) (b, _) -> Int64.compare a b)
+  |> List.map snd

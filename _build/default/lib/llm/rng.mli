@@ -1,0 +1,25 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every stochastic choice of the simulated LLM derives its stream from a
+    study seed plus structured context (spec id, technique, round), so runs
+    are reproducible bit-for-bit and independent across specs. *)
+
+type t
+
+val create : int64 -> t
+val of_context : seed:int -> string list -> t
+(** Derive a generator from the study seed and a context path, e.g.
+    [["classroom_17"; "single-round"; "loc"]]. *)
+
+val next_int64 : t -> int64
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val int : t -> int -> int
+(** Uniform in [0, n). *)
+
+val choose_weighted : t -> ('a * float) list -> 'a option
+(** Samples proportionally to the (non-negative) weights; [None] when all
+    weights are zero or the list is empty. *)
+
+val shuffle : t -> 'a list -> 'a list

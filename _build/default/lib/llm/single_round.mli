@@ -1,0 +1,19 @@
+(** The Single-Round LLM repair pipeline (Hasan et al. [33]): one zero-shot
+    prompt per task, five hint settings, no iteration and no verification —
+    whatever the model returns (after extraction) is the proposed repair. *)
+
+module Alloy = Specrepair_alloy
+module Common = Specrepair_repair.Common
+
+val tool_name : Prompt.single_setting -> string
+(** "Single-Round_Loc+Fix" etc., as in the paper's tables. *)
+
+val repair :
+  ?seed:int ->
+  ?profile:Model.profile ->
+  Task.t ->
+  Prompt.single_setting ->
+  Common.result
+(** [repaired] reports only that a well-typed spec was extracted from the
+    response; actual repair success is judged by the REP metric against the
+    ground truth, as in the study. *)

@@ -1,0 +1,26 @@
+module Alloy = Specrepair_alloy
+module Mutation = Specrepair_mutation
+
+type t = {
+  spec_id : string;
+  domain : string;
+  faulty : Alloy.Ast.spec;
+  fault_sites : Mutation.Location.site list;
+  fault_paths : (Mutation.Location.site * Mutation.Location.path) list;
+  fault_classes : string list;
+  fix_description : string;
+  check_names : string list;
+}
+
+let make ~spec_id ~domain ~faulty ?(fault_sites = []) ?(fault_paths = [])
+    ?(fault_classes = []) ?(fix_description = "") ?(check_names = []) () =
+  {
+    spec_id;
+    domain;
+    faulty;
+    fault_sites;
+    fault_paths;
+    fault_classes;
+    fix_description;
+    check_names;
+  }

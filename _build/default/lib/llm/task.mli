@@ -1,0 +1,34 @@
+(** A repair task handed to an LLM pipeline: the faulty specification plus
+    the side information the study's prompt settings can reveal.
+
+    The hint fields are ground-truth metadata carried by the benchmark (the
+    paper's Loc / Fix / Pass hints came from the benchmark's fault
+    annotations); pipelines only read the fields their prompt setting
+    includes. *)
+
+module Alloy = Specrepair_alloy
+module Mutation = Specrepair_mutation
+
+type t = {
+  spec_id : string;  (** stable identifier, part of the sampling seed *)
+  domain : string;  (** benchmark domain, modulates model competence *)
+  faulty : Alloy.Ast.spec;
+  fault_sites : Mutation.Location.site list;  (** true fault locations *)
+  fault_paths : (Mutation.Location.site * Mutation.Location.path) list;
+      (** node-level fault positions (the Loc hint is line-level) *)
+  fault_classes : string list;  (** mutation-operator names of the faults *)
+  fix_description : string;  (** natural-language description of the fix *)
+  check_names : string list;  (** assertions the fix must make pass *)
+}
+
+val make :
+  spec_id:string ->
+  domain:string ->
+  faulty:Alloy.Ast.spec ->
+  ?fault_sites:Mutation.Location.site list ->
+  ?fault_paths:(Mutation.Location.site * Mutation.Location.path) list ->
+  ?fault_classes:string list ->
+  ?fix_description:string ->
+  ?check_names:string list ->
+  unit ->
+  t

@@ -1,0 +1,1 @@
+lib/metrics/bleu.ml: Array Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/metrics/bleu.mli:

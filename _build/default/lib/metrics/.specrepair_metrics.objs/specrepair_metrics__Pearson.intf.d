@@ -1,0 +1,1 @@
+lib/metrics/pearson.mli:

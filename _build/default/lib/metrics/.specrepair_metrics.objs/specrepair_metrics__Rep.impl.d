@@ -1,0 +1,1 @@
+lib/metrics/rep.ml: List Specrepair_alloy Specrepair_solver

@@ -1,0 +1,1 @@
+lib/metrics/rep.mli: Specrepair_alloy Specrepair_solver

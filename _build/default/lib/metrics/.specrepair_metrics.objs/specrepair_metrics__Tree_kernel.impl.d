@@ -1,0 +1,1 @@
+lib/metrics/tree_kernel.ml: Array Float List Printf Specrepair_alloy

@@ -1,0 +1,1 @@
+lib/metrics/tree_kernel.mli: Specrepair_alloy

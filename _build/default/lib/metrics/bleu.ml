@@ -1,0 +1,67 @@
+let tokens text =
+  String.split_on_char ' '
+    (String.map (fun c -> if c = '\n' || c = '\t' || c = '\r' then ' ' else c) text)
+  |> List.filter (( <> ) "")
+
+let ngrams n words =
+  let arr = Array.of_list words in
+  let len = Array.length arr in
+  if len < n then []
+  else
+    List.init (len - n + 1) (fun i -> Array.to_list (Array.sub arr i n))
+
+let counts xs =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun x ->
+      Hashtbl.replace tbl x (1 + Option.value ~default:0 (Hashtbl.find_opt tbl x)))
+    xs;
+  tbl
+
+let ngram_precision ~n ~reference ~candidate =
+  let cand_grams = ngrams n candidate in
+  let ref_counts = counts (ngrams n reference) in
+  let cand_counts = counts cand_grams in
+  let matches =
+    Hashtbl.fold
+      (fun gram c acc ->
+        let r = Option.value ~default:0 (Hashtbl.find_opt ref_counts gram) in
+        acc + min c r)
+      cand_counts 0
+  in
+  let total = List.length cand_grams in
+  let p = if total = 0 then 0. else float_of_int matches /. float_of_int total in
+  (p, matches, total)
+
+let sentence_bleu ?(max_n = 4) ~reference ~candidate () =
+  if candidate = [] || reference = [] then if candidate = reference then 1. else 0.
+  else begin
+    let log_sum = ref 0. in
+    let usable = ref 0 in
+    for n = 1 to max_n do
+      let _, matches, total = ngram_precision ~n ~reference ~candidate in
+      if total > 0 then begin
+        incr usable;
+        let p =
+          if n = 1 then
+            if matches = 0 then 1e-9
+            else float_of_int matches /. float_of_int total
+          else
+            (* add-one smoothing for higher orders *)
+            float_of_int (matches + 1) /. float_of_int (total + 1)
+        in
+        log_sum := !log_sum +. log p
+      end
+    done;
+    if !usable = 0 then 0.
+    else begin
+      let geo = exp (!log_sum /. float_of_int !usable) in
+      let c = float_of_int (List.length candidate) in
+      let r = float_of_int (List.length reference) in
+      let brevity = if c >= r then 1. else exp (1. -. (r /. c)) in
+      brevity *. geo
+    end
+  end
+
+let token_match ~reference ~candidate =
+  sentence_bleu ~reference:(tokens reference) ~candidate:(tokens candidate) ()

@@ -1,0 +1,104 @@
+let r xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Pearson.r: length mismatch";
+  if n < 2 then 0.
+  else begin
+    let mean a = Array.fold_left ( +. ) 0. a /. float_of_int n in
+    let mx = mean xs and my = mean ys in
+    let num = ref 0. and dx2 = ref 0. and dy2 = ref 0. in
+    for i = 0 to n - 1 do
+      let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+      num := !num +. (dx *. dy);
+      dx2 := !dx2 +. (dx *. dx);
+      dy2 := !dy2 +. (dy *. dy)
+    done;
+    if !dx2 <= 0. || !dy2 <= 0. then 0.
+    else !num /. sqrt (!dx2 *. !dy2)
+  end
+
+(* Regularised incomplete beta function by continued fraction (Lentz), as
+   in Numerical Recipes; needed for the exact t-distribution CDF. *)
+let rec betai a b x =
+  if x < 0. || x > 1. then invalid_arg "betai";
+  if x = 0. then 0.
+  else if x = 1. then 1.
+  else begin
+    let lbeta =
+      log_gamma (a +. b) -. log_gamma a -. log_gamma b
+      +. (a *. log x) +. (b *. log (1. -. x))
+    in
+    let front = exp lbeta in
+    if x < (a +. 1.) /. (a +. b +. 2.) then front *. betacf a b x /. a
+    else 1. -. (exp lbeta *. betacf b a (1. -. x) /. b)
+  end
+
+and betacf a b x =
+  let max_iter = 200 and eps = 3e-12 and fpmin = 1e-300 in
+  let qab = a +. b and qap = a +. 1. and qam = a -. 1. in
+  let c = ref 1. in
+  let d = ref (1. -. (qab *. x /. qap)) in
+  if Float.abs !d < fpmin then d := fpmin;
+  d := 1. /. !d;
+  let h = ref !d in
+  (try
+     for m = 1 to max_iter do
+       let fm = float_of_int m in
+       let m2 = 2. *. fm in
+       (* even step *)
+       let aa = fm *. (b -. fm) *. x /. ((qam +. m2) *. (a +. m2)) in
+       d := 1. +. (aa *. !d);
+       if Float.abs !d < fpmin then d := fpmin;
+       c := 1. +. (aa /. !c);
+       if Float.abs !c < fpmin then c := fpmin;
+       d := 1. /. !d;
+       h := !h *. !d *. !c;
+       (* odd step *)
+       let aa = -.(a +. fm) *. (qab +. fm) *. x /. ((a +. m2) *. (qap +. m2)) in
+       d := 1. +. (aa *. !d);
+       if Float.abs !d < fpmin then d := fpmin;
+       c := 1. +. (aa /. !c);
+       if Float.abs !c < fpmin then c := fpmin;
+       d := 1. /. !d;
+       let del = !d *. !c in
+       h := !h *. del;
+       if Float.abs (del -. 1.) < eps then raise Exit
+     done
+   with Exit -> ());
+  !h
+
+(* Lanczos approximation. *)
+and log_gamma x =
+  let cof =
+    [|
+      76.18009172947146;
+      -86.50532032941677;
+      24.01409824083091;
+      -1.231739572450155;
+      0.1208650973866179e-2;
+      -0.5395239384953e-5;
+    |]
+  in
+  let y = ref x in
+  let tmp = x +. 5.5 in
+  let tmp = tmp -. ((x +. 0.5) *. log tmp) in
+  let ser = ref 1.000000000190015 in
+  Array.iter
+    (fun c ->
+      y := !y +. 1.;
+      ser := !ser +. (c /. !y))
+    cof;
+  -.tmp +. log (2.5066282746310005 *. !ser /. x)
+
+let p_value ~r ~n =
+  if n <= 2 then 1.
+  else begin
+    let r = Float.min 0.999999999 (Float.max (-0.999999999) r) in
+    let df = float_of_int (n - 2) in
+    let t = r *. sqrt (df /. (1. -. (r *. r))) in
+    (* two-tailed p = I_{df/(df+t^2)}(df/2, 1/2) *)
+    betai (df /. 2.) 0.5 (df /. (df +. (t *. t)))
+  end
+
+let correlate xs ys =
+  let rv = r xs ys in
+  (rv, p_value ~r:rv ~n:(Array.length xs))

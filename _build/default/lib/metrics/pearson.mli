@@ -1,0 +1,13 @@
+(** Pearson product-moment correlation with two-tailed significance, used
+    for the study's Figure 3 heatmap. *)
+
+val r : float array -> float array -> float
+(** Correlation coefficient; 0 for degenerate inputs (constant vectors or
+    length < 2).  Raises [Invalid_argument] on length mismatch. *)
+
+val p_value : r:float -> n:int -> float
+(** Two-tailed p-value of the null hypothesis r = 0, via the exact
+    t-distribution CDF (regularised incomplete beta). *)
+
+val correlate : float array -> float array -> float * float
+(** [(r, p)] in one call. *)

@@ -1,0 +1,37 @@
+(** The Repair (REP) metric: command-outcome equisatisfiability against the
+    ground truth, exactly as defined in the study — every command of the
+    ground-truth specification is executed (via the analyzer) against both
+    the ground truth and the proposed fix; REP is 1 iff all outcomes agree.
+
+    A proposed fix that fails to type-check, lacks a predicate or assertion
+    named by a ground-truth command, or drives the analyzer to an Unknown
+    outcome scores 0. *)
+
+module Alloy = Specrepair_alloy
+
+val rep :
+  ?max_conflicts:int ->
+  ground_truth:Alloy.Ast.spec ->
+  candidate:Alloy.Ast.spec ->
+  unit ->
+  bool
+
+val rep_score :
+  ?max_conflicts:int ->
+  ground_truth:Alloy.Ast.spec ->
+  candidate:Alloy.Ast.spec ->
+  unit ->
+  int
+(** 1 / 0 form used in the tables. *)
+
+val equivalent_constraints :
+  ?max_conflicts:int ->
+  scope:Specrepair_solver.Bounds.scope ->
+  ground_truth:Alloy.Ast.spec ->
+  candidate:Alloy.Ast.spec ->
+  unit ->
+  bool option
+(** A stronger check than the paper's REP (provided as an extension): are
+    the fact conjunctions of the two specs equivalent within the scope?
+    Requires identical signature/field declarations; [None] when they
+    differ or when the analyzer is inconclusive. *)

@@ -1,0 +1,1 @@
+lib/mutation/location.ml: List Printf Specrepair_alloy String

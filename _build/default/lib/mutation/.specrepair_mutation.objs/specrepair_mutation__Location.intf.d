@@ -1,0 +1,1 @@
+lib/mutation/location.mli: Specrepair_alloy

@@ -1,0 +1,1 @@
+lib/mutation/mutate.ml: Format List Location Pool Specrepair_alloy

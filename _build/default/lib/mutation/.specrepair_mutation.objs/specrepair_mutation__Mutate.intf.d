@@ -1,0 +1,1 @@
+lib/mutation/mutate.mli: Format Location Specrepair_alloy

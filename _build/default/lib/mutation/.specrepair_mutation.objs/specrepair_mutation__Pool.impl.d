@@ -1,0 +1,1 @@
+lib/mutation/pool.ml: Hashtbl List Specrepair_alloy

@@ -1,0 +1,1 @@
+lib/mutation/pool.mli: Specrepair_alloy

@@ -1,0 +1,200 @@
+module Alloy = Specrepair_alloy
+module Ast = Specrepair_alloy.Ast
+open Ast
+
+type t = {
+  site : Location.site;
+  path : Location.path;
+  replacement : Location.node;
+  op : string;
+}
+
+let pp ppf m =
+  let repl =
+    match m.replacement with
+    | Location.F f -> Alloy.Pretty.fmla_to_string f
+    | Location.E e -> Alloy.Pretty.expr_to_string e
+  in
+  Format.fprintf ppf "%s at %s[%s]: %s" m.op
+    (Location.site_to_string m.site)
+    (Location.path_to_string m.path)
+    repl
+
+let apply spec m =
+  let body = Location.body spec m.site in
+  Location.with_body spec m.site (Location.replace body m.path m.replacement)
+
+let binop_swaps = function
+  | Union -> [ Diff; Inter ]
+  | Diff -> [ Union; Inter ]
+  | Inter -> [ Union; Diff ]
+  | Override -> [ Union ]
+  | Join | Product | Domrestr | Ranrestr -> []
+
+let cmpop_swaps = function
+  | Cin -> [ Ceq; Cnotin ]
+  | Cnotin -> [ Cin; Cneq ]
+  | Ceq -> [ Cin; Cneq ]
+  | Cneq -> [ Ceq; Cnotin ]
+
+let fmult_swaps = function
+  | Fno -> [ Fsome; Flone ]
+  | Fsome -> [ Fno; Fone; Flone ]
+  | Flone -> [ Fone; Fsome; Fno ]
+  | Fone -> [ Flone; Fsome ]
+
+let quant_swaps = function
+  | Qall -> [ Qsome; Qno; Qone ]
+  | Qsome -> [ Qall; Qno; Qone ]
+  | Qno -> [ Qsome; Qall; Qlone ]
+  | Qlone -> [ Qone; Qall ]
+  | Qone -> [ Qlone; Qsome; Qall ]
+
+let intcmp_swaps = function
+  | Ilt -> [ Ile; Igt ]
+  | Ile -> [ Ilt; Ige; Ieq ]
+  | Ieq -> [ Ineq; Ile; Ige ]
+  | Ineq -> [ Ieq ]
+  | Ige -> [ Igt; Ile; Ieq ]
+  | Igt -> [ Ige; Ilt ]
+
+(* Mutations of an expression node. *)
+let expr_mutations env vars e ~with_pool =
+  let arity_of e =
+    match Alloy.Typecheck.expr_arity env vars e with
+    | a -> Some a
+    | exception Alloy.Typecheck.Type_error _ -> None
+  in
+  let structural =
+    match e with
+    | Binop (op, a, b) ->
+        List.map (fun op' -> ("binop-swap", Binop (op', a, b))) (binop_swaps op)
+        @ (match op with
+          | Union | Diff | Inter ->
+              [ ("operand-drop", a); ("operand-drop", b) ]
+          | Join | Product | Override | Domrestr | Ranrestr -> [])
+        @
+        (match op with
+        | Product when arity_of a = arity_of b ->
+            [ ("operand-swap", Binop (op, b, a)) ]
+        | _ -> [])
+    | Unop (Closure, inner) ->
+        [ ("closure-swap", Unop (Rclosure, inner)); ("closure-drop", inner) ]
+    | Unop (Rclosure, inner) ->
+        [ ("closure-swap", Unop (Closure, inner)); ("closure-drop", inner) ]
+    | Unop (Transpose, inner) -> [ ("transpose-drop", inner) ]
+    | Rel _ | Univ | Iden | None_ | Ite _ -> []
+    | Compr (decls, body) ->
+        (* comprehension body quantifier-polarity flips *)
+        [ ("compr-negate", Compr (decls, Not body)) ]
+  in
+  let unary_additions =
+    match arity_of e with
+    | Some 2 -> (
+        match e with
+        | Unop _ -> []
+        | _ ->
+            [
+              ("closure-add", Unop (Closure, e));
+              ("transpose-add", Unop (Transpose, e));
+            ])
+    | _ -> []
+  in
+  let pool_replacements =
+    match arity_of e with
+    | Some a ->
+        let depth = if with_pool then 2 else 1 in
+        let limit = if with_pool then 60 else 15 in
+        Pool.exprs env ~vars ~arity:a ~depth ~limit ()
+        |> List.filter (fun e' -> e' <> e)
+        |> List.map (fun e' -> ("expr-replace", e'))
+    | None -> []
+  in
+  structural @ unary_additions @ pool_replacements
+
+(* Mutations of a formula node. *)
+let fmla_mutations env vars f ~with_pool =
+  let structural =
+    match f with
+    | Cmp (op, a, b) ->
+        List.map (fun op' -> ("cmpop-swap", Cmp (op', a, b))) (cmpop_swaps op)
+        @ [ ("cmp-operand-swap", Cmp (op, b, a)) ]
+    | Multf (m, e) ->
+        List.map (fun m' -> ("fmult-swap", Multf (m', e))) (fmult_swaps m)
+    | Card (op, e, k) ->
+        List.map (fun op' -> ("intcmp-swap", Card (op', e, k))) (intcmp_swaps op)
+        @ (("card-bump", Card (op, e, k + 1))
+          :: (if k > 0 then [ ("card-bump", Card (op, e, k - 1)) ] else []))
+    | Not g -> [ ("negation-drop", g) ]
+    | And (a, b) ->
+        [
+          ("junct-drop", a);
+          ("junct-drop", b);
+          ("connective-swap", Or (a, b));
+          ("connective-swap", Implies (a, b));
+        ]
+    | Or (a, b) ->
+        [
+          ("junct-drop", a);
+          ("junct-drop", b);
+          ("connective-swap", And (a, b));
+          ("connective-swap", Implies (a, b));
+        ]
+    | Implies (a, b) ->
+        [
+          ("connective-swap", And (a, b));
+          ("connective-swap", Or (a, b));
+          ("connective-swap", Iff (a, b));
+          ("implies-flip", Implies (b, a));
+          ("implies-drop-lhs", b);
+        ]
+    | Iff (a, b) ->
+        [ ("connective-swap", Implies (a, b)); ("connective-swap", And (a, b)) ]
+    | Quant (q, decls, body) ->
+        List.map (fun q' -> ("quant-swap", Quant (q', decls, body))) (quant_swaps q)
+    | True | False | Call _ | Let _ -> []
+  in
+  let negation_add =
+    match f with Not _ -> [] | _ -> [ ("negation-add", Not f) ]
+  in
+  let pool_juncts =
+    if not with_pool then []
+    else
+      Pool.atomic_fmlas env ~vars ~limit:40 ()
+      |> List.concat_map (fun atom ->
+             [
+               ("junct-add-and", And (f, atom));
+               ("junct-add-or", Or (f, atom));
+             ])
+  in
+  structural @ negation_add @ pool_juncts
+
+let mutations_at env spec site path ?(with_pool = false) () =
+  let node = Location.get (Location.body spec site) path in
+  let vars = Location.vars_at env spec site path in
+  let results =
+    match node with
+    | Location.F f ->
+        List.map
+          (fun (op, f') -> { site; path; replacement = Location.F f'; op })
+          (fmla_mutations env vars f ~with_pool)
+    | Location.E e ->
+        List.map
+          (fun (op, e') -> { site; path; replacement = Location.E e'; op })
+          (expr_mutations env vars e ~with_pool)
+  in
+  (* drop no-op mutations *)
+  List.filter (fun m -> m.replacement <> node) results
+
+let all_mutations env spec ?sites ?(with_pool = false) () =
+  let sites = match sites with Some s -> s | None -> Location.sites spec in
+  List.concat_map
+    (fun site ->
+      let body = Location.body spec site in
+      List.concat_map
+        (fun (path, _) -> mutations_at env spec site path ~with_pool ())
+        (Location.subnodes body))
+    sites
+
+let well_typed _env spec =
+  match Alloy.Typecheck.check_result spec with Ok _ -> true | Error _ -> false

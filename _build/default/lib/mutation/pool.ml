@@ -1,0 +1,136 @@
+module Alloy = Specrepair_alloy
+module Ast = Specrepair_alloy.Ast
+
+let take n xs =
+  let rec go n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: rest -> x :: go (n - 1) rest
+  in
+  go n xs
+
+(* Vocabulary of named relations with their arities: variables first (they
+   make the most local repairs), then signatures, then fields. *)
+let vocabulary (env : Alloy.Typecheck.env) vars =
+  let sigs = List.map (fun s -> (s.Ast.sig_name, 1)) env.spec.sigs in
+  let fields =
+    List.concat_map
+      (fun (s : Ast.sig_decl) ->
+        List.map
+          (fun (f : Ast.field) -> (f.Ast.fld_name, 1 + List.length f.fld_cols))
+          s.sig_fields)
+      env.spec.sigs
+  in
+  vars @ sigs @ fields
+
+let rec level env vocab vars n =
+  if n <= 1 then
+    List.filter_map
+      (fun (name, _a) -> Some (Ast.Rel name))
+      vocab
+    @ [ Ast.Univ; Ast.Iden; Ast.None_ ]
+  else
+    let below = level env vocab vars (n - 1) in
+    let smaller = level env vocab vars 1 in
+    let arity_of e =
+      match Alloy.Typecheck.expr_arity env vars e with
+      | a -> Some a
+      | exception Alloy.Typecheck.Type_error _ -> None
+    in
+    let joins =
+      List.concat_map
+        (fun a ->
+          List.filter_map
+            (fun b ->
+              match (arity_of a, arity_of b) with
+              | Some aa, Some ab when aa + ab - 2 >= 1 ->
+                  Some (Ast.Binop (Join, a, b))
+              | _ -> None)
+            smaller)
+        below
+    in
+    let setops =
+      List.concat_map
+        (fun a ->
+          List.concat_map
+            (fun b ->
+              match (arity_of a, arity_of b) with
+              | Some aa, Some ab when aa = ab ->
+                  [
+                    Ast.Binop (Union, a, b);
+                    Ast.Binop (Diff, a, b);
+                    Ast.Binop (Inter, a, b);
+                  ]
+              | _ -> [])
+            smaller)
+        below
+    in
+    let unops =
+      List.filter_map
+        (fun e ->
+          match arity_of e with
+          | Some 2 -> Some (Ast.Unop (Closure, e))
+          | _ -> None)
+        below
+      @ List.filter_map
+          (fun e ->
+            match arity_of e with
+            | Some 2 -> Some (Ast.Unop (Transpose, e))
+            | _ -> None)
+          below
+    in
+    below @ joins @ unops @ setops
+
+let exprs env ~vars ~arity ~depth ?(limit = 200) () =
+  let vocab = vocabulary env vars in
+  let candidates = level env vocab vars depth in
+  let arity_of e =
+    match Alloy.Typecheck.expr_arity env vars e with
+    | a -> Some a
+    | exception Alloy.Typecheck.Type_error _ -> None
+  in
+  let matching = List.filter (fun e -> arity_of e = Some arity) candidates in
+  (* stable dedup preserving enumeration order *)
+  let seen = Hashtbl.create 64 in
+  let deduped =
+    List.filter
+      (fun e ->
+        if Hashtbl.mem seen e then false
+        else begin
+          Hashtbl.add seen e ();
+          true
+        end)
+      matching
+  in
+  take limit deduped
+
+let atomic_fmlas env ~vars ?(limit = 300) () =
+  let pool1 = exprs env ~vars ~arity:1 ~depth:2 ~limit:40 () in
+  let pool2 = exprs env ~vars ~arity:2 ~depth:2 ~limit:30 () in
+  let mults =
+    List.concat_map
+      (fun e ->
+        [
+          Ast.Multf (Fsome, e);
+          Ast.Multf (Fno, e);
+          Ast.Multf (Fone, e);
+          Ast.Multf (Flone, e);
+        ])
+      (take 15 pool1 @ take 10 pool2)
+  in
+  let cmps pool =
+    List.concat_map
+      (fun a ->
+        List.concat_map
+          (fun b ->
+            if a = b then []
+            else
+              [
+                Ast.Cmp (Cin, a, b);
+                Ast.Cmp (Ceq, a, b);
+                Ast.Cmp (Cnotin, a, b);
+              ])
+          (take 14 pool))
+      (take 14 pool)
+  in
+  take limit (mults @ cmps pool1 @ cmps pool2)

@@ -1,0 +1,30 @@
+(** Typed synthesis of candidate expressions and atomic formulas.
+
+    The pool enumerates, deterministically and in increasing size, the
+    well-typed expressions of a requested arity over the specification's
+    vocabulary (signatures, fields, variables in scope) up to a small depth.
+    It feeds replacement-based mutation operators, ATR's repair templates,
+    and the simulated LLM's edit proposals. *)
+
+module Ast = Specrepair_alloy.Ast
+
+val exprs :
+  Specrepair_alloy.Typecheck.env ->
+  vars:(string * int) list ->
+  arity:int ->
+  depth:int ->
+  ?limit:int ->
+  unit ->
+  Ast.expr list
+(** Expressions of exactly [arity], nested at most [depth] operators deep
+    (depth 1 = bare names and constants).  At most [limit] (default 200)
+    results. *)
+
+val atomic_fmlas :
+  Specrepair_alloy.Typecheck.env ->
+  vars:(string * int) list ->
+  ?limit:int ->
+  unit ->
+  Ast.fmla list
+(** Atomic formulas (comparisons and multiplicity tests) over depth-2
+    expressions; the building blocks of strengthen/weaken templates. *)

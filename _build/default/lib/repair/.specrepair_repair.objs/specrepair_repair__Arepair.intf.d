@@ -1,0 +1,1 @@
+lib/repair/arepair.mli: Common Specrepair_alloy Specrepair_aunit

@@ -1,0 +1,1 @@
+lib/repair/atr.ml: Common List Specrepair_alloy Specrepair_faultloc Specrepair_mutation Specrepair_solver

@@ -1,0 +1,1 @@
+lib/repair/atr.mli: Common Specrepair_alloy

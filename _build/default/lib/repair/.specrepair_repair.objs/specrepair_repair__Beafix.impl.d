@@ -1,0 +1,1 @@
+lib/repair/beafix.ml: Array Common Hashtbl List Specrepair_alloy Specrepair_faultloc Specrepair_mutation Specrepair_solver

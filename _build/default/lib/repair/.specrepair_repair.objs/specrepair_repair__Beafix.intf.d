@@ -1,0 +1,1 @@
+lib/repair/beafix.mli: Common Specrepair_alloy

@@ -1,0 +1,1 @@
+lib/repair/common.ml: List Specrepair_alloy Specrepair_solver

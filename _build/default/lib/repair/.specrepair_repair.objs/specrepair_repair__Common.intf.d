@@ -1,0 +1,1 @@
+lib/repair/common.mli: Specrepair_alloy Specrepair_solver

@@ -1,0 +1,1 @@
+lib/repair/icebar.ml: Arepair Common List Printf Specrepair_alloy Specrepair_aunit

@@ -1,0 +1,1 @@
+lib/repair/icebar.mli: Common Specrepair_alloy Specrepair_aunit

@@ -1,0 +1,56 @@
+module Alloy = Specrepair_alloy
+module Aunit = Specrepair_aunit.Aunit
+module Mutation = Specrepair_mutation
+module Faultloc = Specrepair_faultloc.Faultloc
+
+let score env tests = List.length (Aunit.run_suite env tests).passing
+
+let repair ?(budget = Common.default_budget) (env0 : Alloy.Typecheck.env) tests
+    =
+  let n_tests = List.length tests in
+  let tried = ref 0 in
+  (* one greedy step: the candidate (from mutations at the most suspicious
+     locations) that passes the most tests, if it improves *)
+  let step (env : Alloy.Typecheck.env) current_score =
+    let locations = Faultloc.rank_by_tests env tests () in
+    let top =
+      List.filteri (fun i _ -> i < budget.locations) locations
+    in
+    let candidates =
+      List.concat_map
+        (fun (l : Faultloc.location) ->
+          Mutation.Mutate.mutations_at env env.spec l.site l.path
+            ~with_pool:budget.use_pool ())
+        top
+    in
+    List.fold_left
+      (fun best m ->
+        if !tried >= budget.max_candidates then best
+        else begin
+          incr tried;
+          match Common.env_of_spec (Mutation.Mutate.apply env.spec m) with
+          | None -> best
+          | Some env' ->
+              let s = score env' tests in
+              let best_score =
+                match best with Some (_, bs) -> bs | None -> current_score
+              in
+              if s > best_score then Some (env', s) else best
+        end)
+      None candidates
+  in
+  let rec loop env current_score depth =
+    if current_score = n_tests then
+      Common.result ~tool:"ARepair" ~repaired:true env.Alloy.Typecheck.spec
+        ~candidates:!tried ~iterations:depth
+    else if depth >= budget.max_depth || !tried >= budget.max_candidates then
+      Common.result ~tool:"ARepair" ~repaired:false env.Alloy.Typecheck.spec
+        ~candidates:!tried ~iterations:depth
+    else
+      match step env current_score with
+      | Some (env', s) -> loop env' s (depth + 1)
+      | None ->
+          Common.result ~tool:"ARepair" ~repaired:false env.Alloy.Typecheck.spec
+            ~candidates:!tried ~iterations:depth
+  in
+  loop env0 (score env0 tests) 0

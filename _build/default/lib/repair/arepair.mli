@@ -1,0 +1,18 @@
+(** ARepair-style test-driven repair (Wang, Sullivan, Khurshid, ASE'18).
+
+    Given a faulty specification and an AUnit test suite, localizes faults
+    from the failing tests, then greedily applies the single mutation that
+    maximises the number of passing tests, repeating until the suite passes
+    or the budget is exhausted.
+
+    Success means only that all tests pass — like the original tool, this
+    overfits when the suite undersamples the intended semantics, which is
+    exactly the behaviour the study measures. *)
+
+module Alloy = Specrepair_alloy
+
+val repair :
+  ?budget:Common.budget ->
+  Alloy.Typecheck.env ->
+  Specrepair_aunit.Aunit.test list ->
+  Common.result

@@ -1,0 +1,14 @@
+(** ATR-style template-based repair (Zheng et al., ISSTA'22).
+
+    Analyzes the difference between counterexamples and satisfying
+    instances of the violated assertions, instantiates repair templates
+    (strengthen with a conjunct, weaken with a disjunct, replace an atomic
+    constraint or subexpression) at the most discriminating locations, and
+    prunes the candidate space with both instance sets before verifying the
+    survivors with the analyzer: a candidate must invalidate every
+    counterexample while preserving every satisfying instance — the
+    PMaxSAT-flavoured consistency filter of the original tool. *)
+
+module Alloy = Specrepair_alloy
+
+val repair : ?budget:Common.budget -> Alloy.Typecheck.env -> Common.result

@@ -1,0 +1,220 @@
+module Alloy = Specrepair_alloy
+module Solver = Specrepair_solver
+module Ast = Alloy.Ast
+module Mutation = Specrepair_mutation
+module Faultloc = Specrepair_faultloc.Faultloc
+
+(* Admission of an instance as a counterexample of assertion [name]:
+   the facts hold and the assertion body does not. *)
+let admits_cex (env : Alloy.Typecheck.env) name inst =
+  match Ast.find_assert env.spec name with
+  | None -> false
+  | Some a -> (
+      match
+        Alloy.Eval.facts_hold env inst
+        && not (Alloy.Eval.fmla env inst [] a.assert_body)
+      with
+      | v -> v
+      | exception Alloy.Eval.Eval_error _ -> false)
+
+(* Does the candidate behave differently from the original on any collected
+   instance?  Candidates indistinguishable on every instance are pruned
+   (BeAFix's non-equivalence pruning, sample-based). *)
+let distinguishable env0 env' instances =
+  List.exists
+    (fun inst ->
+      let v0 =
+        match Alloy.Eval.facts_hold env0 inst with
+        | v -> v
+        | exception Alloy.Eval.Eval_error _ -> false
+      in
+      let v1 =
+        match Alloy.Eval.facts_hold env' inst with
+        | v -> v
+        | exception Alloy.Eval.Eval_error _ -> false
+      in
+      v0 <> v1
+      || List.exists
+           (fun (a : Ast.assert_decl) ->
+             let e0 =
+               match Alloy.Eval.fmla env0 inst [] a.assert_body with
+               | v -> v
+               | exception Alloy.Eval.Eval_error _ -> false
+             in
+             let e1 =
+               match
+                 Alloy.Eval.fmla env' inst []
+                   (match Ast.find_assert env'.Alloy.Typecheck.spec a.assert_name with
+                   | Some a' -> a'.assert_body
+                   | None -> a.assert_body)
+               with
+               | v -> v
+               | exception Alloy.Eval.Eval_error _ -> false
+             in
+             e0 <> e1)
+           env0.Alloy.Typecheck.spec.asserts)
+    instances
+
+let repair ?(budget = Common.default_budget) (env0 : Alloy.Typecheck.env) =
+  let max_conflicts = budget.max_conflicts in
+  if Common.oracle_passes ~max_conflicts env0 then
+    Common.result ~tool:"BeAFix" ~repaired:true env0.spec ~candidates:0
+      ~iterations:0
+  else begin
+    let failing = Common.failing_checks ~max_conflicts env0 in
+    let scope_of_cmd (c : Ast.command) = Solver.Bounds.scope_of_command c in
+    let cexs =
+      List.concat_map
+        (fun (c, name, _) ->
+          List.map
+            (fun i -> (name, i))
+            (Common.counterexamples_for ~limit:3 env0 name (scope_of_cmd c)))
+        failing
+    in
+    let witnesses =
+      List.concat_map
+        (fun (c, name, _) ->
+          Common.witnesses_for ~limit:3 env0 name (scope_of_cmd c))
+        failing
+    in
+    let all_instances = List.map snd cexs @ witnesses in
+    (* BeAFix performs no fault localization: it sweeps the marked
+       suspicious locations — here, every constraint — in textual order,
+       relying on pruning and the bounded-exhaustive sweep. *)
+    let locations =
+      Faultloc.candidate_locations env0.spec
+        ~sites:(Mutation.Location.sites env0.spec)
+      (* top-level constraint roots only: the sweep descends through each
+         subtree itself (see mutations_of_location) *)
+      |> List.filter (fun (_, path) -> path = [])
+    in
+    let top_locations =
+      List.filteri (fun i _ -> i < budget.locations) locations
+    in
+    let tried = ref 0 in
+    let verify env' =
+      Common.oracle_passes ~max_conflicts env'
+    in
+    (* candidate stream: depth 1 = single mutations at suspicious locations
+       (descending through every node of the suspicious subtree), depth 2 =
+       pairs across distinct locations *)
+    let mutations_of_location (site, path) =
+      let body = Mutation.Location.body env0.spec site in
+      let subtree_paths =
+        List.filter_map
+          (fun (p, _) ->
+            (* nodes within the suspicious subtree *)
+            let rec is_prefix xs ys =
+              match (xs, ys) with
+              | [], _ -> true
+              | x :: xs, y :: ys -> x = y && is_prefix xs ys
+              | _ -> false
+            in
+            if is_prefix path p then Some p else None)
+          (Mutation.Location.subnodes body)
+      in
+      List.concat_map
+        (fun p ->
+          Mutation.Mutate.mutations_at env0 env0.spec site p
+            ~with_pool:budget.use_pool ())
+        subtree_paths
+    in
+    let is_pool_op (m : Mutation.Mutate.t) =
+      match m.op with
+      | "expr-replace" | "junct-add-and" | "junct-add-or" -> true
+      | _ -> false
+    in
+    let depth1 =
+      (* overlapping suspicious subtrees would repeat locations; dedup *)
+      let seen = Hashtbl.create 64 in
+      List.concat_map mutations_of_location top_locations
+      |> List.filter (fun (m : Mutation.Mutate.t) ->
+             let key = (m.site, m.path, m.replacement) in
+             if Hashtbl.mem seen key then false
+             else begin
+               Hashtbl.add seen key ();
+               true
+             end)
+      (* cheap structural edits across every location before any
+         pool-synthesized replacement, so one pool-heavy location cannot
+         starve the rest of the budget *)
+      |> List.stable_sort (fun a b -> compare (is_pool_op a) (is_pool_op b))
+    in
+    let try_candidate spec' =
+      incr tried;
+      match Common.env_of_spec spec' with
+      | None -> None
+      | Some env' ->
+          (* pruning: must kill every known counterexample *)
+          let kills_cexs =
+            List.for_all (fun (name, i) -> not (admits_cex env' name i)) cexs
+          in
+          if not kills_cexs then None
+          else if
+            all_instances <> [] && not (distinguishable env0 env' all_instances)
+          then None
+          else if verify env' then Some spec'
+          else None
+    in
+    let rec search1 = function
+      | [] -> None
+      | m :: rest ->
+          if !tried >= budget.max_candidates then None
+          else begin
+            match try_candidate (Mutation.Mutate.apply env0.spec m) with
+            | Some s -> Some s
+            | None -> search1 rest
+          end
+    in
+    let result1 = search1 depth1 in
+    let result =
+      match result1 with
+      | Some s -> Some s
+      | None when budget.max_depth >= 2 ->
+          (* Depth 2: compose pairs of mutations at distinct locations.
+             Enumerate by anti-diagonals (wavefront) so pairs of two
+             early-ranked mutations are tried long before pairs involving a
+             late one — a plain nested loop would spend the whole budget on
+             pairs anchored at index 0. *)
+          let ms =
+            Array.of_list (List.filteri (fun i _ -> i < 150) depth1)
+          in
+          let n = Array.length ms in
+          let found = ref None in
+          (try
+             for s = 1 to (2 * n) - 3 do
+               for i = max 0 (s - n + 1) to (s - 1) / 2 do
+                 let j = s - i in
+                 if j > i && j < n then begin
+                   let m1 = ms.(i) and m2 = ms.(j) in
+                   if (m1.Mutation.Mutate.site, m1.path) <> (m2.site, m2.path)
+                   then begin
+                     if !tried >= budget.max_candidates then raise Exit;
+                     match
+                       Mutation.Mutate.apply
+                         (Mutation.Mutate.apply env0.spec m1)
+                         m2
+                     with
+                     | spec' -> (
+                         match try_candidate spec' with
+                         | Some s ->
+                             found := Some s;
+                             raise Exit
+                         | None -> ())
+                     | exception _ -> ()
+                   end
+                 end
+               done
+             done
+           with Exit -> ());
+          !found
+      | None -> None
+    in
+    match result with
+    | Some s ->
+        Common.result ~tool:"BeAFix" ~repaired:true s ~candidates:!tried
+          ~iterations:1
+    | None ->
+        Common.result ~tool:"BeAFix" ~repaired:false env0.spec
+          ~candidates:!tried ~iterations:1
+  end

@@ -1,0 +1,14 @@
+(** BeAFix-style bounded-exhaustive repair (Gutiérrez Brida et al.,
+    ICSE'21).
+
+    Explores all mutations of the suspicious locations up to a small
+    composition depth, pruning candidates that (a) no longer type-check,
+    (b) fail to invalidate the known counterexamples, or (c) are
+    indistinguishable from the faulty spec on every collected instance
+    (and therefore cannot change any verdict).  Surviving candidates are
+    verified against the property oracle — the spec's own check and run
+    commands — with the analyzer; no tests are needed. *)
+
+module Alloy = Specrepair_alloy
+
+val repair : ?budget:Common.budget -> Alloy.Typecheck.env -> Common.result

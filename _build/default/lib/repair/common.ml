@@ -1,0 +1,79 @@
+module Alloy = Specrepair_alloy
+module Solver = Specrepair_solver
+module Ast = Alloy.Ast
+
+type budget = {
+  max_depth : int;
+  max_candidates : int;
+  max_iterations : int;
+  max_conflicts : int;
+  locations : int;
+  use_pool : bool;
+}
+
+let default_budget =
+  {
+    max_depth = 2;
+    max_candidates = 800;
+    max_iterations = 4;
+    max_conflicts = 20_000;
+    locations = 6;
+    use_pool = true;
+  }
+
+type result = {
+  tool : string;
+  repaired : bool;
+  final_spec : Alloy.Ast.spec;
+  candidates_tried : int;
+  iterations : int;
+}
+
+let result ~tool ~repaired final_spec ~candidates ~iterations =
+  { tool; repaired; final_spec; candidates_tried = candidates; iterations }
+
+let command_behaves ?max_conflicts (env : Alloy.Typecheck.env)
+    (c : Ast.command) =
+  match (c.cmd_kind, Solver.Analyzer.run_command ?max_conflicts env c) with
+  | Ast.Check _, Solver.Analyzer.Unsat -> true
+  | Ast.Check _, _ -> false
+  | (Ast.Run_pred _ | Ast.Run_fmla _), Solver.Analyzer.Sat _ -> true
+  | (Ast.Run_pred _ | Ast.Run_fmla _), _ -> false
+
+let oracle_passes ?max_conflicts (env : Alloy.Typecheck.env) =
+  List.for_all (command_behaves ?max_conflicts env) env.spec.commands
+
+let behaving_commands ?max_conflicts (env : Alloy.Typecheck.env) =
+  List.length
+    (List.filter (command_behaves ?max_conflicts env) env.spec.commands)
+
+let failing_checks ?max_conflicts (env : Alloy.Typecheck.env) =
+  List.filter_map
+    (fun (c : Ast.command) ->
+      match c.cmd_kind with
+      | Ast.Check name -> (
+          match Solver.Analyzer.run_command ?max_conflicts env c with
+          | Solver.Analyzer.Sat cex -> Some (c, name, cex)
+          | Solver.Analyzer.Unsat | Solver.Analyzer.Unknown -> None)
+      | Ast.Run_pred _ | Ast.Run_fmla _ -> None)
+    env.spec.commands
+
+let witnesses_for ?max_conflicts ?(limit = 4) (env : Alloy.Typecheck.env) name
+    scope =
+  ignore max_conflicts;
+  match Ast.find_assert env.spec name with
+  | None -> []
+  | Some a -> Solver.Analyzer.enumerate ~limit env scope a.assert_body
+
+let counterexamples_for ?max_conflicts ?(limit = 4) (env : Alloy.Typecheck.env)
+    name scope =
+  ignore max_conflicts;
+  match Ast.find_assert env.spec name with
+  | None -> []
+  | Some a ->
+      Solver.Analyzer.enumerate ~limit env scope (Ast.Not a.assert_body)
+
+let env_of_spec spec =
+  match Alloy.Typecheck.check_result spec with
+  | Ok env -> Some env
+  | Error _ -> None

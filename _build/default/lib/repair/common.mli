@@ -1,0 +1,66 @@
+(** Shared vocabulary of the repair engines: budgets, results, and the
+    property oracle (command conformance) they verify against. *)
+
+module Alloy = Specrepair_alloy
+
+type budget = {
+  max_depth : int;  (** greedy / composition depth *)
+  max_candidates : int;  (** candidates evaluated in one invocation *)
+  max_iterations : int;  (** outer refinement rounds (ICEBAR) *)
+  max_conflicts : int;  (** SAT conflict budget per analyzer call *)
+  locations : int;  (** suspicious locations explored *)
+  use_pool : bool;
+      (** may the search synthesize replacement expressions / added juncts?
+          ARepair's original space lacked them *)
+}
+
+val default_budget : budget
+
+type result = {
+  tool : string;
+  repaired : bool;  (** the tool's own oracle accepted the final spec *)
+  final_spec : Alloy.Ast.spec;  (** repaired spec, or best-effort candidate *)
+  candidates_tried : int;
+  iterations : int;
+}
+
+val result : tool:string -> repaired:bool -> Alloy.Ast.spec -> candidates:int -> iterations:int -> result
+
+val oracle_passes : ?max_conflicts:int -> Alloy.Typecheck.env -> bool
+(** The property oracle: every [check] command has no counterexample and
+    every [run] command is satisfiable.  [Unknown] counts as failure. *)
+
+val command_behaves :
+  ?max_conflicts:int -> Alloy.Typecheck.env -> Alloy.Ast.command -> bool
+
+val behaving_commands : ?max_conflicts:int -> Alloy.Typecheck.env -> int
+(** Number of commands that behave; the hill-climbing signal of iterative
+    repairers. *)
+
+val failing_checks :
+  ?max_conflicts:int ->
+  Alloy.Typecheck.env ->
+  (Alloy.Ast.command * string * Alloy.Instance.t) list
+(** Check commands that currently fail, with the assertion name and one
+    counterexample each. *)
+
+val witnesses_for :
+  ?max_conflicts:int ->
+  ?limit:int ->
+  Alloy.Typecheck.env ->
+  string ->
+  Specrepair_solver.Bounds.scope ->
+  Alloy.Instance.t list
+(** Instances satisfying the facts and the named assertion — the "valid
+    behaviours" a repair must preserve. *)
+
+val counterexamples_for :
+  ?max_conflicts:int ->
+  ?limit:int ->
+  Alloy.Typecheck.env ->
+  string ->
+  Specrepair_solver.Bounds.scope ->
+  Alloy.Instance.t list
+
+val env_of_spec : Alloy.Ast.spec -> Alloy.Typecheck.env option
+(** [check_result] as an option, for candidate filtering. *)

@@ -1,0 +1,51 @@
+module Alloy = Specrepair_alloy
+module Aunit = Specrepair_aunit.Aunit
+
+let repair ?(budget = Common.default_budget) (env0 : Alloy.Typecheck.env)
+    initial_tests =
+  let max_conflicts = budget.max_conflicts in
+  let tried = ref 0 in
+  let rec loop tests iter best =
+    if iter >= budget.max_iterations then
+      Common.result ~tool:"ICEBAR" ~repaired:false best ~candidates:!tried
+        ~iterations:iter
+    else begin
+      let inner =
+        Arepair.repair ~budget:{ budget with max_candidates = budget.max_candidates / budget.max_iterations } env0 tests
+      in
+      tried := !tried + inner.candidates_tried;
+      match Common.env_of_spec inner.final_spec with
+      | None ->
+          Common.result ~tool:"ICEBAR" ~repaired:false best ~candidates:!tried
+            ~iterations:iter
+      | Some env' ->
+          if Common.oracle_passes ~max_conflicts env' then
+            (* the candidate satisfies the property oracle *)
+            Common.result ~tool:"ICEBAR" ~repaired:true inner.final_spec
+              ~candidates:!tried ~iterations:(iter + 1)
+          else
+            let cexs = Common.failing_checks ~max_conflicts env' in
+            let new_tests =
+              List.mapi
+                (fun i (_, name, cex) ->
+                  Aunit.of_counterexample
+                    ~name:(Printf.sprintf "icebar_cex_%s_%d_%d" name iter i)
+                    cex)
+                cexs
+            in
+            if new_tests = [] then
+              (* no usable counterexamples (e.g. a run command fails):
+                 refinement cannot make progress *)
+              Common.result ~tool:"ICEBAR" ~repaired:false inner.final_spec
+                ~candidates:!tried ~iterations:(iter + 1)
+            else loop (tests @ new_tests) (iter + 1) inner.final_spec
+    end
+  in
+  (* seed the suite with counterexamples of the faulty spec itself *)
+  let seed =
+    List.mapi
+      (fun i (_, name, cex) ->
+        Aunit.of_counterexample ~name:(Printf.sprintf "icebar_seed_%s_%d" name i) cex)
+      (Common.failing_checks ~max_conflicts:budget.max_conflicts env0)
+  in
+  loop (initial_tests @ seed) 0 env0.spec

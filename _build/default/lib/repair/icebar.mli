@@ -1,0 +1,15 @@
+(** ICEBAR-style iterative counterexample-based repair (Gutiérrez Brida et
+    al., ASE'22).
+
+    Wraps {!Arepair} in a refinement loop with the specification's own
+    check commands as the property oracle: when an ARepair candidate passes
+    its tests but a check still fails, the counterexample is converted into
+    a new (negative) test and ARepair is re-run on the enriched suite. *)
+
+module Alloy = Specrepair_alloy
+
+val repair :
+  ?budget:Common.budget ->
+  Alloy.Typecheck.env ->
+  Specrepair_aunit.Aunit.test list ->
+  Common.result

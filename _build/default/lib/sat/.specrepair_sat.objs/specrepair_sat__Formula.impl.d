@@ -1,0 +1,1 @@
+lib/sat/formula.ml: Array Format Hashtbl Int List

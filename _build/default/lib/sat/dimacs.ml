@@ -1,0 +1,53 @@
+type cnf = { num_vars : int; clauses : Lit.t list list }
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let num_vars = ref 0 in
+  let clauses = ref [] in
+  let current = ref [] in
+  let header_seen = ref false in
+  let handle_token tok =
+    match int_of_string_opt tok with
+    | None -> failwith (Printf.sprintf "Dimacs.parse: bad token %S" tok)
+    | Some 0 ->
+        clauses := List.rev !current :: !clauses;
+        current := []
+    | Some i ->
+        let l = Lit.of_dimacs i in
+        if Lit.var l >= !num_vars then num_vars := Lit.var l + 1;
+        current := l :: !current
+  in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        header_seen := true;
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "p"; "cnf"; nv; _nc ] -> (
+            match int_of_string_opt nv with
+            | Some n -> num_vars := max !num_vars n
+            | None -> failwith "Dimacs.parse: bad header")
+        | _ -> failwith "Dimacs.parse: bad header"
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.filter (( <> ) "")
+        |> List.iter handle_token)
+    lines;
+  if not !header_seen then failwith "Dimacs.parse: missing p-line";
+  if !current <> [] then failwith "Dimacs.parse: clause not 0-terminated";
+  { num_vars = !num_vars; clauses = List.rev !clauses }
+
+let print ppf { num_vars; clauses } =
+  Format.fprintf ppf "p cnf %d %d@." num_vars (List.length clauses);
+  List.iter
+    (fun c ->
+      List.iter (fun l -> Format.fprintf ppf "%d " (Lit.to_dimacs l)) c;
+      Format.fprintf ppf "0@.")
+    clauses
+
+let load_into solver { num_vars; clauses } =
+  let missing = num_vars - Solver.n_vars solver in
+  if missing > 0 then ignore (Solver.new_vars solver missing);
+  List.iter (Solver.add_clause solver) clauses

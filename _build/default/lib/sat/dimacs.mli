@@ -1,0 +1,13 @@
+(** DIMACS CNF reading and writing, for interoperability and testing. *)
+
+type cnf = { num_vars : int; clauses : Lit.t list list }
+
+val parse : string -> cnf
+(** Parses DIMACS CNF text.  Raises [Failure] with a diagnostic on
+    malformed input. *)
+
+val print : Format.formatter -> cnf -> unit
+
+val load_into : Solver.t -> cnf -> unit
+(** Allocates the variables of [cnf] in the solver (those not already
+    present) and adds every clause. *)

@@ -1,0 +1,57 @@
+(** A CDCL SAT solver in the MiniSat lineage.
+
+    Features: two-watched-literal propagation, first-UIP conflict analysis
+    with clause learning, VSIDS variable activities with phase saving, Luby
+    restarts, and activity-driven deletion of learnt clauses.  The solver is
+    incremental: clauses may be added between [solve] calls and solving under
+    assumptions is supported, which is how the model finder enumerates
+    instances (blocking clauses) and the repair engines run equivalence
+    queries. *)
+
+type t
+
+type result = Sat | Unsat | Unknown
+(** [Unknown] is only returned when a conflict budget was given and
+    exhausted. *)
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocates a fresh variable and returns its index. *)
+
+val new_vars : t -> int -> int
+(** [new_vars s n] allocates [n] fresh variables, returning the first index;
+    the block is contiguous. *)
+
+val n_vars : t -> int
+
+val add_clause : t -> Lit.t list -> unit
+(** Adds a clause.  Tautologies are dropped; duplicate and already-falsified
+    (at level 0) literals are removed.  Adding an empty (or falsified unit)
+    clause makes the solver permanently unsatisfiable. *)
+
+val ok : t -> bool
+(** [false] once the clause set is known unsatisfiable at level 0. *)
+
+val solve : ?assumptions:Lit.t list -> ?max_conflicts:int -> t -> result
+(** Determines satisfiability of the current clause set, optionally under
+    [assumptions] (extra unit constraints local to this call) and within an
+    optional conflict budget. *)
+
+val value : t -> int -> bool
+(** Model value of a variable; meaningful only after [solve] returned
+    [Sat].  Unconstrained variables read as [false]. *)
+
+val lit_value : t -> Lit.t -> bool
+(** Model value of a literal after [Sat]. *)
+
+val model : t -> bool array
+(** Snapshot of the full model after [Sat]. *)
+
+(** {2 Statistics} *)
+
+val n_conflicts : t -> int
+val n_decisions : t -> int
+val n_propagations : t -> int
+val n_clauses : t -> int
+val n_learnts : t -> int

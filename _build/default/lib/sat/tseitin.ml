@@ -1,0 +1,58 @@
+type t = { solver : Solver.t; defs : Lit.t Formula.Phys_tbl.t }
+
+let create solver = { solver; defs = Formula.Phys_tbl.create 256 }
+
+let rec lit_of t (f : Formula.t) =
+  match f with
+  | True | False -> invalid_arg "Tseitin.lit_of: constant"
+  | Var v -> Lit.pos v
+  | Not g -> Lit.negate (lit_of t g)
+  | And _ | Or _ | Iff _ | Ite _ -> (
+      match Formula.Phys_tbl.find_opt t.defs f with
+      | Some l -> l
+      | None ->
+          let l = define t f in
+          Formula.Phys_tbl.add t.defs f l;
+          l)
+
+(* Introduce a definition variable [x] with clauses encoding x <=> f. *)
+and define t (f : Formula.t) =
+  let x = Lit.pos (Solver.new_var t.solver) in
+  let nx = Lit.negate x in
+  (match f with
+  | True | False | Var _ | Not _ -> assert false
+  | And fs ->
+      let ls = Array.map (lit_of t) fs in
+      Array.iter (fun l -> Solver.add_clause t.solver [ nx; l ]) ls;
+      Solver.add_clause t.solver
+        (x :: Array.to_list (Array.map Lit.negate ls))
+  | Or fs ->
+      let ls = Array.map (lit_of t) fs in
+      Array.iter (fun l -> Solver.add_clause t.solver [ x; Lit.negate l ]) ls;
+      Solver.add_clause t.solver (nx :: Array.to_list ls)
+  | Iff (a, b) ->
+      let la = lit_of t a and lb = lit_of t b in
+      let nla = Lit.negate la and nlb = Lit.negate lb in
+      Solver.add_clause t.solver [ nx; nla; lb ];
+      Solver.add_clause t.solver [ nx; la; nlb ];
+      Solver.add_clause t.solver [ x; la; lb ];
+      Solver.add_clause t.solver [ x; nla; nlb ]
+  | Ite (c, th, el) ->
+      let lc = lit_of t c and lt = lit_of t th and le = lit_of t el in
+      let nlc = Lit.negate lc and nlt = Lit.negate lt and nle = Lit.negate le in
+      Solver.add_clause t.solver [ nx; nlc; lt ];
+      Solver.add_clause t.solver [ nx; lc; le ];
+      Solver.add_clause t.solver [ x; nlc; nlt ];
+      Solver.add_clause t.solver [ x; lc; nle ]);
+  x
+
+let rec assert_formula t (f : Formula.t) =
+  match f with
+  | True -> ()
+  | False -> Solver.add_clause t.solver []
+  | And fs -> Array.iter (assert_formula t) fs
+  | Or fs ->
+      (* a top-level clause: clausify disjuncts to literals *)
+      let ls = Array.to_list (Array.map (lit_of t) fs) in
+      Solver.add_clause t.solver ls
+  | Var _ | Not _ | Iff _ | Ite _ -> Solver.add_clause t.solver [ lit_of t f ]

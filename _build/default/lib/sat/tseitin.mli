@@ -1,0 +1,22 @@
+(** Clausification of {!Formula.t} circuits into a {!Solver.t}.
+
+    Uses the Tseitin transformation with memoisation on physical identity,
+    so formula DAGs produced by the relational compiler translate to linearly
+    many clauses.  The top level is treated specially: asserting a
+    conjunction asserts each conjunct, and a top-level disjunction of
+    literals becomes a single clause, avoiding needless definition
+    variables. *)
+
+type t
+
+val create : Solver.t -> t
+(** A clausifier writing into the given solver.  [Formula.Var v] refers to
+    solver variable [v], which must already exist. *)
+
+val lit_of : t -> Formula.t -> Lit.t
+(** Returns a literal equivalent to the formula (introducing and defining a
+    fresh variable when needed).  Raises [Invalid_argument] on the constants
+    [True]/[False]; use {!assert_formula} for top-level constraints. *)
+
+val assert_formula : t -> Formula.t -> unit
+(** Adds clauses forcing the formula to hold. *)

@@ -1,0 +1,1 @@
+lib/solver/analyzer.ml: Bounds Hashtbl List Lit Printf Solver Specrepair_alloy Specrepair_sat Translate Tseitin

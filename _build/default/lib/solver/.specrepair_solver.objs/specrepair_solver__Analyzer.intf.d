@@ -1,0 +1,1 @@
+lib/solver/analyzer.mli: Bounds Specrepair_alloy

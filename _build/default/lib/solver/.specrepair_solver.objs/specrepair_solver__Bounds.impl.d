@@ -1,0 +1,1 @@
+lib/solver/bounds.ml: Array Formula Hashtbl List Lit Matrix Option Solver Specrepair_alloy Specrepair_sat String

@@ -1,0 +1,1 @@
+lib/solver/bounds.mli: Hashtbl Matrix Solver Specrepair_alloy Specrepair_sat

@@ -1,0 +1,1 @@
+lib/solver/matrix.ml: Array Card Formula Hashtbl List Map Option Specrepair_alloy Specrepair_sat

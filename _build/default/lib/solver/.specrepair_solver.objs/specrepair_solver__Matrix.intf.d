@@ -1,0 +1,1 @@
+lib/solver/matrix.mli: Formula Map Specrepair_alloy Specrepair_sat

@@ -1,0 +1,1 @@
+lib/solver/translate.ml: Array Bounds Card Format Formula List Matrix Specrepair_alloy Specrepair_sat

@@ -1,0 +1,1 @@
+lib/solver/translate.mli: Bounds Formula Matrix Specrepair_alloy Specrepair_sat

@@ -1,0 +1,76 @@
+open Specrepair_sat
+module Alloy = Specrepair_alloy
+module Ast = Alloy.Ast
+
+type outcome = Sat of Alloy.Instance.t | Unsat | Unknown
+
+let outcome_to_string = function
+  | Sat _ -> "sat"
+  | Unsat -> "unsat"
+  | Unknown -> "unknown"
+
+let default_scope = { Bounds.default = 3; overrides = [] }
+
+let setup env scope =
+  let solver = Solver.create () in
+  let bounds = Bounds.create solver env scope in
+  let ts = Tseitin.create solver in
+  (solver, bounds, ts)
+
+let solve_goal ?max_conflicts env scope goal_of_bounds =
+  let solver, bounds, ts = setup env scope in
+  Tseitin.assert_formula ts (Translate.spec_fmla bounds);
+  Tseitin.assert_formula ts (goal_of_bounds bounds);
+  match Solver.solve ?max_conflicts solver with
+  | Solver.Sat -> Sat (Bounds.extract bounds (Solver.value solver))
+  | Solver.Unsat -> Unsat
+  | Solver.Unknown -> Unknown
+
+let solve_fmla ?max_conflicts env scope f =
+  solve_goal ?max_conflicts env scope (fun bounds -> Translate.fmla bounds [] f)
+
+let run_pred ?max_conflicts env scope name =
+  match Ast.find_pred env.Alloy.Typecheck.spec name with
+  | None -> invalid_arg (Printf.sprintf "Analyzer.run_pred: unknown predicate %s" name)
+  | Some p ->
+      solve_goal ?max_conflicts env scope (fun bounds ->
+          Translate.pred_goal bounds p)
+
+let check_assert ?max_conflicts env scope name =
+  match Ast.find_assert env.Alloy.Typecheck.spec name with
+  | None ->
+      invalid_arg (Printf.sprintf "Analyzer.check_assert: unknown assertion %s" name)
+  | Some a -> solve_fmla ?max_conflicts env scope (Ast.Not a.assert_body)
+
+let run_command ?max_conflicts env (c : Ast.command) =
+  let scope = Bounds.scope_of_command c in
+  match c.cmd_kind with
+  | Ast.Run_pred name -> run_pred ?max_conflicts env scope name
+  | Ast.Run_fmla f -> solve_fmla ?max_conflicts env scope f
+  | Ast.Check name -> check_assert ?max_conflicts env scope name
+
+let enumerate ?(limit = 10) ?max_conflicts env scope f =
+  let solver, bounds, ts = setup env scope in
+  Tseitin.assert_formula ts (Translate.spec_fmla bounds);
+  Tseitin.assert_formula ts (Translate.fmla bounds [] f);
+  let all_primary_vars =
+    Hashtbl.fold
+      (fun _ cells acc -> List.map snd cells @ acc)
+      bounds.Bounds.rel_vars []
+  in
+  let rec loop acc n =
+    if n >= limit then List.rev acc
+    else
+      match Solver.solve ?max_conflicts solver with
+      | Solver.Sat ->
+          let inst = Bounds.extract bounds (Solver.value solver) in
+          let blocking =
+            List.map
+              (fun v -> Lit.make v (not (Solver.value solver v)))
+              all_primary_vars
+          in
+          Solver.add_clause solver blocking;
+          loop (inst :: acc) (n + 1)
+      | Solver.Unsat | Solver.Unknown -> List.rev acc
+  in
+  loop [] 0

@@ -1,0 +1,55 @@
+(** The analyzer: bounded model finding for Mini-Alloy, playing the role of
+    the Alloy Analyzer in the study.
+
+    [run] searches for an instance satisfying the facts plus a goal formula;
+    [check] searches for a counterexample of an assertion.  All searches are
+    bounded by the command scope and, optionally, a SAT conflict budget. *)
+
+module Alloy = Specrepair_alloy
+
+type outcome =
+  | Sat of Alloy.Instance.t  (** witness instance / counterexample *)
+  | Unsat
+  | Unknown  (** conflict budget exhausted *)
+
+val outcome_to_string : outcome -> string
+
+val solve_fmla :
+  ?max_conflicts:int ->
+  Alloy.Typecheck.env ->
+  Bounds.scope ->
+  Alloy.Ast.fmla ->
+  outcome
+(** Satisfiability of [facts /\ implicit /\ f] within the scope. *)
+
+val run_pred :
+  ?max_conflicts:int ->
+  Alloy.Typecheck.env ->
+  Bounds.scope ->
+  string ->
+  outcome
+(** [run p]: parameters are existentially quantified. *)
+
+val check_assert :
+  ?max_conflicts:int ->
+  Alloy.Typecheck.env ->
+  Bounds.scope ->
+  string ->
+  outcome
+(** [check a]: [Sat inst] means [inst] is a counterexample. *)
+
+val run_command :
+  ?max_conflicts:int -> Alloy.Typecheck.env -> Alloy.Ast.command -> outcome
+
+val enumerate :
+  ?limit:int ->
+  ?max_conflicts:int ->
+  Alloy.Typecheck.env ->
+  Bounds.scope ->
+  Alloy.Ast.fmla ->
+  Alloy.Instance.t list
+(** Up to [limit] (default 10) distinct instances of [facts /\ f], found by
+    adding blocking clauses over the primary variables. *)
+
+val default_scope : Bounds.scope
+(** Scope 3 with no overrides. *)

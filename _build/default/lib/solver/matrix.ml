@@ -1,0 +1,211 @@
+open Specrepair_sat
+module Tuple = Specrepair_alloy.Instance.Tuple
+module Tuple_map = Map.Make (Tuple)
+
+type t = { arity : int; cells : Formula.t Tuple_map.t }
+
+let empty arity = { arity; cells = Tuple_map.empty }
+
+let add_cell cells tuple f =
+  if Formula.is_false f then cells
+  else
+    Tuple_map.update tuple
+      (function None -> Some f | Some g -> Some (Formula.or2 g f))
+      cells
+
+let constant arity tuples =
+  {
+    arity;
+    cells =
+      List.fold_left
+        (fun m t -> Tuple_map.add t Formula.tru m)
+        Tuple_map.empty tuples;
+  }
+
+let singleton tuple =
+  { arity = Array.length tuple; cells = Tuple_map.singleton tuple Formula.tru }
+
+let of_cells arity cells =
+  {
+    arity;
+    cells = List.fold_left (fun m (t, f) -> add_cell m t f) Tuple_map.empty cells;
+  }
+
+let cell m tuple =
+  match Tuple_map.find_opt tuple m.cells with
+  | Some f -> f
+  | None -> Formula.fls
+
+let support m = Tuple_map.bindings m.cells
+
+let merge_with op a b =
+  Tuple_map.merge
+    (fun _ fa fb ->
+      let fa = Option.value ~default:Formula.fls fa in
+      let fb = Option.value ~default:Formula.fls fb in
+      let f = op fa fb in
+      if Formula.is_false f then None else Some f)
+    a b
+
+let union a b =
+  if a.arity <> b.arity then invalid_arg "Matrix.union: arity mismatch";
+  { arity = a.arity; cells = merge_with Formula.or2 a.cells b.cells }
+
+let inter a b =
+  if a.arity <> b.arity then invalid_arg "Matrix.inter: arity mismatch";
+  { arity = a.arity; cells = merge_with Formula.and2 a.cells b.cells }
+
+let diff a b =
+  if a.arity <> b.arity then invalid_arg "Matrix.diff: arity mismatch";
+  {
+    arity = a.arity;
+    cells =
+      merge_with (fun fa fb -> Formula.and2 fa (Formula.not_ fb)) a.cells b.cells;
+  }
+
+let head (t : Tuple.t) = t.(0)
+let last (t : Tuple.t) = t.(Array.length t - 1)
+
+let join_tuples (t1 : Tuple.t) (t2 : Tuple.t) =
+  let n1 = Array.length t1 and n2 = Array.length t2 in
+  let r = Array.make (n1 + n2 - 2) "" in
+  Array.blit t1 0 r 0 (n1 - 1);
+  Array.blit t2 1 r (n1 - 1) (n2 - 1);
+  r
+
+let join a b =
+  let arity = a.arity + b.arity - 2 in
+  if arity < 1 then invalid_arg "Matrix.join: resulting arity < 1";
+  (* index b's cells by head atom to avoid the quadratic scan *)
+  let by_head = Hashtbl.create 16 in
+  Tuple_map.iter
+    (fun t f ->
+      let h = head t in
+      Hashtbl.replace by_head h ((t, f) :: Option.value ~default:[] (Hashtbl.find_opt by_head h)))
+    b.cells;
+  let cells =
+    Tuple_map.fold
+      (fun t1 f1 acc ->
+        match Hashtbl.find_opt by_head (last t1) with
+        | None -> acc
+        | Some matches ->
+            List.fold_left
+              (fun acc (t2, f2) ->
+                add_cell acc (join_tuples t1 t2) (Formula.and2 f1 f2))
+              acc matches)
+      a.cells Tuple_map.empty
+  in
+  { arity; cells }
+
+let product a b =
+  let cells =
+    Tuple_map.fold
+      (fun t1 f1 acc ->
+        Tuple_map.fold
+          (fun t2 f2 acc ->
+            add_cell acc (Array.append t1 t2) (Formula.and2 f1 f2))
+          b.cells acc)
+      a.cells Tuple_map.empty
+  in
+  { arity = a.arity + b.arity; cells }
+
+let transpose a =
+  if a.arity <> 2 then invalid_arg "Matrix.transpose: arity must be 2";
+  {
+    arity = 2;
+    cells =
+      Tuple_map.fold
+        (fun t f acc -> add_cell acc [| t.(1); t.(0) |] f)
+        a.cells Tuple_map.empty;
+  }
+
+let closure a =
+  if a.arity <> 2 then invalid_arg "Matrix.closure: arity must be 2";
+  (* Path doubling: after k rounds the matrix covers paths of length up to
+     2^k.  Simple paths never exceed the number of distinct atoms, so
+     iterate until that bound — support stability alone is NOT a correct
+     stopping criterion, because cell formulas keep strengthening after the
+     support saturates. *)
+  let atoms = Hashtbl.create 16 in
+  Tuple_map.iter
+    (fun t _ -> Array.iter (fun a -> Hashtbl.replace atoms a ()) t)
+    a.cells;
+  let n_atoms = max 1 (Hashtbl.length atoms) in
+  let rec go acc len =
+    if len >= n_atoms then acc else go (union acc (join acc acc)) (2 * len)
+  in
+  go a 1
+
+let override a b =
+  if a.arity <> b.arity then invalid_arg "Matrix.override: arity mismatch";
+  if a.arity < 2 then invalid_arg "Matrix.override: arity must be >= 2";
+  (* group b's cells by head: a tuple of a survives if no b tuple shares its
+     head atom *)
+  let by_head = Hashtbl.create 16 in
+  Tuple_map.iter
+    (fun t f ->
+      let h = head t in
+      Hashtbl.replace by_head h
+        (f :: Option.value ~default:[] (Hashtbl.find_opt by_head h)))
+    b.cells;
+  let kept =
+    Tuple_map.fold
+      (fun t f acc ->
+        let overridden =
+          match Hashtbl.find_opt by_head (head t) with
+          | None -> Formula.fls
+          | Some fs -> Formula.or_ fs
+        in
+        add_cell acc t (Formula.and2 f (Formula.not_ overridden)))
+      a.cells Tuple_map.empty
+  in
+  { arity = a.arity; cells = merge_with Formula.or2 kept b.cells }
+
+let dom_restrict s e =
+  if s.arity <> 1 then invalid_arg "Matrix.dom_restrict: set must be unary";
+  {
+    arity = e.arity;
+    cells =
+      Tuple_map.fold
+        (fun t f acc ->
+          let guard = cell s [| head t |] in
+          add_cell acc t (Formula.and2 f guard))
+        e.cells Tuple_map.empty;
+  }
+
+let ran_restrict e s =
+  if s.arity <> 1 then invalid_arg "Matrix.ran_restrict: set must be unary";
+  {
+    arity = e.arity;
+    cells =
+      Tuple_map.fold
+        (fun t f acc ->
+          let guard = cell s [| last t |] in
+          add_cell acc t (Formula.and2 f guard))
+        e.cells Tuple_map.empty;
+  }
+
+let ite c a b =
+  if a.arity <> b.arity then invalid_arg "Matrix.ite: arity mismatch";
+  {
+    arity = a.arity;
+    cells = merge_with (fun fa fb -> Formula.ite c fa fb) a.cells b.cells;
+  }
+
+let formulas m = List.map snd (Tuple_map.bindings m.cells)
+
+let some m = Formula.or_ (formulas m)
+let no m = Formula.not_ (some m)
+let lone m = Card.at_most 1 (formulas m)
+let one m = Card.exactly 1 (formulas m)
+
+let subset a b =
+  if a.arity <> b.arity then invalid_arg "Matrix.subset: arity mismatch";
+  Formula.and_
+    (Tuple_map.fold
+       (fun t f acc -> Formula.imp f (cell b t) :: acc)
+       a.cells [])
+
+let equal a b = Formula.and2 (subset a b) (subset b a)
+
+let card_compare op m k = Card.compare_const op (formulas m) k

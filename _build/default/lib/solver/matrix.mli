@@ -1,0 +1,53 @@
+(** Boolean matrices: relations whose tuple membership is a boolean formula
+    over SAT variables (the Kodkod translation scheme).
+
+    A matrix maps tuples to {!Specrepair_sat.Formula.t}; tuples absent from
+    the map are definitely not in the relation.  All relational operators of
+    Mini-Alloy are implemented pointwise on these matrices; comparison and
+    multiplicity operators produce formulas. *)
+
+open Specrepair_sat
+module Tuple = Specrepair_alloy.Instance.Tuple
+
+module Tuple_map : Map.S with type key = Tuple.t
+
+type t = { arity : int; cells : Formula.t Tuple_map.t }
+
+val empty : int -> t
+val constant : int -> Tuple.t list -> t
+(** Matrix with [tru] at each listed tuple. *)
+
+val singleton : Tuple.t -> t
+val of_cells : int -> (Tuple.t * Formula.t) list -> t
+(** Duplicated tuples are combined with disjunction; false cells dropped. *)
+
+val cell : t -> Tuple.t -> Formula.t
+val support : t -> (Tuple.t * Formula.t) list
+(** Non-false cells in tuple order. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val join : t -> t -> t
+val product : t -> t -> t
+val transpose : t -> t
+val closure : t -> t
+(** Transitive closure by path doubling; requires arity 2. *)
+
+val override : t -> t -> t
+val dom_restrict : t -> t -> t
+(** [dom_restrict s e]: tuples of [e] whose head is in the set [s]. *)
+
+val ran_restrict : t -> t -> t
+
+val ite : Formula.t -> t -> t -> t
+(** Pointwise conditional. *)
+
+val some : t -> Formula.t
+val no : t -> Formula.t
+val lone : t -> Formula.t
+val one : t -> Formula.t
+val subset : t -> t -> Formula.t
+val equal : t -> t -> Formula.t
+val card_compare :
+  [ `Lt | `Le | `Eq | `Ne | `Ge | `Gt ] -> t -> int -> Formula.t

@@ -1,0 +1,206 @@
+open Specrepair_sat
+module Alloy = Specrepair_alloy
+module Ast = Alloy.Ast
+
+exception Translate_error of string
+
+type var_env = (string * Matrix.t) list
+
+let err fmt = Format.kasprintf (fun m -> raise (Translate_error m)) fmt
+
+let rec expr bounds (vars : var_env) (e : Ast.expr) =
+  match e with
+  | Ast.Rel name -> (
+      match List.assoc_opt name vars with
+      | Some m -> m
+      | None -> (
+          try Bounds.relation bounds name
+          with Not_found -> (
+            match Ast.find_fun bounds.Bounds.env.spec name with
+            | Some f -> derived_relation bounds f
+            | None -> err "unknown relation %s" name)))
+  | Ast.Univ -> bounds.Bounds.univ_matrix
+  | Ast.Iden -> bounds.Bounds.iden_matrix
+  | Ast.None_ -> Matrix.empty 1
+  | Ast.Unop (Transpose, e) -> Matrix.transpose (expr bounds vars e)
+  | Ast.Unop (Closure, e) -> Matrix.closure (expr bounds vars e)
+  | Ast.Unop (Rclosure, e) ->
+      Matrix.union (Matrix.closure (expr bounds vars e)) bounds.Bounds.iden_matrix
+  | Ast.Binop (Join, a, b) -> Matrix.join (expr bounds vars a) (expr bounds vars b)
+  | Ast.Binop (Product, a, b) ->
+      Matrix.product (expr bounds vars a) (expr bounds vars b)
+  | Ast.Binop (Union, a, b) ->
+      Matrix.union (expr bounds vars a) (expr bounds vars b)
+  | Ast.Binop (Diff, a, b) -> Matrix.diff (expr bounds vars a) (expr bounds vars b)
+  | Ast.Binop (Inter, a, b) ->
+      Matrix.inter (expr bounds vars a) (expr bounds vars b)
+  | Ast.Binop (Override, a, b) ->
+      Matrix.override (expr bounds vars a) (expr bounds vars b)
+  | Ast.Binop (Domrestr, s, e) ->
+      Matrix.dom_restrict (expr bounds vars s) (expr bounds vars e)
+  | Ast.Binop (Ranrestr, e, s) ->
+      Matrix.ran_restrict (expr bounds vars e) (expr bounds vars s)
+  | Ast.Ite (c, a, b) ->
+      Matrix.ite (fmla bounds vars c) (expr bounds vars a) (expr bounds vars b)
+  | Ast.Compr (decls, body) ->
+      (* ground the declared variables over their bounds; each assignment
+         contributes its tuple guarded by membership and the body *)
+      let rec expand guard vars tuple_prefix = function
+        | [] ->
+            let t = Array.of_list (List.rev tuple_prefix) in
+            [ (t, Formula.and2 guard (fmla bounds vars body)) ]
+        | (name, bound) :: rest ->
+            let m = expr bounds vars bound in
+            List.concat_map
+              (fun ((tuple : Alloy.Instance.Tuple.t), cell_guard) ->
+                expand
+                  (Formula.and2 guard cell_guard)
+                  ((name, Matrix.singleton tuple) :: vars)
+                  (tuple.(0) :: tuple_prefix)
+                  rest)
+              (Matrix.support m)
+      in
+      Matrix.of_cells (List.length decls) (expand Formula.tru vars [] decls)
+
+(* The matrix a function denotes: ground the parameters over their bounds,
+   prefix the parameter atoms to the body matrix tuples. *)
+and derived_relation bounds (f : Ast.fun_decl) =
+  let rec expand guard vars prefix = function
+    | [] ->
+        let body = expr bounds vars f.fun_body in
+        List.map
+          (fun (t, cell) ->
+            ( Array.append (Array.of_list (List.rev prefix)) t,
+              Formula.and2 guard cell ))
+          (Matrix.support body)
+    | (name, bound) :: rest ->
+        let m = expr bounds vars bound in
+        List.concat_map
+          (fun ((tuple : Alloy.Instance.Tuple.t), cell_guard) ->
+            expand
+              (Formula.and2 guard cell_guard)
+              ((name, Matrix.singleton tuple) :: vars)
+              (tuple.(0) :: prefix)
+              rest)
+          (Matrix.support m)
+  in
+  let cells = expand Formula.tru [] [] f.fun_params in
+  let arity =
+    match cells with
+    | (t, _) :: _ -> Array.length t
+    | [] -> 1 + List.length f.fun_params
+  in
+  Matrix.of_cells arity cells
+
+and fmla bounds vars (f : Ast.fmla) =
+  match f with
+  | Ast.True -> Formula.tru
+  | Ast.False -> Formula.fls
+  | Ast.Cmp (op, a, b) -> (
+      let ma = expr bounds vars a and mb = expr bounds vars b in
+      match op with
+      | Cin -> Matrix.subset ma mb
+      | Cnotin -> Formula.not_ (Matrix.subset ma mb)
+      | Ceq -> Matrix.equal ma mb
+      | Cneq -> Formula.not_ (Matrix.equal ma mb))
+  | Ast.Multf (m, e) -> (
+      let me = expr bounds vars e in
+      match m with
+      | Fno -> Matrix.no me
+      | Fsome -> Matrix.some me
+      | Flone -> Matrix.lone me
+      | Fone -> Matrix.one me)
+  | Ast.Card (op, e, k) ->
+      let me = expr bounds vars e in
+      let op =
+        match op with
+        | Ast.Ilt -> `Lt
+        | Ast.Ile -> `Le
+        | Ast.Ieq -> `Eq
+        | Ast.Ineq -> `Ne
+        | Ast.Ige -> `Ge
+        | Ast.Igt -> `Gt
+      in
+      Matrix.card_compare op me k
+  | Ast.Not f -> Formula.not_ (fmla bounds vars f)
+  | Ast.And (a, b) -> Formula.and2 (fmla bounds vars a) (fmla bounds vars b)
+  | Ast.Or (a, b) -> Formula.or2 (fmla bounds vars a) (fmla bounds vars b)
+  | Ast.Implies (a, b) -> Formula.imp (fmla bounds vars a) (fmla bounds vars b)
+  | Ast.Iff (a, b) -> Formula.iff (fmla bounds vars a) (fmla bounds vars b)
+  | Ast.Quant (q, decls, body) -> quantified bounds vars q decls body
+  | Ast.Let (name, value, body) ->
+      let m = expr bounds vars value in
+      fmla bounds ((name, m) :: vars) body
+  | Ast.Call (name, args) -> (
+      match Ast.find_pred bounds.Bounds.env.spec name with
+      | None -> err "call to unknown predicate %s" name
+      | Some p ->
+          let values = List.map (expr bounds vars) args in
+          let params =
+            List.map2 (fun (n, _) v -> (n, v)) p.pred_params values
+          in
+          fmla bounds params p.pred_body)
+
+(* Ground a quantifier: enumerate assignments of the declared variables to
+   tuples in the upper bound of their bounding expressions, guarded by the
+   membership formulas of those tuples. *)
+and quantified bounds vars q decls body =
+  let rec assignments guard vars = function
+    | [] -> [ (guard, vars) ]
+    | (name, bound) :: rest ->
+        let m = expr bounds vars bound in
+        List.concat_map
+          (fun (tuple, cell_guard) ->
+            assignments
+              (Formula.and2 guard cell_guard)
+              ((name, Matrix.singleton tuple) :: vars)
+              rest)
+          (Matrix.support m)
+  in
+  let instantiations = assignments Formula.tru vars decls in
+  match q with
+  | Ast.Qall ->
+      Formula.and_
+        (List.map
+           (fun (guard, vars) -> Formula.imp guard (fmla bounds vars body))
+           instantiations)
+  | Ast.Qsome ->
+      Formula.or_
+        (List.map
+           (fun (guard, vars) -> Formula.and2 guard (fmla bounds vars body))
+           instantiations)
+  | Ast.Qno ->
+      Formula.not_
+        (Formula.or_
+           (List.map
+              (fun (guard, vars) -> Formula.and2 guard (fmla bounds vars body))
+              instantiations))
+  | Ast.Qlone ->
+      Card.at_most 1
+        (List.map
+           (fun (guard, vars) -> Formula.and2 guard (fmla bounds vars body))
+           instantiations)
+  | Ast.Qone ->
+      Card.exactly 1
+        (List.map
+           (fun (guard, vars) -> Formula.and2 guard (fmla bounds vars body))
+           instantiations)
+
+let spec_fmla bounds =
+  let env = bounds.Bounds.env in
+  let implicit = Alloy.Implicit.constraints env in
+  let facts = List.map (fun f -> f.Ast.fact_body) env.spec.facts in
+  (* scope overrides naming non-top signatures become cardinality caps *)
+  let scope_caps =
+    List.filter_map
+      (fun (name, k) ->
+        if List.mem name env.top_sigs then None
+        else Some (Ast.Card (Ast.Ile, Ast.Rel name, k)))
+      bounds.Bounds.scope.overrides
+  in
+  Formula.and_ (List.map (fmla bounds []) (implicit @ facts @ scope_caps))
+
+let pred_goal bounds (p : Ast.pred_decl) =
+  match p.pred_params with
+  | [] -> fmla bounds [] p.pred_body
+  | params -> fmla bounds [] (Ast.Quant (Ast.Qsome, params, p.pred_body))

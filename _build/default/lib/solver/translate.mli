@@ -1,0 +1,25 @@
+(** Compilation of Mini-Alloy expressions and formulas into boolean
+    formulas over the bounds' SAT variables.
+
+    Quantifiers are grounded over the (symbolic) contents of their bounding
+    expression; predicate calls are inlined with parameters bound to the
+    argument matrices. *)
+
+open Specrepair_sat
+module Alloy = Specrepair_alloy
+
+exception Translate_error of string
+
+type var_env = (string * Matrix.t) list
+(** Quantified variables and predicate parameters in scope. *)
+
+val expr : Bounds.t -> var_env -> Alloy.Ast.expr -> Matrix.t
+val fmla : Bounds.t -> var_env -> Alloy.Ast.fmla -> Formula.t
+
+val spec_fmla : Bounds.t -> Formula.t
+(** Conjunction of all implicit constraints, explicit facts, and
+    child-signature scope overrides. *)
+
+val pred_goal : Bounds.t -> Alloy.Ast.pred_decl -> Formula.t
+(** Predicate body with parameters existentially quantified over their
+    bounds (the goal of [run p]). *)

@@ -1,0 +1,15 @@
+// A directed graph with an acyclicity fact; the NoLoop assertion follows.
+sig Node {
+  edges: set Node
+}
+
+fact Acyclic {
+  no n: Node | n in n.^edges
+}
+
+assert NoLoop {
+  all n: Node | n not in n.^edges
+}
+
+check NoLoop for 3
+run { some edges } for 3

@@ -1,0 +1,16 @@
+// The same graph model with a quantifier bug: the Acyclic fact now DEMANDS
+// a cycle.  `specrepair repair specs/graph_faulty.als` fixes it.
+sig Node {
+  edges: set Node
+}
+
+fact Acyclic {
+  some n: Node | n in n.^edges
+}
+
+assert NoLoop {
+  all n: Node | n not in n.^edges
+}
+
+check NoLoop for 3
+run { some edges } for 3

@@ -1,0 +1,38 @@
+// The hotel key-management example from the paper's Section II, with the
+// overly restrictive check-in constraint ("no g.held").
+module hotel
+
+abstract sig Key {}
+sig RoomKey extends Key {}
+sig Room {
+  issued: set Key
+}
+sig Guest {
+  held: set Key
+}
+one sig FrontDesk {
+  lastKey: Room -> lone RoomKey,
+  occupant: Room -> lone Guest
+}
+
+fact Issuance {
+  all r: Room | r.issued in RoomKey
+  all r: Room | r.(FrontDesk.lastKey) in r.issued
+}
+
+pred checkIn[g: Guest, r: Room, k: RoomKey] {
+  no r.(FrontDesk.occupant)
+  no g.held
+  k in r.issued
+}
+
+pred returningGuestCheckIn {
+  some g: Guest, r: Room, k: RoomKey | some g.held && checkIn[g, r, k]
+}
+
+assert OccupiedRoomsStay {
+  all r: Room | lone r.(FrontDesk.occupant)
+}
+
+run returningGuestCheckIn for 3
+check OccupiedRoomsStay for 3

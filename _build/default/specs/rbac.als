@@ -1,0 +1,40 @@
+// Role-based access control, exercising relational functions, set
+// comprehensions, and let bindings.
+module rbac
+
+sig User {
+  roles: set Role
+}
+sig Role {
+  grants: set Perm
+}
+sig Perm {}
+one sig Admin extends Role {}
+
+fun permsOf[u: User]: set Perm {
+  u.roles.grants
+}
+
+fact AdminHasAll {
+  Perm in Admin.grants
+}
+
+fact Assignment {
+  all u: User | some u.roles
+}
+
+assert AdminsAreOmnipotent {
+  all u: User | Admin in u.roles => Perm in permsOf[u]
+}
+
+assert NoGhostPerms {
+  all u: User | let p = permsOf[u] | p in Perm
+}
+
+pred leastPrivilegeUser {
+  some u: User | some { q: Perm | q not in permsOf[u] }
+}
+
+check AdminsAreOmnipotent for 3
+check NoGhostPerms for 3
+run leastPrivilegeUser for 3

@@ -1,0 +1,1 @@
+test/test_alloy.ml: Alcotest Array Ast Eval Hashtbl Instance Lazy Lexer List Option Parser Pretty Printexc QCheck2 QCheck_alcotest Specrepair_alloy String Typecheck

@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Ast Float Lazy List Option Result Specrepair_alloy Specrepair_benchmarks Specrepair_metrics Specrepair_repair Typecheck

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Lazy List Specrepair_alloy Specrepair_benchmarks Specrepair_eval Specrepair_llm String

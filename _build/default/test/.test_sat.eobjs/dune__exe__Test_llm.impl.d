@@ -1,0 +1,1 @@
+test/test_llm.ml: Alcotest Ast Fun Hashtbl Lazy List Option Parser Result Specrepair_alloy Specrepair_llm Specrepair_mutation Specrepair_repair String Typecheck

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Float Parser Pretty Printf QCheck2 QCheck_alcotest Specrepair_alloy Specrepair_metrics Specrepair_solver String

@@ -1,0 +1,1 @@
+test/test_mutation.ml: Alcotest Ast Format Lazy List Parser Pretty Printf Specrepair_alloy Specrepair_mutation Typecheck

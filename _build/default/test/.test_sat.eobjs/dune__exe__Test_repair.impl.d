@@ -1,0 +1,1 @@
+test/test_repair.ml: Alcotest Ast Lazy List Parser Result Specrepair_alloy Specrepair_aunit Specrepair_repair Specrepair_solver Typecheck

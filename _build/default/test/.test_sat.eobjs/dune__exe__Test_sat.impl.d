@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Card Dimacs Format Formula Fun List Lit Order_heap Printf QCheck2 QCheck_alcotest Random Solver Specrepair_sat Tseitin Vec

@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Ast Eval Gen Instance Lazy List Option Parser Pretty QCheck2 QCheck_alcotest Specrepair_alloy Specrepair_sat Specrepair_solver Test Typecheck

@@ -1,0 +1,7 @@
+  $ ../../bin/specrepair.exe parse ../../specs/graph.als | head -4
+  $ ../../bin/specrepair.exe analyze ../../specs/graph_faulty.als | grep -E 'UNSAT|SAT' | head -2
+  $ ../../bin/specrepair.exe analyze ../../specs/rbac.als | grep -c 'UNSAT'
+  $ ../../bin/specrepair.exe domains | tail -1
+  $ ../../bin/specrepair.exe repair ../../specs/graph_faulty.als --tool beafix | head -2
+  $ echo "sig {}" > bad.als
+  $ ../../bin/specrepair.exe parse bad.als

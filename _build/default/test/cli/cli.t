@@ -1,0 +1,33 @@
+The CLI parses and reprints specifications:
+
+  $ ../../bin/specrepair.exe parse ../../specs/graph.als | head -4
+  sig Node {
+    edges: set Node
+  }
+  
+
+It runs every command of a specification:
+
+  $ ../../bin/specrepair.exe analyze ../../specs/graph_faulty.als | grep -E 'UNSAT|SAT' | head -2
+  check NoLoop: SAT
+  run {...}: SAT
+  $ ../../bin/specrepair.exe analyze ../../specs/rbac.als | grep -c 'UNSAT'
+  2
+
+It lists the benchmark inventory:
+
+  $ ../../bin/specrepair.exe domains | tail -1
+  Total: A4F 1936 + ARepair 38 = 1974
+
+It repairs a faulty specification:
+
+  $ ../../bin/specrepair.exe repair ../../specs/graph_faulty.als --tool beafix | head -2
+  tool: BeAFix
+  repaired: true
+
+Malformed input produces a diagnostic and a non-zero exit:
+
+  $ echo "sig {}" > bad.als
+  $ ../../bin/specrepair.exe parse bad.als
+  specrepair: line 1: expected signature name (found {)
+  [124]

@@ -1,0 +1,189 @@
+(* Tests for the AUnit-style test framework and fault localization. *)
+
+open Specrepair_alloy
+module Aunit = Specrepair_aunit.Aunit
+module Faultloc = Specrepair_faultloc.Faultloc
+module Solver = Specrepair_solver
+module Location = Specrepair_mutation.Location
+
+let gt_src =
+  {|
+sig Node {
+  edges: set Node
+}
+fact Acyclic {
+  no n: Node | n in n.^edges
+}
+pred hasEdge {
+  some edges
+}
+assert NoLoop {
+  all n: Node | n not in n.^edges
+}
+check NoLoop for 3
+run hasEdge for 3
+|}
+
+let faulty_src =
+  {|
+sig Node {
+  edges: set Node
+}
+fact Acyclic {
+  some n: Node | n in n.^edges
+}
+pred hasEdge {
+  some edges
+}
+assert NoLoop {
+  all n: Node | n not in n.^edges
+}
+check NoLoop for 3
+run hasEdge for 3
+|}
+
+let gt_env = lazy (Typecheck.check (Parser.parse gt_src))
+let faulty_env = lazy (Typecheck.check (Parser.parse faulty_src))
+let scope = { Solver.Bounds.default = 3; overrides = [] }
+
+let suite = lazy (Aunit.generate ~per_kind:4 (Lazy.force gt_env) ~scope)
+
+let test_generate_nonempty () =
+  let tests = Lazy.force suite in
+  Alcotest.(check bool) "several tests" true (List.length tests >= 6);
+  let facts_tests =
+    List.filter (fun (t : Aunit.test) -> t.target = Aunit.Facts) tests
+  in
+  let pred_tests =
+    List.filter
+      (fun (t : Aunit.test) ->
+        match t.target with Aunit.Pred _ -> true | _ -> false)
+      tests
+  in
+  Alcotest.(check bool) "facts tests present" true (facts_tests <> []);
+  Alcotest.(check bool) "pred tests present" true (pred_tests <> [])
+
+let test_gt_passes_all () =
+  Alcotest.(check bool) "ground truth passes its own suite" true
+    (Aunit.all_pass (Lazy.force gt_env) (Lazy.force suite))
+
+let test_faulty_fails_some () =
+  let v = Aunit.run_suite (Lazy.force faulty_env) (Lazy.force suite) in
+  Alcotest.(check bool) "faulty spec fails something" true (v.failing <> [])
+
+let test_expectations_balanced () =
+  let tests = Lazy.force suite in
+  Alcotest.(check bool) "positive tests exist" true
+    (List.exists (fun (t : Aunit.test) -> t.expect) tests);
+  Alcotest.(check bool) "negative tests exist" true
+    (List.exists (fun (t : Aunit.test) -> not t.expect) tests)
+
+let test_of_counterexample () =
+  match
+    Solver.Analyzer.check_assert (Lazy.force faulty_env) scope "NoLoop"
+  with
+  | Sat cex ->
+      let t = Aunit.of_counterexample ~name:"cex" cex in
+      (* the counterexample is admitted by the faulty facts, so the test
+         (expect: not admitted) fails there... *)
+      Alcotest.(check bool) "cex test fails on faulty spec" false
+        (Aunit.run_test (Lazy.force faulty_env) t);
+      (* ...and passes on the ground truth, which excludes it *)
+      Alcotest.(check bool) "cex test passes on ground truth" true
+        (Aunit.run_test (Lazy.force gt_env) t)
+  | Unsat | Unknown -> Alcotest.fail "expected a counterexample"
+
+let test_broken_pred_counts_as_failing () =
+  let t =
+    {
+      Aunit.test_name = "missing pred";
+      valuation = { Instance.sigs = [ ("Node", []) ]; fields = [ ("edges", Instance.Tuple_set.empty) ] };
+      target = Aunit.Pred "doesNotExist";
+      expect = true;
+    }
+  in
+  Alcotest.(check bool) "missing predicate fails" false
+    (Aunit.run_test (Lazy.force gt_env) t)
+
+(* {2 Fault localization} *)
+
+let test_rank_by_tests_finds_fault () =
+  let ranked =
+    Faultloc.rank_by_tests (Lazy.force faulty_env) (Lazy.force suite) ()
+  in
+  Alcotest.(check bool) "some locations ranked" true (ranked <> []);
+  let top3 = List.filteri (fun i _ -> i < 3) ranked in
+  Alcotest.(check bool) "faulty fact ranked in top 3" true
+    (List.exists
+       (fun (l : Faultloc.location) -> l.site = Location.Fact_site 0)
+       top3)
+
+let test_rank_by_instances_finds_fault () =
+  let env = Lazy.force faulty_env in
+  let cexs =
+    Solver.Analyzer.enumerate ~limit:3 env scope
+      (Parser.parse_fmla "some n: Node | n in n.^edges")
+  in
+  let ranked =
+    Faultloc.rank_by_instances env
+      ~goal_of:(Faultloc.goal_of_assert "NoLoop")
+      ~counterexamples:cexs ~witnesses:[] ()
+  in
+  Alcotest.(check bool) "some locations ranked" true (ranked <> []);
+  let top = List.filteri (fun i _ -> i < 4) ranked in
+  Alcotest.(check bool) "faulty fact among top locations" true
+    (List.exists
+       (fun (l : Faultloc.location) -> l.site = Location.Fact_site 0)
+       top)
+
+let test_no_failing_tests_no_ranking () =
+  let ranked =
+    Faultloc.rank_by_tests (Lazy.force gt_env) (Lazy.force suite) ()
+  in
+  Alcotest.(check (list string)) "nothing to localize" []
+    (List.map (fun (l : Faultloc.location) -> Location.site_to_string l.site) ranked)
+
+let test_per_kind_controls_size () =
+  let env = Lazy.force gt_env in
+  let small = Aunit.generate ~per_kind:1 env ~scope in
+  let large = Aunit.generate ~per_kind:4 env ~scope in
+  Alcotest.(check bool) "per_kind scales the suite" true
+    (List.length small < List.length large)
+
+let test_suite_deterministic () =
+  let env = Lazy.force gt_env in
+  let a = Aunit.generate ~per_kind:3 env ~scope in
+  let b = Aunit.generate ~per_kind:3 env ~scope in
+  Alcotest.(check int) "same size" (List.length a) (List.length b);
+  List.iter2
+    (fun (x : Aunit.test) (y : Aunit.test) ->
+      Alcotest.(check bool) "same valuation" true
+        (Instance.equal x.valuation y.valuation))
+    a b
+
+let () =
+  Alcotest.run "aunit"
+    [
+      ( "suite",
+        [
+          Alcotest.test_case "generation" `Quick test_generate_nonempty;
+          Alcotest.test_case "ground truth green" `Quick test_gt_passes_all;
+          Alcotest.test_case "faulty red" `Quick test_faulty_fails_some;
+          Alcotest.test_case "balanced expectations" `Quick
+            test_expectations_balanced;
+          Alcotest.test_case "counterexample conversion" `Quick
+            test_of_counterexample;
+          Alcotest.test_case "missing predicate" `Quick
+            test_broken_pred_counts_as_failing;
+          Alcotest.test_case "per_kind scaling" `Quick test_per_kind_controls_size;
+          Alcotest.test_case "deterministic generation" `Quick
+            test_suite_deterministic;
+        ] );
+      ( "faultloc",
+        [
+          Alcotest.test_case "rank by tests" `Quick test_rank_by_tests_finds_fault;
+          Alcotest.test_case "rank by instances" `Quick
+            test_rank_by_instances_finds_fault;
+          Alcotest.test_case "green suite" `Quick test_no_failing_tests_no_ranking;
+        ] );
+    ]

@@ -1,0 +1,166 @@
+(* Tests for the benchmark: ground-truth health, fault-injection invariants
+   (observable, revertible, deterministic), and benchmark sizes. *)
+
+open Specrepair_alloy
+module B = Specrepair_benchmarks
+module Repair = Specrepair_repair
+
+let test_domain_inventory () =
+  Alcotest.(check int) "6 A4F domains" 6 (List.length B.Domains.a4f);
+  Alcotest.(check int) "12 ARepair problems" 12 (List.length B.Domains.arepair);
+  Alcotest.(check int) "A4F size from Table I" 1936
+    (B.Domains.total_count B.Domains.A4F);
+  Alcotest.(check int) "ARepair size from Table I" 38
+    (B.Domains.total_count B.Domains.ARepair_bench)
+
+let test_table1_row_counts () =
+  let expected =
+    [
+      ("classroom", 999); ("cv", 138); ("graphs", 283); ("lts", 249);
+      ("production", 61); ("trash", 206); ("addr", 1); ("arr", 2);
+      ("balancedBST", 3); ("bempl", 1); ("cd", 2); ("ctree", 1); ("dll", 4);
+      ("farmer", 1); ("fsm", 2); ("grade", 1); ("other", 1); ("student", 19);
+    ]
+  in
+  List.iter
+    (fun (name, count) ->
+      match B.Domains.find name with
+      | Some d -> Alcotest.(check int) name count d.count
+      | None -> Alcotest.failf "missing domain %s" name)
+    expected
+
+let test_ground_truths_healthy () =
+  List.iter
+    (fun (d : B.Domains.t) ->
+      let env = B.Domains.env d in
+      Alcotest.(check bool) (d.name ^ " passes its own commands") true
+        (Repair.Common.oracle_passes ~max_conflicts:50_000 env);
+      Alcotest.(check bool) (d.name ^ " has a check command") true
+        (List.exists
+           (fun (c : Ast.command) ->
+             match c.cmd_kind with Ast.Check _ -> true | _ -> false)
+           env.spec.commands);
+      Alcotest.(check bool) (d.name ^ " has a run command") true
+        (List.exists
+           (fun (c : Ast.command) ->
+             match c.cmd_kind with
+             | Ast.Run_pred _ | Ast.Run_fmla _ -> true
+             | Ast.Check _ -> false)
+           env.spec.commands))
+    B.Domains.all
+
+let test_mixes_normalized () =
+  List.iter
+    (fun (d : B.Domains.t) ->
+      let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. d.fault_mix in
+      Alcotest.(check bool)
+        (d.name ^ " mix sums to ~1")
+        true
+        (Float.abs (total -. 1.0) < 0.01);
+      List.iter
+        (fun (c, _) ->
+          Alcotest.(check bool)
+            (d.name ^ " uses known class " ^ c)
+            true (List.mem c B.Fault.classes))
+        d.fault_mix)
+    B.Domains.all
+
+let sample_variants =
+  lazy
+    (List.concat_map
+       (fun (d : B.Domains.t) ->
+         List.init (min 3 d.count) (fun i -> (d, B.Fault.inject ~seed:42 d ~index:i)))
+       B.Domains.all)
+
+let test_injection_invariants () =
+  List.iter
+    (fun ((d : B.Domains.t), (inj : B.Fault.injected)) ->
+      let gt = B.Domains.spec d in
+      Alcotest.(check bool) (d.name ^ ": faulty differs") false
+        (Ast.equal_spec inj.faulty gt);
+      Alcotest.(check bool) (d.name ^ ": faulty type-checks") true
+        (Result.is_ok (Typecheck.check_result inj.faulty));
+      Alcotest.(check bool) (d.name ^ ": observable (REP=0)") false
+        (Specrepair_metrics.Rep.rep ~ground_truth:gt ~candidate:inj.faulty ());
+      Alcotest.(check bool) (d.name ^ ": has fault metadata") true
+        (inj.sites <> [] && inj.revert_classes <> [] && inj.description <> "");
+      Alcotest.(check bool)
+        (d.name ^ ": declarations untouched")
+        true
+        ((Typecheck.check inj.faulty).spec.sigs = gt.sigs))
+    (Lazy.force sample_variants)
+
+let test_injection_deterministic () =
+  let d = Option.get (B.Domains.find "graphs") in
+  let a = B.Fault.inject ~seed:42 d ~index:5 in
+  let b = B.Fault.inject ~seed:42 d ~index:5 in
+  Alcotest.(check bool) "same seed, same fault" true
+    (Ast.equal_spec a.faulty b.faulty);
+  let c = B.Fault.inject ~seed:43 d ~index:5 in
+  ignore c (* different seed simply must not crash *)
+
+let test_variants_distinct_mostly () =
+  (* small specs admit few distinct faults, so duplicates occur (as they do
+     among real Alloy4Fun submissions); require only a reasonable spread *)
+  let d = Option.get (B.Domains.find "graphs") in
+  let vs = List.init 12 (fun i -> (B.Fault.inject ~seed:42 d ~index:i).faulty) in
+  let distinct = List.length (List.sort_uniq compare vs) in
+  Alcotest.(check bool) "graphs variants are diverse" true (distinct >= 4);
+  let d = Option.get (B.Domains.find "classroom") in
+  let vs = List.init 12 (fun i -> (B.Fault.inject ~seed:42 d ~index:i).faulty) in
+  let distinct = List.length (List.sort_uniq compare vs) in
+  Alcotest.(check bool) "classroom variants are diverse" true (distinct >= 7)
+
+let test_generate_and_task () =
+  let d = Option.get (B.Domains.find "production") in
+  let vs = B.Generate.variants d in
+  Alcotest.(check int) "count respected" d.count (List.length vs);
+  let ids = List.map (fun (v : B.Generate.variant) -> v.id) vs in
+  Alcotest.(check int) "unique ids" d.count (List.length (List.sort_uniq compare ids));
+  let task = B.Generate.to_task (List.hd vs) in
+  Alcotest.(check string) "task domain" "production" task.domain;
+  Alcotest.(check bool) "task has checks" true (task.check_names <> []);
+  Alcotest.(check bool) "task has fault paths" true (task.fault_paths <> [])
+
+let test_rep_reflexive_on_ground_truths () =
+  (* REP of a ground truth against itself must be 1 (commands behave and
+     agree); spot-check three domains across both benchmarks *)
+  List.iter
+    (fun name ->
+      let d = Option.get (B.Domains.find name) in
+      let gt = B.Domains.spec d in
+      Alcotest.(check bool) (name ^ " REP(gt, gt)") true
+        (Specrepair_metrics.Rep.rep ~ground_truth:gt ~candidate:gt ()))
+    [ "trash"; "lts"; "student" ]
+
+let test_sample_stratified () =
+  let s = B.Generate.sample ~per_domain:2 () in
+  Alcotest.(check int) "2 per domain (capped by count)"
+    (List.fold_left (fun acc (d : B.Domains.t) -> acc + min 2 d.count) 0 B.Domains.all)
+    (List.length s)
+
+let () =
+  Alcotest.run "benchmarks"
+    [
+      ( "domains",
+        [
+          Alcotest.test_case "inventory" `Quick test_domain_inventory;
+          Alcotest.test_case "Table I row counts" `Quick test_table1_row_counts;
+          Alcotest.test_case "ground truths healthy" `Quick
+            test_ground_truths_healthy;
+          Alcotest.test_case "fault mixes" `Quick test_mixes_normalized;
+        ] );
+      ( "injection",
+        [
+          Alcotest.test_case "invariants" `Slow test_injection_invariants;
+          Alcotest.test_case "deterministic" `Quick test_injection_deterministic;
+          Alcotest.test_case "diversity" `Quick test_variants_distinct_mostly;
+        ] );
+      ( "generation",
+        [
+          Alcotest.test_case "variants and tasks" `Slow test_generate_and_task;
+          Alcotest.test_case "stratified sample" `Quick test_sample_stratified;
+          Alcotest.test_case "REP reflexive on ground truths" `Slow
+            test_rep_reflexive_on_ground_truths;
+        ] );
+    ]

@@ -1,0 +1,274 @@
+(* Tests for the simulated LLM stack: deterministic RNG, prompt rendering,
+   response extraction, proposal sampling, and the two pipelines. *)
+
+open Specrepair_alloy
+module Llm = Specrepair_llm
+module Rng = Llm.Rng
+module Location = Specrepair_mutation.Location
+
+let faulty_src =
+  {|
+sig Node {
+  edges: set Node
+}
+fact Acyclic {
+  some n: Node | n in n.^edges
+}
+assert NoLoop {
+  all n: Node | n not in n.^edges
+}
+check NoLoop for 3
+run { some edges } for 3
+|}
+
+let task =
+  lazy
+    (Llm.Task.make ~spec_id:"llmtest_0" ~domain:"graphs"
+       ~faulty:(Parser.parse faulty_src)
+       ~fault_sites:[ Location.Fact_site 0 ]
+       ~fault_paths:[ (Location.Fact_site 0, []) ]
+       ~fault_classes:[ "quant-swap" ]
+       ~fix_description:"the quantifier in fact#0 is wrong"
+       ~check_names:[ "NoLoop" ] ())
+
+(* {2 RNG} *)
+
+let test_rng_deterministic () =
+  let a = Rng.of_context ~seed:42 [ "x"; "y" ] in
+  let b = Rng.of_context ~seed:42 [ "x"; "y" ] in
+  let xs = List.init 10 (fun _ -> Rng.next_int64 a) in
+  let ys = List.init 10 (fun _ -> Rng.next_int64 b) in
+  Alcotest.(check bool) "same context, same stream" true (xs = ys)
+
+let test_rng_context_sensitivity () =
+  let a = Rng.of_context ~seed:42 [ "x" ] in
+  let b = Rng.of_context ~seed:42 [ "y" ] in
+  Alcotest.(check bool) "different context, different stream" false
+    (Rng.next_int64 a = Rng.next_int64 b)
+
+let test_rng_float_range () =
+  let rng = Rng.create 7L in
+  for _ = 1 to 1000 do
+    let f = Rng.float rng in
+    if f < 0. || f >= 1. then Alcotest.fail "float out of range"
+  done
+
+let test_choose_weighted () =
+  let rng = Rng.create 3L in
+  let counts = Hashtbl.create 4 in
+  for _ = 1 to 3000 do
+    match Rng.choose_weighted rng [ ("a", 1.); ("b", 9.) ] with
+    | Some x ->
+        Hashtbl.replace counts x (1 + Option.value ~default:0 (Hashtbl.find_opt counts x))
+    | None -> Alcotest.fail "unexpected None"
+  done;
+  let a = Option.value ~default:0 (Hashtbl.find_opt counts "a") in
+  let b = Option.value ~default:0 (Hashtbl.find_opt counts "b") in
+  Alcotest.(check bool) "ratio roughly 1:9" true (b > 6 * a);
+  Alcotest.(check (option string)) "empty list" None
+    (Rng.choose_weighted rng []);
+  Alcotest.(check (option string)) "all-zero weights" None
+    (Rng.choose_weighted rng [ ("a", 0.) ])
+
+let test_shuffle_permutes () =
+  let rng = Rng.create 11L in
+  let xs = List.init 20 Fun.id in
+  let ys = Rng.shuffle rng xs in
+  Alcotest.(check (list int)) "same elements" xs (List.sort compare ys);
+  Alcotest.(check bool) "different order (overwhelmingly likely)" true (xs <> ys)
+
+(* {2 Prompt and extraction} *)
+
+let test_prompt_renders_hints () =
+  let p = Llm.Prompt.single (Lazy.force task) Llm.Prompt.SLoc_fix in
+  let text = Llm.Prompt.render p in
+  let contains needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions location" true (contains "fact#0");
+  Alcotest.(check bool) "mentions fix" true (contains "quantifier");
+  Alcotest.(check bool) "includes the spec" true (contains "sig Node")
+
+let test_extract_fenced () =
+  let response =
+    "Sure! Here is the fix:\n```alloy\nsig A {}\nfact F { some A }\n```\nDone."
+  in
+  match Llm.Extract.spec_of_response response with
+  | Some spec -> Alcotest.(check int) "one sig" 1 (List.length spec.sigs)
+  | None -> Alcotest.fail "extraction failed"
+
+let test_extract_bare () =
+  let response = "sig A {}\nfact F { some A }" in
+  Alcotest.(check bool) "keyword fallback works" true
+    (Llm.Extract.spec_of_response response <> None)
+
+let test_extract_garbage () =
+  Alcotest.(check bool) "prose only" true
+    (Llm.Extract.spec_of_response "I cannot help with that." = None);
+  Alcotest.(check bool) "truncated spec" true
+    (Llm.Extract.spec_of_response "```alloy\nsig A {\n```" = None)
+
+let test_code_blocks () =
+  let blocks = Llm.Extract.code_blocks "a\n```\nX\n```\nmid\n```\nY\nZ\n```\n" in
+  Alcotest.(check (list string)) "two blocks" [ "X"; "Y\nZ" ] blocks
+
+(* {2 Model} *)
+
+let test_propose_well_typed () =
+  let rng = Rng.of_context ~seed:1 [ "propose" ] in
+  for _ = 1 to 20 do
+    match
+      Llm.Model.propose Llm.Model.gpt4 ~rng ~hints:[] Llm.Model.no_guidance
+        (Lazy.force task)
+    with
+    | Some spec ->
+        Alcotest.(check bool) "proposal type-checks" true
+          (Result.is_ok (Typecheck.check_result spec));
+        Alcotest.(check bool) "proposal differs from faulty" false
+          (Ast.equal_spec spec (Lazy.force task).faulty)
+    | None -> ()
+  done
+
+let test_propose_respects_blocklist () =
+  let rng = Rng.of_context ~seed:2 [ "blocklist" ] in
+  (* collect some proposals, then block them and ensure they don't recur *)
+  let seen = ref [] in
+  for _ = 1 to 10 do
+    match
+      Llm.Model.propose Llm.Model.gpt4 ~rng ~hints:[] Llm.Model.no_guidance
+        (Lazy.force task)
+    with
+    | Some s -> if not (List.exists (Ast.equal_spec s) !seen) then seen := s :: !seen
+    | None -> ()
+  done;
+  let guidance = { Llm.Model.no_guidance with blocked = !seen } in
+  for _ = 1 to 20 do
+    match
+      Llm.Model.propose Llm.Model.gpt4 ~rng ~hints:[] guidance (Lazy.force task)
+    with
+    | Some s ->
+        Alcotest.(check bool) "not in blocklist" false
+          (List.exists (Ast.equal_spec s) !seen)
+    | None -> ()
+  done
+
+let test_loc_hint_focuses () =
+  (* with the Loc hint, the overwhelming majority of proposals should touch
+     the hinted site *)
+  let rng = Rng.of_context ~seed:3 [ "loc-hint" ] in
+  let faulty = (Lazy.force task).faulty in
+  let fact_body = Location.body faulty (Location.Fact_site 0) in
+  let hits = ref 0 and total = ref 0 in
+  for _ = 1 to 40 do
+    match
+      Llm.Model.propose Llm.Model.gpt4 ~rng ~hints:[ Llm.Prompt.Loc ]
+        Llm.Model.no_guidance (Lazy.force task)
+    with
+    | Some s ->
+        incr total;
+        if not (Ast.equal_fmla (Location.body s (Location.Fact_site 0)) fact_body)
+        then incr hits
+    | None -> ()
+  done;
+  Alcotest.(check bool) "most proposals edit the hinted site" true
+    (!total > 0 && float_of_int !hits /. float_of_int !total > 0.6)
+
+(* {2 Pipelines} *)
+
+let test_single_round_deterministic () =
+  let r1 = Llm.Single_round.repair ~seed:5 (Lazy.force task) Llm.Prompt.SLoc in
+  let r2 = Llm.Single_round.repair ~seed:5 (Lazy.force task) Llm.Prompt.SLoc in
+  Alcotest.(check bool) "same seed, same outcome" true
+    (Ast.equal_spec r1.final_spec r2.final_spec);
+  let r3 = Llm.Single_round.repair ~seed:6 (Lazy.force task) Llm.Prompt.SLoc in
+  ignore r3 (* may or may not differ; just ensure it runs *)
+
+let test_multi_round_repairs_simple_fault () =
+  let r =
+    Llm.Multi_round.repair ~seed:42 (Lazy.force task) Llm.Multi_round.Generic
+  in
+  Alcotest.(check bool) "multi-round fixes the quant fault" true r.repaired;
+  match Specrepair_repair.Common.env_of_spec r.final_spec with
+  | Some env ->
+      Alcotest.(check bool) "oracle passes" true
+        (Specrepair_repair.Common.oracle_passes env)
+  | None -> Alcotest.fail "final spec ill-typed"
+
+let test_trace_called () =
+  let calls = ref 0 in
+  let _ =
+    Llm.Multi_round.repair ~seed:9
+      ~trace:(fun ~round:_ ~prompt:_ ~response:_ -> incr calls)
+      (Lazy.force task) Llm.Multi_round.No_feedback
+  in
+  Alcotest.(check bool) "trace observed at least one round" true (!calls >= 1)
+
+let test_malformed_channel_exists () =
+  (* over many seeds, the malformed-output channel must fire sometimes and
+     extraction must consequently fail *)
+  let failures = ref 0 in
+  for seed = 0 to 60 do
+    let rng = Rng.of_context ~seed [ "malformed-scan" ] in
+    let prompt = Llm.Prompt.single (Lazy.force task) Llm.Prompt.SNone in
+    let response = Llm.Model.respond Llm.Model.gpt4 ~rng Llm.Model.no_guidance prompt in
+    if Llm.Extract.spec_of_response response = None then incr failures
+  done;
+  Alcotest.(check bool) "some responses are unusable" true (!failures >= 1);
+  Alcotest.(check bool) "most responses are usable" true (!failures <= 30)
+
+let test_profiles () =
+  Alcotest.(check string) "gpt4 name" "gpt-4" Llm.Model.gpt4.name;
+  Alcotest.(check string) "gpt35 name" "gpt-3.5" Llm.Model.gpt35.name;
+  Alcotest.(check bool) "gpt35 flatter" true
+    (Llm.Model.gpt35.temperature > Llm.Model.gpt4.temperature);
+  Alcotest.(check bool) "gpt35 weaker self-check" true
+    (Llm.Model.gpt35.self_check_samples < Llm.Model.gpt4.self_check_samples);
+  Alcotest.(check bool) "gpt35 more malformed output" true
+    (Llm.Model.gpt35.malformed_rate > Llm.Model.gpt4.malformed_rate)
+
+let test_tool_names () =
+  Alcotest.(check string) "single name" "Single-Round_Loc+Fix"
+    (Llm.Single_round.tool_name Llm.Prompt.SLoc_fix);
+  Alcotest.(check string) "multi name" "Multi-Round_None"
+    (Llm.Multi_round.tool_name Llm.Multi_round.No_feedback)
+
+let () =
+  Alcotest.run "llm"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "context-sensitive" `Quick test_rng_context_sensitivity;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "weighted choice" `Quick test_choose_weighted;
+          Alcotest.test_case "shuffle" `Quick test_shuffle_permutes;
+        ] );
+      ( "prompt+extract",
+        [
+          Alcotest.test_case "hints rendered" `Quick test_prompt_renders_hints;
+          Alcotest.test_case "fenced extraction" `Quick test_extract_fenced;
+          Alcotest.test_case "keyword fallback" `Quick test_extract_bare;
+          Alcotest.test_case "garbage rejected" `Quick test_extract_garbage;
+          Alcotest.test_case "code blocks" `Quick test_code_blocks;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "proposals well-typed" `Quick test_propose_well_typed;
+          Alcotest.test_case "blocklist respected" `Quick
+            test_propose_respects_blocklist;
+          Alcotest.test_case "loc hint focuses" `Quick test_loc_hint_focuses;
+        ] );
+      ( "pipelines",
+        [
+          Alcotest.test_case "single-round deterministic" `Quick
+            test_single_round_deterministic;
+          Alcotest.test_case "multi-round repairs" `Quick
+            test_multi_round_repairs_simple_fault;
+          Alcotest.test_case "tool names" `Quick test_tool_names;
+          Alcotest.test_case "model profiles" `Quick test_profiles;
+          Alcotest.test_case "trace callback" `Quick test_trace_called;
+          Alcotest.test_case "malformed channel" `Quick test_malformed_channel_exists;
+        ] );
+    ]

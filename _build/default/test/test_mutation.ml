@@ -1,0 +1,208 @@
+(* Tests for AST locations, the typed expression pool, and mutation
+   operators. *)
+
+open Specrepair_alloy
+module Mutation = Specrepair_mutation
+module Location = Mutation.Location
+module Pool = Mutation.Pool
+module Mutate = Mutation.Mutate
+
+let spec_src =
+  {|
+sig Node {
+  edges: set Node,
+  tag: set Mark
+}
+sig Mark {}
+fact Connected {
+  all n: Node | some n.edges && n not in n.edges
+}
+pred reachable[a: Node, b: Node] {
+  b in a.^edges
+}
+assert NoSelf {
+  no n: Node | n in n.edges
+}
+check NoSelf for 3
+|}
+
+let env = lazy (Typecheck.check (Parser.parse spec_src))
+let spec () = (Lazy.force env).spec
+
+(* {2 Locations} *)
+
+let test_sites () =
+  let sites = Location.sites (spec ()) in
+  Alcotest.(check int) "three sites" 3 (List.length sites);
+  Alcotest.(check bool) "fact site first" true
+    (List.hd sites = Location.Fact_site 0)
+
+let test_body_roundtrip () =
+  let s = spec () in
+  List.iter
+    (fun site ->
+      let body = Location.body s site in
+      let s' = Location.with_body s site body in
+      Alcotest.(check bool) "with_body of same body is identity" true (s = s'))
+    (Location.sites s)
+
+let test_get_replace_identity () =
+  let s = spec () in
+  List.iter
+    (fun site ->
+      let body = Location.body s site in
+      List.iter
+        (fun (path, node) ->
+          let body' = Location.replace body path node in
+          Alcotest.(check bool)
+            (Printf.sprintf "replace with self at %s is identity"
+               (Location.path_to_string path))
+            true (body = body'))
+        (Location.subnodes body))
+    (Location.sites s)
+
+let test_subnodes_count () =
+  let body = Location.body (spec ()) (Location.Fact_site 0) in
+  (* all n: Node | some n.edges && n not in n.edges *)
+  let nodes = Location.subnodes body in
+  Alcotest.(check bool) "at least 8 nodes" true (List.length nodes >= 8);
+  Alcotest.(check bool) "root is a formula" true
+    (match List.assoc [] nodes with Location.F _ -> true | _ -> false)
+
+let test_vars_at () =
+  let s = spec () in
+  (* inside the quantifier body, n is in scope *)
+  let body = Location.body s (Location.Fact_site 0) in
+  let in_body_path =
+    (* Quant has children [decl bound; body]; path [1] = body *)
+    [ 1 ]
+  in
+  (match Location.get body in_body_path with
+  | Location.F _ -> ()
+  | _ -> Alcotest.fail "expected a formula at the quantifier body");
+  let vars =
+    Location.vars_at (Lazy.force env) s (Location.Fact_site 0) in_body_path
+  in
+  Alcotest.(check bool) "n in scope" true (List.mem_assoc "n" vars);
+  (* in the bound expression (path [0]) it is not *)
+  let vars0 = Location.vars_at (Lazy.force env) s (Location.Fact_site 0) [ 0 ] in
+  Alcotest.(check bool) "n not in scope in its own bound" false
+    (List.mem_assoc "n" vars0);
+  (* predicate parameters are in scope in the predicate body *)
+  let vars_pred =
+    Location.vars_at (Lazy.force env) s (Location.Pred_site "reachable") []
+  in
+  Alcotest.(check bool) "params in scope" true
+    (List.mem_assoc "a" vars_pred && List.mem_assoc "b" vars_pred)
+
+(* {2 Pool} *)
+
+let test_pool_arity () =
+  let e = Lazy.force env in
+  List.iter
+    (fun arity ->
+      let exprs = Pool.exprs e ~vars:[] ~arity ~depth:2 () in
+      Alcotest.(check bool)
+        (Printf.sprintf "pool of arity %d non-empty" arity)
+        true (exprs <> []);
+      List.iter
+        (fun expr ->
+          Alcotest.(check int)
+            (Printf.sprintf "arity of %s" (Pretty.expr_to_string expr))
+            arity
+            (Typecheck.expr_arity e [] expr))
+        exprs)
+    [ 1; 2 ]
+
+let test_pool_dedup () =
+  let e = Lazy.force env in
+  let exprs = Pool.exprs e ~vars:[] ~arity:1 ~depth:2 () in
+  Alcotest.(check int) "no duplicates"
+    (List.length exprs)
+    (List.length (List.sort_uniq compare exprs))
+
+let test_pool_vars () =
+  let e = Lazy.force env in
+  let exprs = Pool.exprs e ~vars:[ ("x", 1) ] ~arity:1 ~depth:2 ~limit:500 () in
+  Alcotest.(check bool) "variable appears in pool" true
+    (List.mem (Ast.Rel "x") exprs)
+
+let test_atomic_fmlas () =
+  let e = Lazy.force env in
+  let atoms = Pool.atomic_fmlas e ~vars:[] () in
+  Alcotest.(check bool) "non-empty" true (atoms <> []);
+  List.iter
+    (fun f ->
+      match f with
+      | Ast.Cmp _ | Ast.Multf _ -> ()
+      | _ -> Alcotest.fail "atomic pool should contain only cmp/mult formulas")
+    atoms
+
+(* {2 Mutations} *)
+
+let test_mutations_well_typed () =
+  let e = Lazy.force env in
+  let all = Mutate.all_mutations e (spec ()) ~with_pool:true () in
+  Alcotest.(check bool) "large mutation space" true (List.length all > 100);
+  let bad =
+    List.filter
+      (fun m ->
+        match Mutate.apply (spec ()) m with
+        | s -> not (Mutate.well_typed e s)
+        | exception _ -> true)
+      all
+  in
+  (* pool replacements are arity-correct by construction, so every mutant
+     must type-check *)
+  Alcotest.(check int) "all mutants type-check" 0 (List.length bad)
+
+let test_mutations_change_spec () =
+  let e = Lazy.force env in
+  let all = Mutate.all_mutations e (spec ()) ~with_pool:false () in
+  List.iter
+    (fun m ->
+      match Mutate.apply (spec ()) m with
+      | s ->
+          Alcotest.(check bool)
+            (Format.asprintf "%a is not a no-op" Mutate.pp m)
+            false
+            (Ast.equal_spec s (spec ()))
+      | exception _ -> Alcotest.fail "mutation application failed")
+    all
+
+let test_quant_swap_present () =
+  let e = Lazy.force env in
+  let all = Mutate.all_mutations e (spec ()) ~with_pool:false () in
+  let ops = List.sort_uniq compare (List.map (fun (m : Mutate.t) -> m.op) all) in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " generated") true
+        (List.mem expected ops))
+    [ "quant-swap"; "cmpop-swap"; "fmult-swap"; "junct-drop"; "negation-add" ]
+
+let () =
+  Alcotest.run "mutation"
+    [
+      ( "location",
+        [
+          Alcotest.test_case "sites" `Quick test_sites;
+          Alcotest.test_case "with_body identity" `Quick test_body_roundtrip;
+          Alcotest.test_case "replace-with-self identity" `Quick
+            test_get_replace_identity;
+          Alcotest.test_case "subnodes" `Quick test_subnodes_count;
+          Alcotest.test_case "vars_at" `Quick test_vars_at;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "arity" `Quick test_pool_arity;
+          Alcotest.test_case "dedup" `Quick test_pool_dedup;
+          Alcotest.test_case "variables" `Quick test_pool_vars;
+          Alcotest.test_case "atomic formulas" `Quick test_atomic_fmlas;
+        ] );
+      ( "mutate",
+        [
+          Alcotest.test_case "well-typed" `Quick test_mutations_well_typed;
+          Alcotest.test_case "no no-ops" `Quick test_mutations_change_spec;
+          Alcotest.test_case "operator coverage" `Quick test_quant_swap_present;
+        ] );
+    ]

@@ -1,0 +1,210 @@
+(* Integration tests for the four traditional repair engines on specs with
+   known injected faults. *)
+
+open Specrepair_alloy
+module Repair = Specrepair_repair
+module Aunit = Specrepair_aunit.Aunit
+module Solver = Specrepair_solver
+
+let ground_truth_src =
+  {|
+sig Node {
+  edges: set Node
+}
+fact Acyclic {
+  no n: Node | n in n.^edges
+}
+assert NoLoop {
+  all n: Node | n not in n.^edges
+}
+check NoLoop for 3
+run { some edges } for 3
+|}
+
+(* quantifier fault: "no n" became "all n" -- facts demand cycles *)
+let faulty_quant_src =
+  {|
+sig Node {
+  edges: set Node
+}
+fact Acyclic {
+  some n: Node | n in n.^edges
+}
+assert NoLoop {
+  all n: Node | n not in n.^edges
+}
+check NoLoop for 3
+run { some edges } for 3
+|}
+
+(* operator fault in the assertion: "not in" became "in" *)
+let faulty_weak_fact_src =
+  {|
+sig Node {
+  edges: set Node
+}
+fact Acyclic {
+  no n: Node | n in n.edges
+}
+assert NoLoop {
+  all n: Node | n not in n.^edges
+}
+check NoLoop for 3
+run { some edges } for 3
+|}
+
+let env_of src = Typecheck.check (Parser.parse src)
+
+let gt_env = lazy (env_of ground_truth_src)
+
+let gt_tests =
+  lazy
+    (Aunit.generate ~per_kind:4 (Lazy.force gt_env)
+       ~scope:Solver.Analyzer.default_scope)
+
+let oracle env = Repair.Common.oracle_passes ~max_conflicts:20000 env
+
+let test_faulty_fails_oracle () =
+  Alcotest.(check bool) "ground truth passes oracle" true
+    (oracle (Lazy.force gt_env));
+  Alcotest.(check bool) "quant fault fails oracle" false
+    (oracle (env_of faulty_quant_src));
+  Alcotest.(check bool) "weak fact fails oracle" false
+    (oracle (env_of faulty_weak_fact_src))
+
+let repaired_env (r : Repair.Common.result) =
+  match Repair.Common.env_of_spec r.final_spec with
+  | Some env -> env
+  | None -> Alcotest.fail "repair produced an ill-typed spec"
+
+let test_arepair () =
+  let tests = Lazy.force gt_tests in
+  Alcotest.(check bool) "suite is non-trivial" true (List.length tests >= 4);
+  let faulty = env_of faulty_quant_src in
+  Alcotest.(check bool) "faulty spec fails some test" false
+    (Aunit.all_pass faulty tests);
+  let r = Repair.Arepair.repair faulty tests in
+  Alcotest.(check bool) "arepair makes the suite pass" true r.repaired;
+  Alcotest.(check bool) "final suite green" true
+    (Aunit.all_pass (repaired_env r) tests)
+
+let test_icebar () =
+  let tests = Lazy.force gt_tests in
+  let faulty = env_of faulty_quant_src in
+  let r = Repair.Icebar.repair faulty tests in
+  Alcotest.(check bool) "icebar repairs" true r.repaired;
+  Alcotest.(check bool) "oracle passes after repair" true
+    (oracle (repaired_env r))
+
+let test_beafix () =
+  let faulty = env_of faulty_quant_src in
+  let r = Repair.Beafix.repair faulty in
+  Alcotest.(check bool) "beafix repairs quant fault" true r.repaired;
+  Alcotest.(check bool) "oracle passes after repair" true
+    (oracle (repaired_env r))
+
+let test_atr () =
+  let faulty = env_of faulty_weak_fact_src in
+  let r = Repair.Atr.repair faulty in
+  Alcotest.(check bool) "atr repairs weak fact" true r.repaired;
+  Alcotest.(check bool) "oracle passes after repair" true
+    (oracle (repaired_env r))
+
+let test_already_correct () =
+  let env = Lazy.force gt_env in
+  let r = Repair.Beafix.repair env in
+  Alcotest.(check bool) "correct spec accepted unchanged" true
+    (r.repaired && Ast.equal_spec r.final_spec env.spec);
+  let r = Repair.Atr.repair env in
+  Alcotest.(check bool) "atr accepts correct spec" true r.repaired
+
+(* {2 Edge cases} *)
+
+let test_zero_budget () =
+  let faulty = env_of faulty_quant_src in
+  let budget = { Repair.Common.default_budget with max_candidates = 0 } in
+  let r = Repair.Beafix.repair ~budget faulty in
+  Alcotest.(check bool) "no candidates, no repair" false r.repaired;
+  Alcotest.(check bool) "returns the input unchanged" true
+    (Ast.equal_spec r.final_spec faulty.spec);
+  let r = Repair.Atr.repair ~budget faulty in
+  Alcotest.(check bool) "atr with zero budget" false r.repaired
+
+let test_arepair_empty_suite () =
+  let faulty = env_of faulty_quant_src in
+  let r = Repair.Arepair.repair faulty [] in
+  (* an empty suite is vacuously green: ARepair declares success without
+     touching the spec (the overfitting failure mode in its purest form) *)
+  Alcotest.(check bool) "vacuous success" true r.repaired;
+  Alcotest.(check bool) "spec untouched" true
+    (Ast.equal_spec r.final_spec faulty.spec)
+
+let test_icebar_without_checks () =
+  (* no check commands: the property oracle degenerates; ICEBAR must not
+     loop forever and must report honestly *)
+  let env =
+    env_of
+      {|
+sig Node {
+  edges: set Node
+}
+fact Acyclic {
+  some n: Node | n in n.^edges
+}
+run { some edges } for 3
+|}
+  in
+  let tests = Lazy.force gt_tests in
+  let r = Repair.Icebar.repair env tests in
+  Alcotest.(check bool) "terminates" true (r.iterations <= 8);
+  ignore r.repaired
+
+let test_final_spec_always_typechecks () =
+  let tests = Lazy.force gt_tests in
+  List.iter
+    (fun src ->
+      let faulty = env_of src in
+      List.iter
+        (fun r ->
+          Alcotest.(check bool)
+            (r.Repair.Common.tool ^ " final spec type-checks")
+            true
+            (Result.is_ok (Typecheck.check_result r.Repair.Common.final_spec)))
+        [
+          Repair.Arepair.repair faulty tests;
+          Repair.Icebar.repair faulty tests;
+          Repair.Beafix.repair faulty;
+          Repair.Atr.repair faulty;
+        ])
+    [ faulty_quant_src; faulty_weak_fact_src ]
+
+let test_stats_populated () =
+  let faulty = env_of faulty_quant_src in
+  let r = Repair.Beafix.repair faulty in
+  Alcotest.(check bool) "candidates counted" true (r.candidates_tried >= 1);
+  Alcotest.(check string) "tool name" "BeAFix" r.tool
+
+let () =
+  Alcotest.run "repair"
+    [
+      ( "engines",
+        [
+          Alcotest.test_case "faulty specs fail oracle" `Quick
+            test_faulty_fails_oracle;
+          Alcotest.test_case "arepair" `Quick test_arepair;
+          Alcotest.test_case "icebar" `Quick test_icebar;
+          Alcotest.test_case "beafix" `Quick test_beafix;
+          Alcotest.test_case "atr" `Quick test_atr;
+          Alcotest.test_case "already-correct accepted" `Quick
+            test_already_correct;
+        ] );
+      ( "edge cases",
+        [
+          Alcotest.test_case "zero budget" `Quick test_zero_budget;
+          Alcotest.test_case "empty suite" `Quick test_arepair_empty_suite;
+          Alcotest.test_case "no checks" `Quick test_icebar_without_checks;
+          Alcotest.test_case "final spec type-checks" `Quick
+            test_final_spec_always_typechecks;
+          Alcotest.test_case "stats" `Quick test_stats_populated;
+        ] );
+    ]

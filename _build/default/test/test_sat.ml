@@ -1,0 +1,362 @@
+(* Tests for the SAT substrate: solver vs. brute force on random CNFs,
+   classic hard instances, Tseitin faithfulness, cardinality encodings. *)
+
+open Specrepair_sat
+
+let lit v sign = if sign then Lit.pos v else Lit.neg v
+
+(* Brute-force satisfiability of [clauses] over [n] variables. *)
+let brute_force n clauses =
+  let rec try_assignment mask =
+    if mask >= 1 lsl n then false
+    else
+      let value l =
+        let v = Lit.var l in
+        let b = mask land (1 lsl v) <> 0 in
+        if Lit.sign l then b else not b
+      in
+      if List.for_all (fun c -> List.exists value c) clauses then true
+      else try_assignment (mask + 1)
+  in
+  try_assignment 0
+
+let solve_clauses n clauses =
+  let s = Solver.create () in
+  ignore (Solver.new_vars s n);
+  List.iter (Solver.add_clause s) clauses;
+  Solver.solve s
+
+let check_sat msg expected actual =
+  let to_str = function
+    | Solver.Sat -> "sat"
+    | Solver.Unsat -> "unsat"
+    | Solver.Unknown -> "unknown"
+  in
+  Alcotest.(check string) msg (to_str expected) (to_str actual)
+
+(* {2 Unit tests} *)
+
+let test_empty () = check_sat "empty problem" Sat (solve_clauses 0 [])
+
+let test_unit_conflict () =
+  check_sat "x & !x" Unsat (solve_clauses 1 [ [ lit 0 true ]; [ lit 0 false ] ])
+
+let test_simple_sat () =
+  let r =
+    solve_clauses 3
+      [
+        [ lit 0 true; lit 1 true ];
+        [ lit 0 false; lit 2 true ];
+        [ lit 1 false; lit 2 false ];
+      ]
+  in
+  check_sat "3-var sat" Sat r
+
+let test_model_valid () =
+  let s = Solver.create () in
+  ignore (Solver.new_vars s 4);
+  let clauses =
+    [
+      [ lit 0 true; lit 1 true ];
+      [ lit 1 false; lit 2 true ];
+      [ lit 2 false; lit 3 false ];
+      [ lit 0 false; lit 3 true ];
+    ]
+  in
+  List.iter (Solver.add_clause s) clauses;
+  (match Solver.solve s with
+  | Sat -> ()
+  | _ -> Alcotest.fail "expected sat");
+  let value l = if Lit.sign l then Solver.value s (Lit.var l) else not (Solver.value s (Lit.var l)) in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "clause satisfied by model" true (List.exists value c))
+    clauses
+
+(* Pigeonhole principle: n+1 pigeons in n holes is unsatisfiable. *)
+let pigeonhole n =
+  let var p h = (p * n) + h in
+  let clauses = ref [] in
+  for p = 0 to n do
+    clauses := List.init n (fun h -> lit (var p h) true) :: !clauses
+  done;
+  for h = 0 to n - 1 do
+    for p1 = 0 to n do
+      for p2 = p1 + 1 to n do
+        clauses := [ lit (var p1 h) false; lit (var p2 h) false ] :: !clauses
+      done
+    done
+  done;
+  ((n + 1) * n, !clauses)
+
+let test_pigeonhole () =
+  let nvars, clauses = pigeonhole 5 in
+  check_sat "php(6,5)" Unsat (solve_clauses nvars clauses)
+
+let test_assumptions () =
+  let s = Solver.create () in
+  ignore (Solver.new_vars s 2);
+  Solver.add_clause s [ lit 0 false; lit 1 true ];
+  check_sat "assume x0 -> sat" Sat (Solver.solve ~assumptions:[ lit 0 true ] s);
+  Alcotest.(check bool) "x1 forced" true (Solver.value s 1);
+  Solver.add_clause s [ lit 1 false ];
+  check_sat "assume x0 now unsat" Unsat (Solver.solve ~assumptions:[ lit 0 true ] s);
+  check_sat "without assumption still sat" Sat (Solver.solve s);
+  Alcotest.(check bool) "x0 must be false" false (Solver.value s 0)
+
+let test_incremental_blocking () =
+  (* enumerate all 4 models of an unconstrained 2-var problem *)
+  let s = Solver.create () in
+  ignore (Solver.new_vars s 2);
+  Solver.add_clause s [ lit 0 true; lit 0 false ];
+  let count = ref 0 in
+  let rec loop () =
+    match Solver.solve s with
+    | Sat ->
+        incr count;
+        let blocking =
+          List.init 2 (fun v -> lit v (not (Solver.value s v)))
+        in
+        Solver.add_clause s blocking;
+        if !count < 10 then loop ()
+    | Unsat -> ()
+    | Unknown -> Alcotest.fail "unexpected unknown"
+  in
+  loop ();
+  Alcotest.(check int) "model count" 4 !count
+
+let test_budget () =
+  let nvars, clauses = pigeonhole 8 in
+  let s = Solver.create () in
+  ignore (Solver.new_vars s nvars);
+  List.iter (Solver.add_clause s) clauses;
+  match Solver.solve ~max_conflicts:10 s with
+  | Unknown | Unsat -> ()
+  | Sat -> Alcotest.fail "php(9,8) cannot be sat"
+
+(* {2 Formula / Tseitin} *)
+
+let test_formula_simplify () =
+  let open Formula in
+  Alcotest.(check bool) "and [] = true" true (is_true (and_ []));
+  Alcotest.(check bool) "or [] = false" true (is_false (or_ []));
+  Alcotest.(check bool) "and [false] = false" true (is_false (and_ [ fls ]));
+  Alcotest.(check bool) "not not x = x" true (not_ (not_ (var 3)) = var 3);
+  Alcotest.(check bool) "imp false x = true" true (is_true (imp fls (var 0)));
+  Alcotest.(check bool) "ite true a b = a" true (ite tru (var 1) (var 2) = var 1)
+
+let random_formula rand n_vars depth =
+  let rec go depth =
+    if depth = 0 || QCheck2.Gen.generate1 ~rand QCheck2.Gen.(int_bound 4) = 0 then
+      Formula.var (QCheck2.Gen.generate1 ~rand QCheck2.Gen.(int_bound (n_vars - 1)))
+    else
+      match QCheck2.Gen.generate1 ~rand QCheck2.Gen.(int_bound 4) with
+      | 0 -> Formula.not_ (go (depth - 1))
+      | 1 -> Formula.and_ [ go (depth - 1); go (depth - 1) ]
+      | 2 -> Formula.or_ [ go (depth - 1); go (depth - 1) ]
+      | 3 -> Formula.iff (go (depth - 1)) (go (depth - 1))
+      | _ -> Formula.ite (go (depth - 1)) (go (depth - 1)) (go (depth - 1))
+  in
+  go depth
+
+(* Tseitin clauses are equisatisfiable with the asserted formula: for every
+   total assignment of the primary variables that satisfies the formula, the
+   solver must find a model agreeing on primaries; conversely when the solver
+   says unsat, no assignment satisfies the formula. *)
+let test_tseitin_equisat () =
+  let rand = Random.State.make [| 17 |] in
+  for _ = 1 to 120 do
+    let n = 4 in
+    let f = random_formula rand n 4 in
+    let s = Solver.create () in
+    ignore (Solver.new_vars s n);
+    let ts = Tseitin.create s in
+    Tseitin.assert_formula ts f;
+    let brute =
+      let rec try_mask m =
+        if m >= 1 lsl n then false
+        else if Formula.eval (fun v -> m land (1 lsl v) <> 0) f then true
+        else try_mask (m + 1)
+      in
+      try_mask 0
+    in
+    match (Solver.solve s, brute) with
+    | Sat, true ->
+        (* the model restricted to primaries must satisfy f *)
+        Alcotest.(check bool)
+          "model satisfies formula" true
+          (Formula.eval (fun v -> Solver.value s v) f)
+    | Unsat, false -> ()
+    | Sat, false -> Alcotest.fail "solver sat but formula unsatisfiable"
+    | Unsat, true -> Alcotest.fail "solver unsat but formula satisfiable"
+    | Unknown, _ -> Alcotest.fail "unexpected unknown"
+  done
+
+(* {2 Cardinality} *)
+
+let test_card_semantics () =
+  let n = 5 in
+  let fs = List.init n Formula.var in
+  for k = 0 to n + 1 do
+    let al = Card.at_least k fs in
+    let am = Card.at_most k fs in
+    let ex = Card.exactly k fs in
+    for m = 0 to (1 lsl n) - 1 do
+      let env v = m land (1 lsl v) <> 0 in
+      let pop =
+        List.length (List.filter (fun v -> env v) (List.init n Fun.id))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "at_least %d, pop %d" k pop)
+        (pop >= k) (Formula.eval env al);
+      Alcotest.(check bool)
+        (Printf.sprintf "at_most %d, pop %d" k pop)
+        (pop <= k) (Formula.eval env am);
+      Alcotest.(check bool)
+        (Printf.sprintf "exactly %d, pop %d" k pop)
+        (pop = k) (Formula.eval env ex)
+    done
+  done
+
+let test_compare_const () =
+  let fs = List.init 4 Formula.var in
+  let env_of m v = m land (1 lsl v) <> 0 in
+  let pop m = List.length (List.filter (env_of m) (List.init 4 Fun.id)) in
+  List.iter
+    (fun (op, f_op) ->
+      for k = 0 to 5 do
+        let f = Card.compare_const op fs k in
+        for m = 0 to 15 do
+          Alcotest.(check bool)
+            "compare_const agrees with arithmetic" (f_op (pop m) k)
+            (Formula.eval (env_of m) f)
+        done
+      done)
+    [ (`Lt, ( < )); (`Le, ( <= )); (`Eq, ( = )); (`Ne, ( <> )); (`Ge, ( >= )); (`Gt, ( > )) ]
+
+(* {2 Random CNF property} *)
+
+let gen_cnf =
+  QCheck2.Gen.(
+    let* n = int_range 1 8 in
+    let* n_clauses = int_range 1 30 in
+    let gen_lit = map2 (fun v s -> (v mod n, s)) (int_bound (n - 1)) bool in
+    let gen_clause = list_size (int_range 1 4) gen_lit in
+    let* clauses = list_repeat n_clauses gen_clause in
+    return (n, clauses))
+
+let prop_matches_brute_force =
+  QCheck2.Test.make ~count:300 ~name:"solver agrees with brute force" gen_cnf
+    (fun (n, raw) ->
+      let clauses = List.map (List.map (fun (v, s) -> lit v s)) raw in
+      let expected = brute_force n clauses in
+      match solve_clauses n clauses with
+      | Sat -> expected
+      | Unsat -> not expected
+      | Unknown -> false)
+
+let prop_dimacs_roundtrip =
+  QCheck2.Test.make ~count:100 ~name:"dimacs print/parse roundtrip" gen_cnf
+    (fun (n, raw) ->
+      let clauses = List.map (List.map (fun (v, s) -> lit v s)) raw in
+      let cnf = { Dimacs.num_vars = n; clauses } in
+      let text = Format.asprintf "%a" Dimacs.print cnf in
+      let cnf' = Dimacs.parse text in
+      cnf'.Dimacs.clauses = cnf.Dimacs.clauses)
+
+(* {2 Containers} *)
+
+let test_vec_basics () =
+  let v = Vec.create ~dummy:(-1) in
+  Alcotest.(check bool) "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 42 (Vec.get v 42);
+  Vec.set v 42 (-42);
+  Alcotest.(check int) "set" (-42) (Vec.get v 42);
+  Alcotest.(check int) "pop" 99 (Vec.pop v);
+  Alcotest.(check int) "last after pop" 98 (Vec.last v);
+  Vec.shrink v 10;
+  Alcotest.(check int) "shrink" 10 (Vec.length v);
+  Alcotest.(check (list int)) "to_list" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (Vec.to_list v);
+  Vec.swap_remove v 0;
+  Alcotest.(check int) "swap_remove moves last" 9 (Vec.get v 0);
+  Alcotest.(check int) "swap_remove shrinks" 9 (Vec.length v);
+  Vec.clear v;
+  Alcotest.(check bool) "clear" true (Vec.is_empty v)
+
+let test_vec_fold_exists () =
+  let v = Vec.of_list ~dummy:0 [ 1; 2; 3; 4 ] in
+  Alcotest.(check int) "fold sum" 10 (Vec.fold ( + ) 0 v);
+  Alcotest.(check bool) "exists" true (Vec.exists (fun x -> x = 3) v);
+  Alcotest.(check bool) "not exists" false (Vec.exists (fun x -> x = 9) v);
+  let w = Vec.copy v in
+  Vec.set w 0 99;
+  Alcotest.(check int) "copy is independent" 1 (Vec.get v 0)
+
+let test_order_heap () =
+  let activities = [| 5.; 1.; 9.; 3.; 7. |] in
+  let h = Order_heap.create ~activity:(fun v -> activities.(v)) in
+  List.iter (Order_heap.insert h) [ 0; 1; 2; 3; 4 ];
+  Alcotest.(check int) "size" 5 (Order_heap.size h);
+  Alcotest.(check bool) "in_heap" true (Order_heap.in_heap h 3);
+  let order = List.init 5 (fun _ -> Order_heap.remove_max h) in
+  Alcotest.(check (list int)) "max-activity order" [ 2; 4; 0; 3; 1 ] order;
+  Alcotest.(check bool) "empty after drain" true (Order_heap.is_empty h);
+  (* increase restores order *)
+  Order_heap.rebuild h [ 0; 1; 2 ];
+  activities.(1) <- 100.;
+  Order_heap.increase h 1;
+  Alcotest.(check int) "bumped var first" 1 (Order_heap.remove_max h)
+
+let prop_heap_sorted =
+  QCheck2.Test.make ~count:200 ~name:"order heap drains in activity order"
+    QCheck2.Gen.(list_size (int_range 1 30) (float_bound_exclusive 100.))
+    (fun acts ->
+      let arr = Array.of_list acts in
+      let h = Order_heap.create ~activity:(fun v -> arr.(v)) in
+      Array.iteri (fun i _ -> Order_heap.insert h i) arr;
+      let drained = List.init (Array.length arr) (fun _ -> Order_heap.remove_max h) in
+      let values = List.map (fun i -> arr.(i)) drained in
+      values = List.sort (fun a b -> compare b a) values)
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "solver",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "unit conflict" `Quick test_unit_conflict;
+          Alcotest.test_case "simple sat" `Quick test_simple_sat;
+          Alcotest.test_case "model validity" `Quick test_model_valid;
+          Alcotest.test_case "pigeonhole unsat" `Quick test_pigeonhole;
+          Alcotest.test_case "assumptions" `Quick test_assumptions;
+          Alcotest.test_case "incremental blocking" `Quick test_incremental_blocking;
+          Alcotest.test_case "conflict budget" `Quick test_budget;
+        ] );
+      ( "formula",
+        [
+          Alcotest.test_case "smart constructors" `Quick test_formula_simplify;
+          Alcotest.test_case "tseitin equisatisfiable" `Quick test_tseitin_equisat;
+        ] );
+      ( "cardinality",
+        [
+          Alcotest.test_case "counter semantics" `Quick test_card_semantics;
+          Alcotest.test_case "compare_const" `Quick test_compare_const;
+        ] );
+      ( "containers",
+        [
+          Alcotest.test_case "vec basics" `Quick test_vec_basics;
+          Alcotest.test_case "vec fold/exists/copy" `Quick test_vec_fold_exists;
+          Alcotest.test_case "order heap" `Quick test_order_heap;
+          QCheck_alcotest.to_alcotest prop_heap_sorted;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_matches_brute_force;
+          QCheck_alcotest.to_alcotest prop_dimacs_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,506 @@
+(* Tests for the bounded model finder: command outcomes on known specs,
+   validity of extracted instances against the reference evaluator, and a
+   solver/evaluator agreement property over random formulas. *)
+
+open Specrepair_alloy
+module Solver = Specrepair_solver
+module TS = Instance.Tuple_set
+
+let parse_env src = Typecheck.check (Parser.parse src)
+
+let scope n = { Solver.Bounds.default = n; overrides = [] }
+
+let graph_env =
+  lazy
+    (parse_env
+       {|
+sig Node {
+  edges: set Node
+}
+fact NoSelfLoops {
+  all n: Node | n not in n.edges
+}
+pred hasEdge {
+  some edges
+}
+assert Acyclic {
+  no n: Node | n in n.^edges
+}
+run hasEdge for 3
+check Acyclic for 3
+|})
+
+let test_run_sat () =
+  let env = Lazy.force graph_env in
+  match Solver.Analyzer.run_pred env (scope 3) "hasEdge" with
+  | Sat inst ->
+      Alcotest.(check bool) "instance satisfies facts" true
+        (Eval.facts_hold env inst);
+      Alcotest.(check bool) "instance has an edge" true
+        (not (TS.is_empty (Instance.field_tuples inst "edges")))
+  | Unsat | Unknown -> Alcotest.fail "expected an instance"
+
+let test_check_counterexample () =
+  (* the fact forbids self loops but cycles of length > 1 remain *)
+  let env = Lazy.force graph_env in
+  match Solver.Analyzer.check_assert env (scope 3) "Acyclic" with
+  | Sat cex ->
+      Alcotest.(check bool) "cex satisfies facts" true (Eval.facts_hold env cex);
+      let assert_body =
+        (Option.get (Ast.find_assert env.spec "Acyclic")).assert_body
+      in
+      Alcotest.(check bool) "cex violates the assertion" false
+        (Eval.fmla env cex [] assert_body)
+  | Unsat | Unknown -> Alcotest.fail "expected a counterexample"
+
+let test_check_valid () =
+  let env =
+    parse_env
+      {|
+sig Node {
+  edges: set Node
+}
+fact Acyclicity {
+  no n: Node | n in n.^edges
+}
+assert NoSelfLoop {
+  all n: Node | n not in n.edges
+}
+check NoSelfLoop for 3
+|}
+  in
+  match Solver.Analyzer.check_assert env (scope 3) "NoSelfLoop" with
+  | Unsat -> ()
+  | Sat _ -> Alcotest.fail "assertion should hold within scope"
+  | Unknown -> Alcotest.fail "unexpected unknown"
+
+let test_one_sig_and_hierarchy () =
+  let env =
+    parse_env
+      {|
+abstract sig Person {}
+sig Teacher extends Person {}
+sig Student extends Person {}
+one sig School {
+  head: one Teacher
+}
+run { some Student } for 3
+|}
+  in
+  match Solver.Analyzer.solve_fmla env (scope 3) (Parser.parse_fmla "some Student") with
+  | Sat inst ->
+      Alcotest.(check bool) "facts hold" true (Eval.facts_hold env inst);
+      Alcotest.(check int) "exactly one school" 1
+        (List.length (Instance.sig_atoms inst "School"));
+      let teachers = Instance.sig_atoms inst "Teacher" in
+      let students = Instance.sig_atoms inst "Student" in
+      let persons = Instance.sig_atoms inst "Person" in
+      Alcotest.(check bool) "some student" true (students <> []);
+      Alcotest.(check bool) "head is one teacher" true
+        (TS.cardinal (Instance.field_tuples inst "head") = 1);
+      Alcotest.(check bool) "teachers and students partition persons" true
+        (List.sort compare (teachers @ students) = List.sort compare persons)
+  | Unsat | Unknown -> Alcotest.fail "expected an instance"
+
+let test_scope_respected () =
+  let env = Lazy.force graph_env in
+  match
+    Solver.Analyzer.solve_fmla env (scope 2) (Parser.parse_fmla "#Node = 3")
+  with
+  | Unsat -> ()
+  | Sat _ -> Alcotest.fail "3 nodes cannot fit in scope 2"
+  | Unknown -> Alcotest.fail "unexpected unknown"
+
+let test_scope_override () =
+  let env =
+    parse_env
+      {|
+sig A {}
+sig B {}
+run { #A = 4 && #B = 1 } for 2 but 4 A
+|}
+  in
+  let cmd = List.hd env.spec.commands in
+  (match Solver.Analyzer.run_command env cmd with
+  | Sat _ -> ()
+  | _ -> Alcotest.fail "override should allow 4 As");
+  match
+    Solver.Analyzer.solve_fmla env
+      { Solver.Bounds.default = 2; overrides = [] }
+      (Parser.parse_fmla "#A = 4")
+  with
+  | Unsat -> ()
+  | _ -> Alcotest.fail "without override 4 As must not fit"
+
+let test_ternary_field () =
+  let env =
+    parse_env
+      {|
+sig Room {}
+sig Guest {}
+one sig Desk {
+  occupant: Room -> lone Guest
+}
+run { some Desk.occupant } for 2
+|}
+  in
+  match
+    Solver.Analyzer.solve_fmla env (scope 2)
+      (Parser.parse_fmla "some Desk.occupant")
+  with
+  | Sat inst ->
+      Alcotest.(check bool) "facts hold (incl. lone mult)" true
+        (Eval.facts_hold env inst);
+      Alcotest.(check bool) "occupant non-empty" true
+        (not (TS.is_empty (Instance.field_tuples inst "occupant")))
+  | Unsat | Unknown -> Alcotest.fail "expected an instance"
+
+let test_enumerate () =
+  let env =
+    parse_env {|
+sig A {}
+run { some A } for 2
+|}
+  in
+  let instances =
+    Solver.Analyzer.enumerate ~limit:100 env (scope 2)
+      (Parser.parse_fmla "some A")
+  in
+  (* with symmetry breaking the pool is used in order: {A$0}, {A$0, A$1} *)
+  Alcotest.(check int) "two distinct instances" 2 (List.length instances);
+  let distinct =
+    List.for_all
+      (fun i ->
+        List.length (List.filter (fun j -> Instance.equal i j) instances) = 1)
+      instances
+  in
+  Alcotest.(check bool) "all distinct" true distinct
+
+let test_comprehension_translation () =
+  let env =
+    parse_env
+      {|
+sig Node {
+  edges: set Node
+}
+run { some edges } for 3
+|}
+  in
+  (* the set of nodes with no outgoing edge, via a comprehension *)
+  let f =
+    Parser.parse_fmla "some { n: Node | no n.edges } && some edges"
+  in
+  match Solver.Analyzer.solve_fmla env (scope 3) f with
+  | Sat inst ->
+      Alcotest.(check bool) "instance satisfies the formula per evaluator"
+        true
+        (Eval.fmla env inst [] f)
+  | Unsat | Unknown -> Alcotest.fail "expected an instance"
+
+let test_fun_translation () =
+  let env =
+    parse_env
+      {|
+sig Person {
+  parent: lone Person
+}
+fun ancestors[p: Person]: set Person {
+  p.^parent
+}
+fact NoSelfAncestor {
+  all p: Person | p not in ancestors[p]
+}
+assert Irreflexive {
+  no p: Person | p in ancestors[p]
+}
+check Irreflexive for 3
+run { some parent } for 3
+|}
+  in
+  (match Solver.Analyzer.check_assert env (scope 3) "Irreflexive" with
+  | Unsat -> ()
+  | Sat _ -> Alcotest.fail "assertion should follow from the fact"
+  | Unknown -> Alcotest.fail "unexpected unknown");
+  match
+    Solver.Analyzer.solve_fmla env (scope 3) (Parser.parse_fmla "some parent")
+  with
+  | Sat inst ->
+      Alcotest.(check bool) "facts hold on extracted instance" true
+        (Eval.facts_hold env inst)
+  | Unsat | Unknown -> Alcotest.fail "expected an instance"
+
+let test_let_translation () =
+  let env =
+    parse_env
+      {|
+sig Node {
+  edges: set Node
+}
+fact F {
+  all n: Node | let succ = n.edges | n not in succ
+}
+run { some edges } for 3
+|}
+  in
+  match
+    Solver.Analyzer.solve_fmla env (scope 3) (Parser.parse_fmla "some edges")
+  with
+  | Sat inst ->
+      Alcotest.(check bool) "let-constrained facts hold" true
+        (Eval.facts_hold env inst);
+      Alcotest.(check bool) "no self loops" true
+        (Instance.Tuple_set.for_all
+           (fun t -> t.(0) <> t.(1))
+           (Instance.field_tuples inst "edges"))
+  | Unsat | Unknown -> Alcotest.fail "expected an instance"
+
+let test_unknown_budget () =
+  let env = Lazy.force graph_env in
+  match
+    Solver.Analyzer.solve_fmla ~max_conflicts:0 env (scope 4)
+      (Parser.parse_fmla "some n: Node | Node in n.^edges && #edges = 4")
+  with
+  | Unknown | Unsat | Sat _ -> ()
+(* any outcome is fine; this only exercises the budget path *)
+
+let test_symmetry_breaking () =
+  (* atom pools are consumed in index order: an instance with A$1 but not
+     A$0 must never be produced *)
+  let env = parse_env "sig A {} run { some A } for 3" in
+  let instances =
+    Solver.Analyzer.enumerate ~limit:50 env (scope 3) (Parser.parse_fmla "some A")
+  in
+  Alcotest.(check int) "three sizes" 3 (List.length instances);
+  List.iter
+    (fun inst ->
+      let atoms = Instance.sig_atoms inst "A" in
+      let expected = List.init (List.length atoms) (Instance.atom_name "A") in
+      Alcotest.(check (list string)) "prefix of the pool" expected
+        (List.sort compare atoms))
+    instances
+
+let test_contradictory_facts () =
+  let env =
+    parse_env "sig A {} fact F { some A } fact G { no A } run { no none } for 3"
+  in
+  match Solver.Analyzer.solve_fmla env (scope 3) Ast.True with
+  | Unsat -> ()
+  | Sat _ -> Alcotest.fail "contradictory facts must be unsat"
+  | Unknown -> Alcotest.fail "unexpected unknown"
+
+let test_one_sig_exactness () =
+  let env = parse_env "one sig S {} sig A {} run { some A } for 3" in
+  let instances =
+    Solver.Analyzer.enumerate ~limit:50 env (scope 3) Ast.True
+  in
+  Alcotest.(check bool) "instances exist" true (instances <> []);
+  List.iter
+    (fun inst ->
+      Alcotest.(check int) "S always a singleton" 1
+        (List.length (Instance.sig_atoms inst "S")))
+    instances
+
+(* {2 Agreement property}
+
+   For a fixed two-signature vocabulary, enumerate every instance of the
+   facts within scope 2 (exhaustively), then compare: the model finder says
+   Sat for a random formula iff some enumerated instance satisfies it per
+   the reference evaluator. *)
+
+let vocab_env =
+  lazy
+    (parse_env
+       {|
+sig Node {
+  edges: set Node,
+  tag: set Mark
+}
+sig Mark {}
+fact SmallEdges { #edges <= 2 }
+|})
+
+let all_instances =
+  lazy
+    (let env = Lazy.force vocab_env in
+     let instances =
+       Solver.Analyzer.enumerate ~limit:100000 env (scope 2) Ast.True
+     in
+     (* the enumeration must be exhaustive for the property to be sound *)
+     assert (List.length instances < 100000);
+     instances)
+
+let gen_vocab_fmla =
+  let open QCheck2.Gen in
+  let unary = oneofl [ Ast.Rel "Node"; Rel "Mark"; Univ; None_ ] in
+  let binary = oneofl [ Ast.Rel "edges"; Rel "tag"; Iden ] in
+  let rec e1 n =
+    if n = 0 then unary
+    else
+      frequency
+        [
+          (2, unary);
+          ( 2,
+            map3
+              (fun op a b -> Ast.Binop (op, a, b))
+              (oneofl [ Ast.Union; Diff; Inter ])
+              (e1 (n - 1)) (e1 (n - 1)) );
+          (2, map2 (fun a b -> Ast.Binop (Join, a, b)) (e1 (n - 1)) (e2 (n - 1)));
+          (1, map2 (fun s e -> Ast.Binop (Domrestr, s, e)) (e1 (n - 1)) (e1 (n - 1)));
+        ]
+  and e2 n =
+    if n = 0 then binary
+    else
+      frequency
+        [
+          (3, binary);
+          ( 2,
+            map3
+              (fun op a b -> Ast.Binop (op, a, b))
+              (oneofl [ Ast.Union; Diff; Inter ])
+              (e2 (n - 1)) (e2 (n - 1)) );
+          (1, map (fun e -> Ast.Unop (Closure, e)) (fun_of_e2 (n - 1)));
+          (1, map2 (fun a b -> Ast.Binop (Product, a, b)) (e1 (n - 1)) (e1 (n - 1)));
+        ]
+  and fun_of_e2 n = map (fun e -> e) (e2_edges n)
+  and e2_edges n =
+    (* closure only over homogeneous Node->Node expressions *)
+    if n = 0 then oneofl [ Ast.Rel "edges"; Iden ]
+    else
+      frequency
+        [
+          (3, oneofl [ Ast.Rel "edges"; Iden ]);
+          ( 1,
+            map3
+              (fun op a b -> Ast.Binop (op, a, b))
+              (oneofl [ Ast.Union; Inter; Diff ])
+              (e2_edges (n - 1)) (e2_edges (n - 1)) );
+        ]
+  in
+  let cmp =
+    let* op = oneofl [ Ast.Cin; Ceq ] in
+    let* two = bool in
+    if two then map2 (fun a b -> Ast.Cmp (op, a, b)) (e2 1) (e2 1)
+    else map2 (fun a b -> Ast.Cmp (op, a, b)) (e1 1) (e1 1)
+  in
+  let multf =
+    map2
+      (fun m e -> Ast.Multf (m, e))
+      (oneofl [ Ast.Fno; Fsome; Flone; Fone ])
+      (oneof [ e1 1; e2 1 ])
+  in
+  let card =
+    map3
+      (fun op e k -> Ast.Card (op, e, k))
+      (oneofl [ Ast.Ile; Ieq; Ige ])
+      (oneof [ e1 1; e2 1 ])
+      (int_bound 3)
+  in
+  let rec f n =
+    if n = 0 then oneof [ cmp; multf; card ]
+    else
+      frequency
+        [
+          (3, oneof [ cmp; multf; card ]);
+          (1, map (fun g -> Ast.Not g) (f (n - 1)));
+          (2, map2 (fun a b -> Ast.And (a, b)) (f (n - 1)) (f (n - 1)));
+          (2, map2 (fun a b -> Ast.Or (a, b)) (f (n - 1)) (f (n - 1)));
+          ( 1,
+            map3
+              (fun q x body -> Ast.Quant (q, [ (x, Ast.Rel "Node") ], body))
+              (oneofl [ Ast.Qall; Qsome; Qno; Qone ])
+              (oneofl [ "x"; "y" ])
+              (f (n - 1)) );
+        ]
+  in
+  f 2
+
+(* Matrix operations on constant matrices must coincide with the
+   evaluator's tuple-set operations. *)
+let prop_matrix_ops_agree =
+  let open QCheck2 in
+  let atoms = [| "a"; "b"; "c" |] in
+  let gen_pairs =
+    Gen.(
+      list_size (int_bound 6)
+        (map2 (fun i j -> [| atoms.(i mod 3); atoms.(j mod 3) |]) (int_bound 2) (int_bound 2)))
+  in
+  Test.make ~count:200 ~name:"matrix ops agree with tuple-set ops"
+    Gen.(pair gen_pairs gen_pairs)
+    (fun (ts1, ts2) ->
+      let module M = Specrepair_solver.Matrix in
+      let module F = Specrepair_sat.Formula in
+      let set1 = TS.of_list ts1 and set2 = TS.of_list ts2 in
+      let m1 = M.constant 2 (TS.elements set1) in
+      let m2 = M.constant 2 (TS.elements set2) in
+      let to_set m =
+        List.fold_left
+          (fun acc (t, f) -> if F.is_true f then TS.add t acc else acc)
+          TS.empty (M.support m)
+      in
+      let check_op name mop sop =
+        let got = to_set (mop m1 m2) in
+        let want = sop set1 set2 in
+        if TS.equal got want then true
+        else QCheck2.Test.fail_reportf "%s disagrees" name
+      in
+      check_op "union" M.union TS.union
+      && check_op "inter" M.inter TS.inter
+      && check_op "diff" M.diff TS.diff
+      &&
+      (* unary: transpose and closure against the evaluator's versions *)
+      let trans_got = to_set (M.transpose m1) in
+      let trans_want = TS.map (fun t -> [| t.(1); t.(0) |]) set1 in
+      TS.equal trans_got trans_want
+      &&
+      let inst =
+        { Instance.sigs = [ ("A", Array.to_list atoms) ]; fields = [ ("r", set1) ] }
+      in
+      let env =
+        Typecheck.check (Parser.parse "sig A { r: set A }")
+      in
+      let closure_want = Eval.expr env inst [] (Parser.parse_expr "^r") in
+      TS.equal (to_set (M.closure m1)) closure_want)
+
+let prop_solver_agrees_with_eval =
+  QCheck2.Test.make ~count:150 ~name:"model finder agrees with evaluator"
+    ~print:Pretty.fmla_to_string gen_vocab_fmla
+    (fun f ->
+      let env = Lazy.force vocab_env in
+      let instances = Lazy.force all_instances in
+      let eval_sat =
+        List.exists (fun inst -> Eval.fmla env inst [] f) instances
+      in
+      match Solver.Analyzer.solve_fmla env (scope 2) f with
+      | Sat inst -> eval_sat && Eval.fmla env inst [] f && Eval.facts_hold env inst
+      | Unsat -> not eval_sat
+      | Unknown -> false)
+
+let () =
+  Alcotest.run "solver"
+    [
+      ( "analyzer",
+        [
+          Alcotest.test_case "run finds instance" `Quick test_run_sat;
+          Alcotest.test_case "check finds counterexample" `Quick
+            test_check_counterexample;
+          Alcotest.test_case "check valid assertion" `Quick test_check_valid;
+          Alcotest.test_case "one sig + hierarchy" `Quick
+            test_one_sig_and_hierarchy;
+          Alcotest.test_case "scope respected" `Quick test_scope_respected;
+          Alcotest.test_case "scope override" `Quick test_scope_override;
+          Alcotest.test_case "ternary field" `Quick test_ternary_field;
+          Alcotest.test_case "enumeration" `Quick test_enumerate;
+          Alcotest.test_case "comprehension" `Quick test_comprehension_translation;
+          Alcotest.test_case "fun translation" `Quick test_fun_translation;
+          Alcotest.test_case "let translation" `Quick test_let_translation;
+          Alcotest.test_case "symmetry breaking" `Quick test_symmetry_breaking;
+          Alcotest.test_case "contradictory facts" `Quick test_contradictory_facts;
+          Alcotest.test_case "one sig exactness" `Quick test_one_sig_exactness;
+          Alcotest.test_case "budget path" `Quick test_unknown_budget;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_matrix_ops_agree;
+          QCheck_alcotest.to_alcotest prop_solver_agrees_with_eval;
+        ] );
+    ]

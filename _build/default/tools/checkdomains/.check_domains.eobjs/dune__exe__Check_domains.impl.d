@@ -1,0 +1,1 @@
+tools/checkdomains/check_domains.ml: List Printexc Printf Specrepair_benchmarks Specrepair_repair String

@@ -1,0 +1,1 @@
+tools/checkdomains/check_domains.mli:

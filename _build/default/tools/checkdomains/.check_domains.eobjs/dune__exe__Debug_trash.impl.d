@@ -1,0 +1,1 @@
+tools/checkdomains/debug_trash.ml: Format List Option Printf Specrepair_alloy Specrepair_benchmarks Specrepair_repair

@@ -1,0 +1,1 @@
+tools/checkdomains/debug_trash.mli:

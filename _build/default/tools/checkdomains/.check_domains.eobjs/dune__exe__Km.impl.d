@@ -1,0 +1,1 @@
+tools/checkdomains/km.ml: List Option Printf Specrepair_alloy Specrepair_benchmarks Specrepair_metrics

@@ -1,0 +1,1 @@
+tools/checkdomains/km.mli:

@@ -1,0 +1,1 @@
+tools/checkdomains/prof2.ml: List Option Printf Specrepair_benchmarks Specrepair_eval Unix

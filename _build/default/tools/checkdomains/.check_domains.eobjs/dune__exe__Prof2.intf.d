@@ -1,0 +1,1 @@
+tools/checkdomains/prof2.mli:

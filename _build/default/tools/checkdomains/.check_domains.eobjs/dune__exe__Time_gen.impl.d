@@ -1,0 +1,1 @@
+tools/checkdomains/time_gen.ml: Hashtbl List Option Printf Specrepair_benchmarks Unix

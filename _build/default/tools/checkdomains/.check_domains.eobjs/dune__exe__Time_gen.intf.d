@@ -1,0 +1,1 @@
+tools/checkdomains/time_gen.mli:

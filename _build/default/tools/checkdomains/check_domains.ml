@@ -1,0 +1,17 @@
+let () =
+  List.iter
+    (fun (d : Specrepair_benchmarks.Domains.t) ->
+      let name = d.name in
+      (try
+         let env = Specrepair_benchmarks.Domains.env d in
+         let ok = Specrepair_repair.Common.oracle_passes ~max_conflicts:50000 env in
+         Printf.printf "%-12s typecheck=ok oracle=%b\n%!" name ok;
+         if ok then begin
+           let inj = Specrepair_benchmarks.Fault.inject ~seed:42 d ~index:0 in
+           Printf.printf "             fault[0]: class=%s sites=%s revert=%s\n%!"
+             inj.class_name
+             (String.concat "," (List.map Specrepair_benchmarks.Fault.Mutation.Location.site_to_string inj.sites))
+             (String.concat "," inj.revert_classes)
+         end
+       with e -> Printf.printf "%-12s ERROR: %s\n%!" name (Printexc.to_string e)))
+    Specrepair_benchmarks.Domains.all

@@ -1,0 +1,17 @@
+module B = Specrepair_benchmarks
+module R = Specrepair_repair
+module A = Specrepair_alloy
+
+let () =
+  let d = Option.get (B.Domains.find "trash") in
+  List.iter (fun i ->
+    let v = List.nth (B.Generate.variants d) i in
+    let inj = v.injected in
+    Printf.printf "=== variant %d: class=%s\n" i inj.class_name;
+    List.iter (fun m -> Format.printf "  mutation: %a@." B.Fault.Mutation.Mutate.pp m) inj.mutations;
+    let env = A.Typecheck.check inj.faulty in
+    let r = R.Beafix.repair env in
+    Printf.printf "  beafix: claimed=%b tried=%d\n" r.repaired r.candidates_tried;
+    let r = R.Atr.repair env in
+    Printf.printf "  atr: claimed=%b tried=%d\n%!" r.repaired r.candidates_tried)
+    [0;1;2]

@@ -1,0 +1,34 @@
+module B = Specrepair_benchmarks
+module R = Specrepair_repair
+module A = Specrepair_alloy
+module S = Specrepair_solver
+module F = Specrepair_faultloc.Faultloc
+module Mu = Specrepair_mutation
+
+let () =
+  let d = Option.get (B.Domains.find "trash") in
+  let v = List.nth (B.Generate.variants d) 2 in
+  let env = A.Typecheck.check v.injected.faulty in
+  let failing = R.Common.failing_checks env in
+  Printf.printf "failing checks: %s\n"
+    (String.concat "," (List.map (fun (_, n, _) -> n) failing));
+  (match failing with
+   | (c, name, _) :: _ ->
+     let a = Option.get (A.Ast.find_assert env.spec name) in
+     let scope = S.Bounds.scope_of_command c in
+     let cexs = R.Common.counterexamples_for ~limit:3 env name scope in
+     let wits = R.Common.witnesses_for ~limit:3 env name scope in
+     Printf.printf "cexs=%d wits=%d\n" (List.length cexs) (List.length wits);
+     ignore a;
+     let ranked = F.rank_by_instances env ~goal_of:(F.goal_of_assert name)
+         ~counterexamples:cexs ~witnesses:wits () in
+     List.iter (fun (l : F.location) ->
+       Format.printf "  ranked: %a@." F.pp_location l) ranked
+   | [] -> ());
+  (* manually apply the known revert *)
+  let revert_body = A.Parser.parse_fmla "no f: File | f in Trash.contents && f in Live.files" in
+  let fixed = Mu.Location.with_body v.injected.faulty (Assert_site "NoBoth") revert_body in
+  let env' = A.Typecheck.check fixed in
+  Printf.printf "revert oracle passes: %b\n" (R.Common.oracle_passes env');
+  Printf.printf "revert REP: %b\n"
+    (Specrepair_metrics.Rep.rep ~ground_truth:v.ground_truth ~candidate:fixed ())

@@ -1,0 +1,15 @@
+module B = Specrepair_benchmarks
+module M = Specrepair_metrics
+let () =
+  let d = Option.get (B.Domains.find "classroom") in
+  let v = List.nth (B.Generate.variants d) 0 in
+  let gt = v.ground_truth and f = v.injected.faulty in
+  List.iter (fun decay ->
+    let t1 = M.Tree_kernel.of_spec gt and t2 = M.Tree_kernel.of_spec f in
+    Printf.printf "decay %.2f: SM(gt,faulty)=%.3f\n%!" decay
+      (M.Tree_kernel.similarity ~decay t1 t2))
+    [0.5; 0.3; 0.2; 0.1; 0.05];
+  Printf.printf "TM(gt,faulty)=%.3f\n"
+    (M.Bleu.token_match
+       ~reference:(Specrepair_alloy.Pretty.spec_to_string gt)
+       ~candidate:(Specrepair_alloy.Pretty.spec_to_string f))

@@ -1,0 +1,15 @@
+module B = Specrepair_benchmarks
+module E = Specrepair_eval
+let () =
+  let d = Option.get (B.Domains.find "classroom") in
+  let vs = List.filteri (fun i _ -> i < 8) (B.Generate.variants d) in
+  List.iter
+    (fun tech ->
+      let t0 = Unix.gettimeofday () in
+      let rows = E.Study.run ~techniques:[ tech ] vs in
+      let reps = List.fold_left (fun a (r : E.Study.spec_result) -> a + r.rep) 0 rows in
+      Printf.printf "%-24s %6.1f ms/variant  rep=%d/8\n%!"
+        (E.Technique.name tech)
+        ((Unix.gettimeofday () -. t0) *. 1000. /. 8.)
+        reps)
+    E.Technique.all

@@ -1,0 +1,22 @@
+module B = Specrepair_benchmarks
+module E = Specrepair_eval
+let () =
+  let d = Option.get (B.Domains.find "classroom") in
+  let all = B.Generate.variants d in
+  let vs = List.filteri (fun i _ -> i >= 200 && i < 230) all in
+  List.iter
+    (fun (v : B.Generate.variant) ->
+      let t0 = Unix.gettimeofday () in
+      let rows = E.Study.run ~techniques:E.Technique.all [ v ] in
+      let dt = (Unix.gettimeofday () -. t0) *. 1000. in
+      if dt > 800. then begin
+        Printf.printf "%s class=%s %.0f ms:" v.id v.injected.class_name dt;
+        List.iter
+          (fun (r : E.Study.spec_result) ->
+            if r.time_ms > 150. then
+              Printf.printf " %s=%.0fms" r.technique r.time_ms)
+          rows;
+        print_newline ()
+      end)
+    vs;
+  Printf.printf "done\n"

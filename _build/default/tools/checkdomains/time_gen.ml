@@ -1,0 +1,13 @@
+let () =
+  let t0 = Unix.gettimeofday () in
+  let d = Option.get (Specrepair_benchmarks.Domains.find "classroom") in
+  let vs = Specrepair_benchmarks.Generate.variants d in
+  Printf.printf "classroom: %d variants in %.1fs\n%!" (List.length vs)
+    (Unix.gettimeofday () -. t0);
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun (v : Specrepair_benchmarks.Generate.variant) ->
+      let c = v.injected.class_name in
+      Hashtbl.replace counts c (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
+    vs;
+  Hashtbl.iter (Printf.printf "  %-15s %d\n") counts
