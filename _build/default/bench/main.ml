@@ -7,8 +7,10 @@
    operations with Bechamel (one Test.make per table/figure).
 
    Environment:
-     BENCH_SAMPLE   variants per domain for the embedded study (default 2;
-                    the full-scale run is `specrepair evaluate`). *)
+     BENCH_SAMPLE     variants per domain for the embedded study (default 2;
+                      the full-scale run is `specrepair evaluate`).
+     BENCH_ORACLE_OUT where to write the oracle stage's JSON artifact
+                      (default BENCH_oracle.json in the working directory). *)
 
 open Bechamel
 open Toolkit
@@ -77,6 +79,144 @@ let () =
     \  gpt-3.5 profile:      %d/%d\n\n%!"
     n full n no_hc n no_mc n portfolio n weaker_model n
 
+(* {2 Oracle stages: incremental vs fresh candidate checking}
+
+   A repair-shaped workload: every candidate is a faulty single- or
+   double-edit variant of a domain's ground truth, and the loop asks the
+   property oracle about each one — the inner loop of ATR, BeAFix, and
+   ICEBAR.  The fresh stage rebuilds a solver and retranslates the spec on
+   every query; the incremental stage shares one oracle session per domain
+   (activation literals, learned clauses, verdict cache).  Each candidate
+   is queried twice, as repair loops do (once to score, once to
+   re-verify), and both stages must agree on every verdict. *)
+
+let oracle_workload =
+  let domains = List.filteri (fun i _ -> i < 3) S.Benchmarks.Domains.all in
+  List.map
+    (fun d ->
+      let candidates =
+        List.filter_map
+          (fun index ->
+            match S.Benchmarks.Fault.inject ~seed:7 d ~index with
+            | inj -> (
+                match S.Alloy.Typecheck.check_result inj.faulty with
+                | Ok env -> Some env
+                | Error _ -> None)
+            | exception Failure _ -> None)
+          (List.init 8 Fun.id)
+      in
+      (d, candidates))
+    domains
+
+let check_workload ~mk_oracle () =
+  List.fold_left
+    (fun acc (d, candidates) ->
+      let oracle = mk_oracle d in
+      List.fold_left
+        (fun acc env ->
+          let p1 = S.Repair.Common.oracle_passes ?oracle env in
+          let p2 = S.Repair.Common.oracle_passes ?oracle env in
+          acc + (if p1 then 1 else 0) + if p2 then 1 else 0)
+        acc candidates)
+    0 oracle_workload
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.)
+
+let () =
+  let n_candidates =
+    List.fold_left (fun n (_, cs) -> n + List.length cs) 0 oracle_workload
+  in
+  let fresh_passes, fresh_ms =
+    time_ms (fun () -> check_workload ~mk_oracle:(fun _ -> None) ())
+  in
+  let oracles = ref [] in
+  let inc_passes, incremental_ms =
+    time_ms (fun () ->
+        check_workload
+          ~mk_oracle:(fun d ->
+            let o = S.Analyzer.Oracle.create (S.Benchmarks.Domains.env d) in
+            oracles := o :: !oracles;
+            Some o)
+          ())
+  in
+  if fresh_passes <> inc_passes then
+    failwith
+      (Printf.sprintf
+         "oracle stages disagree: fresh says %d passing, incremental %d"
+         fresh_passes inc_passes);
+  let speedup = fresh_ms /. incremental_ms in
+  let stats =
+    List.fold_left
+      (fun (acc : S.Analyzer.Oracle.stats) o ->
+        let s = S.Analyzer.Oracle.stats o in
+        {
+          S.Analyzer.Oracle.verdict_hits = acc.verdict_hits + s.verdict_hits;
+          verdict_misses = acc.verdict_misses + s.verdict_misses;
+          instance_hits = acc.instance_hits + s.instance_hits;
+          instance_misses = acc.instance_misses + s.instance_misses;
+          fallback_queries = acc.fallback_queries + s.fallback_queries;
+          formulas_translated = acc.formulas_translated + s.formulas_translated;
+          formulas_reused = acc.formulas_reused + s.formulas_reused;
+          contexts = acc.contexts + s.contexts;
+        })
+      {
+        S.Analyzer.Oracle.verdict_hits = 0;
+        verdict_misses = 0;
+        instance_hits = 0;
+        instance_misses = 0;
+        fallback_queries = 0;
+        formulas_translated = 0;
+        formulas_reused = 0;
+        contexts = 0;
+      }
+      !oracles
+  in
+  Printf.printf
+    "ORACLE (%d candidates over %d domains, 2 full property checks each)\n\n\
+    \  oracle-fresh:       %8.1f ms\n\
+    \  oracle-incremental: %8.1f ms\n\
+    \  speedup:            %8.2fx\n\
+    \  verdict cache:      %d hits / %d solved\n\
+    \  translations:       %d fresh / %d reused (%d contexts)\n\n%!"
+    n_candidates (List.length oracle_workload) fresh_ms incremental_ms speedup
+    stats.verdict_hits stats.verdict_misses stats.formulas_translated
+    stats.formulas_reused stats.contexts;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"sample\": %d,\n\
+      \  \"domains\": %d,\n\
+      \  \"candidates\": %d,\n\
+      \  \"fresh_ms\": %.3f,\n\
+      \  \"incremental_ms\": %.3f,\n\
+      \  \"speedup\": %.3f,\n\
+      \  \"verdict_hits\": %d,\n\
+      \  \"verdict_misses\": %d,\n\
+      \  \"instance_hits\": %d,\n\
+      \  \"instance_misses\": %d,\n\
+      \  \"fallback_queries\": %d,\n\
+      \  \"formulas_translated\": %d,\n\
+      \  \"formulas_reused\": %d,\n\
+      \  \"contexts\": %d\n\
+       }\n"
+      sample_size
+      (List.length oracle_workload)
+      n_candidates fresh_ms incremental_ms speedup stats.verdict_hits
+      stats.verdict_misses stats.instance_hits stats.instance_misses
+      stats.fallback_queries stats.formulas_translated stats.formulas_reused
+      stats.contexts
+  in
+  let path =
+    Option.value (Sys.getenv_opt "BENCH_ORACLE_OUT") ~default:"BENCH_oracle.json"
+  in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "oracle artifact written to %s\n\n%!" path
+
 (* {2 Timed benchmarks} *)
 
 (* inputs for the substrate benches *)
@@ -123,6 +263,26 @@ let bench_tests =
         (Staged.stage (fun () ->
              S.Analyzer.check_assert (Lazy.force graph_env)
                S.Analyzer.default_scope "NoLoop"));
+      (* candidate checking, one domain's worth: per-query solver rebuild
+         vs one shared incremental session (created inside the run, so its
+         setup cost is charged to the incremental side) *)
+      Test.make ~name:"oracle-fresh"
+        (Staged.stage (fun () ->
+             let d, candidates = List.hd oracle_workload in
+             ignore d;
+             List.iter
+               (fun env -> ignore (S.Repair.Common.oracle_passes env))
+               candidates));
+      Test.make ~name:"oracle-incremental"
+        (Staged.stage (fun () ->
+             let d, candidates = List.hd oracle_workload in
+             let oracle =
+               S.Analyzer.Oracle.create (S.Benchmarks.Domains.env d)
+             in
+             List.iter
+               (fun env ->
+                 ignore (S.Repair.Common.oracle_passes ~oracle env))
+               candidates));
       Test.make ~name:"repair-beafix"
         (Staged.stage (fun () -> S.Repair.Beafix.repair (Lazy.force faulty_env)));
       Test.make ~name:"repair-atr"

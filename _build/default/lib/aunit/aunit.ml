@@ -32,14 +32,22 @@ let run_suite env tests =
 
 let all_pass env tests = List.for_all (run_test env) tests
 
-let generate ?(per_kind = 4) (env : Alloy.Typecheck.env) ~scope =
+let generate ?oracle ?(per_kind = 4) (env : Alloy.Typecheck.env) ~scope =
+  (* the oracle memoizes enumeration on the spec digest, so regenerating a
+     suite for the same ground truth (every fault of a domain shares it) is
+     a cache hit; answers are identical either way *)
+  let enumerate ~limit env scope f =
+    match oracle with
+    | Some o -> Solver.Oracle.enumerate ~limit o env scope f
+    | None -> Solver.Analyzer.enumerate ~limit env scope f
+  in
   let name_counter = ref 0 in
   let fresh prefix =
     incr name_counter;
     Printf.sprintf "%s_%d" prefix !name_counter
   in
   let positives =
-    Solver.Analyzer.enumerate ~limit:per_kind env scope Ast.True
+    enumerate ~limit:per_kind env scope Ast.True
     |> List.map (fun inst ->
            { test_name = fresh "facts_pos"; valuation = inst; target = Facts; expect = true })
   in
@@ -58,7 +66,7 @@ let generate ?(per_kind = 4) (env : Alloy.Typecheck.env) ~scope =
                (fun acc f -> Ast.And (acc, f.Ast.fact_body))
                Ast.True facts)
         in
-        Solver.Analyzer.enumerate ~limit:per_kind env' scope not_facts
+        enumerate ~limit:per_kind env' scope not_facts
         |> List.map (fun inst ->
                {
                  test_name = fresh "facts_neg";
@@ -76,7 +84,7 @@ let generate ?(per_kind = 4) (env : Alloy.Typecheck.env) ~scope =
           | params -> Ast.Quant (Ast.Qsome, params, p.pred_body)
         in
         let holds =
-          Solver.Analyzer.enumerate ~limit:(max 1 (per_kind / 2)) env scope goal
+          enumerate ~limit:(max 1 (per_kind / 2)) env scope goal
           |> List.map (fun inst ->
                  {
                    test_name = fresh ("pred_" ^ p.pred_name ^ "_pos");
@@ -86,8 +94,7 @@ let generate ?(per_kind = 4) (env : Alloy.Typecheck.env) ~scope =
                  })
         in
         let fails =
-          Solver.Analyzer.enumerate ~limit:(max 1 (per_kind / 2)) env scope
-            (Ast.Not goal)
+          enumerate ~limit:(max 1 (per_kind / 2)) env scope (Ast.Not goal)
           |> List.map (fun inst ->
                  {
                    test_name = fresh ("pred_" ^ p.pred_name ^ "_neg");

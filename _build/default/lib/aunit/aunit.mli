@@ -35,6 +35,7 @@ val run_suite : Alloy.Typecheck.env -> test list -> verdict
 val all_pass : Alloy.Typecheck.env -> test list -> bool
 
 val generate :
+  ?oracle:Specrepair_solver.Oracle.t ->
   ?per_kind:int ->
   Alloy.Typecheck.env ->
   scope:Specrepair_solver.Bounds.scope ->
@@ -44,7 +45,9 @@ val generate :
     bare signature structure that violate the facts become negative ones,
     and for every predicate, instances where it holds (under the facts)
     become positive [Pred] tests.  [per_kind] bounds each group
-    (default 4).  Generation is deterministic (solver enumeration order). *)
+    (default 4).  Generation is deterministic (solver enumeration order);
+    with [?oracle] the enumerations are memoized on the spec digest and
+    identical to the unmemoized ones. *)
 
 val of_counterexample : name:string -> Alloy.Instance.t -> test
 (** ICEBAR-style conversion: the instance was a counterexample to a checked

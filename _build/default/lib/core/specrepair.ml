@@ -31,6 +31,7 @@ module Analyzer = struct
   module Bounds = Specrepair_solver.Bounds
   module Matrix = Specrepair_solver.Matrix
   module Translate = Specrepair_solver.Translate
+  module Oracle = Specrepair_solver.Oracle
   include Specrepair_solver.Analyzer
 end
 

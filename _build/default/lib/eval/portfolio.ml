@@ -18,14 +18,18 @@ let repair ?(seed = 42) ?(budget = Common.default_budget)
           ~candidates:0 ~iterations:0,
         Unrepaired )
   | Ok env -> (
-      let atr = Repair.Atr.repair ~budget env in
+      (* one incremental session spans both stages: everything ATR learned
+         about the spec (translations, clauses, candidate verdicts) is
+         already in the oracle when the LLM loop starts from its output *)
+      let oracle = Specrepair_solver.Oracle.create env in
+      let atr = Repair.Atr.repair ~oracle ~budget env in
       if atr.repaired then
         ( { atr with Common.tool = "Portfolio" }, Traditional_sufficed )
       else begin
         (* hand the traditional engine's best effort to the LLM loop *)
         let task' = { task with Llm.Task.faulty = atr.final_spec } in
         let mr =
-          Llm.Multi_round.repair ~seed ~profile
+          Llm.Multi_round.repair ~oracle ~seed ~profile
             ~max_conflicts:budget.Common.max_conflicts task'
             Llm.Multi_round.Auto
         in

@@ -19,6 +19,22 @@ type spec_result = {
 
 let suite_cache : (string, Aunit.test list) Hashtbl.t = Hashtbl.create 18
 
+(* One incremental oracle per domain, shared by every variant and technique:
+   faults mutate only constraint bodies, so all of a domain's variants (and
+   their repair candidates) declare the ground truth's signatures and can
+   reuse its solving contexts and verdict cache.  Candidates recur heavily
+   across techniques — the cache answers the repeats. *)
+let oracle_cache : (string, Specrepair_solver.Oracle.t) Hashtbl.t =
+  Hashtbl.create 18
+
+let domain_oracle (d : Benchmarks.Domains.t) =
+  match Hashtbl.find_opt oracle_cache d.name with
+  | Some o -> o
+  | None ->
+      let o = Specrepair_solver.Oracle.create (Benchmarks.Domains.env d) in
+      Hashtbl.replace oracle_cache d.name o;
+      o
+
 let aunit_suite (d : Benchmarks.Domains.t) =
   match Hashtbl.find_opt suite_cache d.name with
   | Some s -> s
@@ -30,7 +46,7 @@ let aunit_suite (d : Benchmarks.Domains.t) =
         | c :: _ -> Specrepair_solver.Bounds.scope_of_command c
         | [] -> Specrepair_solver.Analyzer.default_scope
       in
-      let s = Aunit.generate ~per_kind:4 env ~scope in
+      let s = Aunit.generate ~oracle:(domain_oracle d) ~per_kind:4 env ~scope in
       Hashtbl.replace suite_cache d.name s;
       s
 
@@ -62,21 +78,25 @@ let apply_technique ~seed ~budget technique (v : Benchmarks.Generate.variant) =
     | Error msg -> failwith ("faulty variant does not type-check: " ^ msg)
   in
   let take n xs = List.filteri (fun i _ -> i < n) xs in
+  let oracle = domain_oracle v.domain in
   match (technique : Technique.t) with
   | Technique.ARepair ->
       (* ARepair sees a thinner suite than ICEBAR accumulates, mirroring the
-         limited hand-written AUnit tests it shipped with *)
+         limited hand-written AUnit tests it shipped with; its search is
+         pure test evaluation, so it takes no oracle (the suite itself is
+         oracle-generated) *)
       Repair.Arepair.repair ~budget (faulty_env ())
         (take 3 (aunit_suite v.domain))
   | Technique.ICEBAR ->
-      Repair.Icebar.repair ~budget (faulty_env ()) (aunit_suite v.domain)
-  | Technique.BeAFix -> Repair.Beafix.repair ~budget (faulty_env ())
-  | Technique.ATR -> Repair.Atr.repair ~budget (faulty_env ())
+      Repair.Icebar.repair ~oracle ~budget (faulty_env ())
+        (aunit_suite v.domain)
+  | Technique.BeAFix -> Repair.Beafix.repair ~oracle ~budget (faulty_env ())
+  | Technique.ATR -> Repair.Atr.repair ~oracle ~budget (faulty_env ())
   | Technique.Single setting ->
-      Llm.Single_round.repair ~seed ~profile:(profile_for v.domain)
+      Llm.Single_round.repair ~oracle ~seed ~profile:(profile_for v.domain)
         (Benchmarks.Generate.to_task v) setting
   | Technique.Multi fb ->
-      Llm.Multi_round.repair ~seed ~profile:(profile_for v.domain)
+      Llm.Multi_round.repair ~oracle ~seed ~profile:(profile_for v.domain)
         ~max_conflicts:budget.Repair.Common.max_conflicts
         (Benchmarks.Generate.to_task v) fb
 
@@ -203,19 +223,47 @@ let run_parallel ?(seed = 42) ?(budget = Repair.Common.default_budget)
               Stdlib.exit 0
           | pid -> (pid, path))
     in
-    let results =
-      List.concat_map
-        (fun (pid, path) ->
-          let _, status = Unix.waitpid [] pid in
-          (match status with
-          | Unix.WEXITED 0 -> ()
-          | _ -> failwith "Study.run_parallel: worker failed");
-          let ic = open_in_bin path in
-          let text = really_input_string ic (in_channel_length ic) in
-          close_in ic;
-          Sys.remove path;
-          of_csv text)
+    (* On any failure: reap every remaining child (no zombies outlive the
+       call) and remove every temp CSV before re-raising. *)
+    let reap_all () =
+      List.iter
+        (fun (pid, _) ->
+          match Unix.waitpid [] pid with
+          | _ -> ()
+          | exception Unix.Unix_error (_, _, _) -> () (* already reaped *))
         children
+    in
+    let remove_temp_files () =
+      List.iter
+        (fun (_, path) ->
+          if Sys.file_exists path then
+            try Sys.remove path with Sys_error _ -> ())
+        children
+    in
+    let finished = ref 0 in
+    let results =
+      try
+        List.concat_map
+          (fun (pid, path) ->
+            let _, status = Unix.waitpid [] pid in
+            (match status with
+            | Unix.WEXITED 0 -> ()
+            | _ -> failwith "Study.run_parallel: worker failed");
+            let ic = open_in_bin path in
+            let text = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            Sys.remove path;
+            let rows = of_csv text in
+            incr finished;
+            progress
+              (Printf.sprintf "worker %d/%d finished (%d rows)" !finished jobs
+                 (List.length rows));
+            rows)
+          children
+      with e ->
+        reap_all ();
+        remove_temp_files ();
+        raise e
     in
     progress (Printf.sprintf "%d rows from %d workers" (List.length results) jobs);
     (* restore deterministic order: by variant then technique *)

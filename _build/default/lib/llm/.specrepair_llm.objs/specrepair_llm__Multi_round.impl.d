@@ -1,1 +1,1 @@
-lib/llm/multi_round.ml: Extract Format List Model Printf Prompt Rng Specrepair_alloy Specrepair_faultloc Specrepair_mutation Specrepair_repair Specrepair_solver String Task
+lib/llm/multi_round.ml: Extract Format List Model Option Printf Prompt Rng Specrepair_alloy Specrepair_faultloc Specrepair_mutation Specrepair_repair Specrepair_solver String Task

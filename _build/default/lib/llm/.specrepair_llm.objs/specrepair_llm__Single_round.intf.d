@@ -1,1 +1,1 @@
-lib/llm/single_round.mli: Model Prompt Specrepair_alloy Specrepair_repair Task
+lib/llm/single_round.mli: Model Prompt Specrepair_alloy Specrepair_repair Specrepair_solver Task

@@ -18,7 +18,7 @@ let tool_name fb = "Multi-Round_" ^ feedback_to_string fb
 
 (* Templated analyzer report: which checks have counterexamples, which runs
    are unsatisfiable. *)
-let generic_report (env : Alloy.Typecheck.env) failing =
+let generic_report ?oracle (env : Alloy.Typecheck.env) failing =
   let lines =
     List.map
       (fun (_, name, cex) ->
@@ -31,9 +31,9 @@ let generic_report (env : Alloy.Typecheck.env) failing =
       (fun (c : Ast.command) ->
         match c.cmd_kind with
         | Ast.Run_pred p -> (
-            match Solver.Analyzer.run_command env c with
-            | Solver.Analyzer.Unsat -> Some (Printf.sprintf "run %s is unsatisfiable" p)
-            | _ -> None)
+            match Common.command_verdict ?oracle env c with
+            | `Unsat -> Some (Printf.sprintf "run %s is unsatisfiable" p)
+            | `Sat | `Unknown -> None)
         | _ -> None)
       env.spec.commands
   in
@@ -71,16 +71,18 @@ let generic_guidance (task : Task.t) failing guidance =
    the analyzer's counterexamples and witnesses, then tells the Repair
    Agent where to look — a sharp boost, but it can lock onto the wrong
    place when localization is ambiguous. *)
-let auto_guidance (env : Alloy.Typecheck.env) (task : Task.t) failing rng
-    guidance =
+let auto_guidance ?oracle (env : Alloy.Typecheck.env) (task : Task.t) failing
+    rng guidance =
   let ranked =
     match failing with
     | (c, name, _) :: _ -> (
         match Ast.find_assert env.spec name with
         | Some _ ->
             let scope = Solver.Bounds.scope_of_command c in
-            let cexs = Common.counterexamples_for ~limit:3 env name scope in
-            let wits = Common.witnesses_for ~limit:3 env name scope in
+            let cexs =
+              Common.counterexamples_for ?oracle ~limit:3 env name scope
+            in
+            let wits = Common.witnesses_for ?oracle ~limit:3 env name scope in
             Faultloc.rank_by_instances env
               ~goal_of:(Faultloc.goal_of_assert name)
               ~counterexamples:cexs ~witnesses:wits ()
@@ -117,11 +119,11 @@ let auto_guidance (env : Alloy.Typecheck.env) (task : Task.t) failing rng
    outside the model, is authoritative. *)
 let mental_scope = 2
 
-let mentally_consistent (env' : Alloy.Typecheck.env) =
+let mentally_consistent ?oracle (env' : Alloy.Typecheck.env) =
   List.for_all
     (fun (c : Ast.command) ->
       let reduced = { c with Ast.cmd_scope = min mental_scope c.Ast.cmd_scope } in
-      match Common.command_behaves ~max_conflicts:5_000 env' reduced with
+      match Common.command_behaves ?oracle ~max_conflicts:5_000 env' reduced with
       | v -> v
       | exception _ -> false)
     env'.spec.commands
@@ -129,7 +131,8 @@ let mentally_consistent (env' : Alloy.Typecheck.env) =
 (* Best-of-k internal sampling with the mental check; falls back to the
    first proposal when none self-verifies.  [mental_check:false] (ablation)
    returns the first proposal unfiltered. *)
-let internal_proposal ~mental_check profile rng guidance (task : Task.t) =
+let internal_proposal ?oracle ~mental_check profile rng guidance (task : Task.t)
+    =
   let k = if mental_check then profile.Model.self_check_samples else 1 in
   let rec go n first =
     if n = 0 then first
@@ -141,14 +144,24 @@ let internal_proposal ~mental_check profile rng guidance (task : Task.t) =
           else
             let first = match first with None -> Some candidate | s -> s in
             match Common.env_of_spec candidate with
-            | Some env' when mentally_consistent env' -> Some candidate
+            | Some env' when mentally_consistent ?oracle env' -> Some candidate
             | _ -> go (n - 1) first)
   in
   go k None
 
-let repair ?(seed = 42) ?(profile = Model.gpt4) ?(rounds = 6)
+let repair ?oracle ?(seed = 42) ?(profile = Model.gpt4) ?(rounds = 6)
     ?(max_conflicts = 20_000) ?(hill_climb = true) ?(mental_check = true)
     ?(trace = fun ~round:_ ~prompt:_ ~response:_ -> ()) (task : Task.t) fb =
+  (* one incremental session for the dialogue: candidate specs recur across
+     rounds (the model revisits its own proposals), and the mental check's
+     reduced-scope commands get their own shared context per scope.
+     LLM-written candidates may redeclare signatures; the oracle detects
+     that and falls back to fresh solves for those, transparently. *)
+  let oracle =
+    match oracle with
+    | Some _ -> oracle
+    | None -> Option.map Solver.Oracle.create (Common.env_of_spec task.faulty)
+  in
   let rng =
     Rng.of_context ~seed [ task.spec_id; "multi-round"; feedback_to_string fb ]
   in
@@ -165,7 +178,9 @@ let repair ?(seed = 42) ?(profile = Model.gpt4) ?(rounds = 6)
       let prompt =
         { Prompt.task = task_r; hints = []; round; feedback = feedback_text }
       in
-      let proposal = internal_proposal ~mental_check profile rng guidance task_r in
+      let proposal =
+        internal_proposal ?oracle ~mental_check profile rng guidance task_r
+      in
       let response = Model.render_response profile ~rng proposal in
       trace ~round ~prompt ~response;
       match Extract.spec_of_response response with
@@ -181,12 +196,16 @@ let repair ?(seed = 42) ?(profile = Model.gpt4) ?(rounds = 6)
               loop (round + 1) guidance base base_behaved
                 (Some "Your previous specification did not type-check.")
           | Some env' ->
-              let behaved = Common.behaving_commands ~max_conflicts env' in
+              let behaved =
+                Common.behaving_commands ?oracle ~max_conflicts env'
+              in
               if behaved = total_commands && total_commands > 0 then
                 Common.result ~tool:(tool_name fb) ~repaired:true candidate
                   ~candidates:round ~iterations:round
               else begin
-                let failing = Common.failing_checks ~max_conflicts env' in
+                let failing =
+                  Common.failing_checks ?oracle ~max_conflicts env'
+                in
                 let blocked = candidate :: guidance.Model.blocked in
                 let base, base_behaved =
                   if hill_climb && behaved > base_behaved then
@@ -207,10 +226,11 @@ let repair ?(seed = 42) ?(profile = Model.gpt4) ?(rounds = 6)
                           (generic_guidance task failing guidance) with
                           Model.blocked;
                         },
-                        Some (generic_report env' failing) )
+                        Some (generic_report ?oracle env' failing) )
                   | Auto ->
                       ( {
-                          (auto_guidance env' task failing rng guidance) with
+                          (auto_guidance ?oracle env' task failing rng guidance)
+                          with
                           Model.blocked;
                         },
                         Some
@@ -223,7 +243,7 @@ let repair ?(seed = 42) ?(profile = Model.gpt4) ?(rounds = 6)
   in
   let initial_behaved =
     match Common.env_of_spec task.faulty with
-    | Some env -> Common.behaving_commands ~max_conflicts env
+    | Some env -> Common.behaving_commands ?oracle ~max_conflicts env
     | None -> 0
   in
   loop 1 Model.no_guidance task.faulty initial_behaved None

@@ -17,6 +17,7 @@ val tool_name : feedback -> string
 (** "Multi-Round_None" etc., as in the paper's tables. *)
 
 val repair :
+  ?oracle:Specrepair_solver.Oracle.t ->
   ?seed:int ->
   ?profile:Model.profile ->
   ?rounds:int ->
@@ -34,4 +35,6 @@ val repair :
     enables the Repair Agent's internal scope-2 self-verification.  Both
     exist for the ablation benchmarks.  [trace] observes every round's
     rendered prompt (including the analyzer feedback text) and the model's
-    raw response. *)
+    raw response.  [?oracle] shares an incremental solving session (see
+    {!Specrepair_solver.Oracle}) with the caller; without one, the
+    invocation creates its own from the faulty spec (if it type-checks). *)

@@ -10,7 +10,7 @@ let tool_name setting =
    small scope it can reason about) and returns the first that satisfies
    them.  The anchoring is double-edged — a candidate can make the named
    checks pass by over-constraining, silently breaking other commands. *)
-let pass_anchored_proposal profile rng (task : Task.t) hints =
+let pass_anchored_proposal ?oracle profile rng (task : Task.t) hints =
   let named_checks_pass candidate =
     match Common.env_of_spec candidate with
     | None -> false
@@ -20,7 +20,10 @@ let pass_anchored_proposal profile rng (task : Task.t) hints =
             match c.cmd_kind with
             | Ast.Check name when List.mem name task.Task.check_names -> (
                 let reduced = { c with Ast.cmd_scope = min 2 c.Ast.cmd_scope } in
-                match Common.command_behaves ~max_conflicts:5_000 env' reduced with
+                match
+                  Common.command_behaves ?oracle ~max_conflicts:5_000 env'
+                    reduced
+                with
                 | v -> v
                 | exception _ -> false)
             | _ -> true)
@@ -42,7 +45,8 @@ let pass_anchored_proposal profile rng (task : Task.t) hints =
   in
   go (min tries profile.Model.self_check_samples) None
 
-let repair ?(seed = 42) ?(profile = Model.gpt4) (task : Task.t) setting =
+let repair ?oracle ?(seed = 42) ?(profile = Model.gpt4) (task : Task.t) setting
+    =
   let rng =
     Rng.of_context ~seed
       [ task.spec_id; "single-round"; Prompt.single_setting_to_string setting ]
@@ -52,7 +56,7 @@ let repair ?(seed = 42) ?(profile = Model.gpt4) (task : Task.t) setting =
   let response =
     if List.mem Prompt.Pass hints then
       Model.render_response profile ~rng
-        (pass_anchored_proposal profile rng task hints)
+        (pass_anchored_proposal ?oracle profile rng task hints)
     else Model.respond profile ~rng Model.no_guidance prompt
   in
   match Extract.spec_of_response response with

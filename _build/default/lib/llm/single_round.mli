@@ -9,6 +9,7 @@ val tool_name : Prompt.single_setting -> string
 (** "Single-Round_Loc+Fix" etc., as in the paper's tables. *)
 
 val repair :
+  ?oracle:Specrepair_solver.Oracle.t ->
   ?seed:int ->
   ?profile:Model.profile ->
   Task.t ->
@@ -16,4 +17,5 @@ val repair :
   Common.result
 (** [repaired] reports only that a well-typed spec was extracted from the
     response; actual repair success is judged by the REP metric against the
-    ground truth, as in the study. *)
+    ground truth, as in the study.  [?oracle] backs the Pass-hint settings'
+    mental check with a shared incremental session. *)

@@ -1,1 +1,1 @@
-lib/repair/atr.mli: Common Specrepair_alloy
+lib/repair/atr.mli: Common Specrepair_alloy Specrepair_solver

@@ -1,1 +1,1 @@
-lib/repair/beafix.mli: Common Specrepair_alloy
+lib/repair/beafix.mli: Common Specrepair_alloy Specrepair_solver

@@ -1,1 +1,1 @@
-lib/repair/icebar.ml: Arepair Common List Printf Specrepair_alloy Specrepair_aunit
+lib/repair/icebar.ml: Arepair Common List Printf Specrepair_alloy Specrepair_aunit Specrepair_solver

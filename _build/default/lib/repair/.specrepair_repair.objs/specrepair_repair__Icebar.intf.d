@@ -1,1 +1,1 @@
-lib/repair/icebar.mli: Common Specrepair_alloy Specrepair_aunit
+lib/repair/icebar.mli: Common Specrepair_alloy Specrepair_aunit Specrepair_solver

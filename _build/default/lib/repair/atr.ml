@@ -49,12 +49,12 @@ let templates_at (env : Alloy.Typecheck.env) site path =
    assertion, (b) preserve every collected satisfying instance (the
    PMaxSAT-flavoured consistency filter), and (c) make the assertion's
    check command pass per the analyzer. *)
-let repair_assert ~budget ~tried (env0 : Alloy.Typecheck.env)
+let repair_assert ~oracle ~budget ~tried (env0 : Alloy.Typecheck.env)
     (cmd : Ast.command) name =
   let max_conflicts = budget.Common.max_conflicts in
   let scope = Solver.Bounds.scope_of_command cmd in
-  let cexs = Common.counterexamples_for ~limit:4 env0 name scope in
-  let wits = Common.witnesses_for ~limit:4 env0 name scope in
+  let cexs = Common.counterexamples_for ~oracle ~limit:4 env0 name scope in
+  let wits = Common.witnesses_for ~oracle ~limit:4 env0 name scope in
   let consistent (env' : Alloy.Typecheck.env) =
     let body' =
       match Ast.find_assert env'.spec name with
@@ -123,7 +123,7 @@ let repair_assert ~budget ~tried (env0 : Alloy.Typecheck.env)
                 | Some env' ->
                     if
                       consistent env'
-                      && Common.command_behaves ~max_conflicts env' cmd
+                      && Common.command_behaves ~oracle ~max_conflicts env' cmd
                     then Some spec'
                     else search rest
               end)
@@ -132,21 +132,28 @@ let repair_assert ~budget ~tried (env0 : Alloy.Typecheck.env)
   in
   search candidate_stream
 
-let repair ?(budget = Common.default_budget) (env0 : Alloy.Typecheck.env) =
+let repair ?oracle ?(budget = Common.default_budget)
+    (env0 : Alloy.Typecheck.env) =
   let max_conflicts = budget.max_conflicts in
+  (* one incremental session for the whole invocation: the base translation,
+     learned clauses, and candidate verdicts are shared across every
+     template, location, and outer iteration *)
+  let oracle =
+    match oracle with Some o -> o | None -> Solver.Oracle.create env0
+  in
   let tried = ref 0 in
   (* Outer loop: repair failing assertions one at a time, re-running on the
      improved specification — how ATR handles specs violating several
      properties (and, here, compound faults). *)
   let rec outer (env : Alloy.Typecheck.env) iter =
-    if Common.oracle_passes ~max_conflicts env then
+    if Common.oracle_passes ~oracle ~max_conflicts env then
       Common.result ~tool:"ATR" ~repaired:true env.spec ~candidates:!tried
         ~iterations:iter
     else if iter >= 3 || !tried >= budget.max_candidates then
       Common.result ~tool:"ATR" ~repaired:false env.spec ~candidates:!tried
         ~iterations:iter
     else begin
-      let failing = Common.failing_checks ~max_conflicts env in
+      let failing = Common.failing_checks ~oracle ~max_conflicts env in
       (* Over-constraint faults leave every check green but make a run
          command unsatisfiable — no counterexamples to analyze.  ATR falls
          back to its template sweep verified directly against the full
@@ -180,7 +187,8 @@ let repair ?(budget = Common.default_budget) (env0 : Alloy.Typecheck.env) =
                             incr tried;
                             match Common.env_of_spec spec' with
                             | Some env'
-                              when Common.oracle_passes ~max_conflicts env' ->
+                              when Common.oracle_passes ~oracle ~max_conflicts
+                                     env' ->
                                 Some spec'
                             | _ -> try_swaps more)
                         | exception _ -> try_swaps more)
@@ -193,7 +201,7 @@ let repair ?(budget = Common.default_budget) (env0 : Alloy.Typecheck.env) =
       let rec try_asserts = function
         | [] -> None
         | (cmd, name, _) :: rest -> (
-            match repair_assert ~budget ~tried env cmd name with
+            match repair_assert ~oracle ~budget ~tried env cmd name with
             | Some spec' -> Some spec'
             | None -> try_asserts rest)
       in

@@ -11,4 +11,11 @@
 
 module Alloy = Specrepair_alloy
 
-val repair : ?budget:Common.budget -> Alloy.Typecheck.env -> Common.result
+val repair :
+  ?oracle:Specrepair_solver.Oracle.t ->
+  ?budget:Common.budget ->
+  Alloy.Typecheck.env ->
+  Common.result
+(** [?oracle] shares an incremental solving session (see
+    {!Specrepair_solver.Oracle}) with the caller; without one, the
+    invocation creates its own. *)

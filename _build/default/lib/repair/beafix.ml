@@ -55,26 +55,32 @@ let distinguishable env0 env' instances =
            env0.Alloy.Typecheck.spec.asserts)
     instances
 
-let repair ?(budget = Common.default_budget) (env0 : Alloy.Typecheck.env) =
+let repair ?oracle ?(budget = Common.default_budget)
+    (env0 : Alloy.Typecheck.env) =
   let max_conflicts = budget.max_conflicts in
-  if Common.oracle_passes ~max_conflicts env0 then
+  (* one incremental session shared by the whole bounded-exhaustive sweep *)
+  let oracle =
+    match oracle with Some o -> o | None -> Solver.Oracle.create env0
+  in
+  if Common.oracle_passes ~oracle ~max_conflicts env0 then
     Common.result ~tool:"BeAFix" ~repaired:true env0.spec ~candidates:0
       ~iterations:0
   else begin
-    let failing = Common.failing_checks ~max_conflicts env0 in
+    let failing = Common.failing_checks ~oracle ~max_conflicts env0 in
     let scope_of_cmd (c : Ast.command) = Solver.Bounds.scope_of_command c in
     let cexs =
       List.concat_map
         (fun (c, name, _) ->
           List.map
             (fun i -> (name, i))
-            (Common.counterexamples_for ~limit:3 env0 name (scope_of_cmd c)))
+            (Common.counterexamples_for ~oracle ~limit:3 env0 name
+               (scope_of_cmd c)))
         failing
     in
     let witnesses =
       List.concat_map
         (fun (c, name, _) ->
-          Common.witnesses_for ~limit:3 env0 name (scope_of_cmd c))
+          Common.witnesses_for ~oracle ~limit:3 env0 name (scope_of_cmd c))
         failing
     in
     let all_instances = List.map snd cexs @ witnesses in
@@ -92,9 +98,7 @@ let repair ?(budget = Common.default_budget) (env0 : Alloy.Typecheck.env) =
       List.filteri (fun i _ -> i < budget.locations) locations
     in
     let tried = ref 0 in
-    let verify env' =
-      Common.oracle_passes ~max_conflicts env'
-    in
+    let verify env' = Common.oracle_passes ~oracle ~max_conflicts env' in
     (* candidate stream: depth 1 = single mutations at suspicious locations
        (descending through every node of the suspicious subtree), depth 2 =
        pairs across distinct locations *)

@@ -1,7 +1,13 @@
 (** Shared vocabulary of the repair engines: budgets, results, and the
-    property oracle (command conformance) they verify against. *)
+    property oracle (command conformance) they verify against.
+
+    Every query takes an optional incremental {!Specrepair_solver.Oracle.t}.
+    With one, verdicts are answered by assumption-based solving in a shared
+    solver and memoized structurally; without one, each query is a fresh
+    analyzer solve.  Both paths return the same answers. *)
 
 module Alloy = Specrepair_alloy
+module Solver = Specrepair_solver
 
 type budget = {
   max_depth : int;  (** greedy / composition depth *)
@@ -26,18 +32,33 @@ type result = {
 
 val result : tool:string -> repaired:bool -> Alloy.Ast.spec -> candidates:int -> iterations:int -> result
 
-val oracle_passes : ?max_conflicts:int -> Alloy.Typecheck.env -> bool
+val command_verdict :
+  ?oracle:Solver.Oracle.t ->
+  ?max_conflicts:int ->
+  Alloy.Typecheck.env ->
+  Alloy.Ast.command ->
+  Solver.Oracle.verdict
+(** Outcome tag of the command, without an instance. *)
+
+val oracle_passes :
+  ?oracle:Solver.Oracle.t -> ?max_conflicts:int -> Alloy.Typecheck.env -> bool
 (** The property oracle: every [check] command has no counterexample and
     every [run] command is satisfiable.  [Unknown] counts as failure. *)
 
 val command_behaves :
-  ?max_conflicts:int -> Alloy.Typecheck.env -> Alloy.Ast.command -> bool
+  ?oracle:Solver.Oracle.t ->
+  ?max_conflicts:int ->
+  Alloy.Typecheck.env ->
+  Alloy.Ast.command ->
+  bool
 
-val behaving_commands : ?max_conflicts:int -> Alloy.Typecheck.env -> int
+val behaving_commands :
+  ?oracle:Solver.Oracle.t -> ?max_conflicts:int -> Alloy.Typecheck.env -> int
 (** Number of commands that behave; the hill-climbing signal of iterative
     repairers. *)
 
 val failing_checks :
+  ?oracle:Solver.Oracle.t ->
   ?max_conflicts:int ->
   Alloy.Typecheck.env ->
   (Alloy.Ast.command * string * Alloy.Instance.t) list
@@ -45,6 +66,7 @@ val failing_checks :
     counterexample each. *)
 
 val witnesses_for :
+  ?oracle:Solver.Oracle.t ->
   ?max_conflicts:int ->
   ?limit:int ->
   Alloy.Typecheck.env ->
@@ -55,6 +77,7 @@ val witnesses_for :
     behaviours" a repair must preserve. *)
 
 val counterexamples_for :
+  ?oracle:Solver.Oracle.t ->
   ?max_conflicts:int ->
   ?limit:int ->
   Alloy.Typecheck.env ->

@@ -1,9 +1,17 @@
 module Alloy = Specrepair_alloy
 module Aunit = Specrepair_aunit.Aunit
 
-let repair ?(budget = Common.default_budget) (env0 : Alloy.Typecheck.env)
-    initial_tests =
+let repair ?oracle ?(budget = Common.default_budget)
+    (env0 : Alloy.Typecheck.env) initial_tests =
   let max_conflicts = budget.max_conflicts in
+  (* one incremental session across all refinement rounds: the candidate an
+     inner ARepair run produces in round [i] is often re-examined in round
+     [i+1], and the verdict cache answers it without a solve *)
+  let oracle =
+    match oracle with
+    | Some o -> o
+    | None -> Specrepair_solver.Oracle.create env0
+  in
   let tried = ref 0 in
   let rec loop tests iter best =
     if iter >= budget.max_iterations then
@@ -19,12 +27,12 @@ let repair ?(budget = Common.default_budget) (env0 : Alloy.Typecheck.env)
           Common.result ~tool:"ICEBAR" ~repaired:false best ~candidates:!tried
             ~iterations:iter
       | Some env' ->
-          if Common.oracle_passes ~max_conflicts env' then
+          if Common.oracle_passes ~oracle ~max_conflicts env' then
             (* the candidate satisfies the property oracle *)
             Common.result ~tool:"ICEBAR" ~repaired:true inner.final_spec
               ~candidates:!tried ~iterations:(iter + 1)
           else
-            let cexs = Common.failing_checks ~max_conflicts env' in
+            let cexs = Common.failing_checks ~oracle ~max_conflicts env' in
             let new_tests =
               List.mapi
                 (fun i (_, name, cex) ->
@@ -46,6 +54,6 @@ let repair ?(budget = Common.default_budget) (env0 : Alloy.Typecheck.env)
     List.mapi
       (fun i (_, name, cex) ->
         Aunit.of_counterexample ~name:(Printf.sprintf "icebar_seed_%s_%d" name i) cex)
-      (Common.failing_checks ~max_conflicts:budget.max_conflicts env0)
+      (Common.failing_checks ~oracle ~max_conflicts:budget.max_conflicts env0)
   in
   loop (initial_tests @ seed) 0 env0.spec

@@ -9,7 +9,13 @@
 module Alloy = Specrepair_alloy
 
 val repair :
+  ?oracle:Specrepair_solver.Oracle.t ->
   ?budget:Common.budget ->
   Alloy.Typecheck.env ->
   Specrepair_aunit.Aunit.test list ->
   Common.result
+(** [?oracle] shares an incremental solving session (see
+    {!Specrepair_solver.Oracle}) with the caller; without one, the
+    invocation creates its own.  The inner {!Arepair} runs are pure test
+    evaluation and need no oracle; the refinement loop's property checks
+    and counterexample queries go through it. *)

@@ -1,1 +1,1 @@
-lib/sat/solver.ml: Array Int Lazy List Lit Order_heap Vec
+lib/sat/solver.ml: Array Int Lazy List Lit Option Order_heap Vec

@@ -28,6 +28,8 @@ type t = {
   mutable clause_inc : float;
   mutable ok : bool;
   mutable root_level : int;
+  mutable conflict_assumps : int list;
+      (* assumptions involved in the last assumption-level Unsat *)
   (* statistics *)
   mutable conflicts : int;
   mutable decisions : int;
@@ -61,6 +63,7 @@ let create () =
         clause_inc = 1.;
         ok = true;
         root_level = 0;
+        conflict_assumps = [];
         conflicts = 0;
         decisions = 0;
         propagations = 0;
@@ -276,6 +279,50 @@ let analyze s confl =
   Vec.iter (fun l -> s.seen.(l lsr 1) <- false) learnt;
   (learnt, !btlevel)
 
+(* MiniSat-style analyzeFinal: given seeds already marked in [s.seen]
+   (variables of a conflicting clause, or of a falsified assumption), walk
+   the trail backwards resolving reasons and collect the assumption
+   decisions involved.  Only meaningful while the trail still holds the
+   assumption levels; assumptions are exactly the reason-less (decision)
+   literals at levels 1..root_level. *)
+let collect_assumption_core s ~extra =
+  if decision_level s = 0 then extra
+    (* no assumption levels: nothing was marked (only level-0 vars exist) *)
+  else begin
+    let core = ref extra in
+    let bottom = Vec.get s.trail_lim 0 in
+    for i = Vec.length s.trail - 1 downto bottom do
+      let q = Vec.get s.trail i in
+      let v = q lsr 1 in
+      if s.seen.(v) then begin
+        if s.reason.(v) == dummy_clause then core := q :: !core
+        else
+          Array.iter
+            (fun r ->
+              let w = r lsr 1 in
+              if s.level.(w) > 0 then s.seen.(w) <- true)
+            s.reason.(v).lits;
+        s.seen.(v) <- false
+      end
+    done;
+    !core
+  end
+
+(* Core when a whole clause is falsified under the assumptions. *)
+let analyze_final_clause s (c : clause) =
+  Array.iter
+    (fun l ->
+      let v = l lsr 1 in
+      if s.level.(v) > 0 then s.seen.(v) <- true)
+    c.lits;
+  collect_assumption_core s ~extra:[]
+
+(* Core when assumption literal [l] is already false on the trail. *)
+let analyze_final_lit s l =
+  let v = l lsr 1 in
+  if s.level.(v) > 0 then s.seen.(v) <- true;
+  collect_assumption_core s ~extra:[ l ]
+
 (* Install a learnt clause and enqueue its asserting literal. *)
 let record s learnt =
   let lits = Array.make (Vec.length learnt) 0 in
@@ -362,7 +409,7 @@ let rec luby y x =
 
 exception Found of result
 
-let search s ~max_learnts ~restart_budget ~budget =
+let search s ~max_learnts ~restart_budget ~conflict_limit =
   let conflicts_here = ref 0 in
   try
     while true do
@@ -370,12 +417,18 @@ let search s ~max_learnts ~restart_budget ~budget =
       | Some confl ->
           s.conflicts <- s.conflicts + 1;
           incr conflicts_here;
-          (match budget with
+          (match conflict_limit with
           | Some b when s.conflicts >= b && decision_level s > s.root_level ->
               cancel_until s s.root_level;
               raise (Found Unknown)
           | _ -> ());
-          if decision_level s <= s.root_level then raise (Found Unsat);
+          if decision_level s <= s.root_level then begin
+            (* conflict within the assumption levels: this call is Unsat,
+               but the clause set itself may still be satisfiable *)
+            if s.root_level > 0 then
+              s.conflict_assumps <- analyze_final_clause s confl;
+            raise (Found Unsat)
+          end;
           let learnt, btlevel = analyze s confl in
           cancel_until s (max btlevel s.root_level);
           record s learnt;
@@ -399,6 +452,7 @@ let search s ~max_learnts ~restart_budget ~budget =
   with Found r -> r
 
 let solve ?(assumptions = []) ?max_conflicts s =
+  s.conflict_assumps <- [];
   if not s.ok then Unsat
   else begin
     cancel_until s 0;
@@ -407,18 +461,28 @@ let solve ?(assumptions = []) ?max_conflicts s =
       Unsat
     end
     else begin
-      (* enqueue assumptions, one decision level each *)
+      (* the budget is local to this call: learnt clauses (and the conflict
+         counter) persist across calls, so an incremental client must not
+         have earlier calls eat later calls' budgets *)
+      let conflict_limit = Option.map (fun b -> s.conflicts + b) max_conflicts in
+      (* enqueue assumptions, one pseudo-decision level each *)
       let rec assume = function
         | [] -> true
         | a :: rest -> (
             let l = Lit.to_int a in
             match value_lit s l with
             | 1 -> assume rest
-            | 0 -> false
-            | _ ->
+            | 0 ->
+                s.conflict_assumps <- analyze_final_lit s l;
+                false
+            | _ -> (
                 Vec.push s.trail_lim (Vec.length s.trail);
                 enqueue s l dummy_clause;
-                if propagate s = None then assume rest else false)
+                match propagate s with
+                | None -> assume rest
+                | Some confl ->
+                    s.conflict_assumps <- analyze_final_clause s confl;
+                    false))
       in
       if not (assume assumptions) then begin
         cancel_until s 0;
@@ -431,14 +495,14 @@ let solve ?(assumptions = []) ?max_conflicts s =
         let restart = ref 0 in
         (try
            while !result = Unknown do
-             (match max_conflicts with
+             (match conflict_limit with
              | Some b when s.conflicts >= b -> raise Exit
              | _ -> ());
              let restart_budget =
                int_of_float (100. *. luby 2. !restart)
              in
              incr restart;
-             result := search s ~max_learnts ~restart_budget ~budget:max_conflicts;
+             result := search s ~max_learnts ~restart_budget ~conflict_limit;
              max_learnts := !max_learnts *. 1.1
            done
          with Exit -> result := Unknown);
@@ -449,6 +513,8 @@ let solve ?(assumptions = []) ?max_conflicts s =
       end
     end
   end
+
+let unsat_assumptions s = List.map Lit.of_int s.conflict_assumps
 
 let value s v = if v < s.nvars then s.assigns.(v) = 1 else false
 let lit_value s l = value_lit s (Lit.to_int l) = 1

@@ -36,7 +36,20 @@ val ok : t -> bool
 val solve : ?assumptions:Lit.t list -> ?max_conflicts:int -> t -> result
 (** Determines satisfiability of the current clause set, optionally under
     [assumptions] (extra unit constraints local to this call) and within an
-    optional conflict budget. *)
+    optional conflict budget.
+
+    Incremental contract: assumptions are enqueued as pseudo-decisions below
+    the root level, so an [Unsat] answer caused by the assumptions does not
+    poison the solver — [ok] stays [true], clauses learnt during the call
+    persist, and the solver can be reused for further [solve] calls.  The
+    conflict budget is local to each call (it bounds the conflicts of this
+    call, not the lifetime total). *)
+
+val unsat_assumptions : t -> Lit.t list
+(** After [solve ~assumptions] returned [Unsat]: a subset of the assumptions
+    sufficient for unsatisfiability together with the clause set (MiniSat's
+    final-conflict analysis).  Empty when the clause set is unsatisfiable
+    regardless of the assumptions.  Reset by the next [solve] call. *)
 
 val value : t -> int -> bool
 (** Model value of a variable; meaningful only after [solve] returned

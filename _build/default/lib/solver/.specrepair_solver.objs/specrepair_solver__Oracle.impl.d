@@ -1,0 +1,1 @@
+lib/solver/oracle.ml: Analyzer Bounds Digest Format Formula Hashtbl List Lit Printf Solver Specrepair_alloy Specrepair_sat String Translate Tseitin

@@ -1,0 +1,1 @@
+lib/solver/oracle.mli: Analyzer Bounds Format Specrepair_alloy

@@ -175,3 +175,9 @@ let extract t value =
       spec.sigs
   in
   { Alloy.Instance.sigs; fields }
+
+(* The translation consults [env] only for declarations that the oracle
+   gate guarantees unchanged (sigs) or that the caller keys its reuse on
+   (preds, funs): swapping the env lets one variable allocation serve every
+   candidate spec that shares the base's signature structure. *)
+let with_env t env = { t with env }

@@ -1,0 +1,302 @@
+open Specrepair_sat
+module Alloy = Specrepair_alloy
+module Ast = Alloy.Ast
+
+type verdict = [ `Sat | `Unsat | `Unknown ]
+
+type stats = {
+  verdict_hits : int;
+  verdict_misses : int;
+  instance_hits : int;
+  instance_misses : int;
+  fallback_queries : int;
+  formulas_translated : int;
+  formulas_reused : int;
+  contexts : int;
+}
+
+type counters = {
+  mutable c_verdict_hits : int;
+  mutable c_verdict_misses : int;
+  mutable c_instance_hits : int;
+  mutable c_instance_misses : int;
+  mutable c_fallback_queries : int;
+  mutable c_formulas_translated : int;
+  mutable c_formulas_reused : int;
+}
+
+(* One shared solver per command scope: base bounds, Tseitin state, and the
+   activation-literal memo for every formula ever guarded in it. *)
+type context = {
+  solver : Solver.t;
+  bounds : Bounds.t;
+  ts : Tseitin.t;
+  acts : (string, Lit.t) Hashtbl.t;
+}
+
+type t = {
+  base : Alloy.Typecheck.env;
+  contexts : (string, context) Hashtbl.t;
+  verdicts : (string, verdict) Hashtbl.t;
+  outcomes : (string, Analyzer.outcome) Hashtbl.t;
+  instances : (string, Alloy.Instance.t list) Hashtbl.t;
+  counters : counters;
+}
+
+let create base =
+  {
+    base;
+    contexts = Hashtbl.create 4;
+    verdicts = Hashtbl.create 512;
+    outcomes = Hashtbl.create 64;
+    instances = Hashtbl.create 64;
+    counters =
+      {
+        c_verdict_hits = 0;
+        c_verdict_misses = 0;
+        c_instance_hits = 0;
+        c_instance_misses = 0;
+        c_fallback_queries = 0;
+        c_formulas_translated = 0;
+        c_formulas_reused = 0;
+      };
+  }
+
+let base t = t.base
+
+let compatible t (env : Alloy.Typecheck.env) =
+  env.spec.sigs = t.base.Alloy.Typecheck.spec.sigs
+
+(* {2 Digest keys}
+
+   All caches are structural: keys are MD5 digests of the deterministic
+   pretty-printer's output, so physically distinct but syntactically equal
+   candidates (the norm for generate-and-validate repair) deduplicate. *)
+
+let scope_key (scope : Bounds.scope) =
+  let overrides =
+    List.sort compare scope.overrides
+    |> List.map (fun (n, k) -> Printf.sprintf "%s=%d" n k)
+  in
+  Printf.sprintf "%d|%s" scope.default (String.concat "," overrides)
+
+let spec_digest (spec : Ast.spec) =
+  Digest.to_hex (Digest.string (Alloy.Pretty.spec_to_string spec))
+
+(* Translation of a formula additionally depends on the candidate's
+   predicate and function declarations (calls are inlined, function
+   applications are grounded), so activation memo keys carry a digest of
+   those declaration sections. *)
+let decls_digest (spec : Ast.spec) =
+  Digest.to_hex
+    (Digest.string
+       (Alloy.Pretty.spec_to_string
+          { Ast.empty_spec with preds = spec.preds; funs = spec.funs }))
+
+let fmla_key spec f =
+  Digest.to_hex (Digest.string (Alloy.Pretty.fmla_to_string f))
+  ^ "#" ^ decls_digest spec
+
+let command_key (c : Ast.command) =
+  let kind =
+    match c.cmd_kind with
+    | Ast.Run_pred n -> "run-pred:" ^ n
+    | Ast.Check n -> "check:" ^ n
+    | Ast.Run_fmla f -> "run-fmla:" ^ Alloy.Pretty.fmla_to_string f
+  in
+  Printf.sprintf "%s@%s" kind (scope_key (Bounds.scope_of_command c))
+
+let budget_key = function None -> "-" | Some b -> string_of_int b
+
+let verdict_cache_key ?max_conflicts env c =
+  Printf.sprintf "%s|%s|%s"
+    (spec_digest env.Alloy.Typecheck.spec)
+    (command_key c) (budget_key max_conflicts)
+
+(* {2 Contexts and activation literals} *)
+
+let context_for t scope =
+  let key = scope_key scope in
+  match Hashtbl.find_opt t.contexts key with
+  | Some ctx -> ctx
+  | None ->
+      let solver = Solver.create () in
+      let bounds = Bounds.create solver t.base scope in
+      let ts = Tseitin.create solver in
+      (* the immutable base: implicit constraints and scope caps, asserted
+         unguarded exactly once per context *)
+      Tseitin.assert_formula ts (Translate.implicit_fmla bounds);
+      let ctx = { solver; bounds; ts; acts = Hashtbl.create 256 } in
+      Hashtbl.add t.contexts key ctx;
+      ctx
+
+(* The activation literal of [f] in [ctx]: a fresh literal [act] with
+   clauses enforcing [act => f], memoized structurally.  Solving under the
+   assumption [act] then enables exactly this formula; leaving [act]
+   unassumed leaves the guarded clauses inert (the solver may satisfy them
+   vacuously by setting [act] false). *)
+let activation t ctx (env : Alloy.Typecheck.env) key (f : Ast.fmla) =
+  match Hashtbl.find_opt ctx.acts key with
+  | Some act ->
+      t.counters.c_formulas_reused <- t.counters.c_formulas_reused + 1;
+      act
+  | None ->
+      t.counters.c_formulas_translated <- t.counters.c_formulas_translated + 1;
+      let bounds = Bounds.with_env ctx.bounds env in
+      let fm = Translate.fmla bounds [] f in
+      let act = Lit.pos (Solver.new_var ctx.solver) in
+      if Formula.is_true fm then ()
+      else if Formula.is_false fm then
+        Solver.add_clause ctx.solver [ Lit.negate act ]
+      else begin
+        let lf = Tseitin.lit_of ctx.ts fm in
+        Solver.add_clause ctx.solver [ Lit.negate act; lf ]
+      end;
+      Hashtbl.add ctx.acts key act;
+      act
+
+(* Goal formula of a command, in the candidate env.  [None] delegates to the
+   plain analyzer (which raises the canonical error for unknown names). *)
+let goal_of (env : Alloy.Typecheck.env) (c : Ast.command) =
+  match c.cmd_kind with
+  | Ast.Run_fmla f -> Some f
+  | Ast.Run_pred name -> (
+      match Ast.find_pred env.spec name with
+      | Some p -> (
+          match p.pred_params with
+          | [] -> Some p.pred_body
+          | params -> Some (Ast.Quant (Ast.Qsome, params, p.pred_body)))
+      | None -> None)
+  | Ast.Check name -> (
+      match Ast.find_assert env.spec name with
+      | Some a -> Some (Ast.Not a.assert_body)
+      | None -> None)
+
+let outcome_tag : Analyzer.outcome -> verdict = function
+  | Analyzer.Sat _ -> `Sat
+  | Analyzer.Unsat -> `Unsat
+  | Analyzer.Unknown -> `Unknown
+
+(* {2 Verdict queries (incremental)} *)
+
+let solve_incremental ?max_conflicts t (env : Alloy.Typecheck.env) c goal =
+  let scope = Bounds.scope_of_command c in
+  let ctx = context_for t scope in
+  let dd = decls_digest env.spec in
+  let fact_acts =
+    List.map
+      (fun (fact : Ast.fact_decl) ->
+        let key =
+          "fact:"
+          ^ Digest.to_hex
+              (Digest.string (Alloy.Pretty.fmla_to_string fact.fact_body))
+          ^ "#" ^ dd
+        in
+        activation t ctx env key fact.fact_body)
+      env.spec.facts
+  in
+  let goal_act = activation t ctx env ("goal:" ^ fmla_key env.spec goal) goal in
+  match
+    Solver.solve ~assumptions:(fact_acts @ [ goal_act ]) ?max_conflicts
+      ctx.solver
+  with
+  | Solver.Sat -> `Sat
+  | Solver.Unsat -> `Unsat
+  | Solver.Unknown -> `Unknown
+
+let command_verdict ?max_conflicts t (env : Alloy.Typecheck.env)
+    (c : Ast.command) =
+  let key = verdict_cache_key ?max_conflicts env c in
+  match Hashtbl.find_opt t.verdicts key with
+  | Some v ->
+      t.counters.c_verdict_hits <- t.counters.c_verdict_hits + 1;
+      v
+  | None ->
+      let fresh () =
+        t.counters.c_fallback_queries <- t.counters.c_fallback_queries + 1;
+        outcome_tag (Analyzer.run_command ?max_conflicts env c)
+      in
+      let v =
+        if not (compatible t env) then fresh ()
+        else
+          match goal_of env c with
+          | Some goal ->
+              t.counters.c_verdict_misses <- t.counters.c_verdict_misses + 1;
+              solve_incremental ?max_conflicts t env c goal
+          | None ->
+              (* unknown predicate/assertion: the analyzer raises the
+                 canonical Invalid_argument for us *)
+              fresh ()
+      in
+      Hashtbl.add t.verdicts key v;
+      v
+
+(* {2 Instance queries (fresh, memoized)} *)
+
+let run_command ?max_conflicts t (env : Alloy.Typecheck.env) (c : Ast.command)
+    =
+  let key = "outcome|" ^ verdict_cache_key ?max_conflicts env c in
+  match Hashtbl.find_opt t.outcomes key with
+  | Some o ->
+      t.counters.c_instance_hits <- t.counters.c_instance_hits + 1;
+      o
+  | None ->
+      t.counters.c_instance_misses <- t.counters.c_instance_misses + 1;
+      let o = Analyzer.run_command ?max_conflicts env c in
+      Hashtbl.add t.outcomes key o;
+      (* a fresh outcome also answers future verdict-only queries *)
+      let vkey = verdict_cache_key ?max_conflicts env c in
+      if not (Hashtbl.mem t.verdicts vkey) then
+        Hashtbl.add t.verdicts vkey (outcome_tag o);
+      o
+
+let enumerate ?(limit = 10) ?max_conflicts t (env : Alloy.Typecheck.env) scope
+    f =
+  let key =
+    Printf.sprintf "enum|%s|%s|%s|%d|%s"
+      (spec_digest env.Alloy.Typecheck.spec)
+      (fmla_key env.Alloy.Typecheck.spec f)
+      (scope_key scope) limit (budget_key max_conflicts)
+  in
+  match Hashtbl.find_opt t.instances key with
+  | Some insts ->
+      t.counters.c_instance_hits <- t.counters.c_instance_hits + 1;
+      insts
+  | None ->
+      t.counters.c_instance_misses <- t.counters.c_instance_misses + 1;
+      let insts = Analyzer.enumerate ~limit ?max_conflicts env scope f in
+      Hashtbl.add t.instances key insts;
+      insts
+
+(* {2 Statistics} *)
+
+let stats t =
+  let c = t.counters in
+  {
+    verdict_hits = c.c_verdict_hits;
+    verdict_misses = c.c_verdict_misses;
+    instance_hits = c.c_instance_hits;
+    instance_misses = c.c_instance_misses;
+    fallback_queries = c.c_fallback_queries;
+    formulas_translated = c.c_formulas_translated;
+    formulas_reused = c.c_formulas_reused;
+    contexts = Hashtbl.length t.contexts;
+  }
+
+let reset_stats t =
+  let c = t.counters in
+  c.c_verdict_hits <- 0;
+  c.c_verdict_misses <- 0;
+  c.c_instance_hits <- 0;
+  c.c_instance_misses <- 0;
+  c.c_fallback_queries <- 0;
+  c.c_formulas_translated <- 0;
+  c.c_formulas_reused <- 0
+
+let pp_stats fmt t =
+  let s = stats t in
+  Format.fprintf fmt
+    "verdicts: %d hit / %d solved; instances: %d hit / %d solved; \
+     translations: %d fresh / %d reused; fallbacks: %d; contexts: %d"
+    s.verdict_hits s.verdict_misses s.instance_hits s.instance_misses
+    s.formulas_translated s.formulas_reused s.fallback_queries s.contexts

@@ -1,0 +1,93 @@
+(** The incremental repair oracle.
+
+    A repair session evaluates hundreds of candidate specifications that
+    differ from a shared base in exactly one or two constraint bodies.  A
+    plain {!Analyzer} query builds a fresh solver, retranslates the entire
+    spec, and discards all learned clauses on every call.  An [Oracle.t]
+    instead keeps one solving context per command scope, in which
+
+    - the immutable part of the translation (signature bounds, symmetry
+      breaking, implicit constraints, child-sig scope caps) is asserted
+      exactly once;
+    - every candidate fact body and every goal formula is guarded by an
+      activation literal ([act] implies [fmla], via Tseitin) and memoized by
+      its pretty-printed digest, so unchanged formulas are translated once
+      per session; and
+    - each verdict query is a {!Specrepair_sat.Solver.solve} under the
+      assumptions naming the candidate's facts and the goal, sharing one
+      learned-clause database across the whole session.
+
+    On top of the incremental contexts sit structural caches keyed by the
+    digest of the pretty-printed candidate (x command x scope x conflict
+    budget): a verdict cache for sat/unsat answers and an instance cache for
+    witness/counterexample queries.  Instance-producing queries always run
+    on a fresh, {!Analyzer}-identical solve (then memoized), so the models
+    an oracle-backed session observes are bit-identical to the
+    non-incremental pipeline — verdicts are solver-path-independent, first
+    models are not.
+
+    Candidates whose signature declarations differ from the base (possible
+    for LLM-written candidates, never for mutation-based ones) are detected
+    and served by fresh solves transparently. *)
+
+module Alloy = Specrepair_alloy
+
+type t
+
+type verdict = [ `Sat | `Unsat | `Unknown ]
+
+type stats = {
+  verdict_hits : int;  (** verdict served from the structural cache *)
+  verdict_misses : int;  (** incremental assumption solves performed *)
+  instance_hits : int;  (** instance lists served from the cache *)
+  instance_misses : int;  (** fresh enumeration solves performed *)
+  fallback_queries : int;  (** sig-incompatible candidates, fresh-solved *)
+  formulas_translated : int;  (** guarded translations performed *)
+  formulas_reused : int;  (** activation literals served from memo *)
+  contexts : int;  (** solving contexts (one per distinct scope) *)
+}
+
+val create : Alloy.Typecheck.env -> t
+(** A session keyed on the base spec's signature declarations.  Cheap: real
+    work happens lazily, per scope, at the first query. *)
+
+val base : t -> Alloy.Typecheck.env
+
+val compatible : t -> Alloy.Typecheck.env -> bool
+(** Does the candidate declare exactly the base's signatures and fields (so
+    the shared variable allocation is sound for it)? *)
+
+val command_verdict :
+  ?max_conflicts:int -> t -> Alloy.Typecheck.env -> Alloy.Ast.command -> verdict
+(** The outcome tag of {!Analyzer.run_command} on the candidate, without an
+    instance: incremental, assumption-based, and cached.  This is the hot
+    call of every candidate-evaluation inner loop.  Raises the same
+    [Invalid_argument] as the analyzer on commands naming unknown
+    predicates or assertions. *)
+
+val run_command :
+  ?max_conflicts:int ->
+  t ->
+  Alloy.Typecheck.env ->
+  Alloy.Ast.command ->
+  Analyzer.outcome
+(** Like {!Analyzer.run_command} (instance included) but memoized on the
+    candidate digest.  The solve is fresh, so the instance is the one the
+    plain analyzer would return. *)
+
+val enumerate :
+  ?limit:int ->
+  ?max_conflicts:int ->
+  t ->
+  Alloy.Typecheck.env ->
+  Bounds.scope ->
+  Alloy.Ast.fmla ->
+  Alloy.Instance.t list
+(** Memoized {!Analyzer.enumerate}: same instances, in the same order. *)
+
+val stats : t -> stats
+(** Snapshot of the session counters. *)
+
+val reset_stats : t -> unit
+
+val pp_stats : Format.formatter -> t -> unit

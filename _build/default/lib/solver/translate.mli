@@ -20,6 +20,12 @@ val spec_fmla : Bounds.t -> Formula.t
 (** Conjunction of all implicit constraints, explicit facts, and
     child-signature scope overrides. *)
 
+val implicit_fmla : Bounds.t -> Formula.t
+(** Only the implicit constraints and child-signature scope caps — the part
+    of {!spec_fmla} that depends on the signature declarations and scope but
+    not on the facts.  {!Oracle} asserts this once per solving context and
+    guards each fact separately. *)
+
 val pred_goal : Bounds.t -> Alloy.Ast.pred_decl -> Formula.t
 (** Predicate body with parameters existentially quantified over their
     bounds (the goal of [run p]). *)

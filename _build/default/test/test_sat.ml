@@ -134,6 +134,87 @@ let test_budget () =
   | Unknown | Unsat -> ()
   | Sat -> Alcotest.fail "php(9,8) cannot be sat"
 
+(* {2 Incremental solving under assumptions}
+
+   The oracle's pattern: a hard subproblem guarded by an activation
+   literal, toggled on and off by assumptions against one long-lived
+   solver. *)
+
+let guarded_pigeonhole s n =
+  let nvars, clauses = pigeonhole n in
+  ignore (Solver.new_vars s nvars);
+  let act = Lit.pos (Solver.new_var s) in
+  List.iter (fun c -> Solver.add_clause s (Lit.negate act :: c)) clauses;
+  act
+
+let test_assumption_flips () =
+  let s = Solver.create () in
+  let act = guarded_pigeonhole s 3 in
+  for i = 1 to 3 do
+    check_sat
+      (Printf.sprintf "round %d: php enabled" i)
+      Unsat
+      (Solver.solve ~assumptions:[ act ] s);
+    Alcotest.(check bool) "ok survives assumption-unsat" true (Solver.ok s);
+    check_sat
+      (Printf.sprintf "round %d: php disabled" i)
+      Sat
+      (Solver.solve ~assumptions:[ Lit.negate act ] s);
+    check_sat (Printf.sprintf "round %d: unconstrained" i) Sat (Solver.solve s)
+  done
+
+let test_unsat_assumptions_core () =
+  let s = Solver.create () in
+  ignore (Solver.new_vars s 3);
+  Solver.add_clause s [ lit 0 false; lit 1 false ];
+  check_sat "conflicting pair" Unsat
+    (Solver.solve ~assumptions:[ lit 0 true; lit 1 true; lit 2 true ] s);
+  let core = Solver.unsat_assumptions s in
+  Alcotest.(check bool) "core nonempty" true (core <> []);
+  Alcotest.(check bool)
+    "irrelevant assumption not in core" true
+    (List.for_all (fun l -> Lit.var l <> 2) core);
+  (* an assumption already false at level 0 is itself the core *)
+  let s2 = Solver.create () in
+  ignore (Solver.new_vars s2 1);
+  Solver.add_clause s2 [ lit 0 false ];
+  check_sat "assumption contradicts unit" Unsat
+    (Solver.solve ~assumptions:[ lit 0 true ] s2);
+  (match Solver.unsat_assumptions s2 with
+  | [ l ] -> Alcotest.(check int) "core is the assumption" 0 (Lit.var l)
+  | core ->
+      Alcotest.fail
+        (Printf.sprintf "expected a singleton core, got %d literals"
+           (List.length core)));
+  Alcotest.(check bool) "solver still usable" true (Solver.ok s2);
+  check_sat "sat without the assumption" Sat (Solver.solve s2)
+
+let test_learned_clauses_persist () =
+  let s = Solver.create () in
+  let act = guarded_pigeonhole s 4 in
+  let c0 = Solver.n_conflicts s in
+  check_sat "first run" Unsat (Solver.solve ~assumptions:[ act ] s);
+  let first = Solver.n_conflicts s - c0 in
+  Alcotest.(check bool) "first run had to search" true (first > 0);
+  Alcotest.(check bool) "learnt clauses retained" true (Solver.n_learnts s > 0);
+  let c1 = Solver.n_conflicts s in
+  check_sat "second run" Unsat (Solver.solve ~assumptions:[ act ] s);
+  let second = Solver.n_conflicts s - c1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "second run cheaper (%d vs %d conflicts)" second first)
+    true (second < first)
+
+let test_per_call_budget () =
+  (* regression: the budget bounds each call's conflicts, not the lifetime
+     total — after an expensive call, a small budget must still suffice for
+     an easy query on the same solver *)
+  let s = Solver.create () in
+  let act = guarded_pigeonhole s 4 in
+  check_sat "expensive call" Unsat (Solver.solve ~assumptions:[ act ] s);
+  Alcotest.(check bool) "conflicts accumulated" true (Solver.n_conflicts s > 5);
+  check_sat "easy query within a small budget" Sat
+    (Solver.solve ~max_conflicts:5 ~assumptions:[ Lit.negate act ] s)
+
 (* {2 Formula / Tseitin} *)
 
 let test_formula_simplify () =
@@ -336,6 +417,13 @@ let () =
           Alcotest.test_case "assumptions" `Quick test_assumptions;
           Alcotest.test_case "incremental blocking" `Quick test_incremental_blocking;
           Alcotest.test_case "conflict budget" `Quick test_budget;
+          Alcotest.test_case "assumption flips" `Quick test_assumption_flips;
+          Alcotest.test_case "unsat assumption core" `Quick
+            test_unsat_assumptions_core;
+          Alcotest.test_case "learned clauses persist" `Quick
+            test_learned_clauses_persist;
+          Alcotest.test_case "per-call conflict budget" `Quick
+            test_per_call_budget;
         ] );
       ( "formula",
         [

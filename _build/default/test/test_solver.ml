@@ -461,6 +461,97 @@ let prop_matrix_ops_agree =
       let closure_want = Eval.expr env inst [] (Parser.parse_expr "^r") in
       TS.equal (to_set (M.closure m1)) closure_want)
 
+(* {2 Oracle equivalence}
+
+   The incremental oracle must be invisible: over the benchmark domains'
+   injected faulty variants (the exact candidate population of the study),
+   every verdict equals a fresh [Analyzer.run_command], asking again hits
+   the cache with the same answer, and instance queries return the
+   analyzer's instances verbatim. *)
+
+let outcome_tag = function
+  | Solver.Analyzer.Sat _ -> `Sat
+  | Solver.Analyzer.Unsat -> `Unsat
+  | Solver.Analyzer.Unknown -> `Unknown
+
+let test_oracle_matches_fresh () =
+  let domains =
+    List.filteri (fun i _ -> i < 4) Specrepair_benchmarks.Domains.all
+  in
+  List.iter
+    (fun d ->
+      let base = Specrepair_benchmarks.Domains.env d in
+      let oracle = Solver.Oracle.create base in
+      let candidates =
+        base
+        :: List.filter_map
+             (fun index ->
+               match Specrepair_benchmarks.Fault.inject ~seed:3 d ~index with
+               | inj -> (
+                   match Typecheck.check_result inj.faulty with
+                   | Ok env -> Some env
+                   | Error _ -> None)
+               | exception Failure _ -> None)
+             (List.init 6 Fun.id)
+      in
+      List.iter
+        (fun (env : Typecheck.env) ->
+          Alcotest.(check bool)
+            (d.name ^ ": variant compatible with its domain oracle")
+            true
+            (Solver.Oracle.compatible oracle env);
+          List.iter
+            (fun c ->
+              let fresh = outcome_tag (Solver.Analyzer.run_command env c) in
+              let incremental = Solver.Oracle.command_verdict oracle env c in
+              let label verdict =
+                match verdict with
+                | `Sat -> "sat"
+                | `Unsat -> "unsat"
+                | `Unknown -> "unknown"
+              in
+              Alcotest.(check string)
+                (d.name ^ ": incremental verdict = fresh analyzer")
+                (label fresh) (label incremental);
+              let cached = Solver.Oracle.command_verdict oracle env c in
+              Alcotest.(check string)
+                (d.name ^ ": cached = uncached")
+                (label incremental) (label cached))
+            env.spec.commands)
+        candidates)
+    domains
+
+let test_oracle_instances_verbatim () =
+  let d = List.hd Specrepair_benchmarks.Domains.all in
+  let env = Specrepair_benchmarks.Domains.env d in
+  let oracle = Solver.Oracle.create env in
+  List.iter
+    (fun (c : Ast.command) ->
+      let fresh = Solver.Analyzer.run_command env c in
+      let via_oracle = Solver.Oracle.run_command oracle env c in
+      let again = Solver.Oracle.run_command oracle env c in
+      let same a b =
+        match (a, b) with
+        | Solver.Analyzer.Sat i, Solver.Analyzer.Sat j -> Instance.equal i j
+        | Solver.Analyzer.Unsat, Solver.Analyzer.Unsat -> true
+        | Solver.Analyzer.Unknown, Solver.Analyzer.Unknown -> true
+        | _ -> false
+      in
+      Alcotest.(check bool) "oracle instance = analyzer instance" true
+        (same fresh via_oracle);
+      Alcotest.(check bool) "memoized replay identical" true
+        (same via_oracle again))
+    env.spec.commands;
+  let scope_ = scope 3 in
+  let f = Ast.True in
+  let fresh = Solver.Analyzer.enumerate ~limit:5 env scope_ f in
+  let memo = Solver.Oracle.enumerate ~limit:5 oracle env scope_ f in
+  Alcotest.(check bool) "enumeration identical, in order" true
+    (List.length fresh = List.length memo
+    && List.for_all2 Instance.equal fresh memo);
+  let stats = Solver.Oracle.stats oracle in
+  Alcotest.(check bool) "instance cache saw hits" true (stats.instance_hits > 0)
+
 let prop_solver_agrees_with_eval =
   QCheck2.Test.make ~count:150 ~name:"model finder agrees with evaluator"
     ~print:Pretty.fmla_to_string gen_vocab_fmla
@@ -497,6 +588,13 @@ let () =
           Alcotest.test_case "contradictory facts" `Quick test_contradictory_facts;
           Alcotest.test_case "one sig exactness" `Quick test_one_sig_exactness;
           Alcotest.test_case "budget path" `Quick test_unknown_budget;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "verdicts match fresh analyzer" `Quick
+            test_oracle_matches_fresh;
+          Alcotest.test_case "instances served verbatim" `Quick
+            test_oracle_instances_verbatim;
         ] );
       ( "properties",
         [

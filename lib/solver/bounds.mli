@@ -36,3 +36,9 @@ val relation : t -> string -> Matrix.t
 
 val extract : t -> (int -> bool) -> Alloy.Instance.t
 (** Reads an instance off a SAT model (given as the variable valuation). *)
+
+val with_env : t -> Alloy.Typecheck.env -> t
+(** The same bounds (solver variables, pools, matrices) viewed through a
+    different type-checked spec.  Sound only when the new spec declares the
+    same signatures and fields as the one the bounds were created from;
+    {!Oracle} enforces this. *)

@@ -186,10 +186,12 @@ and quantified bounds vars q decls body =
            (fun (guard, vars) -> Formula.and2 guard (fmla bounds vars body))
            instantiations)
 
-let spec_fmla bounds =
+(* Implicit constraints plus child-signature scope caps: the part of a
+   spec's translation that depends only on the signature declarations and
+   the scope — the immutable base an incremental oracle asserts once. *)
+let implicit_fmla bounds =
   let env = bounds.Bounds.env in
   let implicit = Alloy.Implicit.constraints env in
-  let facts = List.map (fun f -> f.Ast.fact_body) env.spec.facts in
   (* scope overrides naming non-top signatures become cardinality caps *)
   let scope_caps =
     List.filter_map
@@ -198,6 +200,23 @@ let spec_fmla bounds =
         else Some (Ast.Card (Ast.Ile, Ast.Rel name, k)))
       bounds.Bounds.scope.overrides
   in
+  Formula.and_ (List.map (fmla bounds []) (implicit @ scope_caps))
+
+let spec_fmla bounds =
+  let env = bounds.Bounds.env in
+  let implicit = Alloy.Implicit.constraints env in
+  let facts = List.map (fun f -> f.Ast.fact_body) env.spec.facts in
+  let scope_caps =
+    List.filter_map
+      (fun (name, k) ->
+        if List.mem name env.top_sigs then None
+        else Some (Ast.Card (Ast.Ile, Ast.Rel name, k)))
+      bounds.Bounds.scope.overrides
+  in
+  (* translated in this exact order (implicit, facts, caps): definition
+     variables are allocated in traversal order and the first model found
+     depends on it; [Oracle]'s fresh-path fallback must match a plain
+     {!Analyzer} solve bit for bit *)
   Formula.and_ (List.map (fmla bounds []) (implicit @ facts @ scope_caps))
 
 let pred_goal bounds (p : Ast.pred_decl) =

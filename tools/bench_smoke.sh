@@ -1,0 +1,53 @@
+#!/bin/sh
+# Smoke test of the benchmark harness: run the whole bench at the smallest
+# sample and check that the oracle stage produced a well-formed artifact
+# with a genuine speedup.  Exits nonzero on any failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+out="$workdir/BENCH_oracle.json"
+
+BENCH_SAMPLE=1 BENCH_ORACLE_OUT="$out" dune exec bench/main.exe
+
+if [ ! -s "$out" ]; then
+    echo "bench_smoke: $out missing or empty" >&2
+    exit 1
+fi
+
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$out" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+
+required = [
+    "sample", "domains", "candidates", "fresh_ms", "incremental_ms",
+    "speedup", "verdict_hits", "verdict_misses", "instance_hits",
+    "instance_misses", "fallback_queries", "formulas_translated",
+    "formulas_reused", "contexts",
+]
+missing = [k for k in required if k not in data]
+if missing:
+    sys.exit(f"bench_smoke: BENCH_oracle.json lacks keys: {missing}")
+if data["candidates"] <= 0:
+    sys.exit("bench_smoke: no candidates were checked")
+if data["speedup"] < 2.0:
+    sys.exit(f"bench_smoke: oracle speedup {data['speedup']} below 2x")
+print(f"bench_smoke: ok (speedup {data['speedup']}x on "
+      f"{data['candidates']} candidates)")
+EOF
+else
+    # no python3: settle for a structural sanity check
+    for key in speedup fresh_ms incremental_ms verdict_hits; do
+        if ! grep -q "\"$key\"" "$out"; then
+            echo "bench_smoke: BENCH_oracle.json lacks key $key" >&2
+            exit 1
+        fi
+    done
+    echo "bench_smoke: ok (grep-level check; python3 unavailable)"
+fi
