@@ -108,17 +108,22 @@ let oracle_workload =
       (d, candidates))
     domains
 
-let check_workload ~mk_oracle () =
+let check_workload ~mk_check () =
   List.fold_left
     (fun acc (d, candidates) ->
-      let oracle = mk_oracle d in
+      let check = mk_check d in
       List.fold_left
         (fun acc env ->
-          let p1 = S.Repair.Common.oracle_passes ?oracle env in
-          let p2 = S.Repair.Common.oracle_passes ?oracle env in
+          let p1 = check env in
+          let p2 = check env in
           acc + (if p1 then 1 else 0) + if p2 then 1 else 0)
         acc candidates)
     0 oracle_workload
+
+(* the fresh stage rebuilds everything per query: a throwaway session (and
+   thus a throwaway oracle) each time *)
+let fresh_check env =
+  S.Repair.Common.oracle_passes (S.Repair.Session.create env) env
 
 let time_ms f =
   let t0 = Unix.gettimeofday () in
@@ -130,16 +135,18 @@ let () =
     List.fold_left (fun n (_, cs) -> n + List.length cs) 0 oracle_workload
   in
   let fresh_passes, fresh_ms =
-    time_ms (fun () -> check_workload ~mk_oracle:(fun _ -> None) ())
+    time_ms (fun () -> check_workload ~mk_check:(fun _ -> fresh_check) ())
   in
   let oracles = ref [] in
   let inc_passes, incremental_ms =
     time_ms (fun () ->
         check_workload
-          ~mk_oracle:(fun d ->
-            let o = S.Analyzer.Oracle.create (S.Benchmarks.Domains.env d) in
+          ~mk_check:(fun d ->
+            let env = S.Benchmarks.Domains.env d in
+            let o = S.Analyzer.Oracle.create env in
             oracles := o :: !oracles;
-            Some o)
+            let session = S.Repair.Session.create ~oracle:o env in
+            fun candidate -> S.Repair.Common.oracle_passes session candidate)
           ())
   in
   if fresh_passes <> inc_passes then
@@ -270,18 +277,16 @@ let bench_tests =
         (Staged.stage (fun () ->
              let d, candidates = List.hd oracle_workload in
              ignore d;
-             List.iter
-               (fun env -> ignore (S.Repair.Common.oracle_passes env))
-               candidates));
+             List.iter (fun env -> ignore (fresh_check env)) candidates));
       Test.make ~name:"oracle-incremental"
         (Staged.stage (fun () ->
              let d, candidates = List.hd oracle_workload in
-             let oracle =
-               S.Analyzer.Oracle.create (S.Benchmarks.Domains.env d)
+             let session =
+               S.Repair.Session.create (S.Benchmarks.Domains.env d)
              in
              List.iter
                (fun env ->
-                 ignore (S.Repair.Common.oracle_passes ~oracle env))
+                 ignore (S.Repair.Common.oracle_passes session env))
                candidates));
       Test.make ~name:"repair-beafix"
         (Staged.stage (fun () -> S.Repair.Beafix.repair (Lazy.force faulty_env)));

@@ -93,29 +93,52 @@ let repair_cmd =
           ~doc:"Repair engine: beafix, atr, multi-round, or portfolio")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ]) in
-  let run file tool seed =
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Wall-clock deadline for the whole repair (monotonic clock). \
+             Expired runs return their best effort with timed out: true.")
+  in
+  let telemetry =
+    Arg.(
+      value & flag
+      & info [ "telemetry" ]
+          ~doc:"Print the session's telemetry as one JSON line on stderr")
+  in
+  let run file tool seed deadline_ms telemetry =
     match load_env file with
     | env ->
+        let session = Repair.Session.create ~seed ?deadline_ms env in
         let result =
           match tool with
-          | `Beafix -> Repair.Beafix.repair env
-          | `Atr -> Repair.Atr.repair env
+          | `Beafix -> Repair.Beafix.repair ~session env
+          | `Atr -> Repair.Atr.repair ~session env
           | `Multi ->
               let task =
                 Llm.Task.make ~spec_id:file ~domain:"cli"
                   ~faulty:env.Alloy.Typecheck.spec ()
               in
-              Llm.Multi_round.repair ~seed task Llm.Multi_round.Generic
+              Llm.Multi_round.repair ~session task Llm.Multi_round.Generic
           | `Portfolio ->
               let task =
                 Llm.Task.make ~spec_id:file ~domain:"cli"
                   ~faulty:env.Alloy.Typecheck.spec ()
               in
-              fst (Eval.Portfolio.repair ~seed task)
+              fst (Eval.Portfolio.repair ~session task)
         in
-        Format.printf "tool: %s@.repaired: %b@.candidates tried: %d@.@.%s"
+        Format.printf
+          "tool: %s@.repaired: %b@.candidates tried: %d@.timed out: %b@.@.%s"
           result.Repair.Common.tool result.repaired result.candidates_tried
+          result.timed_out
           (Alloy.Pretty.spec_to_string result.final_spec);
+        if telemetry then
+          prerr_endline
+            (Repair.Session.telemetry_json
+               ~extra:[ ("tool", result.Repair.Common.tool) ]
+               session);
         `Ok ()
     | exception Alloy.Parser.Parse_error msg -> `Error (false, msg)
     | exception Alloy.Lexer.Lex_error msg -> `Error (false, msg)
@@ -124,7 +147,7 @@ let repair_cmd =
   Cmd.v
     (Cmd.info "repair"
        ~doc:"Repair a faulty specification against its own commands")
-    Term.(ret (const run $ file $ tool $ seed))
+    Term.(ret (const run $ file $ tool $ seed $ deadline_ms $ telemetry))
 
 (* {2 domains} *)
 
@@ -182,7 +205,30 @@ let evaluate_cmd =
       & info [ "artifacts-dir" ] ~docv:"DIR"
           ~doc:"Also write table1.csv, fig2.csv, fig3.csv, table2.csv to DIR")
   in
-  let run sample seed jobs what csv_out csv_in artifacts_dir =
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Per-row wall-clock deadline (monotonic clock)")
+  in
+  let telemetry_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE"
+          ~doc:"Write per-row telemetry as JSON lines to FILE")
+  in
+  let run sample seed jobs what csv_out csv_in artifacts_dir deadline_ms
+      telemetry_out =
+    let telemetry_chan = Option.map open_out telemetry_out in
+    let telemetry =
+      Option.map
+        (fun oc line ->
+          output_string oc line;
+          output_char oc '\n')
+        telemetry_chan
+    in
     let results =
       match csv_in with
       | Some path -> Eval.Study.of_csv (read_file path)
@@ -195,10 +241,11 @@ let evaluate_cmd =
           Printf.eprintf "running %d variants x %d techniques...\n%!"
             (List.length variants)
             (List.length Eval.Technique.all);
-          Eval.Study.run_parallel ~seed ~jobs
+          Eval.Study.run_parallel ~seed ~jobs ?deadline_ms ?telemetry
             ~progress:(fun msg -> Printf.eprintf "  %s\n%!" msg)
             variants
     in
+    Option.iter close_out telemetry_chan;
     (match csv_out with
     | Some path ->
         let oc = open_out path in
@@ -237,7 +284,9 @@ let evaluate_cmd =
   Cmd.v
     (Cmd.info "evaluate"
        ~doc:"Run the study and regenerate the paper's tables and figures")
-    Term.(const run $ sample $ seed $ jobs $ what $ csv_out $ csv_in $ artifacts_dir)
+    Term.(
+      const run $ sample $ seed $ jobs $ what $ csv_out $ csv_in
+      $ artifacts_dir $ deadline_ms $ telemetry_out)
 
 let () =
   let info =

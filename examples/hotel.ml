@@ -95,7 +95,8 @@ let () =
         "the check-in constraint on the guest's keys is too restrictive"
       ~check_names:[ "OccupiedRoomsStay" ] ()
   in
-  let result = Llm.Multi_round.repair ~seed:7 task Llm.Multi_round.Generic in
+  let session = Repair.Session.for_spec ~seed:7 task.Llm.Task.faulty in
+  let result = Llm.Multi_round.repair ~session task Llm.Multi_round.Generic in
   Printf.printf "Multi-Round repair agent: repaired=%b in %d round(s)\n\n"
     result.repaired result.iterations;
   if result.repaired then begin

@@ -33,8 +33,9 @@ let () =
 
   (* the multi-round dialogue, with the analyzer in the loop; trace the
      conversation as it happens *)
+  let session = Repair.Session.for_spec ~seed:42 task.Llm.Task.faulty in
   let result =
-    Llm.Multi_round.repair ~seed:42
+    Llm.Multi_round.repair ~session
       ~trace:(fun ~round ~prompt ~response ->
         Printf.printf "--- round %d feedback ---\n%s\n--- round %d response (truncated) ---\n%s...\n\n"
           round

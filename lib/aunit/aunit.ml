@@ -32,13 +32,13 @@ let run_suite env tests =
 
 let all_pass env tests = List.for_all (run_test env) tests
 
-let generate ?oracle ?(per_kind = 4) (env : Alloy.Typecheck.env) ~scope =
-  (* the oracle memoizes enumeration on the spec digest, so regenerating a
-     suite for the same ground truth (every fault of a domain shares it) is
-     a cache hit; answers are identical either way *)
+let generate ?session ?(per_kind = 4) (env : Alloy.Typecheck.env) ~scope =
+  (* the session oracle memoizes enumeration on the spec digest, so
+     regenerating a suite for the same ground truth (every fault of a domain
+     shares it) is a cache hit; answers are identical either way *)
   let enumerate ~limit env scope f =
-    match oracle with
-    | Some o -> Solver.Oracle.enumerate ~limit o env scope f
+    match session with
+    | Some s -> Specrepair_engine.Session.enumerate ~limit s env scope f
     | None -> Solver.Analyzer.enumerate ~limit env scope f
   in
   let name_counter = ref 0 in

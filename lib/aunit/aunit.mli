@@ -35,7 +35,7 @@ val run_suite : Alloy.Typecheck.env -> test list -> verdict
 val all_pass : Alloy.Typecheck.env -> test list -> bool
 
 val generate :
-  ?oracle:Specrepair_solver.Oracle.t ->
+  ?session:Specrepair_engine.Session.t ->
   ?per_kind:int ->
   Alloy.Typecheck.env ->
   scope:Specrepair_solver.Bounds.scope ->
@@ -46,8 +46,8 @@ val generate :
     and for every predicate, instances where it holds (under the facts)
     become positive [Pred] tests.  [per_kind] bounds each group
     (default 4).  Generation is deterministic (solver enumeration order);
-    with [?oracle] the enumerations are memoized on the spec digest and
-    identical to the unmemoized ones. *)
+    with [?session] the enumerations run through the session oracle —
+    memoized on the spec digest and identical to the unmemoized ones. *)
 
 val of_counterexample : name:string -> Alloy.Instance.t -> test
 (** ICEBAR-style conversion: the instance was a counterexample to a checked

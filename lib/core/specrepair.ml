@@ -48,8 +48,17 @@ end
 (** Fault localization. *)
 module Faultloc = Specrepair_faultloc.Faultloc
 
+(** The repair session and its telemetry: the one instrumented context
+    (oracle, budget, seed, deadline, counters) threaded through every
+    technique. *)
+module Engine = struct
+  module Session = Specrepair_engine.Session
+  module Telemetry = Specrepair_engine.Telemetry
+end
+
 (** The four traditional repair engines and their shared vocabulary. *)
 module Repair = struct
+  module Session = Specrepair_repair.Session
   module Common = Specrepair_repair.Common
   module Arepair = Specrepair_repair.Arepair
   module Icebar = Specrepair_repair.Icebar

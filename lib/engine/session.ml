@@ -1,0 +1,204 @@
+module Alloy = Specrepair_alloy
+module Solver = Specrepair_solver
+
+type budget = {
+  max_depth : int;
+  max_candidates : int;
+  max_iterations : int;
+  max_conflicts : int;
+  locations : int;
+  use_pool : bool;
+}
+
+let default_budget =
+  {
+    max_depth = 2;
+    max_candidates = 800;
+    max_iterations = 4;
+    max_conflicts = 20_000;
+    locations = 6;
+    use_pool = true;
+  }
+
+type t = {
+  env : Alloy.Typecheck.env;
+  oracle : Solver.Oracle.t;
+  budget : budget;
+  seed : int;
+  started_ns : int64;
+  deadline_ns : int64 option;  (* absolute, on the monotonic clock *)
+  deadline_rel_ms : float option;
+  telemetry : Telemetry.t;
+  oracle_base : Solver.Oracle.stats;  (* snapshot at creation, for deltas *)
+  expiry : bool ref;  (* latched; shared with derived sessions *)
+}
+
+let now_ns () = Monotonic_clock.now ()
+
+let create ?oracle ?(budget = default_budget) ?(seed = 42) ?deadline_ms env =
+  let oracle =
+    match oracle with Some o -> o | None -> Solver.Oracle.create env
+  in
+  let started_ns = now_ns () in
+  {
+    env;
+    oracle;
+    budget;
+    seed;
+    started_ns;
+    deadline_ns =
+      Option.map
+        (fun ms -> Int64.add started_ns (Int64.of_float (ms *. 1e6)))
+        deadline_ms;
+    deadline_rel_ms = deadline_ms;
+    telemetry = Telemetry.create ();
+    oracle_base = Solver.Oracle.stats oracle;
+    expiry = ref false;
+  }
+
+let for_spec ?oracle ?budget ?seed ?deadline_ms spec =
+  let env =
+    match Alloy.Typecheck.check_result spec with
+    | Ok env -> env
+    | Error _ ->
+        (* ill-typed input (an LLM task whose faulty spec does not check):
+           anchor on the empty spec; every candidate is sig-incompatible and
+           the oracle serves it by fresh-solve fallback, transparently *)
+        Alloy.Typecheck.check Alloy.Ast.empty_spec
+  in
+  create ?oracle ?budget ?seed ?deadline_ms env
+
+let with_budget t f = { t with budget = f t.budget }
+
+let env t = t.env
+let oracle t = t.oracle
+let budget t = t.budget
+let seed t = t.seed
+let telemetry t = t.telemetry
+
+let expired t =
+  match t.deadline_ns with
+  | None -> false
+  | Some _ when !(t.expiry) -> true
+  | Some deadline ->
+      Telemetry.deadline_check t.telemetry;
+      if Int64.compare (now_ns ()) deadline >= 0 then begin
+        t.expiry := true;
+        true
+      end
+      else false
+
+let timed_out t = !(t.expiry)
+let deadline_ms t = t.deadline_rel_ms
+
+let elapsed_ms t = Int64.to_float (Int64.sub (now_ns ()) t.started_ns) /. 1e6
+
+let time t phase f =
+  let t0 = now_ns () in
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.add_phase_ms t.telemetry phase
+        (Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e6))
+    f
+
+let command_verdict ?max_conflicts t env cmd =
+  let v = Solver.Oracle.command_verdict ?max_conflicts t.oracle env cmd in
+  Telemetry.record_verdict t.telemetry v;
+  v
+
+let run_command ?max_conflicts t env cmd =
+  Telemetry.record_instance_query t.telemetry;
+  Solver.Oracle.run_command ?max_conflicts t.oracle env cmd
+
+let enumerate ?limit ?max_conflicts t env scope f =
+  Telemetry.record_enumeration t.telemetry;
+  Solver.Oracle.enumerate ?limit ?max_conflicts t.oracle env scope f
+
+let oracle_stats t =
+  let s = Solver.Oracle.stats t.oracle and b = t.oracle_base in
+  {
+    Solver.Oracle.verdict_hits = s.verdict_hits - b.verdict_hits;
+    verdict_misses = s.verdict_misses - b.verdict_misses;
+    instance_hits = s.instance_hits - b.instance_hits;
+    instance_misses = s.instance_misses - b.instance_misses;
+    fallback_queries = s.fallback_queries - b.fallback_queries;
+    formulas_translated = s.formulas_translated - b.formulas_translated;
+    formulas_reused = s.formulas_reused - b.formulas_reused;
+    contexts = s.contexts;
+  }
+
+(* {2 JSON serialization} *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let telemetry_json ?(extra = []) t =
+  let buf = Buffer.create 512 in
+  let first = ref true in
+  let field name value =
+    if not !first then Buffer.add_char buf ',';
+    first := false;
+    Buffer.add_string buf (Printf.sprintf "\"%s\":%s" (json_escape name) value)
+  in
+  Buffer.add_char buf '{';
+  List.iter
+    (fun (k, v) -> field k (Printf.sprintf "\"%s\"" (json_escape v)))
+    extra;
+  let m = t.telemetry in
+  field "elapsed_ms" (Printf.sprintf "%.3f" (elapsed_ms t));
+  field "timed_out" (string_of_bool (timed_out t));
+  field "solver_queries" (string_of_int (Telemetry.solver_queries m));
+  field "sat_verdicts" (string_of_int m.Telemetry.sat_verdicts);
+  field "unsat_verdicts" (string_of_int m.Telemetry.unsat_verdicts);
+  field "unknown_verdicts" (string_of_int m.Telemetry.unknown_verdicts);
+  field "instance_queries" (string_of_int m.Telemetry.instance_queries);
+  field "enumerations" (string_of_int m.Telemetry.enumerations);
+  field "candidates_generated" (string_of_int m.Telemetry.candidates_generated);
+  field "candidates_evaluated" (string_of_int m.Telemetry.candidates_evaluated);
+  field "llm_rounds" (string_of_int m.Telemetry.llm_rounds);
+  field "pool_peak" (string_of_int m.Telemetry.pool_peak);
+  field "deadline_checks" (string_of_int m.Telemetry.deadline_checks);
+  let os = oracle_stats t in
+  field "oracle"
+    (Printf.sprintf
+       "{\"verdict_hits\":%d,\"verdict_misses\":%d,\"instance_hits\":%d,\
+        \"instance_misses\":%d,\"fallback_queries\":%d,\
+        \"formulas_translated\":%d,\"formulas_reused\":%d,\"contexts\":%d}"
+       os.Solver.Oracle.verdict_hits os.verdict_misses os.instance_hits
+       os.instance_misses os.fallback_queries os.formulas_translated
+       os.formulas_reused os.contexts);
+  let phase_fields =
+    List.map
+      (fun (phase, ms) ->
+        Printf.sprintf "\"%s\":%.3f" (json_escape phase) ms)
+      (Telemetry.phases m)
+  in
+  field "phases" ("{" ^ String.concat "," phase_fields ^ "}");
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let pp_telemetry ppf t =
+  Format.fprintf ppf "@[<v>%a@,elapsed: %.3f ms, timed out: %b@,oracle: %a@]"
+    Telemetry.pp t.telemetry (elapsed_ms t) (timed_out t)
+    (fun ppf (s : Solver.Oracle.stats) ->
+      Format.fprintf ppf
+        "%d/%d verdict hits, %d/%d instance hits, %d fallbacks, %d contexts"
+        s.verdict_hits
+        (s.verdict_hits + s.verdict_misses)
+        s.instance_hits
+        (s.instance_hits + s.instance_misses)
+        s.fallback_queries s.contexts)
+    (oracle_stats t)

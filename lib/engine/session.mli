@@ -1,0 +1,147 @@
+(** The repair session: one instrumented context threaded through every
+    repair technique.
+
+    A [Session.t] bundles everything a run of any engine needs — the
+    incremental solving {!Specrepair_solver.Oracle.t}, the search {!budget},
+    the deterministic RNG seed, an optional wall-clock {e deadline} on the
+    monotonic clock, and a {!Telemetry.t} sink — replacing the
+    [?oracle]/[?seed]/[?budget]/[?max_conflicts] optional-argument sprawl of
+    the earlier entry points.
+
+    {b Deadline semantics.}  Enforcement is cooperative: engines poll
+    {!expired} at every candidate-evaluation boundary and, once the deadline
+    has passed, abort the search and return their current best-effort
+    result with the [timed_out] flag set (they never hang and never raise).
+    The first observation of expiry latches: all later polls — including
+    from derived sessions ({!with_budget}) and across portfolio stages —
+    answer [true] without reading the clock.  A session without a deadline
+    never expires and never reads the clock on the poll path.
+
+    {b Sharing.}  One session may span several engines (the portfolio runs
+    ATR and Multi-Round in a single session) and nested invocations (ICEBAR
+    derives an inner ARepair session with {!with_budget}); oracle, telemetry
+    and the expiry latch are shared, so counters aggregate across stages
+    and a deadline cuts the whole pipeline, not just one stage. *)
+
+module Alloy = Specrepair_alloy
+module Solver = Specrepair_solver
+
+type budget = {
+  max_depth : int;  (** greedy / composition depth *)
+  max_candidates : int;  (** candidates evaluated in one invocation *)
+  max_iterations : int;  (** outer refinement rounds (ICEBAR) *)
+  max_conflicts : int;  (** SAT conflict budget per analyzer call *)
+  locations : int;  (** suspicious locations explored *)
+  use_pool : bool;
+      (** may the search synthesize replacement expressions / added juncts?
+          ARepair's original space lacked them *)
+}
+
+val default_budget : budget
+
+type t
+
+val create :
+  ?oracle:Solver.Oracle.t ->
+  ?budget:budget ->
+  ?seed:int ->
+  ?deadline_ms:float ->
+  Alloy.Typecheck.env ->
+  t
+(** A fresh session for [env].  Without [?oracle] a new incremental oracle
+    is created from [env] (cheap; real work is lazy).  [?deadline_ms] is
+    relative to now on the monotonic clock; omitted means no deadline.
+    Default budget {!default_budget}, default seed 42. *)
+
+val for_spec :
+  ?oracle:Solver.Oracle.t ->
+  ?budget:budget ->
+  ?seed:int ->
+  ?deadline_ms:float ->
+  Alloy.Ast.spec ->
+  t
+(** Like {!create} but from a bare spec: if it does not type-check (possible
+    for LLM-written inputs) the session is anchored on the empty spec, whose
+    oracle serves every query by transparent fresh-solve fallback. *)
+
+val with_budget : t -> (budget -> budget) -> t
+(** A derived session with a transformed budget; oracle, telemetry, seed,
+    deadline and the expiry latch remain shared with the parent. *)
+
+(** {2 Components} *)
+
+val env : t -> Alloy.Typecheck.env
+val oracle : t -> Solver.Oracle.t
+val budget : t -> budget
+val seed : t -> int
+val telemetry : t -> Telemetry.t
+
+(** {2 Deadline} *)
+
+val expired : t -> bool
+(** Has the deadline passed?  Latches on first observation; counted in
+    telemetry as a deadline check.  Always [false] without a deadline. *)
+
+val timed_out : t -> bool
+(** Has {!expired} ever answered [true]?  Does not read the clock. *)
+
+val deadline_ms : t -> float option
+(** The configured deadline, relative to session creation. *)
+
+(** {2 Clock} *)
+
+val now_ns : unit -> int64
+(** The monotonic clock, in nanoseconds. *)
+
+val elapsed_ms : t -> float
+(** Monotonic wall-clock milliseconds since session creation. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** [time t phase f] runs [f] and adds its wall-clock duration to the
+    telemetry phase timer [phase] (also on exception). *)
+
+(** {2 Instrumented oracle queries}
+
+    Thin wrappers over {!Specrepair_solver.Oracle} that record telemetry.
+    [?max_conflicts] is passed through verbatim — deliberately not defaulted
+    from the budget, so each call site keeps the exact conflict budget (or
+    unlimited solve) it had before sessions existed. *)
+
+val command_verdict :
+  ?max_conflicts:int ->
+  t ->
+  Alloy.Typecheck.env ->
+  Alloy.Ast.command ->
+  Solver.Oracle.verdict
+
+val run_command :
+  ?max_conflicts:int ->
+  t ->
+  Alloy.Typecheck.env ->
+  Alloy.Ast.command ->
+  Solver.Analyzer.outcome
+
+val enumerate :
+  ?limit:int ->
+  ?max_conflicts:int ->
+  t ->
+  Alloy.Typecheck.env ->
+  Solver.Bounds.scope ->
+  Alloy.Ast.fmla ->
+  Alloy.Instance.t list
+
+(** {2 Reporting} *)
+
+val oracle_stats : t -> Solver.Oracle.stats
+(** Oracle counters accumulated {e during this session}: the delta against
+    the snapshot taken at session creation (relevant when the oracle is
+    shared across sessions, as in the study).  [contexts] is a gauge and is
+    reported absolute. *)
+
+val telemetry_json : ?extra:(string * string) list -> t -> string
+(** One-line JSON object: [extra] string fields first (escaped), then
+    [elapsed_ms], [timed_out], the {!Telemetry.t} counters, the per-phase
+    timers, and the session-relative oracle stats.  Schema documented in
+    DESIGN.md. *)
+
+val pp_telemetry : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+(** The telemetry sink of a repair session: monotonic counters and per-phase
+    wall-clock timers, all mutated in place on the hot path (one field
+    increment per event, no allocation).
+
+    A sink belongs to one {!Session.t} and is shared by every layer the
+    session is threaded through — the verdict helpers count solver queries,
+    the search engines count candidates and pool sizes, the LLM pipelines
+    count dialogue rounds.  Snapshots are serialized by
+    {!Session.telemetry_json}. *)
+
+type t = {
+  mutable sat_verdicts : int;  (** solver queries answered [`Sat] *)
+  mutable unsat_verdicts : int;  (** solver queries answered [`Unsat] *)
+  mutable unknown_verdicts : int;
+      (** solver queries exhausting their conflict budget *)
+  mutable instance_queries : int;  (** witness / counterexample solves *)
+  mutable enumerations : int;  (** instance-enumeration sweeps *)
+  mutable candidates_generated : int;
+      (** candidate specs produced by mutation / templates / proposals *)
+  mutable candidates_evaluated : int;
+      (** candidates actually scored against tests or the oracle *)
+  mutable llm_rounds : int;  (** dialogue rounds of the LLM pipelines *)
+  mutable pool_peak : int;  (** largest single mutation / template pool *)
+  mutable deadline_checks : int;  (** cooperative deadline polls performed *)
+  phase_ms : (string, float) Hashtbl.t;
+      (** accumulated wall-clock milliseconds per named phase *)
+}
+
+val create : unit -> t
+
+val record_verdict : t -> [ `Sat | `Unsat | `Unknown ] -> unit
+val record_instance_query : t -> unit
+val record_enumeration : t -> unit
+val candidates_generated : t -> int -> unit
+(** Also tracks [pool_peak]. *)
+
+val candidate_evaluated : t -> unit
+val llm_round : t -> unit
+val deadline_check : t -> unit
+
+val add_phase_ms : t -> string -> float -> unit
+
+val solver_queries : t -> int
+(** Total verdict queries, all outcomes. *)
+
+val phases : t -> (string * float) list
+(** Phase timers, sorted by name. *)
+
+val pp : Format.formatter -> t -> unit

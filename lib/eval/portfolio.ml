@@ -1,5 +1,6 @@
 module Alloy = Specrepair_alloy
 module Repair = Specrepair_repair
+module Session = Repair.Session
 module Llm = Specrepair_llm
 module Common = Repair.Common
 
@@ -10,29 +11,27 @@ let stage_to_string = function
   | Llm_finished -> "llm"
   | Unrepaired -> "unrepaired"
 
-let repair ?(seed = 42) ?(budget = Common.default_budget)
-    ?(profile = Llm.Model.gpt4) (task : Llm.Task.t) =
+let repair ?session ?(profile = Llm.Model.gpt4) (task : Llm.Task.t) =
   match Alloy.Typecheck.check_result task.faulty with
   | Error _ ->
       ( Common.result ~tool:"Portfolio" ~repaired:false task.faulty
           ~candidates:0 ~iterations:0,
         Unrepaired )
   | Ok env -> (
-      (* one incremental session spans both stages: everything ATR learned
-         about the spec (translations, clauses, candidate verdicts) is
-         already in the oracle when the LLM loop starts from its output *)
-      let oracle = Specrepair_solver.Oracle.create env in
-      let atr = Repair.Atr.repair ~oracle ~budget env in
+      (* one session spans both stages: everything ATR learned about the
+         spec (translations, clauses, candidate verdicts) is already in the
+         oracle when the LLM loop starts from its output, the telemetry
+         aggregates across stages, and a deadline cuts the whole pipeline *)
+      let session =
+        match session with Some s -> s | None -> Session.create env
+      in
+      let atr = Repair.Atr.repair ~session env in
       if atr.repaired then
         ( { atr with Common.tool = "Portfolio" }, Traditional_sufficed )
       else begin
         (* hand the traditional engine's best effort to the LLM loop *)
         let task' = { task with Llm.Task.faulty = atr.final_spec } in
-        let mr =
-          Llm.Multi_round.repair ~oracle ~seed ~profile
-            ~max_conflicts:budget.Common.max_conflicts task'
-            Llm.Multi_round.Auto
-        in
+        let mr = Llm.Multi_round.repair ~session ~profile task' Llm.Multi_round.Auto in
         let combined =
           {
             mr with

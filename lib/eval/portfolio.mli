@@ -12,11 +12,13 @@ type stage = Traditional_sufficed | Llm_finished | Unrepaired
 val stage_to_string : stage -> string
 
 val repair :
-  ?seed:int ->
-  ?budget:Common.budget ->
+  ?session:Specrepair_repair.Session.t ->
   ?profile:Llm.Model.profile ->
   Llm.Task.t ->
   Common.result * stage
 (** Runs ATR first (structured, template-based); on failure, continues with
     Multi-Round/Auto from ATR's best-effort spec so partial progress (for
-    example one of two compound faults already fixed) is preserved. *)
+    example one of two compound faults already fixed) is preserved.  One
+    session spans both stages — shared oracle, aggregated telemetry, one
+    deadline across the pipeline.  Without [?session] a default one is
+    created from the task's faulty spec. *)

@@ -1,6 +1,7 @@
 module Alloy = Specrepair_alloy
 module Benchmarks = Specrepair_benchmarks
 module Repair = Specrepair_repair
+module Session = Repair.Session
 module Llm = Specrepair_llm
 module Metrics = Specrepair_metrics
 module Aunit = Specrepair_aunit.Aunit
@@ -23,7 +24,10 @@ let suite_cache : (string, Aunit.test list) Hashtbl.t = Hashtbl.create 18
    faults mutate only constraint bodies, so all of a domain's variants (and
    their repair candidates) declare the ground truth's signatures and can
    reuse its solving contexts and verdict cache.  Candidates recur heavily
-   across techniques — the cache answers the repeats. *)
+   across techniques — the cache answers the repeats.  Each (variant,
+   technique) row gets its own {!Session.t} around this oracle, so budgets,
+   deadlines and telemetry stay per-row while the solving state spans the
+   domain. *)
 let oracle_cache : (string, Specrepair_solver.Oracle.t) Hashtbl.t =
   Hashtbl.create 18
 
@@ -46,7 +50,8 @@ let aunit_suite (d : Benchmarks.Domains.t) =
         | c :: _ -> Specrepair_solver.Bounds.scope_of_command c
         | [] -> Specrepair_solver.Analyzer.default_scope
       in
-      let s = Aunit.generate ~oracle:(domain_oracle d) ~per_kind:4 env ~scope in
+      let session = Session.create ~oracle:(domain_oracle d) env in
+      let s = Aunit.generate ~session ~per_kind:4 env ~scope in
       Hashtbl.replace suite_cache d.name s;
       s
 
@@ -70,41 +75,45 @@ let budget_for technique (base : Repair.Common.budget) =
       { base with max_iterations = 4; max_candidates = 480 }
   | Technique.Single _ | Technique.Multi _ -> base
 
-let apply_technique ~seed ~budget technique (v : Benchmarks.Generate.variant) =
-  let budget = budget_for technique budget in
+let apply_technique ~session technique (v : Benchmarks.Generate.variant) =
   let faulty_env () =
     match Alloy.Typecheck.check_result v.injected.Benchmarks.Fault.faulty with
     | Ok env -> env
     | Error msg -> failwith ("faulty variant does not type-check: " ^ msg)
   in
   let take n xs = List.filteri (fun i _ -> i < n) xs in
-  let oracle = domain_oracle v.domain in
   match (technique : Technique.t) with
   | Technique.ARepair ->
       (* ARepair sees a thinner suite than ICEBAR accumulates, mirroring the
          limited hand-written AUnit tests it shipped with; its search is
-         pure test evaluation, so it takes no oracle (the suite itself is
-         oracle-generated) *)
-      Repair.Arepair.repair ~budget (faulty_env ())
+         pure test evaluation and never touches the session oracle (the
+         suite itself is oracle-generated) *)
+      Repair.Arepair.repair ~session (faulty_env ())
         (take 3 (aunit_suite v.domain))
   | Technique.ICEBAR ->
-      Repair.Icebar.repair ~oracle ~budget (faulty_env ())
-        (aunit_suite v.domain)
-  | Technique.BeAFix -> Repair.Beafix.repair ~oracle ~budget (faulty_env ())
-  | Technique.ATR -> Repair.Atr.repair ~oracle ~budget (faulty_env ())
+      Repair.Icebar.repair ~session (faulty_env ()) (aunit_suite v.domain)
+  | Technique.BeAFix -> Repair.Beafix.repair ~session (faulty_env ())
+  | Technique.ATR -> Repair.Atr.repair ~session (faulty_env ())
   | Technique.Single setting ->
-      Llm.Single_round.repair ~oracle ~seed ~profile:(profile_for v.domain)
+      Llm.Single_round.repair ~session ~profile:(profile_for v.domain)
         (Benchmarks.Generate.to_task v) setting
   | Technique.Multi fb ->
-      Llm.Multi_round.repair ~oracle ~seed ~profile:(profile_for v.domain)
-        ~max_conflicts:budget.Repair.Common.max_conflicts
+      Llm.Multi_round.repair ~session ~profile:(profile_for v.domain)
         (Benchmarks.Generate.to_task v) fb
 
-let run_one ?(seed = 42) ?(budget = Repair.Common.default_budget) technique
-    (v : Benchmarks.Generate.variant) =
-  let t0 = Unix.gettimeofday () in
-  let result = apply_technique ~seed ~budget technique v in
-  let elapsed = (Unix.gettimeofday () -. t0) *. 1000. in
+let run_one ?(seed = 42) ?(budget = Repair.Common.default_budget) ?deadline_ms
+    ?telemetry technique (v : Benchmarks.Generate.variant) =
+  (* one session per study row: shared domain oracle, per-technique budget,
+     monotonic clock for [time_ms] *)
+  let session =
+    Session.create
+      ~oracle:(domain_oracle v.domain)
+      ~budget:(budget_for technique budget)
+      ~seed ?deadline_ms
+      (Benchmarks.Domains.env v.domain)
+  in
+  let result = apply_technique ~session technique v in
+  let elapsed = Session.elapsed_ms session in
   let final = result.Repair.Common.final_spec in
   let rep =
     Metrics.Rep.rep_score
@@ -115,6 +124,19 @@ let run_one ?(seed = 42) ?(budget = Repair.Common.default_budget) technique
   let cand_text = Alloy.Pretty.spec_to_string final in
   let tm = Metrics.Bleu.token_match ~reference:gt_text ~candidate:cand_text in
   let sm = Metrics.Tree_kernel.syntax_match v.ground_truth final in
+  (match telemetry with
+  | None -> ()
+  | Some sink ->
+      sink
+        (Session.telemetry_json
+           ~extra:
+             [
+               ("variant_id", v.id);
+               ("technique", Technique.name technique);
+               ("tool", result.Repair.Common.tool);
+               ("repaired", string_of_bool result.Repair.Common.repaired);
+             ]
+           session));
   {
     variant_id = v.id;
     domain = v.domain.name;
@@ -127,15 +149,16 @@ let run_one ?(seed = 42) ?(budget = Repair.Common.default_budget) technique
     time_ms = elapsed;
   }
 
-let run ?(seed = 42) ?(budget = Repair.Common.default_budget)
-    ?(techniques = Technique.all) ?(progress = fun _ -> ()) variants =
+let run ?(seed = 42) ?(budget = Repair.Common.default_budget) ?deadline_ms
+    ?telemetry ?(techniques = Technique.all) ?(progress = fun _ -> ())
+    variants =
   let total = List.length variants * List.length techniques in
   let done_count = ref 0 in
   List.concat_map
     (fun v ->
       List.map
         (fun t ->
-          let r = run_one ~seed ~budget t v in
+          let r = run_one ~seed ~budget ?deadline_ms ?telemetry t v in
           incr done_count;
           if !done_count mod 100 = 0 then
             progress
@@ -193,12 +216,16 @@ let of_csv text =
 
    Forks worker processes, each running a slice of the variants and
    writing its rows as CSV to a temp file; the parent merges.  Safe because
-   every run is deterministic and workers share nothing. *)
+   every run is deterministic and workers share nothing.  Telemetry rides
+   along in a sidecar [.telemetry] file per worker (one JSON line per row);
+   the parent replays the lines into the caller's sink after the worker
+   exits. *)
 
 let run_parallel ?(seed = 42) ?(budget = Repair.Common.default_budget)
-    ?(techniques = Technique.all) ?(jobs = 1) ?(progress = fun _ -> ())
-    variants =
-  if jobs <= 1 then run ~seed ~budget ~techniques ~progress variants
+    ?deadline_ms ?telemetry ?(techniques = Technique.all) ?(jobs = 1)
+    ?(progress = fun _ -> ()) variants =
+  if jobs <= 1 then
+    run ~seed ~budget ?deadline_ms ?telemetry ~techniques ~progress variants
   else begin
     let arr = Array.of_list variants in
     let n = Array.length arr in
@@ -208,26 +235,39 @@ let run_parallel ?(seed = 42) ?(budget = Repair.Common.default_budget)
         (fun i -> if i mod jobs = w then Some arr.(i) else None)
         (List.init n Fun.id)
     in
+    let want_telemetry = Option.is_some telemetry in
     let children =
       List.init jobs (fun w ->
           let path =
             Filename.temp_file (Printf.sprintf "specrepair_w%d_" w) ".csv"
           in
+          let tpath = path ^ ".telemetry" in
           match Unix.fork () with
           | 0 ->
               (* worker *)
-              let rows = run ~seed ~budget ~techniques (slice w) in
+              let tchan = if want_telemetry then Some (open_out tpath) else None in
+              let telemetry =
+                Option.map
+                  (fun oc line ->
+                    output_string oc line;
+                    output_char oc '\n')
+                  tchan
+              in
+              let rows =
+                run ~seed ~budget ?deadline_ms ?telemetry ~techniques (slice w)
+              in
+              Option.iter close_out tchan;
               let oc = open_out path in
               output_string oc (to_csv rows);
               close_out oc;
               Stdlib.exit 0
-          | pid -> (pid, path))
+          | pid -> (pid, path, tpath))
     in
     (* On any failure: reap every remaining child (no zombies outlive the
-       call) and remove every temp CSV before re-raising. *)
+       call) and remove every temp file before re-raising. *)
     let reap_all () =
       List.iter
-        (fun (pid, _) ->
+        (fun (pid, _, _) ->
           match Unix.waitpid [] pid with
           | _ -> ()
           | exception Unix.Unix_error (_, _, _) -> () (* already reaped *))
@@ -235,16 +275,19 @@ let run_parallel ?(seed = 42) ?(budget = Repair.Common.default_budget)
     in
     let remove_temp_files () =
       List.iter
-        (fun (_, path) ->
-          if Sys.file_exists path then
-            try Sys.remove path with Sys_error _ -> ())
+        (fun (_, path, tpath) ->
+          List.iter
+            (fun p ->
+              if Sys.file_exists p then
+                try Sys.remove p with Sys_error _ -> ())
+            [ path; tpath ])
         children
     in
     let finished = ref 0 in
     let results =
       try
         List.concat_map
-          (fun (pid, path) ->
+          (fun (pid, path, tpath) ->
             let _, status = Unix.waitpid [] pid in
             (match status with
             | Unix.WEXITED 0 -> ()
@@ -253,6 +296,17 @@ let run_parallel ?(seed = 42) ?(budget = Repair.Common.default_budget)
             let text = really_input_string ic (in_channel_length ic) in
             close_in ic;
             Sys.remove path;
+            (match telemetry with
+            | Some sink when Sys.file_exists tpath ->
+                let tic = open_in tpath in
+                (try
+                   while true do
+                     sink (input_line tic)
+                   done
+                 with End_of_file -> ());
+                close_in tic;
+                Sys.remove tpath
+            | _ -> ());
             let rows = of_csv text in
             incr finished;
             progress

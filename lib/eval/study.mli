@@ -1,6 +1,12 @@
 (** The study runner: applies every technique to every benchmark variant
     and records REP / TM / SM per (variant, technique) — the raw data
-    behind all tables and figures. *)
+    behind all tables and figures.
+
+    Every (variant, technique) row runs in its own
+    {!Specrepair_repair.Session.t} (shared per-domain oracle, per-technique
+    budget, monotonic [time_ms]); [?deadline_ms] bounds each row and
+    [?telemetry] receives one JSON line per row (schema in DESIGN.md) —
+    the CSV schema itself never changes. *)
 
 module Alloy = Specrepair_alloy
 module Benchmarks = Specrepair_benchmarks
@@ -14,12 +20,14 @@ type spec_result = {
   tm : float;  (** Token Match of the final candidate vs ground truth *)
   sm : float;  (** Syntax Match of the final candidate vs ground truth *)
   tool_claimed : bool;  (** the technique's own success verdict *)
-  time_ms : float;
+  time_ms : float;  (** monotonic wall clock of the technique run *)
 }
 
 val run_one :
   ?seed:int ->
   ?budget:Specrepair_repair.Common.budget ->
+  ?deadline_ms:float ->
+  ?telemetry:(string -> unit) ->
   Technique.t ->
   Benchmarks.Generate.variant ->
   spec_result
@@ -27,6 +35,8 @@ val run_one :
 val run :
   ?seed:int ->
   ?budget:Specrepair_repair.Common.budget ->
+  ?deadline_ms:float ->
+  ?telemetry:(string -> unit) ->
   ?techniques:Technique.t list ->
   ?progress:(string -> unit) ->
   Benchmarks.Generate.variant list ->
@@ -36,13 +46,17 @@ val run :
 val run_parallel :
   ?seed:int ->
   ?budget:Specrepair_repair.Common.budget ->
+  ?deadline_ms:float ->
+  ?telemetry:(string -> unit) ->
   ?techniques:Technique.t list ->
   ?jobs:int ->
   ?progress:(string -> unit) ->
   Benchmarks.Generate.variant list ->
   spec_result list
 (** Like {!run} but fanned out over [jobs] forked worker processes
-    (results identical to the sequential run, reordered canonically). *)
+    (results identical to the sequential run, reordered canonically).
+    Worker telemetry lines are replayed into [?telemetry] as each worker
+    is reaped, so the sink sees every row exactly once. *)
 
 val to_csv : spec_result list -> string
 val of_csv : string -> spec_result list

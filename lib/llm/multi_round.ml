@@ -2,6 +2,8 @@ module Alloy = Specrepair_alloy
 module Solver = Specrepair_solver
 module Ast = Alloy.Ast
 module Common = Specrepair_repair.Common
+module Session = Specrepair_repair.Session
+module Telemetry = Specrepair_engine.Telemetry
 module Faultloc = Specrepair_faultloc.Faultloc
 module Location = Specrepair_mutation.Location
 
@@ -18,7 +20,7 @@ let tool_name fb = "Multi-Round_" ^ feedback_to_string fb
 
 (* Templated analyzer report: which checks have counterexamples, which runs
    are unsatisfiable. *)
-let generic_report ?oracle (env : Alloy.Typecheck.env) failing =
+let generic_report ~session (env : Alloy.Typecheck.env) failing =
   let lines =
     List.map
       (fun (_, name, cex) ->
@@ -31,7 +33,7 @@ let generic_report ?oracle (env : Alloy.Typecheck.env) failing =
       (fun (c : Ast.command) ->
         match c.cmd_kind with
         | Ast.Run_pred p -> (
-            match Common.command_verdict ?oracle env c with
+            match Common.command_verdict session env c with
             | `Unsat -> Some (Printf.sprintf "run %s is unsatisfiable" p)
             | `Sat | `Unknown -> None)
         | _ -> None)
@@ -71,7 +73,7 @@ let generic_guidance (task : Task.t) failing guidance =
    the analyzer's counterexamples and witnesses, then tells the Repair
    Agent where to look — a sharp boost, but it can lock onto the wrong
    place when localization is ambiguous. *)
-let auto_guidance ?oracle (env : Alloy.Typecheck.env) (task : Task.t) failing
+let auto_guidance ~session (env : Alloy.Typecheck.env) (task : Task.t) failing
     rng guidance =
   let ranked =
     match failing with
@@ -80,9 +82,9 @@ let auto_guidance ?oracle (env : Alloy.Typecheck.env) (task : Task.t) failing
         | Some _ ->
             let scope = Solver.Bounds.scope_of_command c in
             let cexs =
-              Common.counterexamples_for ?oracle ~limit:3 env name scope
+              Common.counterexamples_for ~limit:3 session env name scope
             in
-            let wits = Common.witnesses_for ?oracle ~limit:3 env name scope in
+            let wits = Common.witnesses_for ~limit:3 session env name scope in
             Faultloc.rank_by_instances env
               ~goal_of:(Faultloc.goal_of_assert name)
               ~counterexamples:cexs ~witnesses:wits ()
@@ -119,11 +121,11 @@ let auto_guidance ?oracle (env : Alloy.Typecheck.env) (task : Task.t) failing
    outside the model, is authoritative. *)
 let mental_scope = 2
 
-let mentally_consistent ?oracle (env' : Alloy.Typecheck.env) =
+let mentally_consistent ~session (env' : Alloy.Typecheck.env) =
   List.for_all
     (fun (c : Ast.command) ->
       let reduced = { c with Ast.cmd_scope = min mental_scope c.Ast.cmd_scope } in
-      match Common.command_behaves ?oracle ~max_conflicts:5_000 env' reduced with
+      match Common.command_behaves ~max_conflicts:5_000 session env' reduced with
       | v -> v
       | exception _ -> false)
     env'.spec.commands
@@ -131,8 +133,8 @@ let mentally_consistent ?oracle (env' : Alloy.Typecheck.env) =
 (* Best-of-k internal sampling with the mental check; falls back to the
    first proposal when none self-verifies.  [mental_check:false] (ablation)
    returns the first proposal unfiltered. *)
-let internal_proposal ?oracle ~mental_check profile rng guidance (task : Task.t)
-    =
+let internal_proposal ~session ~mental_check profile rng guidance
+    (task : Task.t) =
   let k = if mental_check then profile.Model.self_check_samples else 1 in
   let rec go n first =
     if n = 0 then first
@@ -144,26 +146,27 @@ let internal_proposal ?oracle ~mental_check profile rng guidance (task : Task.t)
           else
             let first = match first with None -> Some candidate | s -> s in
             match Common.env_of_spec candidate with
-            | Some env' when mentally_consistent ?oracle env' -> Some candidate
+            | Some env' when mentally_consistent ~session env' -> Some candidate
             | _ -> go (n - 1) first)
   in
   go k None
 
-let repair ?oracle ?(seed = 42) ?(profile = Model.gpt4) ?(rounds = 6)
-    ?(max_conflicts = 20_000) ?(hill_climb = true) ?(mental_check = true)
+let repair ?session ?(profile = Model.gpt4) ?(rounds = 6) ?(hill_climb = true)
+    ?(mental_check = true)
     ?(trace = fun ~round:_ ~prompt:_ ~response:_ -> ()) (task : Task.t) fb =
   (* one incremental session for the dialogue: candidate specs recur across
      rounds (the model revisits its own proposals), and the mental check's
      reduced-scope commands get their own shared context per scope.
      LLM-written candidates may redeclare signatures; the oracle detects
      that and falls back to fresh solves for those, transparently. *)
-  let oracle =
-    match oracle with
-    | Some _ -> oracle
-    | None -> Option.map Solver.Oracle.create (Common.env_of_spec task.faulty)
+  let session =
+    match session with Some s -> s | None -> Session.for_spec task.faulty
   in
+  let telemetry = Session.telemetry session in
+  let max_conflicts = (Session.budget session).Session.max_conflicts in
   let rng =
-    Rng.of_context ~seed [ task.spec_id; "multi-round"; feedback_to_string fb ]
+    Rng.of_context ~seed:(Session.seed session)
+      [ task.spec_id; "multi-round"; feedback_to_string fb ]
   in
   let total_commands = List.length task.faulty.Ast.commands in
   (* The dialogue hill-climbs: each round's proposal edits the best spec so
@@ -171,15 +174,23 @@ let repair ?oracle ?(seed = 42) ?(profile = Model.gpt4) ?(rounds = 6)
      compound faults can be repaired one edit at a time. *)
   let rec loop round guidance base base_behaved feedback_text =
     if round > rounds then
-      Common.result ~tool:(tool_name fb) ~repaired:false base
-        ~candidates:rounds ~iterations:rounds
+      Common.result ~tool:(tool_name fb) ~repaired:false
+        ~timed_out:(Session.timed_out session) base ~candidates:rounds
+        ~iterations:rounds
+    else if Session.expired session then
+      (* cooperative deadline: abort between rounds with the best base *)
+      Common.result ~tool:(tool_name fb) ~repaired:false ~timed_out:true base
+        ~candidates:(round - 1) ~iterations:(round - 1)
     else begin
+      Telemetry.llm_round telemetry;
       let task_r = { task with Task.faulty = base } in
       let prompt =
         { Prompt.task = task_r; hints = []; round; feedback = feedback_text }
       in
       let proposal =
-        internal_proposal ?oracle ~mental_check profile rng guidance task_r
+        Session.time session "llm" (fun () ->
+            internal_proposal ~session ~mental_check profile rng guidance
+              task_r)
       in
       let response = Model.render_response profile ~rng proposal in
       trace ~round ~prompt ~response;
@@ -191,20 +202,21 @@ let repair ?oracle ?(seed = 42) ?(profile = Model.gpt4) ?(rounds = 6)
             base base_behaved
             (Some "Your previous answer did not contain a complete, parseable specification.")
       | Some candidate -> (
+          Telemetry.candidate_evaluated telemetry;
           match Common.env_of_spec candidate with
           | None ->
               loop (round + 1) guidance base base_behaved
                 (Some "Your previous specification did not type-check.")
           | Some env' ->
               let behaved =
-                Common.behaving_commands ?oracle ~max_conflicts env'
+                Common.behaving_commands ~max_conflicts session env'
               in
               if behaved = total_commands && total_commands > 0 then
                 Common.result ~tool:(tool_name fb) ~repaired:true candidate
                   ~candidates:round ~iterations:round
               else begin
                 let failing =
-                  Common.failing_checks ?oracle ~max_conflicts env'
+                  Common.failing_checks ~max_conflicts session env'
                 in
                 let blocked = candidate :: guidance.Model.blocked in
                 let base, base_behaved =
@@ -226,10 +238,11 @@ let repair ?oracle ?(seed = 42) ?(profile = Model.gpt4) ?(rounds = 6)
                           (generic_guidance task failing guidance) with
                           Model.blocked;
                         },
-                        Some (generic_report ?oracle env' failing) )
+                        Some (generic_report ~session env' failing) )
                   | Auto ->
                       ( {
-                          (auto_guidance ?oracle env' task failing rng guidance)
+                          (auto_guidance ~session env' task failing rng
+                             guidance)
                           with
                           Model.blocked;
                         },
@@ -243,8 +256,7 @@ let repair ?oracle ?(seed = 42) ?(profile = Model.gpt4) ?(rounds = 6)
   in
   let initial_behaved =
     match Common.env_of_spec task.faulty with
-    | Some env -> Common.behaving_commands ?oracle ~max_conflicts env
+    | Some env -> Common.behaving_commands ~max_conflicts session env
     | None -> 0
   in
   loop 1 Model.no_guidance task.faulty initial_behaved None
-

@@ -7,6 +7,7 @@
 
 module Alloy = Specrepair_alloy
 module Common = Specrepair_repair.Common
+module Session = Specrepair_repair.Session
 
 type feedback = No_feedback | Generic | Auto
 
@@ -17,11 +18,9 @@ val tool_name : feedback -> string
 (** "Multi-Round_None" etc., as in the paper's tables. *)
 
 val repair :
-  ?oracle:Specrepair_solver.Oracle.t ->
-  ?seed:int ->
+  ?session:Session.t ->
   ?profile:Model.profile ->
   ?rounds:int ->
-  ?max_conflicts:int ->
   ?hill_climb:bool ->
   ?mental_check:bool ->
   ?trace:(round:int -> prompt:Prompt.t -> response:string -> unit) ->
@@ -35,6 +34,7 @@ val repair :
     enables the Repair Agent's internal scope-2 self-verification.  Both
     exist for the ablation benchmarks.  [trace] observes every round's
     rendered prompt (including the analyzer feedback text) and the model's
-    raw response.  [?oracle] shares an incremental solving session (see
-    {!Specrepair_solver.Oracle}) with the caller; without one, the
-    invocation creates its own from the faulty spec (if it type-checks). *)
+    raw response.  Without [?session] a default one is built from the
+    faulty spec ({!Session.for_spec}); the session provides the RNG seed,
+    the analyzer conflict budget, the shared incremental oracle, and a
+    deadline that aborts the dialogue between rounds. *)

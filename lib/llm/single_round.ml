@@ -1,6 +1,8 @@
 module Alloy = Specrepair_alloy
 module Ast = Alloy.Ast
 module Common = Specrepair_repair.Common
+module Session = Specrepair_repair.Session
+module Telemetry = Specrepair_engine.Telemetry
 
 let tool_name setting =
   "Single-Round_" ^ Prompt.single_setting_to_string setting
@@ -10,7 +12,7 @@ let tool_name setting =
    small scope it can reason about) and returns the first that satisfies
    them.  The anchoring is double-edged — a candidate can make the named
    checks pass by over-constraining, silently breaking other commands. *)
-let pass_anchored_proposal ?oracle profile rng (task : Task.t) hints =
+let pass_anchored_proposal ~session profile rng (task : Task.t) hints =
   let named_checks_pass candidate =
     match Common.env_of_spec candidate with
     | None -> false
@@ -21,7 +23,7 @@ let pass_anchored_proposal ?oracle profile rng (task : Task.t) hints =
             | Ast.Check name when List.mem name task.Task.check_names -> (
                 let reduced = { c with Ast.cmd_scope = min 2 c.Ast.cmd_scope } in
                 match
-                  Common.command_behaves ?oracle ~max_conflicts:5_000 env'
+                  Common.command_behaves ~max_conflicts:5_000 session env'
                     reduced
                 with
                 | v -> v
@@ -30,7 +32,7 @@ let pass_anchored_proposal ?oracle profile rng (task : Task.t) hints =
           env'.Alloy.Typecheck.spec.commands
   in
   let rec go n first =
-    if n = 0 then first
+    if n = 0 || Session.expired session then first
     else
       match Model.propose profile ~rng ~hints Model.no_guidance task with
       | None -> go (n - 1) first
@@ -45,24 +47,36 @@ let pass_anchored_proposal ?oracle profile rng (task : Task.t) hints =
   in
   go (min tries profile.Model.self_check_samples) None
 
-let repair ?oracle ?(seed = 42) ?(profile = Model.gpt4) (task : Task.t) setting
-    =
-  let rng =
-    Rng.of_context ~seed
-      [ task.spec_id; "single-round"; Prompt.single_setting_to_string setting ]
+let repair ?session ?(profile = Model.gpt4) (task : Task.t) setting =
+  let session =
+    match session with Some s -> s | None -> Session.for_spec task.faulty
   in
-  let prompt = Prompt.single task setting in
-  let hints = Prompt.hints_of_setting setting in
-  let response =
-    if List.mem Prompt.Pass hints then
-      Model.render_response profile ~rng
-        (pass_anchored_proposal ?oracle profile rng task hints)
-    else Model.respond profile ~rng Model.no_guidance prompt
-  in
-  match Extract.spec_of_response response with
-  | Some spec ->
-      Common.result ~tool:(tool_name setting) ~repaired:true spec ~candidates:1
-        ~iterations:1
-  | None ->
-      Common.result ~tool:(tool_name setting) ~repaired:false task.faulty
-        ~candidates:1 ~iterations:1
+  let telemetry = Session.telemetry session in
+  if Session.expired session then
+    Common.result ~tool:(tool_name setting) ~repaired:false ~timed_out:true
+      task.faulty ~candidates:0 ~iterations:0
+  else begin
+    Telemetry.llm_round telemetry;
+    let rng =
+      Rng.of_context ~seed:(Session.seed session)
+        [ task.spec_id; "single-round"; Prompt.single_setting_to_string setting ]
+    in
+    let prompt = Prompt.single task setting in
+    let hints = Prompt.hints_of_setting setting in
+    let response =
+      Session.time session "llm" (fun () ->
+          if List.mem Prompt.Pass hints then
+            Model.render_response profile ~rng
+              (pass_anchored_proposal ~session profile rng task hints)
+          else Model.respond profile ~rng Model.no_guidance prompt)
+    in
+    Telemetry.candidate_evaluated telemetry;
+    match Extract.spec_of_response response with
+    | Some spec ->
+        Common.result ~tool:(tool_name setting) ~repaired:true spec
+          ~candidates:1 ~iterations:1
+    | None ->
+        Common.result ~tool:(tool_name setting) ~repaired:false
+          ~timed_out:(Session.timed_out session) task.faulty ~candidates:1
+          ~iterations:1
+  end

@@ -4,18 +4,20 @@
 
 module Alloy = Specrepair_alloy
 module Common = Specrepair_repair.Common
+module Session = Specrepair_repair.Session
 
 val tool_name : Prompt.single_setting -> string
 (** "Single-Round_Loc+Fix" etc., as in the paper's tables. *)
 
 val repair :
-  ?oracle:Specrepair_solver.Oracle.t ->
-  ?seed:int ->
+  ?session:Session.t ->
   ?profile:Model.profile ->
   Task.t ->
   Prompt.single_setting ->
   Common.result
 (** [repaired] reports only that a well-typed spec was extracted from the
     response; actual repair success is judged by the REP metric against the
-    ground truth, as in the study.  [?oracle] backs the Pass-hint settings'
-    mental check with a shared incremental session. *)
+    ground truth, as in the study.  Without [?session] a default one is
+    built from the faulty spec ({!Session.for_spec}); the session provides
+    the RNG seed, backs the Pass-hint settings' mental check with its
+    incremental oracle, and its deadline short-circuits the call. *)

@@ -12,7 +12,10 @@
 module Alloy = Specrepair_alloy
 
 val repair :
-  ?budget:Common.budget ->
+  ?session:Session.t ->
   Alloy.Typecheck.env ->
   Specrepair_aunit.Aunit.test list ->
   Common.result
+(** Without [?session] a fresh default one is created from the input env.
+    The search is pure test evaluation and never queries the solver, but it
+    honours the session budget and deadline and feeds its telemetry. *)

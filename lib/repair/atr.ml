@@ -4,6 +4,7 @@ module Ast = Alloy.Ast
 module Mutation = Specrepair_mutation
 module Location = Mutation.Location
 module Faultloc = Specrepair_faultloc.Faultloc
+module Telemetry = Specrepair_engine.Telemetry
 
 (* Template instantiation at a formula node, in two tiers: tier 1 holds the
    cheap semantic operator swaps, tier 2 the synthesized templates
@@ -49,12 +50,14 @@ let templates_at (env : Alloy.Typecheck.env) site path =
    assertion, (b) preserve every collected satisfying instance (the
    PMaxSAT-flavoured consistency filter), and (c) make the assertion's
    check command pass per the analyzer. *)
-let repair_assert ~oracle ~budget ~tried (env0 : Alloy.Typecheck.env)
+let repair_assert ~session ~tried (env0 : Alloy.Typecheck.env)
     (cmd : Ast.command) name =
-  let max_conflicts = budget.Common.max_conflicts in
+  let budget = Session.budget session in
+  let telemetry = Session.telemetry session in
+  let max_conflicts = budget.Session.max_conflicts in
   let scope = Solver.Bounds.scope_of_command cmd in
-  let cexs = Common.counterexamples_for ~oracle ~limit:4 env0 name scope in
-  let wits = Common.witnesses_for ~oracle ~limit:4 env0 name scope in
+  let cexs = Common.counterexamples_for ~limit:4 session env0 name scope in
+  let wits = Common.witnesses_for ~limit:4 session env0 name scope in
   let consistent (env' : Alloy.Typecheck.env) =
     let body' =
       match Ast.find_assert env'.spec name with
@@ -83,33 +86,44 @@ let repair_assert ~oracle ~budget ~tried (env0 : Alloy.Typecheck.env)
              wits
   in
   let locations =
-    let ranked =
-      Faultloc.rank_by_instances env0 ~goal_of:(Faultloc.goal_of_assert name)
-        ~counterexamples:cexs ~witnesses:wits ()
-    in
-    let ranked_locs =
-      List.map (fun (l : Faultloc.location) -> (l.site, l.path)) ranked
-    in
-    let all =
-      Faultloc.candidate_locations env0.spec ~sites:(Location.sites env0.spec)
-    in
-    let rest = List.filter (fun l -> not (List.mem l ranked_locs)) all in
-    ranked_locs @ rest
+    Session.time session "faultloc" (fun () ->
+        let ranked =
+          Faultloc.rank_by_instances env0
+            ~goal_of:(Faultloc.goal_of_assert name) ~counterexamples:cexs
+            ~witnesses:wits ()
+        in
+        let ranked_locs =
+          List.map (fun (l : Faultloc.location) -> (l.site, l.path)) ranked
+        in
+        let all =
+          Faultloc.candidate_locations env0.spec
+            ~sites:(Location.sites env0.spec)
+        in
+        let rest = List.filter (fun l -> not (List.mem l ranked_locs)) all in
+        ranked_locs @ rest)
   in
-  let top = List.filteri (fun i _ -> i < budget.Common.locations) locations in
+  let top = List.filteri (fun i _ -> i < budget.Session.locations) locations in
   let candidate_stream =
-    let tiers =
-      List.map (fun (site, path) -> ((site, path), templates_at env0 site path)) top
-    in
-    List.concat_map (fun (loc, (swaps, _)) -> List.map (fun r -> (loc, r)) swaps) tiers
-    @ List.concat_map
-        (fun (loc, (_, templates)) -> List.map (fun r -> (loc, r)) templates)
-        tiers
+    Session.time session "mutation" (fun () ->
+        let tiers =
+          List.map
+            (fun (site, path) -> ((site, path), templates_at env0 site path))
+            top
+        in
+        List.concat_map
+          (fun (loc, (swaps, _)) -> List.map (fun r -> (loc, r)) swaps)
+          tiers
+        @ List.concat_map
+            (fun (loc, (_, templates)) ->
+              List.map (fun r -> (loc, r)) templates)
+            tiers)
   in
+  Telemetry.candidates_generated telemetry (List.length candidate_stream);
   let rec search = function
     | [] -> None
     | ((site, path), repl) :: rest ->
-        if !tried >= budget.Common.max_candidates then None
+        if !tried >= budget.Session.max_candidates || Session.expired session
+        then None
         else begin
           let body = Location.body env0.spec site in
           match Location.replace body path repl with
@@ -118,12 +132,13 @@ let repair_assert ~oracle ~budget ~tried (env0 : Alloy.Typecheck.env)
               if spec' = env0.spec then search rest
               else begin
                 incr tried;
+                Telemetry.candidate_evaluated telemetry;
                 match Common.env_of_spec spec' with
                 | None -> search rest
                 | Some env' ->
                     if
                       consistent env'
-                      && Common.command_behaves ~oracle ~max_conflicts env' cmd
+                      && Common.command_behaves ~max_conflicts session env' cmd
                     then Some spec'
                     else search rest
               end)
@@ -132,28 +147,34 @@ let repair_assert ~oracle ~budget ~tried (env0 : Alloy.Typecheck.env)
   in
   search candidate_stream
 
-let repair ?oracle ?(budget = Common.default_budget)
-    (env0 : Alloy.Typecheck.env) =
-  let max_conflicts = budget.max_conflicts in
+let repair ?session (env0 : Alloy.Typecheck.env) =
   (* one incremental session for the whole invocation: the base translation,
      learned clauses, and candidate verdicts are shared across every
      template, location, and outer iteration *)
-  let oracle =
-    match oracle with Some o -> o | None -> Solver.Oracle.create env0
+  let session =
+    match session with Some s -> s | None -> Session.create env0
   in
+  let budget = Session.budget session in
+  let telemetry = Session.telemetry session in
+  let max_conflicts = budget.Session.max_conflicts in
   let tried = ref 0 in
   (* Outer loop: repair failing assertions one at a time, re-running on the
      improved specification — how ATR handles specs violating several
      properties (and, here, compound faults). *)
   let rec outer (env : Alloy.Typecheck.env) iter =
-    if Common.oracle_passes ~oracle ~max_conflicts env then
+    if Common.oracle_passes ~max_conflicts session env then
       Common.result ~tool:"ATR" ~repaired:true env.spec ~candidates:!tried
         ~iterations:iter
-    else if iter >= 3 || !tried >= budget.max_candidates then
-      Common.result ~tool:"ATR" ~repaired:false env.spec ~candidates:!tried
+    else if
+      iter >= 3
+      || !tried >= budget.Session.max_candidates
+      || Session.expired session
+    then
+      Common.result ~tool:"ATR" ~repaired:false
+        ~timed_out:(Session.timed_out session) env.spec ~candidates:!tried
         ~iterations:iter
     else begin
-      let failing = Common.failing_checks ~oracle ~max_conflicts env in
+      let failing = Common.failing_checks ~max_conflicts session env in
       (* Over-constraint faults leave every check green but make a run
          command unsatisfiable — no counterexamples to analyze.  ATR falls
          back to its template sweep verified directly against the full
@@ -161,22 +182,25 @@ let repair ?oracle ?(budget = Common.default_budget)
       let repair_unsat_runs () =
         (* the sweep is a secondary path: half the candidate budget, the
            same location allowance as the template search *)
-        let sweep_budget = budget.max_candidates / 2 in
+        let sweep_budget = budget.Session.max_candidates / 2 in
         let locations =
           Faultloc.candidate_locations env.spec
             ~sites:(Location.sites env.spec)
         in
-        let top = List.filteri (fun i _ -> i < budget.locations) locations in
+        let top =
+          List.filteri (fun i _ -> i < budget.Session.locations) locations
+        in
         let rec sweep = function
           | [] -> None
           | (site, path) :: rest ->
-              if !tried >= sweep_budget then None
+              if !tried >= sweep_budget || Session.expired session then None
               else begin
                 let swaps, _ = templates_at env site path in
                 let rec try_swaps = function
                   | [] -> sweep rest
                   | repl :: more -> (
-                      if !tried >= sweep_budget then None
+                      if !tried >= sweep_budget || Session.expired session then
+                        None
                       else
                         match
                           Location.replace (Location.body env.spec site) path
@@ -185,9 +209,10 @@ let repair ?oracle ?(budget = Common.default_budget)
                         | body' -> (
                             let spec' = Location.with_body env.spec site body' in
                             incr tried;
+                            Telemetry.candidate_evaluated telemetry;
                             match Common.env_of_spec spec' with
                             | Some env'
-                              when Common.oracle_passes ~oracle ~max_conflicts
+                              when Common.oracle_passes ~max_conflicts session
                                      env' ->
                                 Some spec'
                             | _ -> try_swaps more)
@@ -201,7 +226,7 @@ let repair ?oracle ?(budget = Common.default_budget)
       let rec try_asserts = function
         | [] -> None
         | (cmd, name, _) :: rest -> (
-            match repair_assert ~oracle ~budget ~tried env cmd name with
+            match repair_assert ~session ~tried env cmd name with
             | Some spec' -> Some spec'
             | None -> try_asserts rest)
       in
@@ -215,10 +240,12 @@ let repair ?oracle ?(budget = Common.default_budget)
           match Common.env_of_spec spec' with
           | Some env' -> outer env' (iter + 1)
           | None ->
-              Common.result ~tool:"ATR" ~repaired:false env.spec
+              Common.result ~tool:"ATR" ~repaired:false
+                ~timed_out:(Session.timed_out session) env.spec
                 ~candidates:!tried ~iterations:iter)
       | None ->
-          Common.result ~tool:"ATR" ~repaired:false env.spec ~candidates:!tried
+          Common.result ~tool:"ATR" ~repaired:false
+            ~timed_out:(Session.timed_out session) env.spec ~candidates:!tried
             ~iterations:iter
     end
   in

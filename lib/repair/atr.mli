@@ -11,11 +11,8 @@
 
 module Alloy = Specrepair_alloy
 
-val repair :
-  ?oracle:Specrepair_solver.Oracle.t ->
-  ?budget:Common.budget ->
-  Alloy.Typecheck.env ->
-  Common.result
-(** [?oracle] shares an incremental solving session (see
-    {!Specrepair_solver.Oracle}) with the caller; without one, the
-    invocation creates its own. *)
+val repair : ?session:Session.t -> Alloy.Typecheck.env -> Common.result
+(** Without [?session] a fresh default one is created from the input env.
+    The session's oracle serves every verification and instance query; its
+    budget bounds both search tiers and its deadline is checked between
+    candidates. *)

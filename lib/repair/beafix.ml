@@ -3,6 +3,7 @@ module Solver = Specrepair_solver
 module Ast = Alloy.Ast
 module Mutation = Specrepair_mutation
 module Faultloc = Specrepair_faultloc.Faultloc
+module Telemetry = Specrepair_engine.Telemetry
 
 (* Admission of an instance as a counterexample of assertion [name]:
    the facts hold and the assertion body does not. *)
@@ -55,32 +56,33 @@ let distinguishable env0 env' instances =
            env0.Alloy.Typecheck.spec.asserts)
     instances
 
-let repair ?oracle ?(budget = Common.default_budget)
-    (env0 : Alloy.Typecheck.env) =
-  let max_conflicts = budget.max_conflicts in
+let repair ?session (env0 : Alloy.Typecheck.env) =
   (* one incremental session shared by the whole bounded-exhaustive sweep *)
-  let oracle =
-    match oracle with Some o -> o | None -> Solver.Oracle.create env0
+  let session =
+    match session with Some s -> s | None -> Session.create env0
   in
-  if Common.oracle_passes ~oracle ~max_conflicts env0 then
+  let budget = Session.budget session in
+  let telemetry = Session.telemetry session in
+  let max_conflicts = budget.Session.max_conflicts in
+  if Common.oracle_passes ~max_conflicts session env0 then
     Common.result ~tool:"BeAFix" ~repaired:true env0.spec ~candidates:0
       ~iterations:0
   else begin
-    let failing = Common.failing_checks ~oracle ~max_conflicts env0 in
+    let failing = Common.failing_checks ~max_conflicts session env0 in
     let scope_of_cmd (c : Ast.command) = Solver.Bounds.scope_of_command c in
     let cexs =
       List.concat_map
         (fun (c, name, _) ->
           List.map
             (fun i -> (name, i))
-            (Common.counterexamples_for ~oracle ~limit:3 env0 name
+            (Common.counterexamples_for ~limit:3 session env0 name
                (scope_of_cmd c)))
         failing
     in
     let witnesses =
       List.concat_map
         (fun (c, name, _) ->
-          Common.witnesses_for ~oracle ~limit:3 env0 name (scope_of_cmd c))
+          Common.witnesses_for ~limit:3 session env0 name (scope_of_cmd c))
         failing
     in
     let all_instances = List.map snd cexs @ witnesses in
@@ -95,10 +97,10 @@ let repair ?oracle ?(budget = Common.default_budget)
       |> List.filter (fun (_, path) -> path = [])
     in
     let top_locations =
-      List.filteri (fun i _ -> i < budget.locations) locations
+      List.filteri (fun i _ -> i < budget.Session.locations) locations
     in
     let tried = ref 0 in
-    let verify env' = Common.oracle_passes ~oracle ~max_conflicts env' in
+    let verify env' = Common.oracle_passes ~max_conflicts session env' in
     (* candidate stream: depth 1 = single mutations at suspicious locations
        (descending through every node of the suspicious subtree), depth 2 =
        pairs across distinct locations *)
@@ -120,7 +122,7 @@ let repair ?oracle ?(budget = Common.default_budget)
       List.concat_map
         (fun p ->
           Mutation.Mutate.mutations_at env0 env0.spec site p
-            ~with_pool:budget.use_pool ())
+            ~with_pool:budget.Session.use_pool ())
         subtree_paths
     in
     let is_pool_op (m : Mutation.Mutate.t) =
@@ -129,23 +131,27 @@ let repair ?oracle ?(budget = Common.default_budget)
       | _ -> false
     in
     let depth1 =
-      (* overlapping suspicious subtrees would repeat locations; dedup *)
-      let seen = Hashtbl.create 64 in
-      List.concat_map mutations_of_location top_locations
-      |> List.filter (fun (m : Mutation.Mutate.t) ->
-             let key = (m.site, m.path, m.replacement) in
-             if Hashtbl.mem seen key then false
-             else begin
-               Hashtbl.add seen key ();
-               true
-             end)
-      (* cheap structural edits across every location before any
-         pool-synthesized replacement, so one pool-heavy location cannot
-         starve the rest of the budget *)
-      |> List.stable_sort (fun a b -> compare (is_pool_op a) (is_pool_op b))
+      Session.time session "mutation" (fun () ->
+          (* overlapping suspicious subtrees would repeat locations; dedup *)
+          let seen = Hashtbl.create 64 in
+          List.concat_map mutations_of_location top_locations
+          |> List.filter (fun (m : Mutation.Mutate.t) ->
+                 let key = (m.site, m.path, m.replacement) in
+                 if Hashtbl.mem seen key then false
+                 else begin
+                   Hashtbl.add seen key ();
+                   true
+                 end)
+          (* cheap structural edits across every location before any
+             pool-synthesized replacement, so one pool-heavy location cannot
+             starve the rest of the budget *)
+          |> List.stable_sort (fun a b ->
+                 compare (is_pool_op a) (is_pool_op b)))
     in
+    Telemetry.candidates_generated telemetry (List.length depth1);
     let try_candidate spec' =
       incr tried;
+      Telemetry.candidate_evaluated telemetry;
       match Common.env_of_spec spec' with
       | None -> None
       | Some env' ->
@@ -163,7 +169,8 @@ let repair ?oracle ?(budget = Common.default_budget)
     let rec search1 = function
       | [] -> None
       | m :: rest ->
-          if !tried >= budget.max_candidates then None
+          if !tried >= budget.Session.max_candidates || Session.expired session
+          then None
           else begin
             match try_candidate (Mutation.Mutate.apply env0.spec m) with
             | Some s -> Some s
@@ -174,7 +181,7 @@ let repair ?oracle ?(budget = Common.default_budget)
     let result =
       match result1 with
       | Some s -> Some s
-      | None when budget.max_depth >= 2 ->
+      | None when budget.Session.max_depth >= 2 ->
           (* Depth 2: compose pairs of mutations at distinct locations.
              Enumerate by anti-diagonals (wavefront) so pairs of two
              early-ranked mutations are tried long before pairs involving a
@@ -193,7 +200,10 @@ let repair ?oracle ?(budget = Common.default_budget)
                    let m1 = ms.(i) and m2 = ms.(j) in
                    if (m1.Mutation.Mutate.site, m1.path) <> (m2.site, m2.path)
                    then begin
-                     if !tried >= budget.max_candidates then raise Exit;
+                     if
+                       !tried >= budget.Session.max_candidates
+                       || Session.expired session
+                     then raise Exit;
                      match
                        Mutation.Mutate.apply
                          (Mutation.Mutate.apply env0.spec m1)
@@ -219,6 +229,7 @@ let repair ?oracle ?(budget = Common.default_budget)
         Common.result ~tool:"BeAFix" ~repaired:true s ~candidates:!tried
           ~iterations:1
     | None ->
-        Common.result ~tool:"BeAFix" ~repaired:false env0.spec
-          ~candidates:!tried ~iterations:1
+        Common.result ~tool:"BeAFix" ~repaired:false
+          ~timed_out:(Session.timed_out session) env0.spec ~candidates:!tried
+          ~iterations:1
   end

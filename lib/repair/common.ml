@@ -2,7 +2,7 @@ module Alloy = Specrepair_alloy
 module Solver = Specrepair_solver
 module Ast = Alloy.Ast
 
-type budget = {
+type budget = Session.budget = {
   max_depth : int;
   max_candidates : int;
   max_iterations : int;
@@ -11,15 +11,7 @@ type budget = {
   use_pool : bool;
 }
 
-let default_budget =
-  {
-    max_depth = 2;
-    max_candidates = 800;
-    max_iterations = 4;
-    max_conflicts = 20_000;
-    locations = 6;
-    use_pool = true;
-  }
+let default_budget = Session.default_budget
 
 type result = {
   tool : string;
@@ -27,58 +19,57 @@ type result = {
   final_spec : Alloy.Ast.spec;
   candidates_tried : int;
   iterations : int;
+  timed_out : bool;
 }
 
-let result ~tool ~repaired final_spec ~candidates ~iterations =
-  { tool; repaired; final_spec; candidates_tried = candidates; iterations }
+let result ?(timed_out = false) ~tool ~repaired final_spec ~candidates
+    ~iterations =
+  {
+    tool;
+    repaired;
+    final_spec;
+    candidates_tried = candidates;
+    iterations;
+    timed_out;
+  }
 
-(* Every query below takes an optional incremental oracle.  With one, hot
+(* Every query below runs through the session's incremental oracle: hot
    verdict queries share a solver, a translation of the unchanged spec, and
    a learned-clause database across the whole repair session (and identical
-   candidates are deduplicated by the structural cache); without one, each
-   query is a fresh analyzer solve, as before.  Both paths return the same
-   answers — see Solver.Oracle. *)
+   candidates are deduplicated by the structural cache).  The session also
+   counts each query in its telemetry — see Session and Solver.Oracle. *)
 
-let command_verdict ?oracle ?max_conflicts (env : Alloy.Typecheck.env)
+let command_verdict ?max_conflicts session (env : Alloy.Typecheck.env)
     (c : Ast.command) =
-  match oracle with
-  | Some o -> Solver.Oracle.command_verdict ?max_conflicts o env c
-  | None -> (
-      match Solver.Analyzer.run_command ?max_conflicts env c with
-      | Solver.Analyzer.Sat _ -> `Sat
-      | Solver.Analyzer.Unsat -> `Unsat
-      | Solver.Analyzer.Unknown -> `Unknown)
+  Session.command_verdict ?max_conflicts session env c
 
-let command_behaves ?oracle ?max_conflicts (env : Alloy.Typecheck.env)
+let command_behaves ?max_conflicts session (env : Alloy.Typecheck.env)
     (c : Ast.command) =
-  match (c.cmd_kind, command_verdict ?oracle ?max_conflicts env c) with
+  match (c.cmd_kind, command_verdict ?max_conflicts session env c) with
   | Ast.Check _, `Unsat -> true
   | Ast.Check _, _ -> false
   | (Ast.Run_pred _ | Ast.Run_fmla _), `Sat -> true
   | (Ast.Run_pred _ | Ast.Run_fmla _), _ -> false
 
-let oracle_passes ?oracle ?max_conflicts (env : Alloy.Typecheck.env) =
-  List.for_all (command_behaves ?oracle ?max_conflicts env) env.spec.commands
+let oracle_passes ?max_conflicts session (env : Alloy.Typecheck.env) =
+  List.for_all (command_behaves ?max_conflicts session env) env.spec.commands
 
-let behaving_commands ?oracle ?max_conflicts (env : Alloy.Typecheck.env) =
+let behaving_commands ?max_conflicts session (env : Alloy.Typecheck.env) =
   List.length
-    (List.filter (command_behaves ?oracle ?max_conflicts env) env.spec.commands)
+    (List.filter (command_behaves ?max_conflicts session env) env.spec.commands)
 
-let failing_checks ?oracle ?max_conflicts (env : Alloy.Typecheck.env) =
+let failing_checks ?max_conflicts session (env : Alloy.Typecheck.env) =
   List.filter_map
     (fun (c : Ast.command) ->
       match c.cmd_kind with
       | Ast.Check name -> (
+          (* verdict first (incremental); the counterexample instance is
+             fetched — and cached — only for failing checks *)
           let outcome =
-            match oracle with
-            | Some o -> (
-                (* verdict first (incremental); the counterexample instance
-                   is fetched — and cached — only for failing checks *)
-                match Solver.Oracle.command_verdict ?max_conflicts o env c with
-                | `Unsat -> Solver.Analyzer.Unsat
-                | `Unknown -> Solver.Analyzer.Unknown
-                | `Sat -> Solver.Oracle.run_command ?max_conflicts o env c)
-            | None -> Solver.Analyzer.run_command ?max_conflicts env c
+            match Session.command_verdict ?max_conflicts session env c with
+            | `Unsat -> Solver.Analyzer.Unsat
+            | `Unknown -> Solver.Analyzer.Unknown
+            | `Sat -> Session.run_command ?max_conflicts session env c
           in
           match outcome with
           | Solver.Analyzer.Sat cex -> Some (c, name, cex)
@@ -86,24 +77,20 @@ let failing_checks ?oracle ?max_conflicts (env : Alloy.Typecheck.env) =
       | Ast.Run_pred _ | Ast.Run_fmla _ -> None)
     env.spec.commands
 
-let enumerate ?oracle ?max_conflicts ~limit (env : Alloy.Typecheck.env) scope f
-    =
-  match oracle with
-  | Some o -> Solver.Oracle.enumerate ~limit ?max_conflicts o env scope f
-  | None -> Solver.Analyzer.enumerate ~limit ?max_conflicts env scope f
-
-let witnesses_for ?oracle ?max_conflicts ?(limit = 4)
-    (env : Alloy.Typecheck.env) name scope =
-  match Ast.find_assert env.spec name with
-  | None -> []
-  | Some a -> enumerate ?oracle ?max_conflicts ~limit env scope a.assert_body
-
-let counterexamples_for ?oracle ?max_conflicts ?(limit = 4)
+let witnesses_for ?max_conflicts ?(limit = 4) session
     (env : Alloy.Typecheck.env) name scope =
   match Ast.find_assert env.spec name with
   | None -> []
   | Some a ->
-      enumerate ?oracle ?max_conflicts ~limit env scope (Ast.Not a.assert_body)
+      Session.enumerate ?max_conflicts ~limit session env scope a.assert_body
+
+let counterexamples_for ?max_conflicts ?(limit = 4) session
+    (env : Alloy.Typecheck.env) name scope =
+  match Ast.find_assert env.spec name with
+  | None -> []
+  | Some a ->
+      Session.enumerate ?max_conflicts ~limit session env scope
+        (Ast.Not a.assert_body)
 
 let env_of_spec spec =
   match Alloy.Typecheck.check_result spec with

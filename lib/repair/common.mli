@@ -1,15 +1,17 @@
 (** Shared vocabulary of the repair engines: budgets, results, and the
     property oracle (command conformance) they verify against.
 
-    Every query takes an optional incremental {!Specrepair_solver.Oracle.t}.
-    With one, verdicts are answered by assumption-based solving in a shared
-    solver and memoized structurally; without one, each query is a fresh
-    analyzer solve.  Both paths return the same answers. *)
+    Every query takes the repair {!Session.t}, whose incremental
+    {!Specrepair_solver.Oracle.t} answers verdicts by assumption-based
+    solving in a shared solver, memoized structurally; the session also
+    records every query in its telemetry.  [?max_conflicts] is passed
+    through verbatim (not defaulted from the session budget), so each call
+    site keeps the exact conflict budget — or unlimited solve — it means. *)
 
 module Alloy = Specrepair_alloy
 module Solver = Specrepair_solver
 
-type budget = {
+type budget = Session.budget = {
   max_depth : int;  (** greedy / composition depth *)
   max_candidates : int;  (** candidates evaluated in one invocation *)
   max_iterations : int;  (** outer refinement rounds (ICEBAR) *)
@@ -19,6 +21,7 @@ type budget = {
       (** may the search synthesize replacement expressions / added juncts?
           ARepair's original space lacked them *)
 }
+(** Re-export of {!Session.budget}: the budget now lives in the session. *)
 
 val default_budget : budget
 
@@ -28,47 +31,57 @@ type result = {
   final_spec : Alloy.Ast.spec;  (** repaired spec, or best-effort candidate *)
   candidates_tried : int;
   iterations : int;
+  timed_out : bool;
+      (** the session deadline expired and the search was aborted; the
+          result is the best effort at that point *)
 }
 
-val result : tool:string -> repaired:bool -> Alloy.Ast.spec -> candidates:int -> iterations:int -> result
+val result :
+  ?timed_out:bool ->
+  tool:string ->
+  repaired:bool ->
+  Alloy.Ast.spec ->
+  candidates:int ->
+  iterations:int ->
+  result
 
 val command_verdict :
-  ?oracle:Solver.Oracle.t ->
   ?max_conflicts:int ->
+  Session.t ->
   Alloy.Typecheck.env ->
   Alloy.Ast.command ->
   Solver.Oracle.verdict
 (** Outcome tag of the command, without an instance. *)
 
 val oracle_passes :
-  ?oracle:Solver.Oracle.t -> ?max_conflicts:int -> Alloy.Typecheck.env -> bool
+  ?max_conflicts:int -> Session.t -> Alloy.Typecheck.env -> bool
 (** The property oracle: every [check] command has no counterexample and
     every [run] command is satisfiable.  [Unknown] counts as failure. *)
 
 val command_behaves :
-  ?oracle:Solver.Oracle.t ->
   ?max_conflicts:int ->
+  Session.t ->
   Alloy.Typecheck.env ->
   Alloy.Ast.command ->
   bool
 
 val behaving_commands :
-  ?oracle:Solver.Oracle.t -> ?max_conflicts:int -> Alloy.Typecheck.env -> int
+  ?max_conflicts:int -> Session.t -> Alloy.Typecheck.env -> int
 (** Number of commands that behave; the hill-climbing signal of iterative
     repairers. *)
 
 val failing_checks :
-  ?oracle:Solver.Oracle.t ->
   ?max_conflicts:int ->
+  Session.t ->
   Alloy.Typecheck.env ->
   (Alloy.Ast.command * string * Alloy.Instance.t) list
 (** Check commands that currently fail, with the assertion name and one
     counterexample each. *)
 
 val witnesses_for :
-  ?oracle:Solver.Oracle.t ->
   ?max_conflicts:int ->
   ?limit:int ->
+  Session.t ->
   Alloy.Typecheck.env ->
   string ->
   Specrepair_solver.Bounds.scope ->
@@ -77,9 +90,9 @@ val witnesses_for :
     behaviours" a repair must preserve. *)
 
 val counterexamples_for :
-  ?oracle:Solver.Oracle.t ->
   ?max_conflicts:int ->
   ?limit:int ->
+  Session.t ->
   Alloy.Typecheck.env ->
   string ->
   Specrepair_solver.Bounds.scope ->

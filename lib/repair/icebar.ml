@@ -1,38 +1,49 @@
 module Alloy = Specrepair_alloy
 module Aunit = Specrepair_aunit.Aunit
 
-let repair ?oracle ?(budget = Common.default_budget)
-    (env0 : Alloy.Typecheck.env) initial_tests =
-  let max_conflicts = budget.max_conflicts in
+let repair ?session (env0 : Alloy.Typecheck.env) initial_tests =
   (* one incremental session across all refinement rounds: the candidate an
      inner ARepair run produces in round [i] is often re-examined in round
      [i+1], and the verdict cache answers it without a solve *)
-  let oracle =
-    match oracle with
-    | Some o -> o
-    | None -> Specrepair_solver.Oracle.create env0
+  let session =
+    match session with Some s -> s | None -> Session.create env0
   in
+  let budget = Session.budget session in
+  let max_conflicts = budget.Session.max_conflicts in
   let tried = ref 0 in
+  let finish ~repaired ?(extra_iter = 0) best iter =
+    Common.result ~tool:"ICEBAR" ~repaired
+      ~timed_out:(Session.timed_out session) best ~candidates:!tried
+      ~iterations:(iter + extra_iter)
+  in
   let rec loop tests iter best =
-    if iter >= budget.max_iterations then
-      Common.result ~tool:"ICEBAR" ~repaired:false best ~candidates:!tried
-        ~iterations:iter
+    if iter >= budget.Session.max_iterations || Session.expired session then
+      finish ~repaired:false best iter
     else begin
       let inner =
-        Arepair.repair ~budget:{ budget with max_candidates = budget.max_candidates / budget.max_iterations } env0 tests
+        (* the inner ARepair round shares the session (oracle, telemetry,
+           deadline latch) but gets a slice of the candidate budget *)
+        Arepair.repair
+          ~session:
+            (Session.with_budget session (fun b ->
+                 {
+                   b with
+                   Session.max_candidates =
+                     b.Session.max_candidates / b.Session.max_iterations;
+                 }))
+          env0 tests
       in
       tried := !tried + inner.candidates_tried;
       match Common.env_of_spec inner.final_spec with
-      | None ->
-          Common.result ~tool:"ICEBAR" ~repaired:false best ~candidates:!tried
-            ~iterations:iter
+      | None -> finish ~repaired:false best iter
       | Some env' ->
-          if Common.oracle_passes ~oracle ~max_conflicts env' then
+          if Session.expired session then
+            finish ~repaired:false inner.final_spec iter
+          else if Common.oracle_passes ~max_conflicts session env' then
             (* the candidate satisfies the property oracle *)
-            Common.result ~tool:"ICEBAR" ~repaired:true inner.final_spec
-              ~candidates:!tried ~iterations:(iter + 1)
+            finish ~repaired:true ~extra_iter:1 inner.final_spec iter
           else
-            let cexs = Common.failing_checks ~oracle ~max_conflicts env' in
+            let cexs = Common.failing_checks ~max_conflicts session env' in
             let new_tests =
               List.mapi
                 (fun i (_, name, cex) ->
@@ -44,8 +55,7 @@ let repair ?oracle ?(budget = Common.default_budget)
             if new_tests = [] then
               (* no usable counterexamples (e.g. a run command fails):
                  refinement cannot make progress *)
-              Common.result ~tool:"ICEBAR" ~repaired:false inner.final_spec
-                ~candidates:!tried ~iterations:(iter + 1)
+              finish ~repaired:false ~extra_iter:1 inner.final_spec iter
             else loop (tests @ new_tests) (iter + 1) inner.final_spec
     end
   in
@@ -53,7 +63,9 @@ let repair ?oracle ?(budget = Common.default_budget)
   let seed =
     List.mapi
       (fun i (_, name, cex) ->
-        Aunit.of_counterexample ~name:(Printf.sprintf "icebar_seed_%s_%d" name i) cex)
-      (Common.failing_checks ~oracle ~max_conflicts:budget.max_conflicts env0)
+        Aunit.of_counterexample
+          ~name:(Printf.sprintf "icebar_seed_%s_%d" name i)
+          cex)
+      (Common.failing_checks ~max_conflicts session env0)
   in
   loop (initial_tests @ seed) 0 env0.spec

@@ -9,13 +9,12 @@
 module Alloy = Specrepair_alloy
 
 val repair :
-  ?oracle:Specrepair_solver.Oracle.t ->
-  ?budget:Common.budget ->
+  ?session:Session.t ->
   Alloy.Typecheck.env ->
   Specrepair_aunit.Aunit.test list ->
   Common.result
-(** [?oracle] shares an incremental solving session (see
-    {!Specrepair_solver.Oracle}) with the caller; without one, the
-    invocation creates its own.  The inner {!Arepair} runs are pure test
-    evaluation and need no oracle; the refinement loop's property checks
-    and counterexample queries go through it. *)
+(** Without [?session] a fresh default one is created from the input env.
+    The inner {!Arepair} rounds share the session (oracle, telemetry,
+    deadline latch) but receive a slice of its candidate budget; the
+    refinement loop's property checks and counterexample queries run
+    through the session oracle. *)

@@ -1,0 +1,3 @@
+(* Re-export so the session type is reachable where repairs are:
+   [Specrepair_repair.Session] = [Specrepair_engine.Session]. *)
+include Specrepair_engine.Session

@@ -34,7 +34,8 @@ let test_ground_truths_healthy () =
     (fun (d : B.Domains.t) ->
       let env = B.Domains.env d in
       Alcotest.(check bool) (d.name ^ " passes its own commands") true
-        (Repair.Common.oracle_passes ~max_conflicts:50_000 env);
+        (Repair.Common.oracle_passes ~max_conflicts:50_000
+           (Repair.Session.create env) env);
       Alcotest.(check bool) (d.name ^ " has a check command") true
         (List.exists
            (fun (c : Ast.command) ->

@@ -177,29 +177,43 @@ let test_loc_hint_focuses () =
 
 (* {2 Pipelines} *)
 
+let session_for ~seed () =
+  Specrepair_repair.Session.for_spec ~seed (Lazy.force task).Llm.Task.faulty
+
 let test_single_round_deterministic () =
-  let r1 = Llm.Single_round.repair ~seed:5 (Lazy.force task) Llm.Prompt.SLoc in
-  let r2 = Llm.Single_round.repair ~seed:5 (Lazy.force task) Llm.Prompt.SLoc in
+  let r1 =
+    Llm.Single_round.repair ~session:(session_for ~seed:5 ())
+      (Lazy.force task) Llm.Prompt.SLoc
+  in
+  let r2 =
+    Llm.Single_round.repair ~session:(session_for ~seed:5 ())
+      (Lazy.force task) Llm.Prompt.SLoc
+  in
   Alcotest.(check bool) "same seed, same outcome" true
     (Ast.equal_spec r1.final_spec r2.final_spec);
-  let r3 = Llm.Single_round.repair ~seed:6 (Lazy.force task) Llm.Prompt.SLoc in
+  let r3 =
+    Llm.Single_round.repair ~session:(session_for ~seed:6 ())
+      (Lazy.force task) Llm.Prompt.SLoc
+  in
   ignore r3 (* may or may not differ; just ensure it runs *)
 
 let test_multi_round_repairs_simple_fault () =
   let r =
-    Llm.Multi_round.repair ~seed:42 (Lazy.force task) Llm.Multi_round.Generic
+    Llm.Multi_round.repair ~session:(session_for ~seed:42 ())
+      (Lazy.force task) Llm.Multi_round.Generic
   in
   Alcotest.(check bool) "multi-round fixes the quant fault" true r.repaired;
   match Specrepair_repair.Common.env_of_spec r.final_spec with
   | Some env ->
       Alcotest.(check bool) "oracle passes" true
-        (Specrepair_repair.Common.oracle_passes env)
+        (Specrepair_repair.Common.oracle_passes
+           (Specrepair_repair.Session.create env) env)
   | None -> Alcotest.fail "final spec ill-typed"
 
 let test_trace_called () =
   let calls = ref 0 in
   let _ =
-    Llm.Multi_round.repair ~seed:9
+    Llm.Multi_round.repair ~session:(session_for ~seed:9 ())
       ~trace:(fun ~round:_ ~prompt:_ ~response:_ -> incr calls)
       (Lazy.force task) Llm.Multi_round.No_feedback
   in

@@ -62,7 +62,9 @@ let gt_tests =
     (Aunit.generate ~per_kind:4 (Lazy.force gt_env)
        ~scope:Solver.Analyzer.default_scope)
 
-let oracle env = Repair.Common.oracle_passes ~max_conflicts:20000 env
+let oracle env =
+  Repair.Common.oracle_passes ~max_conflicts:20000
+    (Repair.Session.create env) env
 
 let test_faulty_fails_oracle () =
   Alcotest.(check bool) "ground truth passes oracle" true
@@ -123,11 +125,12 @@ let test_already_correct () =
 let test_zero_budget () =
   let faulty = env_of faulty_quant_src in
   let budget = { Repair.Common.default_budget with max_candidates = 0 } in
-  let r = Repair.Beafix.repair ~budget faulty in
+  let session () = Repair.Session.create ~budget faulty in
+  let r = Repair.Beafix.repair ~session:(session ()) faulty in
   Alcotest.(check bool) "no candidates, no repair" false r.repaired;
   Alcotest.(check bool) "returns the input unchanged" true
     (Ast.equal_spec r.final_spec faulty.spec);
-  let r = Repair.Atr.repair ~budget faulty in
+  let r = Repair.Atr.repair ~session:(session ()) faulty in
   Alcotest.(check bool) "atr with zero budget" false r.repaired
 
 let test_arepair_empty_suite () =

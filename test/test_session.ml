@@ -1,0 +1,231 @@
+(* Tests for the session layer: cooperative deadlines across every
+   technique family, telemetry counters, budget/seed plumbing, and the
+   Technique name round-trip. *)
+
+open Specrepair_alloy
+module Repair = Specrepair_repair
+module Session = Repair.Session
+module Telemetry = Specrepair_engine.Telemetry
+module Aunit = Specrepair_aunit.Aunit
+module Solver = Specrepair_solver
+module Llm = Specrepair_llm
+module Eval = Specrepair_eval
+module B = Specrepair_benchmarks
+
+let faulty_src =
+  {|
+sig Node {
+  edges: set Node
+}
+fact Acyclic {
+  some n: Node | n in n.^edges
+}
+assert NoLoop {
+  all n: Node | n not in n.^edges
+}
+check NoLoop for 3
+run { some edges } for 3
+|}
+
+let ground_truth_src =
+  {|
+sig Node {
+  edges: set Node
+}
+fact Acyclic {
+  no n: Node | n in n.^edges
+}
+assert NoLoop {
+  all n: Node | n not in n.^edges
+}
+check NoLoop for 3
+run { some edges } for 3
+|}
+
+let env_of src = Typecheck.check (Parser.parse src)
+let faulty_env = lazy (env_of faulty_src)
+
+let task =
+  lazy
+    (Llm.Task.make ~spec_id:"sessiontest_0" ~domain:"graphs"
+       ~faulty:(Parser.parse faulty_src)
+       ~check_names:[ "NoLoop" ] ())
+
+let check_timed_out label (r : Repair.Common.result) (env : Typecheck.env) =
+  Alcotest.(check bool) (label ^ " reports timed_out") true r.timed_out;
+  Alcotest.(check bool) (label ^ " does not claim success") false r.repaired;
+  (* best-effort result is well-formed: the final spec type-checks *)
+  Alcotest.(check bool) (label ^ " final spec type-checks") true
+    (Result.is_ok (Typecheck.check_result r.final_spec));
+  ignore env
+
+(* A deadline of 0 ms is already expired at the first cooperative check:
+   every technique family must abort and return a well-formed best-effort
+   result flagged timed_out. *)
+
+let test_deadline_traditional () =
+  let env = Lazy.force faulty_env in
+  let expired () = Session.create ~deadline_ms:0.0 env in
+  let tests =
+    Aunit.generate ~per_kind:2 (env_of ground_truth_src)
+      ~scope:Solver.Analyzer.default_scope
+  in
+  check_timed_out "arepair"
+    (Repair.Arepair.repair ~session:(expired ()) env tests)
+    env;
+  check_timed_out "icebar"
+    (Repair.Icebar.repair ~session:(expired ()) env tests)
+    env;
+  check_timed_out "beafix" (Repair.Beafix.repair ~session:(expired ()) env) env;
+  check_timed_out "atr" (Repair.Atr.repair ~session:(expired ()) env) env
+
+let test_deadline_single_round () =
+  let session = Session.for_spec ~deadline_ms:0.0 (Lazy.force task).faulty in
+  let r = Llm.Single_round.repair ~session (Lazy.force task) Llm.Prompt.SLoc in
+  Alcotest.(check bool) "single-round reports timed_out" true r.timed_out;
+  Alcotest.(check bool) "no model round was spent" true (r.candidates_tried = 0);
+  Alcotest.(check bool) "final spec type-checks" true
+    (Result.is_ok (Typecheck.check_result r.final_spec))
+
+let test_deadline_multi_round () =
+  let session = Session.for_spec ~deadline_ms:0.0 (Lazy.force task).faulty in
+  let r =
+    Llm.Multi_round.repair ~session (Lazy.force task) Llm.Multi_round.Generic
+  in
+  Alcotest.(check bool) "multi-round reports timed_out" true r.timed_out;
+  Alcotest.(check bool) "aborted before any round" true (r.iterations = 0);
+  Alcotest.(check bool) "final spec type-checks" true
+    (Result.is_ok (Typecheck.check_result r.final_spec))
+
+let test_deadline_portfolio () =
+  let session = Session.for_spec ~deadline_ms:0.0 (Lazy.force task).faulty in
+  let r, stage = Eval.Portfolio.repair ~session (Lazy.force task) in
+  Alcotest.(check bool) "portfolio reports timed_out" true r.timed_out;
+  Alcotest.(check string) "portfolio stage" "unrepaired"
+    (Eval.Portfolio.stage_to_string stage)
+
+(* Without a deadline (or with a generous one) sessions must not perturb
+   results: the study rows are identical either way, seed for seed. *)
+
+let test_generous_deadline_identical_rows () =
+  let variants = B.Generate.sample ~per_domain:1 () in
+  let variants = List.filteri (fun i _ -> i < 3) variants in
+  let techniques =
+    [
+      Eval.Technique.ATR;
+      Eval.Technique.BeAFix;
+      Eval.Technique.Multi Llm.Multi_round.No_feedback;
+    ]
+  in
+  let a = Eval.Study.run ~techniques variants in
+  let b = Eval.Study.run ~deadline_ms:1e9 ~techniques variants in
+  List.iter2
+    (fun (x : Eval.Study.spec_result) (y : Eval.Study.spec_result) ->
+      Alcotest.(check string) "variant" x.variant_id y.variant_id;
+      Alcotest.(check string) "technique" x.technique y.technique;
+      Alcotest.(check int) ("rep for " ^ x.variant_id) x.rep y.rep;
+      Alcotest.(check (float 1e-9)) "tm" x.tm y.tm;
+      Alcotest.(check (float 1e-9)) "sm" x.sm y.sm;
+      Alcotest.(check bool) "tool_claimed" x.tool_claimed y.tool_claimed)
+    a b
+
+(* {2 Telemetry} *)
+
+let test_telemetry_counters () =
+  let env = Lazy.force faulty_env in
+  let session = Session.create env in
+  let r = Repair.Beafix.repair ~session env in
+  Alcotest.(check bool) "repair succeeded" true r.repaired;
+  let t = Session.telemetry session in
+  Alcotest.(check bool) "candidates evaluated >= 1" true
+    (t.Telemetry.candidates_evaluated >= 1);
+  Alcotest.(check bool) "candidates generated >= evaluated" true
+    (t.Telemetry.candidates_generated >= t.Telemetry.candidates_evaluated);
+  Alcotest.(check bool) "solver was queried" true
+    (Telemetry.solver_queries t >= 1);
+  Alcotest.(check bool) "phase timers recorded" true
+    (List.mem_assoc "mutation" (Telemetry.phases t))
+
+let test_telemetry_json_parses () =
+  let env = Lazy.force faulty_env in
+  let session = Session.create env in
+  ignore (Repair.Atr.repair ~session env);
+  let json = Session.telemetry_json ~extra:[ ("tool", "ATR") ] session in
+  (* one line, object-shaped, with the headline counters present *)
+  Alcotest.(check bool) "single line" false (String.contains json '\n');
+  Alcotest.(check bool) "object" true
+    (String.length json >= 2
+    && json.[0] = '{'
+    && json.[String.length json - 1] = '}');
+  List.iter
+    (fun needle ->
+      let nl = String.length needle and tl = String.length json in
+      let rec go i =
+        i + nl <= tl && (String.sub json i nl = needle || go (i + 1))
+      in
+      Alcotest.(check bool) ("mentions " ^ needle) true (go 0))
+    [
+      "\"tool\"";
+      "\"elapsed_ms\"";
+      "\"timed_out\"";
+      "\"solver_queries\"";
+      "\"candidates_evaluated\"";
+      "\"oracle\"";
+    ]
+
+let test_session_budget_and_seed () =
+  let env = Lazy.force faulty_env in
+  let budget = { Session.default_budget with max_candidates = 7 } in
+  let s = Session.create ~budget ~seed:17 env in
+  Alcotest.(check int) "budget carried" 7 (Session.budget s).max_candidates;
+  Alcotest.(check int) "seed carried" 17 (Session.seed s);
+  let derived =
+    Session.with_budget s (fun b -> { b with Session.max_candidates = 3 })
+  in
+  Alcotest.(check int) "derived budget" 3
+    (Session.budget derived).max_candidates;
+  Alcotest.(check int) "derived seed shared" 17 (Session.seed derived);
+  Alcotest.(check bool) "telemetry shared" true
+    (Session.telemetry derived == Session.telemetry s);
+  Alcotest.(check bool) "no deadline, never expires" false (Session.expired s)
+
+(* {2 Technique roster} *)
+
+let test_technique_roundtrip () =
+  Alcotest.(check int) "twelve techniques" 12 (List.length Eval.Technique.all);
+  List.iter
+    (fun t ->
+      match Eval.Technique.of_name (Eval.Technique.name t) with
+      | Some t' ->
+          Alcotest.(check string)
+            ("round-trip " ^ Eval.Technique.name t)
+            (Eval.Technique.name t) (Eval.Technique.name t')
+      | None ->
+          Alcotest.failf "of_name failed for %s" (Eval.Technique.name t))
+    Eval.Technique.all;
+  Alcotest.(check bool) "unknown name rejected" true
+    (Eval.Technique.of_name "NoSuchTool" = None)
+
+let () =
+  Alcotest.run "session"
+    [
+      ( "deadline",
+        [
+          Alcotest.test_case "traditional tools" `Quick
+            test_deadline_traditional;
+          Alcotest.test_case "single-round" `Quick test_deadline_single_round;
+          Alcotest.test_case "multi-round" `Quick test_deadline_multi_round;
+          Alcotest.test_case "portfolio" `Quick test_deadline_portfolio;
+          Alcotest.test_case "generous deadline is a no-op" `Slow
+            test_generous_deadline_identical_rows;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "counters" `Quick test_telemetry_counters;
+          Alcotest.test_case "json" `Quick test_telemetry_json_parses;
+          Alcotest.test_case "budget and seed" `Quick
+            test_session_budget_and_seed;
+        ] );
+      ( "techniques",
+        [ Alcotest.test_case "name round-trip" `Quick test_technique_roundtrip ] );
+    ]

@@ -51,3 +51,45 @@ else
     done
     echo "bench_smoke: ok (grep-level check; python3 unavailable)"
 fi
+
+# The repair CLI's --telemetry dump (one JSON object on stderr) must parse
+# and report genuine work: solver queries and candidate evaluations.
+telem="$workdir/telemetry.json"
+dune exec bin/specrepair.exe -- repair specs/graph_faulty.als \
+    --tool beafix --telemetry >/dev/null 2>"$telem"
+
+if [ ! -s "$telem" ]; then
+    echo "bench_smoke: --telemetry produced no output" >&2
+    exit 1
+fi
+
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$telem" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+
+required = [
+    "tool", "elapsed_ms", "timed_out", "solver_queries",
+    "candidates_generated", "candidates_evaluated", "oracle", "phases",
+]
+missing = [k for k in required if k not in data]
+if missing:
+    sys.exit(f"bench_smoke: telemetry lacks keys: {missing}")
+if data["solver_queries"] <= 0:
+    sys.exit("bench_smoke: telemetry reports no solver queries")
+if data["candidates_evaluated"] <= 0:
+    sys.exit("bench_smoke: telemetry reports no candidates evaluated")
+print(f"bench_smoke: telemetry ok ({data['solver_queries']} solver queries, "
+      f"{data['candidates_evaluated']} candidates evaluated)")
+EOF
+else
+    for key in solver_queries candidates_evaluated oracle phases; do
+        if ! grep -q "\"$key\"" "$telem"; then
+            echo "bench_smoke: telemetry lacks key $key" >&2
+            exit 1
+        fi
+    done
+    echo "bench_smoke: telemetry ok (grep-level check; python3 unavailable)"
+fi

@@ -4,7 +4,11 @@ let () =
       let name = d.name in
       (try
          let env = Specrepair_benchmarks.Domains.env d in
-         let ok = Specrepair_repair.Common.oracle_passes ~max_conflicts:50000 env in
+         let session = Specrepair_repair.Session.create env in
+         let ok =
+           Specrepair_repair.Common.oracle_passes ~max_conflicts:50000 session
+             env
+         in
          Printf.printf "%-12s typecheck=ok oracle=%b\n%!" name ok;
          if ok then begin
            let inj = Specrepair_benchmarks.Fault.inject ~seed:42 d ~index:0 in
