@@ -7,10 +7,13 @@
    operations with Bechamel (one Test.make per table/figure).
 
    Environment:
-     BENCH_SAMPLE     variants per domain for the embedded study (default 2;
-                      the full-scale run is `specrepair evaluate`).
-     BENCH_ORACLE_OUT where to write the oracle stage's JSON artifact
-                      (default BENCH_oracle.json in the working directory). *)
+     BENCH_SAMPLE       variants per domain for the embedded study (default 2;
+                        the full-scale run is `specrepair evaluate`).
+     BENCH_ORACLE_OUT   where to write the oracle stage's JSON artifact
+                        (default BENCH_oracle.json in the working directory).
+     BENCH_PARALLEL_OUT where to write the parallel-scheduling stage's JSON
+                        artifact (default BENCH_parallel.json).
+     BENCH_JOBS         worker count for the parallel stage (default 4). *)
 
 open Bechamel
 open Toolkit
@@ -223,6 +226,91 @@ let () =
   output_string oc json;
   close_out oc;
   Printf.printf "oracle artifact written to %s\n\n%!" path
+
+(* {2 Parallel stages: static partition vs dynamic work-stealing scheduler}
+
+   The same study rows fanned out over the same number of forked workers,
+   once through the legacy static round-robin partition (one fixed slice
+   per worker, no fault tolerance) and once through the chunked
+   work-stealing scheduler behind `Study.run_parallel`.  Both runs must
+   agree with the sequential rows computed above on every column except
+   the wall clock. *)
+
+let () =
+  let jobs =
+    match Sys.getenv_opt "BENCH_JOBS" with
+    | Some s -> (
+        match int_of_string_opt s with Some n when n > 0 -> n | _ -> 4)
+    | None -> 4
+  in
+  let static_rows, static_ms =
+    time_ms (fun () -> S.Eval.Study.run_parallel_static ~jobs variants)
+  in
+  let sched_stats = ref (S.Engine.Telemetry.Scheduler.create ()) in
+  let dynamic_rows, dynamic_ms =
+    time_ms (fun () ->
+        S.Eval.Study.run_parallel ~jobs
+          ~on_stats:(fun s -> sched_stats := s)
+          variants)
+  in
+  let stats = !sched_stats in
+  (* compare in CSV space: parallel rows round-trip through the CSV's
+     %.6f formatting, so raw floats would differ in ulps *)
+  let canon rows =
+    S.Eval.Study.to_csv ~timings:false
+      (List.sort
+         (fun (a : S.Eval.Study.spec_result) b ->
+           compare (a.variant_id, a.technique) (b.variant_id, b.technique))
+         rows)
+  in
+  let reference = canon (S.Eval.Study.of_csv (S.Eval.Study.to_csv results)) in
+  if canon static_rows <> reference then
+    failwith "parallel stage: static rows disagree with the sequential run";
+  if canon dynamic_rows <> reference then
+    failwith "parallel stage: dynamic rows disagree with the sequential run";
+  let ratio = static_ms /. dynamic_ms in
+  Printf.printf
+    "PARALLEL (%d rows over %d workers, static partition vs dynamic scheduler)\n\n\
+    \  static partition:   %8.1f ms\n\
+    \  dynamic scheduler:  %8.1f ms (static/dynamic %.2fx)\n\
+    \  chunks:             %d dispatched, %d completed\n\
+    \  retries:            %d (workers lost %d, heartbeat kills %d)\n\n%!"
+    (List.length dynamic_rows) jobs static_ms dynamic_ms ratio
+    stats.chunks_dispatched stats.chunks_completed stats.retries
+    stats.workers_lost stats.heartbeat_kills;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"sample\": %d,\n\
+      \  \"jobs\": %d,\n\
+      \  \"rows\": %d,\n\
+      \  \"static_ms\": %.3f,\n\
+      \  \"dynamic_ms\": %.3f,\n\
+      \  \"static_over_dynamic\": %.3f,\n\
+      \  \"rows_match_sequential\": true,\n\
+      \  \"chunks_dispatched\": %d,\n\
+      \  \"chunks_completed\": %d,\n\
+      \  \"rows_completed\": %d,\n\
+      \  \"retries\": %d,\n\
+      \  \"workers_spawned\": %d,\n\
+      \  \"workers_lost\": %d,\n\
+      \  \"heartbeat_kills\": %d\n\
+       }\n"
+      sample_size jobs
+      (List.length dynamic_rows)
+      static_ms dynamic_ms ratio stats.chunks_dispatched stats.chunks_completed
+      stats.rows_completed stats.retries stats.workers_spawned
+      stats.workers_lost stats.heartbeat_kills
+  in
+  let path =
+    Option.value
+      (Sys.getenv_opt "BENCH_PARALLEL_OUT")
+      ~default:"BENCH_parallel.json"
+  in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "parallel artifact written to %s\n\n%!" path
 
 (* {2 Timed benchmarks} *)
 

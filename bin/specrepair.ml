@@ -23,6 +23,25 @@ let load_env path =
   let spec = Alloy.Parser.parse (read_file path) in
   Alloy.Typecheck.check spec
 
+(* [--jobs 0], negative [--jobs] and [--sample 0] are always mistakes:
+   reject them at parse time with a usage error instead of forking zero
+   workers or running an empty study. *)
+let positive_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some _ | None -> Error (`Msg "expected a positive integer")
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let nonneg_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Ok n
+    | Some _ | None -> Error (`Msg "expected a non-negative integer")
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
 (* {2 parse} *)
 
 let parse_cmd =
@@ -176,12 +195,29 @@ let evaluate_cmd =
   let sample =
     Arg.(
       value
-      & opt (some int) None
+      & opt (some positive_int) None
       & info [ "sample" ] ~docv:"N" ~doc:"Use only the first N variants per domain")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ]) in
   let jobs =
-    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~doc:"Parallel worker processes")
+    Arg.(
+      value
+      & opt positive_int 1
+      & info [ "jobs"; "j" ] ~doc:"Parallel worker processes")
+  in
+  let retries =
+    Arg.(
+      value
+      & opt nonneg_int 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "How many times a chunk of study rows may be requeued after its \
+             worker dies before the run fails (parallel runs only)")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet" ] ~doc:"Suppress per-chunk progress messages on stderr")
   in
   let what =
     Arg.(
@@ -219,8 +255,8 @@ let evaluate_cmd =
       & info [ "telemetry" ] ~docv:"FILE"
           ~doc:"Write per-row telemetry as JSON lines to FILE")
   in
-  let run sample seed jobs what csv_out csv_in artifacts_dir deadline_ms
-      telemetry_out =
+  let run sample seed jobs retries quiet what csv_out csv_in artifacts_dir
+      deadline_ms telemetry_out =
     let telemetry_chan = Option.map open_out telemetry_out in
     let telemetry =
       Option.map
@@ -238,12 +274,16 @@ let evaluate_cmd =
             | Some n -> Benchmarks.Generate.sample ~seed ~per_domain:n ()
             | None -> Benchmarks.Generate.all ~seed ()
           in
-          Printf.eprintf "running %d variants x %d techniques...\n%!"
-            (List.length variants)
-            (List.length Eval.Technique.all);
-          Eval.Study.run_parallel ~seed ~jobs ?deadline_ms ?telemetry
-            ~progress:(fun msg -> Printf.eprintf "  %s\n%!" msg)
-            variants
+          let progress =
+            if quiet then fun _ -> ()
+            else fun msg -> Printf.eprintf "  %s\n%!" msg
+          in
+          if not quiet then
+            Printf.eprintf "running %d variants x %d techniques...\n%!"
+              (List.length variants)
+              (List.length Eval.Technique.all);
+          Eval.Study.run_parallel ~seed ~jobs ~max_retries:retries ?deadline_ms
+            ?telemetry ~progress variants
     in
     Option.iter close_out telemetry_chan;
     (match csv_out with
@@ -285,8 +325,8 @@ let evaluate_cmd =
     (Cmd.info "evaluate"
        ~doc:"Run the study and regenerate the paper's tables and figures")
     Term.(
-      const run $ sample $ seed $ jobs $ what $ csv_out $ csv_in
-      $ artifacts_dir $ deadline_ms $ telemetry_out)
+      const run $ sample $ seed $ jobs $ retries $ quiet $ what $ csv_out
+      $ csv_in $ artifacts_dir $ deadline_ms $ telemetry_out)
 
 let () =
   let info =

@@ -96,6 +96,7 @@ end
 (** The study runner and the table/figure renderers. *)
 module Eval = struct
   module Technique = Specrepair_eval.Technique
+  module Scheduler = Specrepair_eval.Scheduler
   module Study = Specrepair_eval.Study
   module Tables = Specrepair_eval.Tables
   module Portfolio = Specrepair_eval.Portfolio

@@ -53,6 +53,44 @@ let phases t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.phase_ms []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+module Scheduler = struct
+  type t = {
+    mutable chunks_dispatched : int;
+    mutable chunks_completed : int;
+    mutable rows_completed : int;
+    mutable retries : int;
+    mutable workers_spawned : int;
+    mutable workers_lost : int;
+    mutable heartbeat_kills : int;
+  }
+
+  let create () =
+    {
+      chunks_dispatched = 0;
+      chunks_completed = 0;
+      rows_completed = 0;
+      retries = 0;
+      workers_spawned = 0;
+      workers_lost = 0;
+      heartbeat_kills = 0;
+    }
+
+  let to_json ~jobs t =
+    Printf.sprintf
+      "{\"jobs\":%d,\"chunks_dispatched\":%d,\"chunks_completed\":%d,\
+       \"rows_completed\":%d,\"retries\":%d,\"workers_spawned\":%d,\
+       \"workers_lost\":%d,\"heartbeat_kills\":%d}"
+      jobs t.chunks_dispatched t.chunks_completed t.rows_completed t.retries
+      t.workers_spawned t.workers_lost t.heartbeat_kills
+
+  let pp ppf t =
+    Format.fprintf ppf
+      "@[<v>chunks: %d dispatched, %d completed (%d rows)@,\
+       retries: %d, workers: %d spawned / %d lost (%d heartbeat kills)@]"
+      t.chunks_dispatched t.chunks_completed t.rows_completed t.retries
+      t.workers_spawned t.workers_lost t.heartbeat_kills
+end
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>solver queries: %d (sat %d / unsat %d / unknown %d)@,\

@@ -47,3 +47,29 @@ val phases : t -> (string * float) list
 (** Phase timers, sorted by name. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** Counters of one parallel-study scheduler run (the parent process's view
+    of the dynamic work queue — see [Specrepair_eval.Scheduler]).  Unlike
+    {!t} these belong to the whole study, not to one session; the study
+    emits them as a final [{"scheduler":…}] line through its telemetry
+    sink. *)
+module Scheduler : sig
+  type t = {
+    mutable chunks_dispatched : int;
+        (** chunk assignments sent to workers, requeues included *)
+    mutable chunks_completed : int;  (** chunks whose result file was merged *)
+    mutable rows_completed : int;  (** work items merged into the result *)
+    mutable retries : int;  (** chunk requeues after a worker was lost *)
+    mutable workers_spawned : int;  (** forks, respawns included *)
+    mutable workers_lost : int;
+        (** workers that died or were killed before finishing *)
+    mutable heartbeat_kills : int;
+        (** workers killed by the parent for a silent heartbeat *)
+  }
+
+  val create : unit -> t
+  val to_json : jobs:int -> t -> string
+  (** One-line JSON object (no trailing newline). *)
+
+  val pp : Format.formatter -> t -> unit
+end

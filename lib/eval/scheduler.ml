@@ -1,0 +1,468 @@
+(* A dynamic, fault-tolerant work scheduler over forked workers.
+
+   The parent owns a chunked queue of work-item indices.  Chunk sizes are
+   adaptive (a fraction of the remaining work, "guided self-scheduling"),
+   so the queue starts coarse and ends fine — slow items stop creating
+   stragglers because no worker is pinned to a static slice.
+
+   Wire protocol (one line per message, '\n'-terminated):
+
+     parent -> worker  (per-worker command pipe)
+       CHUNK <id> <i1> <i2> ...   evaluate these work items
+       QUIT                       no more work; exit 0
+
+     worker -> parent  (per-worker message pipe)
+       HB <id> <k>                k items of chunk <id> finished (heartbeat)
+       DONE <id> <n>              chunk published with n result rows
+       ERR <id> <message>         deterministic evaluation error; exiting
+
+   A worker publishes each finished chunk by writing `chunk_<id>.tmp` in
+   the run's scratch directory and renaming it to `chunk_<id>.res` — the
+   rename is atomic, so the parent never observes a torn file.  The file
+   carries `R <index> <result>` lines plus `T <line>` sideband lines
+   (telemetry), and the parent cross-checks received vs expected row
+   counts before merging.
+
+   Fault tolerance: the parent polls `waitpid WNOHANG` on every live
+   worker and tracks a per-chunk heartbeat.  A dead or silent worker has
+   its in-flight chunk requeued (bounded by [max_retries]) and a
+   replacement is forked; `kill -9` mid-run therefore costs one chunk of
+   recompute, not the study. *)
+
+module Telemetry = Specrepair_engine.Telemetry
+
+type stats = Telemetry.Scheduler.t
+
+exception Chunk_failed of { indices : int list; attempts : int; reason : string }
+
+type chunk = { id : int; indices : int list; mutable attempts : int }
+
+type worker = {
+  pid : int;
+  cmd_w : Unix.file_descr;  (* parent's end: commands out *)
+  msg_r : Unix.file_descr;  (* parent's end: messages in *)
+  rbuf : Buffer.t;  (* partial message line *)
+  mutable inflight : chunk option;
+  mutable last_beat : float;
+  mutable quitting : bool;  (* QUIT sent; a clean exit is expected *)
+  mutable eof : bool;  (* message pipe closed; await waitpid *)
+}
+
+let now () = Unix.gettimeofday ()
+
+let res_path dir id = Filename.concat dir (Printf.sprintf "chunk_%d.res" id)
+
+(* {2 Worker side} *)
+
+let write_line fd line =
+  let b = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length b in
+  let rec go off = if off < len then go (off + Unix.write fd b off (len - off)) in
+  go 0
+
+let one_line s = String.map (fun c -> if c = '\n' then ' ' else c) s
+
+(* Test-only fault injection: with SPECREPAIR_SCHED_KILL_ITEM=<i> and
+   SPECREPAIR_SCHED_KILL_MARK=<path>, the first worker to reach item <i>
+   creates <path> and SIGKILLs itself — a deterministic stand-in for
+   `kill -9` mid-run (the marker makes it a one-shot, so the retry
+   completes).  Unset in normal operation. *)
+let chaos_kill () =
+  match
+    ( Sys.getenv_opt "SPECREPAIR_SCHED_KILL_ITEM",
+      Sys.getenv_opt "SPECREPAIR_SCHED_KILL_MARK" )
+  with
+  | Some item, Some mark when mark <> "" ->
+      Option.map (fun k -> (k, mark)) (int_of_string_opt item)
+  | _ -> None
+
+let child_main ~dir ~f ~cmd_r ~msg_w =
+  let ic = Unix.in_channel_of_descr cmd_r in
+  let send line = write_line msg_w line in
+  let chaos = chaos_kill () in
+  let run_chunk id indices =
+    let tmp = Filename.concat dir (Printf.sprintf "chunk_%d.tmp" id) in
+    let oc = open_out tmp in
+    let finished = ref 0 in
+    List.iter
+      (fun i ->
+        (match chaos with
+        | Some (k, mark) when k = i && not (Sys.file_exists mark) ->
+            (try close_out (open_out mark) with Sys_error _ -> ());
+            Unix.kill (Unix.getpid ()) Sys.sigkill
+        | _ -> ());
+        let emit line = output_string oc ("T " ^ one_line line ^ "\n") in
+        let r = f ~emit i in
+        if String.contains r '\n' then
+          failwith (Printf.sprintf "Scheduler: result for item %d spans lines" i);
+        output_string oc (Printf.sprintf "R %d %s\n" i r);
+        incr finished;
+        send (Printf.sprintf "HB %d %d" id !finished))
+      indices;
+    close_out oc;
+    Sys.rename tmp (res_path dir id);
+    send (Printf.sprintf "DONE %d %d" id !finished)
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | "QUIT" -> ()
+    | line -> (
+        match String.split_on_char ' ' line with
+        | "CHUNK" :: id :: indices -> (
+            let id = int_of_string id in
+            let indices = List.map int_of_string indices in
+            match run_chunk id indices with
+            | () -> loop ()
+            | exception e ->
+                (* a deterministic failure: retrying would repeat it, so
+                   report and die rather than burn the retry budget *)
+                send
+                  (Printf.sprintf "ERR %d %s" id (one_line (Printexc.to_string e)));
+                Unix._exit 3)
+        | _ -> ())
+  in
+  loop ()
+
+(* {2 Parent side} *)
+
+let status_to_string = function
+  | Unix.WEXITED n -> Printf.sprintf "exited %d" n
+  | Unix.WSIGNALED n -> Printf.sprintf "killed by signal %d" n
+  | Unix.WSTOPPED n -> Printf.sprintf "stopped by signal %d" n
+
+let map ~jobs ?(max_retries = 2) ?(heartbeat_timeout_ms = 300_000.)
+    ?(progress = fun _ -> ()) ?(emit = fun _ -> ()) ~f n =
+  let stats = Telemetry.Scheduler.create () in
+  if n = 0 then ([||], stats)
+  else begin
+    let jobs = max 1 (min jobs n) in
+    let dir = Filename.temp_dir "specrepair_sched_" "" in
+    let results : string option array = Array.make n None in
+    let merged = ref 0 in
+    (* the work queue: a cursor into [0, n) plus requeued chunks *)
+    let cursor = ref 0 in
+    let next_id = ref 0 in
+    let requeued : chunk Queue.t = Queue.create () in
+    let pending_work () = (not (Queue.is_empty requeued)) || !cursor < n in
+    let next_chunk () =
+      if not (Queue.is_empty requeued) then Some (Queue.pop requeued)
+      else if !cursor >= n then None
+      else begin
+        let remaining = n - !cursor in
+        (* guided self-scheduling: a fraction of the remaining work, capped
+           so a CHUNK message stays a short pipe write and a lost worker
+           forfeits a bounded amount of recompute *)
+        let size = min remaining (min 512 (max 1 (remaining / (jobs * 2)))) in
+        let indices = List.init size (fun k -> !cursor + k) in
+        cursor := !cursor + size;
+        let id = !next_id in
+        incr next_id;
+        Some { id; indices; attempts = 0 }
+      end
+    in
+    let requeue_chunk ~reason (c : chunk) =
+      c.attempts <- c.attempts + 1;
+      stats.retries <- stats.retries + 1;
+      if c.attempts > max_retries then
+        raise (Chunk_failed { indices = c.indices; attempts = c.attempts; reason })
+      else begin
+        progress
+          (Printf.sprintf "requeueing chunk %d, attempt %d/%d (%s)" c.id
+             (c.attempts + 1) (max_retries + 1) reason);
+        Queue.push c requeued
+      end
+    in
+    let workers : (int, worker) Hashtbl.t = Hashtbl.create jobs in
+    let live_workers () = Hashtbl.fold (fun _ w acc -> w :: acc) workers [] in
+    let spawn () =
+      let cmd_r, cmd_w = Unix.pipe ~cloexec:false () in
+      let msg_r, msg_w = Unix.pipe ~cloexec:false () in
+      match Unix.fork () with
+      | 0 ->
+          Unix.close cmd_w;
+          Unix.close msg_r;
+          (* drop the parent's ends of every sibling's pipes, so a sibling
+             sees EOF as soon as the parent closes its command pipe *)
+          Hashtbl.iter
+            (fun _ w ->
+              (try Unix.close w.cmd_w with Unix.Unix_error _ -> ());
+              (try Unix.close w.msg_r with Unix.Unix_error _ -> ()))
+            workers;
+          (match child_main ~dir ~f ~cmd_r ~msg_w with
+          | () -> Unix._exit 0
+          | exception _ -> Unix._exit 2)
+      | pid ->
+          Unix.close cmd_r;
+          Unix.close msg_w;
+          stats.workers_spawned <- stats.workers_spawned + 1;
+          let w =
+            {
+              pid;
+              cmd_w;
+              msg_r;
+              rbuf = Buffer.create 256;
+              inflight = None;
+              last_beat = now ();
+              quitting = false;
+              eof = false;
+            }
+          in
+          Hashtbl.replace workers pid w;
+          w
+    in
+    let send_to w line =
+      match write_line w.cmd_w line with
+      | () -> true
+      | exception Unix.Unix_error ((EPIPE | EBADF), _, _) -> false
+    in
+    let assign w =
+      match next_chunk () with
+      | Some c ->
+          w.inflight <- Some c;
+          w.last_beat <- now ();
+          stats.chunks_dispatched <- stats.chunks_dispatched + 1;
+          (* a failed write means the worker is already dead; the waitpid
+             poll will requeue the chunk *)
+          ignore
+            (send_to w
+               (Printf.sprintf "CHUNK %d %s" c.id
+                  (String.concat " " (List.map string_of_int c.indices))))
+      | None ->
+          w.quitting <- true;
+          ignore (send_to w "QUIT")
+    in
+    (* Remove [w] from the pool; requeue its in-flight chunk.  The message
+       pipe is closed before requeueing, so a DONE the dead worker managed
+       to send can never merge a chunk that is also being recomputed. *)
+    let retire w ~lost ~reason =
+      Hashtbl.remove workers w.pid;
+      (try Unix.close w.cmd_w with Unix.Unix_error _ -> ());
+      (try Unix.close w.msg_r with Unix.Unix_error _ -> ());
+      if lost then stats.workers_lost <- stats.workers_lost + 1;
+      match w.inflight with
+      | Some c ->
+          w.inflight <- None;
+          requeue_chunk ~reason c
+      | None -> ()
+    in
+    let reap_blocking pid =
+      try ignore (Unix.waitpid [] pid)
+      with Unix.Unix_error (ECHILD, _, _) -> ()
+    in
+    let merge_chunk w (c : chunk) ~reported =
+      let path = res_path dir c.id in
+      let parsed =
+        match open_in_bin path with
+        | exception Sys_error _ -> None
+        | ic -> (
+            let text = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            let rows = ref [] and tlines = ref [] and bad = ref false in
+            List.iter
+              (fun line ->
+                if line = "" then ()
+                else if String.length line > 2 && String.sub line 0 2 = "T " then
+                  tlines := String.sub line 2 (String.length line - 2) :: !tlines
+                else if String.length line > 2 && String.sub line 0 2 = "R " then begin
+                  let rest = String.sub line 2 (String.length line - 2) in
+                  match String.index_opt rest ' ' with
+                  | Some sp -> (
+                      match int_of_string_opt (String.sub rest 0 sp) with
+                      | Some i when i >= 0 && i < n ->
+                          rows :=
+                            (i, String.sub rest (sp + 1) (String.length rest - sp - 1))
+                            :: !rows
+                      | _ -> bad := true)
+                  | None -> bad := true
+                end
+                else bad := true)
+              (String.split_on_char '\n' text);
+            if !bad then None else Some (List.rev !rows, List.rev !tlines))
+      in
+      (try Sys.remove path with Sys_error _ -> ());
+      match parsed with
+      | Some (rows, tlines)
+        when List.length rows = List.length c.indices
+             && reported = List.length rows
+             && List.for_all (fun i -> List.mem_assoc i rows) c.indices ->
+          List.iter (fun (i, r) -> results.(i) <- Some r) rows;
+          List.iter emit tlines;
+          merged := !merged + List.length rows;
+          stats.chunks_completed <- stats.chunks_completed + 1;
+          stats.rows_completed <- stats.rows_completed + List.length rows;
+          progress
+            (Printf.sprintf "%d/%d rows done (chunk %d, %d rows, worker %d)"
+               !merged n c.id (List.length rows) w.pid)
+      | _ ->
+          (* expected vs received cross-check failed: the file is missing,
+             torn, or short a row — recompute the chunk *)
+          requeue_chunk
+            ~reason:
+              (Printf.sprintf "chunk %d: result rows do not match the %d expected"
+                 c.id (List.length c.indices))
+            c
+    in
+    let handle_line w line =
+      match String.split_on_char ' ' line with
+      | [ "HB"; _; _ ] -> w.last_beat <- now ()
+      | [ "DONE"; id; nrows ] -> (
+          w.last_beat <- now ();
+          match w.inflight with
+          | Some c
+            when int_of_string_opt id = Some c.id
+                 && Option.is_some (int_of_string_opt nrows) ->
+              w.inflight <- None;
+              merge_chunk w c ~reported:(int_of_string nrows);
+              assign w
+          | _ -> () (* stale or garbled; the poll paths recover *))
+      | "ERR" :: id :: rest ->
+          let indices, attempts =
+            match w.inflight with
+            | Some c when int_of_string_opt id = Some c.id ->
+                (c.indices, c.attempts + 1)
+            | _ -> ([], 1)
+          in
+          raise
+            (Chunk_failed
+               { indices; attempts; reason = "worker error: " ^ String.concat " " rest })
+      | _ -> ()
+    in
+    let rec drain_lines w =
+      let s = Buffer.contents w.rbuf in
+      match String.index_opt s '\n' with
+      | None -> ()
+      | Some i ->
+          Buffer.clear w.rbuf;
+          Buffer.add_substring w.rbuf s (i + 1) (String.length s - i - 1);
+          handle_line w (String.sub s 0 i);
+          drain_lines w
+    in
+    let scratch = Bytes.create 65536 in
+    let read_messages w =
+      match Unix.read w.msg_r scratch 0 (Bytes.length scratch) with
+      | 0 -> w.eof <- true
+      | k ->
+          Buffer.add_subbytes w.rbuf scratch 0 k;
+          drain_lines w
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    in
+    let cleanup () =
+      List.iter
+        (fun w ->
+          (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+          reap_blocking w.pid;
+          (try Unix.close w.cmd_w with Unix.Unix_error _ -> ());
+          (try Unix.close w.msg_r with Unix.Unix_error _ -> ()))
+        (live_workers ());
+      Hashtbl.reset workers;
+      (try
+         Array.iter
+           (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+           (Sys.readdir dir);
+         Unix.rmdir dir
+       with Sys_error _ | Unix.Unix_error _ -> ())
+    in
+    (* the parent writes into worker pipes that may vanish under it: turn
+       SIGPIPE into EPIPE for the duration of the run *)
+    let old_sigpipe =
+      try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+      with Invalid_argument _ | Sys_error _ -> None
+    in
+    let restore_sigpipe () =
+      match old_sigpipe with
+      | Some h -> ( try Sys.set_signal Sys.sigpipe h with Invalid_argument _ -> ())
+      | None -> ()
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        restore_sigpipe ();
+        cleanup ())
+      (fun () ->
+        while !merged < n do
+          (* keep the pool at strength while there is queued work; [assign]
+             immediately hands each fresh worker a chunk *)
+          while
+            pending_work ()
+            && List.length
+                 (List.filter (fun w -> not w.quitting) (live_workers ()))
+               < jobs
+          do
+            assign (spawn ())
+          done;
+          (* 1. messages: heartbeats, completions, errors *)
+          let readable = List.filter (fun w -> not w.eof) (live_workers ()) in
+          let fds = List.map (fun w -> w.msg_r) readable in
+          let ready, _, _ =
+            if fds = [] then ([], [], [])
+            else
+              try Unix.select fds [] [] 0.05
+              with Unix.Unix_error (EINTR, _, _) -> ([], [], [])
+          in
+          List.iter
+            (fun w -> if List.mem w.msg_r ready then read_messages w)
+            readable;
+          (* 2. death poll: reap exited workers, requeue their chunks *)
+          List.iter
+            (fun w ->
+              match Unix.waitpid [ Unix.WNOHANG ] w.pid with
+              | 0, _ -> ()
+              | _, status ->
+                  retire w
+                    ~lost:(not (w.quitting && w.inflight = None))
+                    ~reason:(Printf.sprintf "worker %d %s" w.pid (status_to_string status))
+              | exception Unix.Unix_error (ECHILD, _, _) ->
+                  retire w ~lost:false ~reason:"already reaped")
+            (live_workers ());
+          (* 3. heartbeat: a worker that holds a chunk but has gone silent
+             is presumed hung; kill it and recompute the chunk *)
+          List.iter
+            (fun w ->
+              if
+                w.inflight <> None
+                && now () -. w.last_beat > heartbeat_timeout_ms /. 1000.
+              then begin
+                stats.heartbeat_kills <- stats.heartbeat_kills + 1;
+                (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+                reap_blocking w.pid;
+                retire w ~lost:true
+                  ~reason:
+                    (Printf.sprintf "worker %d silent for %.0f ms" w.pid
+                       heartbeat_timeout_ms)
+              end)
+            (live_workers ())
+        done;
+        (* all rows merged: release the pool *)
+        List.iter
+          (fun w ->
+            if not w.quitting then ignore (send_to w "QUIT");
+            reap_blocking w.pid;
+            (try Unix.close w.cmd_w with Unix.Unix_error _ -> ());
+            (try Unix.close w.msg_r with Unix.Unix_error _ -> ()))
+          (live_workers ());
+        Hashtbl.reset workers;
+        ( Array.mapi
+            (fun i r ->
+              match r with
+              | Some line -> line
+              | None ->
+                  raise
+                    (Chunk_failed
+                       {
+                         indices = [ i ];
+                         attempts = 0;
+                         reason = "internal: row never merged";
+                       }))
+            results,
+          stats ))
+  end
+
+let () =
+  Printexc.register_printer (function
+    | Chunk_failed { indices; attempts; reason } ->
+        Some
+          (Printf.sprintf
+             "Scheduler.Chunk_failed: rows [%s] failed after %d attempt(s): %s"
+             (String.concat "; " (List.map string_of_int indices))
+             attempts reason)
+    | _ -> None)

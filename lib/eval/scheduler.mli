@@ -1,0 +1,43 @@
+(** A dynamic, fault-tolerant work scheduler over forked worker processes.
+
+    The parent keeps a chunked queue of work-item indices; workers pull
+    chunks over a per-worker pipe, evaluate each item, and publish every
+    finished chunk as an atomically-renamed result file.  Slow chunks no
+    longer pin a static slice to one worker (chunk sizes shrink as the
+    queue drains, so stragglers even out), and a worker that dies — crash,
+    [kill -9], or a silent heartbeat — costs one chunk of recompute, not
+    the run: the parent requeues the dead worker's in-flight chunk (with a
+    bounded retry count) and respawns a replacement.
+
+    Protocol, heartbeat and retry semantics are documented in DESIGN.md
+    ("The work-stealing study scheduler"). *)
+
+type stats = Specrepair_engine.Telemetry.Scheduler.t
+
+exception Chunk_failed of { indices : int list; attempts : int; reason : string }
+(** A chunk exhausted its retry budget ([indices] are the work items it
+    carried), or a worker reported a deterministic evaluation error. *)
+
+val map :
+  jobs:int ->
+  ?max_retries:int ->
+  ?heartbeat_timeout_ms:float ->
+  ?progress:(string -> unit) ->
+  ?emit:(string -> unit) ->
+  f:(emit:(string -> unit) -> int -> string) ->
+  int ->
+  string array * stats
+(** [map ~jobs ~f n] evaluates [f i] for every [i < n] across [jobs]
+    forked workers and returns the results in index order, plus the
+    scheduler's counters.  [f] runs in the worker process; it must return
+    a single line (no ['\n']) and may call its [emit] argument with
+    sideband lines (telemetry) that the parent forwards to [?emit] when
+    the chunk is merged.  [f] must be deterministic: a retried chunk
+    re-evaluates its items from scratch.
+
+    [?max_retries] (default 2) bounds requeues per chunk; exhausting it
+    raises {!Chunk_failed} naming the offending work items.
+    [?heartbeat_timeout_ms] (default 300_000) is how long a worker may go
+    without finishing an item before the parent presumes it hung and
+    kills it.  [jobs] is clamped to [n]; [jobs <= 1] still forks (use the
+    caller's sequential path to avoid forking entirely). *)

@@ -172,56 +172,122 @@ let run ?(seed = 42) ?(budget = Repair.Common.default_budget) ?deadline_ms
 
 let header = "variant_id,domain,benchmark,technique,rep,tm,sm,tool_claimed,time_ms"
 
-let to_csv results =
+let row_to_line ?(timings = true) r =
+  Printf.sprintf "%s,%s,%s,%s,%d,%.6f,%.6f,%b,%.3f" r.variant_id r.domain
+    (Benchmarks.Domains.benchmark_to_string r.benchmark)
+    r.technique r.rep r.tm r.sm r.tool_claimed
+    (if timings then r.time_ms else 0.)
+
+let to_csv ?timings results =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf header;
   Buffer.add_char buf '\n';
   List.iter
     (fun r ->
-      Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%s,%s,%d,%.6f,%.6f,%b,%.3f\n" r.variant_id
-           r.domain
-           (Benchmarks.Domains.benchmark_to_string r.benchmark)
-           r.technique r.rep r.tm r.sm r.tool_claimed r.time_ms))
+      Buffer.add_string buf (row_to_line ?timings r);
+      Buffer.add_char buf '\n')
     results;
   Buffer.contents buf
 
+let row_of_line line =
+  let malformed what =
+    failwith (Printf.sprintf "Study.of_csv: %s in row %S" what line)
+  in
+  match String.split_on_char ',' line with
+  | [ vid; dom; bench; tech; rep; tm; sm; claimed; time_ms ] -> (
+      let benchmark =
+        match bench with
+        | "A4F" -> Benchmarks.Domains.A4F
+        | "ARepair" -> Benchmarks.Domains.ARepair_bench
+        | other -> malformed (Printf.sprintf "unknown benchmark %S" other)
+      in
+      try
+        {
+          variant_id = vid;
+          domain = dom;
+          benchmark;
+          technique = tech;
+          rep = int_of_string rep;
+          tm = float_of_string tm;
+          sm = float_of_string sm;
+          tool_claimed = bool_of_string claimed;
+          time_ms = float_of_string time_ms;
+        }
+      with Failure _ | Invalid_argument _ -> malformed "unparsable field")
+  | fields ->
+      malformed (Printf.sprintf "%d fields, expected 9" (List.length fields))
+
+(* A truncated file (a worker killed mid-write under the old scheme, a
+   torn copy, a partial download) must not silently shed rows: every
+   non-empty, non-header line either parses or raises. *)
 let of_csv text =
-  let lines = String.split_on_char '\n' text in
   List.filter_map
     (fun line ->
       let line = String.trim line in
-      if line = "" || line = header then None
-      else
-        match String.split_on_char ',' line with
-        | [ vid; dom; bench; tech; rep; tm; sm; claimed; time_ms ] ->
-            Some
-              {
-                variant_id = vid;
-                domain = dom;
-                benchmark =
-                  (if bench = "A4F" then Benchmarks.Domains.A4F
-                   else Benchmarks.Domains.ARepair_bench);
-                technique = tech;
-                rep = int_of_string rep;
-                tm = float_of_string tm;
-                sm = float_of_string sm;
-                tool_claimed = bool_of_string claimed;
-                time_ms = float_of_string time_ms;
-              }
-        | _ -> None)
-    lines
+      if line = "" || line = header then None else Some (row_of_line line))
+    (String.split_on_char '\n' text)
 
 (* {2 Parallel runner}
 
-   Forks worker processes, each running a slice of the variants and
-   writing its rows as CSV to a temp file; the parent merges.  Safe because
-   every run is deterministic and workers share nothing.  Telemetry rides
-   along in a sidecar [.telemetry] file per worker (one JSON line per row);
-   the parent replays the lines into the caller's sink after the worker
-   exits. *)
+   Fans the (variant, technique) rows out over {!Scheduler} worker
+   processes: the parent keeps a chunked work queue, workers pull chunks
+   over a pipe and publish each finished chunk atomically, and a worker
+   that dies mid-chunk costs one chunk of recompute (bounded retries),
+   not the study.  Safe because every row is deterministic and workers
+   share nothing; per-row telemetry lines ride along in the chunk files
+   and are replayed into the caller's sink as each chunk is merged,
+   followed by one final [{"scheduler":…}] summary line. *)
 
 let run_parallel ?(seed = 42) ?(budget = Repair.Common.default_budget)
+    ?deadline_ms ?telemetry ?(techniques = Technique.all) ?(jobs = 1)
+    ?(max_retries = 2) ?heartbeat_timeout_ms ?on_stats
+    ?(progress = fun _ -> ()) variants =
+  if jobs <= 1 then
+    run ~seed ~budget ?deadline_ms ?telemetry ~techniques ~progress variants
+  else begin
+    let work =
+      Array.of_list
+        (List.concat_map
+           (fun v -> List.map (fun t -> (v, t)) techniques)
+           variants)
+    in
+    let want_telemetry = Option.is_some telemetry in
+    (* runs in the worker process; the row's telemetry line goes through
+       the chunk file's sideband channel *)
+    let f ~emit i =
+      let v, t = work.(i) in
+      let telemetry = if want_telemetry then Some emit else None in
+      row_to_line (run_one ~seed ~budget ?deadline_ms ?telemetry t v)
+    in
+    let lines, stats =
+      Scheduler.map ~jobs ~max_retries ?heartbeat_timeout_ms ~progress
+        ?emit:telemetry ~f (Array.length work)
+    in
+    Option.iter
+      (fun sink ->
+        sink
+          ("{\"scheduler\":"
+          ^ Specrepair_engine.Telemetry.Scheduler.to_json ~jobs stats
+          ^ "}"))
+      telemetry;
+    Option.iter (fun g -> g stats) on_stats;
+    progress
+      (Printf.sprintf
+         "%d rows from %d worker(s): %d chunks, %d retries, %d workers lost"
+         stats.rows_completed jobs stats.chunks_completed stats.retries
+         stats.workers_lost);
+    (* results arrive indexed by work item, i.e. already in the sequential
+       run's (variant-major, technique-minor) order: the merged CSV is
+       byte-identical to [--jobs 1] modulo the wall-clock [time_ms] *)
+    Array.to_list (Array.map row_of_line lines)
+  end
+
+(* The pre-scheduler runner: a static round-robin partition over forked
+   workers, one slice each, no fault tolerance (any worker failure aborts
+   the whole run).  Kept as the baseline that [bench/main.ml] compares the
+   dynamic scheduler against. *)
+
+let run_parallel_static ?(seed = 42) ?(budget = Repair.Common.default_budget)
     ?deadline_ms ?telemetry ?(techniques = Technique.all) ?(jobs = 1)
     ?(progress = fun _ -> ()) variants =
   if jobs <= 1 then
@@ -291,7 +357,7 @@ let run_parallel ?(seed = 42) ?(budget = Repair.Common.default_budget)
             let _, status = Unix.waitpid [] pid in
             (match status with
             | Unix.WEXITED 0 -> ()
-            | _ -> failwith "Study.run_parallel: worker failed");
+            | _ -> failwith "Study.run_parallel_static: worker failed");
             let ic = open_in_bin path in
             let text = really_input_string ic (in_channel_length ic) in
             close_in ic;

@@ -50,17 +50,48 @@ val run_parallel :
   ?telemetry:(string -> unit) ->
   ?techniques:Technique.t list ->
   ?jobs:int ->
+  ?max_retries:int ->
+  ?heartbeat_timeout_ms:float ->
+  ?on_stats:(Scheduler.stats -> unit) ->
   ?progress:(string -> unit) ->
   Benchmarks.Generate.variant list ->
   spec_result list
-(** Like {!run} but fanned out over [jobs] forked worker processes
-    (results identical to the sequential run, reordered canonically).
-    Worker telemetry lines are replayed into [?telemetry] as each worker
-    is reaped, so the sink sees every row exactly once. *)
+(** Like {!run} but fanned out over [jobs] forked workers through the
+    fault-tolerant {!Scheduler}: dynamic chunked work queue, per-chunk
+    atomic result files, dead workers respawned and their in-flight chunk
+    requeued up to [?max_retries] (default 2) times before
+    {!Scheduler.Chunk_failed} names the offending rows.  Results come
+    back in the sequential run's order, so the CSV is byte-identical to
+    [jobs = 1] except for the wall-clock [time_ms] column.  Worker
+    telemetry lines are replayed into [?telemetry] as each chunk is
+    merged (every row exactly once), followed by one final
+    [{"scheduler":…}] summary line; [?on_stats] receives the scheduler's
+    counters after the merge. *)
 
-val to_csv : spec_result list -> string
+val run_parallel_static :
+  ?seed:int ->
+  ?budget:Specrepair_repair.Common.budget ->
+  ?deadline_ms:float ->
+  ?telemetry:(string -> unit) ->
+  ?techniques:Technique.t list ->
+  ?jobs:int ->
+  ?progress:(string -> unit) ->
+  Benchmarks.Generate.variant list ->
+  spec_result list
+(** The pre-scheduler parallel runner: static round-robin slices, one per
+    forked worker, no fault tolerance (any worker failure aborts the run;
+    results reordered canonically).  Kept as the baseline [bench/main.ml]
+    measures the dynamic scheduler against — use {!run_parallel}. *)
+
+val to_csv : ?timings:bool -> spec_result list -> string
+(** [~timings:false] zeroes the wall-clock [time_ms] column, yielding
+    byte-stable output for run-to-run comparisons (default [true]). *)
+
 val of_csv : string -> spec_result list
-(** Round-trips {!to_csv}; used to cache study runs on disk. *)
+(** Round-trips {!to_csv}; used to cache study runs on disk.  Blank lines
+    and repeated headers are skipped; any other malformed line raises
+    [Failure] naming the offending row (a truncated cache must fail
+    loudly, not shed rows). *)
 
 val aunit_suite : Benchmarks.Domains.t -> Specrepair_aunit.Aunit.test list
 (** The domain's test suite, generated from the ground truth (memoized);

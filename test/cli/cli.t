@@ -31,3 +31,18 @@ Malformed input produces a diagnostic and a non-zero exit:
   $ ../../bin/specrepair.exe parse bad.als
   specrepair: line 1: expected signature name (found {)
   [124]
+
+Nonsensical worker counts and sample sizes are rejected at the flag
+parser, before any work is forked:
+
+  $ ../../bin/specrepair.exe evaluate --jobs 0 --sample 1
+  specrepair: option '--jobs': expected a positive integer
+  Usage: specrepair evaluate [OPTION]…
+  Try 'specrepair evaluate --help' or 'specrepair --help' for more information.
+  [124]
+
+  $ ../../bin/specrepair.exe evaluate --sample 0
+  specrepair: option '--sample': expected a positive integer
+  Usage: specrepair evaluate [OPTION]…
+  Try 'specrepair evaluate --help' or 'specrepair --help' for more information.
+  [124]

@@ -1,7 +1,12 @@
 #!/bin/sh
 # Smoke test of the benchmark harness: run the whole bench at the smallest
-# sample and check that the oracle stage produced a well-formed artifact
-# with a genuine speedup.  Exits nonzero on any failure.
+# sample and check that the oracle and parallel stages produced well-formed
+# artifacts.  Exits nonzero on any failure.
+#
+# Wall-clock thresholds (the oracle's >= 2x speedup) are only enforced on
+# quiet local machines; under CI=1 the script gates on the stages' cache
+# and scheduler counters instead, which are deterministic, because shared
+# CI runners make wall-clock ratios flaky.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -10,17 +15,24 @@ workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
 
 out="$workdir/BENCH_oracle.json"
+par="$workdir/BENCH_parallel.json"
+ci_mode="${CI:-0}"
 
-BENCH_SAMPLE=1 BENCH_ORACLE_OUT="$out" dune exec bench/main.exe
+BENCH_SAMPLE="${BENCH_SAMPLE:-1}" BENCH_ORACLE_OUT="$out" \
+    BENCH_PARALLEL_OUT="$par" dune exec bench/main.exe
 
-if [ ! -s "$out" ]; then
-    echo "bench_smoke: $out missing or empty" >&2
-    exit 1
-fi
+for f in "$out" "$par"; do
+    if [ ! -s "$f" ]; then
+        echo "bench_smoke: $f missing or empty" >&2
+        exit 1
+    fi
+done
 
 if command -v python3 >/dev/null 2>&1; then
-    python3 - "$out" <<'EOF'
-import json, sys
+    CI_MODE="$ci_mode" python3 - "$out" "$par" <<'EOF'
+import json, os, sys
+
+ci = os.environ.get("CI_MODE", "0") == "1"
 
 with open(sys.argv[1]) as f:
     data = json.load(f)
@@ -36,16 +48,64 @@ if missing:
     sys.exit(f"bench_smoke: BENCH_oracle.json lacks keys: {missing}")
 if data["candidates"] <= 0:
     sys.exit("bench_smoke: no candidates were checked")
-if data["speedup"] < 2.0:
-    sys.exit(f"bench_smoke: oracle speedup {data['speedup']} below 2x")
-print(f"bench_smoke: ok (speedup {data['speedup']}x on "
-      f"{data['candidates']} candidates)")
+if ci:
+    # deterministic cache-effectiveness gates for noisy shared runners
+    if data["verdict_hits"] <= 0:
+        sys.exit("bench_smoke: incremental oracle reports no verdict-cache hits")
+    if data["formulas_reused"] <= 0:
+        sys.exit("bench_smoke: incremental oracle reports no formula reuse")
+    print(f"bench_smoke: oracle ok under CI ({data['verdict_hits']} verdict "
+          f"hits, {data['formulas_reused']} formulas reused; wall-clock "
+          f"speedup {data['speedup']}x unchecked)")
+else:
+    if data["speedup"] < 2.0:
+        sys.exit(f"bench_smoke: oracle speedup {data['speedup']} below 2x")
+    print(f"bench_smoke: oracle ok (speedup {data['speedup']}x on "
+          f"{data['candidates']} candidates)")
+
+with open(sys.argv[2]) as f:
+    pdata = json.load(f)
+
+prequired = [
+    "sample", "jobs", "rows", "static_ms", "dynamic_ms",
+    "static_over_dynamic", "rows_match_sequential", "chunks_dispatched",
+    "chunks_completed", "rows_completed", "retries", "workers_spawned",
+    "workers_lost", "heartbeat_kills",
+]
+missing = [k for k in prequired if k not in pdata]
+if missing:
+    sys.exit(f"bench_smoke: BENCH_parallel.json lacks keys: {missing}")
+if pdata["rows"] <= 0:
+    sys.exit("bench_smoke: parallel stage ran no rows")
+if not pdata["rows_match_sequential"]:
+    sys.exit("bench_smoke: parallel rows diverged from the sequential run")
+if pdata["rows_completed"] != pdata["rows"]:
+    sys.exit("bench_smoke: scheduler merged "
+             f"{pdata['rows_completed']} of {pdata['rows']} rows")
+if pdata["chunks_completed"] < 1 or \
+        pdata["chunks_completed"] > pdata["chunks_dispatched"]:
+    sys.exit("bench_smoke: implausible chunk counters "
+             f"({pdata['chunks_completed']}/{pdata['chunks_dispatched']})")
+if pdata["workers_spawned"] < 1:
+    sys.exit("bench_smoke: scheduler spawned no workers")
+if pdata["retries"] != 0 or pdata["workers_lost"] != 0:
+    sys.exit("bench_smoke: undisturbed run reports retries="
+             f"{pdata['retries']} workers_lost={pdata['workers_lost']}")
+print(f"bench_smoke: parallel ok ({pdata['rows']} rows, "
+      f"{pdata['chunks_completed']} chunks over {pdata['jobs']} workers, "
+      f"static/dynamic {pdata['static_over_dynamic']}x)")
 EOF
 else
-    # no python3: settle for a structural sanity check
+    # no python3: settle for structural sanity checks
     for key in speedup fresh_ms incremental_ms verdict_hits; do
         if ! grep -q "\"$key\"" "$out"; then
             echo "bench_smoke: BENCH_oracle.json lacks key $key" >&2
+            exit 1
+        fi
+    done
+    for key in static_ms dynamic_ms chunks_completed retries workers_lost; do
+        if ! grep -q "\"$key\"" "$par"; then
+            echo "bench_smoke: BENCH_parallel.json lacks key $key" >&2
             exit 1
         fi
     done
