@@ -1,0 +1,18 @@
+// specrepair fuzz regression eval-s42-i0008 (seed 42)
+// pinned-translation vs direct-evaluation disagreement witness (fixed:
+// generated instances must respect the symmetry-breaking prefix order)
+sig A {
+  f0: set B,
+  f1: lone A
+}
+sig B {}
+
+fact F0 {
+  some iden <=> no f1.f0
+}
+
+pred p {
+  no f1.iden
+}
+
+run { } for 2

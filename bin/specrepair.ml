@@ -328,6 +328,62 @@ let evaluate_cmd =
       const run $ sample $ seed $ jobs $ retries $ quiet $ what $ csv_out
       $ csv_in $ artifacts_dir $ deadline_ms $ telemetry_out)
 
+(* {2 fuzz} *)
+
+let fuzz_cmd =
+  let module Fuzz = Specrepair_fuzz.Harness in
+  let target =
+    let target_conv =
+      Arg.enum
+        (List.map (fun t -> (Fuzz.target_name t, t)) Fuzz.all_targets)
+    in
+    Arg.(
+      value
+      & opt (some target_conv) None
+      & info [ "target" ] ~docv:"TARGET"
+          ~doc:
+            "Fuzz a single target ($(b,sat), $(b,solver), $(b,oracle) or \
+             $(b,eval)); default: all four.")
+  in
+  let seed =
+    Arg.(
+      value & opt nonneg_int 42
+      & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed (reproducible).")
+  in
+  let iters =
+    Arg.(
+      value & opt positive_int 200
+      & info [ "iters" ] ~docv:"N" ~doc:"Iterations per target.")
+  in
+  let corpus_dir =
+    Arg.(
+      value
+      & opt string "artifacts/fuzz"
+      & info [ "corpus-dir" ] ~docv:"DIR"
+          ~doc:"Where shrunk failing inputs are persisted.")
+  in
+  let run seed iters target corpus_dir =
+    let targets =
+      match target with None -> Fuzz.all_targets | Some t -> [ t ]
+    in
+    let reports =
+      List.map (fun t -> Fuzz.run ~corpus_dir t ~seed ~iters ()) targets
+    in
+    print_endline (Fuzz.summary_json ~corpus_dir ~seed reports);
+    let total =
+      List.fold_left
+        (fun n (r : Fuzz.report) -> n + r.discrepancies)
+        0 reports
+    in
+    if total > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: cross-check the SAT/solver/oracle/eval stack \
+          against independent reference oracles")
+    Term.(const run $ seed $ iters $ target $ corpus_dir)
+
 let () =
   let info =
     Cmd.info "specrepair" ~version:"1.0.0"
@@ -338,4 +394,11 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ parse_cmd; analyze_cmd; repair_cmd; domains_cmd; evaluate_cmd ]))
+          [
+            parse_cmd;
+            analyze_cmd;
+            repair_cmd;
+            domains_cmd;
+            evaluate_cmd;
+            fuzz_cmd;
+          ]))

@@ -1,0 +1,75 @@
+open Specrepair_sat
+module Alloy = Specrepair_alloy
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+  end
+
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let save_cnf ~dir ~name ~seed ~assumptions cnf =
+  mkdir_p dir;
+  let path = Filename.concat dir (name ^ ".cnf") in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "c specrepair fuzz regression %s (seed %d)\n" name seed);
+  if assumptions <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "c assumptions: %s\n"
+         (String.concat " "
+            (List.map (fun l -> string_of_int (Lit.to_dimacs l)) assumptions)));
+  Buffer.add_string buf (Format.asprintf "%a" Dimacs.print cnf);
+  write_file path (Buffer.contents buf);
+  path
+
+let save_spec ~dir ~name ~seed spec =
+  mkdir_p dir;
+  let path = Filename.concat dir (name ^ ".als") in
+  write_file path
+    (Printf.sprintf "// specrepair fuzz regression %s (seed %d)\n%s" name seed
+       (Alloy.Pretty.spec_to_string spec));
+  path
+
+let load_cnf path =
+  let text = read_file path in
+  let assumptions =
+    String.split_on_char '\n' text
+    |> List.find_map (fun line ->
+           let prefix = "c assumptions: " in
+           if String.length line >= String.length prefix
+              && String.sub line 0 (String.length prefix) = prefix
+           then
+             Some
+               (String.sub line (String.length prefix)
+                  (String.length line - String.length prefix)
+               |> String.split_on_char ' '
+               |> List.filter (( <> ) "")
+               |> List.map (fun tok -> Lit.of_dimacs (int_of_string tok)))
+           else None)
+    |> Option.value ~default:[]
+  in
+  (Dimacs.parse text, assumptions)
+
+let load_spec path =
+  Alloy.Typecheck.check (Alloy.Parser.parse (read_file path))
+
+let files dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           Filename.check_suffix f ".cnf" || Filename.check_suffix f ".als")
+    |> List.sort String.compare
+    |> List.map (Filename.concat dir)

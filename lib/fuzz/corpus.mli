@@ -1,0 +1,33 @@
+(** The regression corpus: shrunk failing inputs persisted under
+    [artifacts/fuzz/] together with the seed that produced them.
+
+    Two file kinds, both human-readable and replayable:
+    - [<name>.cnf] — DIMACS, with the originating seed and any assumption
+      literals recorded as [c] comment lines;
+    - [<name>.als] — a pretty-printed specification whose commands encode
+      the failing query (re-parsed and re-checked on replay).
+
+    Replay itself lives in {!Harness} (it reuses the differential checks);
+    this module only knows the file format. *)
+
+open Specrepair_sat
+module Alloy = Specrepair_alloy
+
+val save_cnf :
+  dir:string -> name:string -> seed:int -> assumptions:Lit.t list ->
+  Dimacs.cnf -> string
+(** Writes [<dir>/<name>.cnf] (creating [dir] if needed); returns the
+    path. *)
+
+val save_spec : dir:string -> name:string -> seed:int -> Alloy.Ast.spec -> string
+(** Writes [<dir>/<name>.als]; returns the path. *)
+
+val load_cnf : string -> Dimacs.cnf * Lit.t list
+(** Parses a corpus [.cnf] file back, recovering the assumptions. *)
+
+val load_spec : string -> Alloy.Typecheck.env
+(** Parses and type-checks a corpus [.als] file. *)
+
+val files : string -> string list
+(** The corpus entries ([.cnf] and [.als] files) in [dir], sorted by name;
+    empty when the directory does not exist. *)

@@ -1,0 +1,479 @@
+open Specrepair_sat
+module Alloy = Specrepair_alloy
+module Ast = Alloy.Ast
+module Analyzer = Specrepair_solver.Analyzer
+module Bounds = Specrepair_solver.Bounds
+module Oracle = Specrepair_solver.Oracle
+module Translate = Specrepair_solver.Translate
+module Mutate = Specrepair_mutation.Mutate
+
+type target = Sat_target | Solver_target | Oracle_target | Eval_target
+
+let all_targets = [ Sat_target; Solver_target; Oracle_target; Eval_target ]
+
+let target_name = function
+  | Sat_target -> "sat"
+  | Solver_target -> "solver"
+  | Oracle_target -> "oracle"
+  | Eval_target -> "eval"
+
+type report = {
+  target : string;
+  seed : int;
+  iters : int;
+  checks : int;
+  skipped : int;
+  discrepancies : int;
+  corpus : string list;
+}
+
+(* {2 SAT target} *)
+
+type sat_case = {
+  cnf : Dimacs.cnf;
+  assumptions : Lit.t list;
+  budget : int option;
+  split : int option;  (** solve after this many clauses, then add the rest *)
+}
+
+let gen_sat_case rng =
+  let cnf = Gen.cnf rng in
+  let assumptions =
+    if Rng.bool rng then Gen.assumptions rng ~num_vars:cnf.Dimacs.num_vars
+    else []
+  in
+  let budget = if Rng.int rng 4 = 0 then Some (Rng.range rng 1 20) else None in
+  let split =
+    if Rng.int rng 3 = 0 && List.length cnf.Dimacs.clauses >= 2 then
+      Some (Rng.int rng (List.length cnf.Dimacs.clauses))
+    else None
+  in
+  { cnf; assumptions; budget; split }
+
+let take n xs = List.filteri (fun i _ -> i < n) xs
+let drop n xs = List.filteri (fun i _ -> i >= n) xs
+
+(* One solve verified against the reference: result tags must agree, models
+   must satisfy clauses and assumptions, unsat cores must stay within the
+   assumption set. *)
+let verify_solve s cnf assumptions result ~budgeted =
+  match ((result : Solver.result), Ref_sat.solve ~assumptions cnf) with
+  | Solver.Unknown, _ ->
+      if budgeted then Ok ()
+      else Error "solver returned unknown without a conflict budget"
+  | Solver.Sat, Ref_sat.Unsat -> Error "solver sat where reference says unsat"
+  | Solver.Unsat, Ref_sat.Sat _ -> Error "solver unsat where reference says sat"
+  | Solver.Sat, Ref_sat.Sat _ ->
+      let holds l = Solver.lit_value s l in
+      if
+        not
+          (List.for_all (fun cl -> List.exists holds cl) cnf.Dimacs.clauses)
+      then Error "solver model falsifies a clause"
+      else if not (List.for_all holds assumptions) then
+        Error "solver model violates an assumption"
+      else Ok ()
+  | Solver.Unsat, Ref_sat.Unsat ->
+      let core = Solver.unsat_assumptions s in
+      if List.for_all (fun l -> List.exists (Lit.equal l) assumptions) core
+      then Ok ()
+      else Error "unsat core mentions a non-assumption literal"
+
+let check_sat_case (c : sat_case) =
+  let ( let* ) = Result.bind in
+  let s = Solver.create () in
+  ignore (Solver.new_vars s c.cnf.Dimacs.num_vars);
+  let clauses = c.cnf.Dimacs.clauses in
+  let prefix, rest =
+    match c.split with
+    | None -> (clauses, [])
+    | Some k ->
+        let k = min k (List.length clauses) in
+        (take k clauses, drop k clauses)
+  in
+  List.iter (Solver.add_clause s) prefix;
+  let* () =
+    match c.split with
+    | None -> Ok ()
+    | Some _ ->
+        let sub = { c.cnf with Dimacs.clauses = prefix } in
+        verify_solve s sub c.assumptions
+          (Solver.solve ~assumptions:c.assumptions s)
+          ~budgeted:false
+  in
+  List.iter (Solver.add_clause s) rest;
+  let result = Solver.solve ?max_conflicts:c.budget ~assumptions:c.assumptions s in
+  let* () = verify_solve s c.cnf c.assumptions result ~budgeted:(c.budget <> None) in
+  (* incremental contract: an Unsat caused by assumptions must not poison
+     the solver when the clause set alone is satisfiable *)
+  match (result, c.assumptions) with
+  | Solver.Unsat, _ :: _ -> (
+      match Ref_sat.solve c.cnf with
+      | Ref_sat.Sat _ ->
+          if not (Solver.ok s) then Error "assumption-unsat flipped ok to false"
+          else if Solver.solve s <> Solver.Sat then
+            Error "solver no longer sat after an assumption-unsat call"
+          else Ok ()
+      | Ref_sat.Unsat -> Ok ())
+  | _ -> Ok ()
+
+(* {2 Model-finder target} *)
+
+type solver_case = {
+  s_env : Alloy.Typecheck.env;
+  s_scope : Bounds.scope;
+  s_goal : Ast.fmla;
+}
+
+let gen_solver_case rng =
+  let s_env = Gen.spec rng in
+  let s_scope = Gen.scope rng s_env in
+  let s_goal = Gen.fmla rng s_env ~vars:[] ~depth:(Rng.range rng 1 3) in
+  { s_env; s_scope; s_goal }
+
+let check_solver_case { s_env = env; s_scope = scope; s_goal = goal } =
+  match Ref_models.find env scope goal with
+  | Ref_models.Too_big -> `Skip
+  | reference -> (
+      match (Analyzer.solve_fmla env scope goal, reference) with
+      | Analyzer.Unknown, _ -> `Fail "analyzer unknown without a budget"
+      | Analyzer.Sat inst, _ -> (
+          let space = Space.create env scope in
+          if not (Space.caps_hold space inst) then
+            `Fail "analyzer instance violates the scope caps"
+          else if not (Alloy.Eval.facts_hold env inst) then
+            `Fail "analyzer instance violates facts per direct evaluation"
+          else if not (Alloy.Eval.fmla env inst [] goal) then
+            `Fail "analyzer instance falsifies the goal per direct evaluation"
+          else
+            match reference with
+            | Ref_models.Found _ -> `Ok
+            | Ref_models.No_instance ->
+                `Fail "analyzer sat but exhaustive enumeration finds no instance"
+            | Ref_models.Too_big -> assert false)
+      | Analyzer.Unsat, Ref_models.Found _ ->
+          `Fail "analyzer unsat but exhaustive enumeration found an instance"
+      | Analyzer.Unsat, Ref_models.No_instance -> `Ok
+      | Analyzer.Unsat, Ref_models.Too_big -> assert false)
+
+(* {2 Oracle target} *)
+
+type oracle_case = {
+  o_base : Alloy.Typecheck.env;
+  o_candidates : Alloy.Typecheck.env list;
+}
+
+let gen_oracle_case rng =
+  let o_base = Gen.spec ~with_commands:true rng in
+  let mutants = Mutate.all_mutations o_base o_base.spec () in
+  let o_candidates =
+    Rng.sample rng 5 mutants
+    |> List.filter_map (fun m ->
+           match Mutate.apply o_base.spec m with
+           | spec' -> (
+               match Alloy.Typecheck.check_result spec' with
+               | Ok env' -> Some env'
+               | Error _ -> None)
+           | exception _ -> None)
+  in
+  { o_base; o_candidates }
+
+let check_oracle_case { o_base; o_candidates } =
+  let oracle = Oracle.create o_base in
+  let rec over_envs first = function
+    | [] -> `Ok
+    | (env' : Alloy.Typecheck.env) :: rest ->
+        let rec over_cmds = function
+          | [] -> over_envs false rest
+          | (c : Ast.command) :: cmds -> (
+              let fresh = Analyzer.run_command env' c in
+              let incremental = Oracle.command_verdict oracle env' c in
+              if incremental <> Analyzer.outcome_verdict fresh then
+                `Fail "oracle verdict differs from a fresh analyzer solve"
+              else if Oracle.command_verdict oracle env' c <> incremental then
+                `Fail "oracle verdict changed on a repeat query"
+              else if first then
+                (* instance-producing path: memoized fresh solves must be
+                   bit-identical to the plain analyzer *)
+                match (Oracle.run_command oracle env' c, fresh) with
+                | Analyzer.Sat a, Analyzer.Sat b ->
+                    if Alloy.Instance.equal a b then over_cmds cmds
+                    else `Fail "oracle instance differs from the analyzer's"
+                | Analyzer.Unsat, Analyzer.Unsat
+                | Analyzer.Unknown, Analyzer.Unknown ->
+                    over_cmds cmds
+                | _ -> `Fail "oracle run_command tag differs from the analyzer's"
+              else over_cmds cmds)
+        in
+        over_cmds env'.spec.commands
+  in
+  over_envs true (o_base :: o_candidates)
+
+(* A single base/candidate pair, used by the shrinker and by corpus replay
+   (where the candidate is its own base). *)
+let check_oracle_pair base cand =
+  check_oracle_case { o_base = base; o_candidates = [ cand ] }
+
+(* {2 Eval target} *)
+
+type eval_case = {
+  e_env : Alloy.Typecheck.env;
+  e_scope : Bounds.scope;
+  e_inst : Alloy.Instance.t;
+  e_goal : Ast.fmla;
+}
+
+let gen_eval_case rng =
+  let e_env = Gen.spec rng in
+  (* no child caps: facts_hold knows nothing about scope caps, and the
+     facts-conjunction comparison below must match it exactly *)
+  let e_scope = Gen.scope ~child_caps:false rng e_env in
+  let solver = Solver.create () in
+  let bounds = Bounds.create solver e_env e_scope in
+  let e_inst = Gen.instance rng bounds in
+  let e_goal = Gen.fmla rng e_env ~vars:[] ~depth:(Rng.range rng 1 3) in
+  { e_env; e_scope; e_inst; e_goal }
+
+(* Satisfiability of [fmla_of bounds] with every primary variable pinned to
+   the instance's membership: decides the translation's truth value on one
+   concrete model. *)
+let pinned_sat env scope (inst : Alloy.Instance.t) fmla_of =
+  let s = Solver.create () in
+  let bounds = Bounds.create s env scope in
+  List.iter
+    (fun (sg : Ast.sig_decl) ->
+      let atoms = List.assoc sg.Ast.sig_name inst.Alloy.Instance.sigs in
+      List.iter
+        (fun ((t : Alloy.Instance.Tuple.t), v) ->
+          Solver.add_clause s [ Lit.make v (List.mem t.(0) atoms) ])
+        (Hashtbl.find bounds.Bounds.rel_vars sg.Ast.sig_name))
+    env.Alloy.Typecheck.spec.sigs;
+  List.iter
+    (fun (sg : Ast.sig_decl) ->
+      List.iter
+        (fun (f : Ast.field) ->
+          let tuples = List.assoc f.Ast.fld_name inst.Alloy.Instance.fields in
+          List.iter
+            (fun (t, v) ->
+              Solver.add_clause s
+                [ Lit.make v (Alloy.Instance.Tuple_set.mem t tuples) ])
+            (Hashtbl.find bounds.Bounds.rel_vars f.Ast.fld_name))
+        sg.Ast.sig_fields)
+    env.Alloy.Typecheck.spec.sigs;
+  let ts = Tseitin.create s in
+  Tseitin.assert_formula ts (fmla_of bounds);
+  match Solver.solve s with
+  | Solver.Sat -> true
+  | Solver.Unsat -> false
+  | Solver.Unknown -> false
+
+let check_eval_case { e_env = env; e_scope = scope; e_inst = inst; e_goal = goal } =
+  let eval_goal = Alloy.Eval.fmla env inst [] goal in
+  let sat_goal =
+    pinned_sat env scope inst (fun bounds -> Translate.fmla bounds [] goal)
+  in
+  if eval_goal <> sat_goal then
+    `Fail "pinned translation disagrees with direct evaluation on the goal"
+  else
+    let eval_facts = Alloy.Eval.facts_hold env inst in
+    let sat_facts = pinned_sat env scope inst Translate.spec_fmla in
+    if eval_facts <> sat_facts then
+      `Fail "pinned translation disagrees with facts_hold on facts+implicit"
+    else `Ok
+
+(* {2 Campaign driver} *)
+
+let spec_with_goal env (scope : Bounds.scope) goal =
+  {
+    env.Alloy.Typecheck.spec with
+    Ast.commands =
+      [
+        {
+          Ast.cmd_kind = Ast.Run_fmla goal;
+          cmd_scope = scope.Bounds.default;
+          cmd_scopes = scope.Bounds.overrides;
+        };
+      ];
+  }
+
+(* Every check is wrapped: an exception is itself a discrepancy (the two
+   sides are total on well-typed inputs). *)
+let guard f =
+  match f () with
+  | r -> r
+  | exception e -> `Fail (Printf.sprintf "exception: %s" (Printexc.to_string e))
+
+let retypecheck spec =
+  match Alloy.Typecheck.check_result spec with
+  | Ok env -> Some env
+  | Error _ -> None
+
+let run ?(corpus_dir = "artifacts/fuzz") target ~seed ~iters () =
+  let checks = ref 0 and skipped = ref 0 in
+  let discrepancies = ref 0 and corpus = ref [] in
+  let record name path = ignore name; corpus := path :: !corpus in
+  for i = 0 to iters - 1 do
+    let rng = Rng.of_context ~seed [ target_name target; "iter"; string_of_int i ] in
+    let name = Printf.sprintf "%s-s%d-i%04d" (target_name target) seed i in
+    let fail_and_persist persist = incr discrepancies; record name (persist ()) in
+    match target with
+    | Sat_target -> (
+        let case = gen_sat_case rng in
+        match guard (fun () -> match check_sat_case case with Ok () -> `Ok | Error m -> `Fail m) with
+        | `Skip -> incr skipped
+        | `Ok -> incr checks
+        | `Fail _ ->
+            incr checks;
+            fail_and_persist (fun () ->
+                let still_fails cnf' =
+                  guard (fun () ->
+                      match check_sat_case { case with cnf = cnf' } with
+                      | Ok () -> `Ok
+                      | Error m -> `Fail m)
+                  <> `Ok
+                in
+                let shrunk = Shrink.run Shrink.cnf_candidates still_fails case.cnf in
+                Corpus.save_cnf ~dir:corpus_dir ~name ~seed
+                  ~assumptions:case.assumptions shrunk))
+    | Solver_target -> (
+        let case = gen_solver_case rng in
+        match guard (fun () -> check_solver_case case) with
+        | `Skip -> incr skipped
+        | `Ok -> incr checks
+        | `Fail _ ->
+            incr checks;
+            fail_and_persist (fun () ->
+                let fails_with env' goal' =
+                  guard (fun () ->
+                      check_solver_case { case with s_env = env'; s_goal = goal' })
+                  <> `Ok
+                in
+                let goal =
+                  Shrink.run Shrink.fmla_candidates
+                    (fun g -> fails_with case.s_env g)
+                    case.s_goal
+                in
+                let env =
+                  Shrink.run Shrink.spec_candidates
+                    (fun spec' ->
+                      match retypecheck spec' with
+                      | Some env' -> fails_with env' goal
+                      | None -> false)
+                    case.s_env.Alloy.Typecheck.spec
+                  |> retypecheck
+                  |> Option.value ~default:case.s_env
+                in
+                Corpus.save_spec ~dir:corpus_dir ~name ~seed
+                  (spec_with_goal env case.s_scope goal)))
+    | Oracle_target -> (
+        let case = gen_oracle_case rng in
+        match guard (fun () -> check_oracle_case case) with
+        | `Skip -> incr skipped
+        | `Ok -> incr checks
+        | `Fail _ ->
+            incr checks;
+            fail_and_persist (fun () ->
+                (* find a single failing base/candidate pair, then shrink
+                   the candidate while the pair keeps failing *)
+                let pair_fails cand =
+                  guard (fun () -> check_oracle_pair case.o_base cand) <> `Ok
+                in
+                let culprit =
+                  List.find_opt pair_fails (case.o_base :: case.o_candidates)
+                in
+                let spec =
+                  match culprit with
+                  | None ->
+                      (* only reproducible with the full interleaving;
+                         persist the base unshrunk *)
+                      case.o_base.Alloy.Typecheck.spec
+                  | Some cand ->
+                      Shrink.run Shrink.spec_candidates
+                        (fun spec' ->
+                          match retypecheck spec' with
+                          | Some env' -> pair_fails env'
+                          | None -> false)
+                        cand.Alloy.Typecheck.spec
+                in
+                Corpus.save_spec ~dir:corpus_dir ~name ~seed spec))
+    | Eval_target -> (
+        let case = gen_eval_case rng in
+        match guard (fun () -> check_eval_case case) with
+        | `Skip -> incr skipped
+        | `Ok -> incr checks
+        | `Fail _ ->
+            incr checks;
+            fail_and_persist (fun () ->
+                let goal =
+                  Shrink.run Shrink.fmla_candidates
+                    (fun g ->
+                      guard (fun () -> check_eval_case { case with e_goal = g })
+                      <> `Ok)
+                    case.e_goal
+                in
+                Corpus.save_spec ~dir:corpus_dir ~name ~seed
+                  (spec_with_goal case.e_env case.e_scope goal)))
+  done;
+  {
+    target = target_name target;
+    seed;
+    iters;
+    checks = !checks;
+    skipped = !skipped;
+    discrepancies = !discrepancies;
+    corpus = List.rev !corpus;
+  }
+
+(* {2 JSON summaries} *)
+
+let json_string s = "\"" ^ String.concat "\\\"" (String.split_on_char '"' s) ^ "\""
+
+let report_json r =
+  Printf.sprintf
+    "{\"target\":%s,\"seed\":%d,\"iters\":%d,\"checks\":%d,\"skipped\":%d,\"discrepancies\":%d,\"corpus\":[%s]}"
+    (json_string r.target) r.seed r.iters r.checks r.skipped r.discrepancies
+    (String.concat "," (List.map json_string r.corpus))
+
+let summary_json ~corpus_dir ~seed reports =
+  let total = List.fold_left (fun n r -> n + r.discrepancies) 0 reports in
+  Printf.sprintf
+    "{\"fuzz\":{\"seed\":%d,\"corpus_dir\":%s,\"targets\":[%s],\"total_discrepancies\":%d}}"
+    seed (json_string corpus_dir)
+    (String.concat "," (List.map report_json reports))
+    total
+
+(* {2 Corpus replay} *)
+
+let replay path =
+  let ( let* ) = Result.bind in
+  if Filename.check_suffix path ".cnf" then
+    match Corpus.load_cnf path with
+    | cnf, assumptions ->
+        check_sat_case { cnf; assumptions; budget = None; split = None }
+    | exception e -> Error (Printexc.to_string e)
+  else if Filename.check_suffix path ".als" then
+    match Corpus.load_spec path with
+    | exception e -> Error (Printexc.to_string e)
+    | env ->
+        List.fold_left
+          (fun acc (c : Ast.command) ->
+            let* () = acc in
+            let* () =
+              match guard (fun () -> check_oracle_pair env env) with
+              | `Ok | `Skip -> Ok ()
+              | `Fail m -> Error m
+            in
+            match c.Ast.cmd_kind with
+            | Ast.Run_fmla f -> (
+                let scope = Bounds.scope_of_command c in
+                match
+                  guard (fun () ->
+                      check_solver_case { s_env = env; s_scope = scope; s_goal = f })
+                with
+                | `Ok | `Skip -> Ok ()
+                | `Fail m -> Error m)
+            | Ast.Run_pred _ | Ast.Check _ -> Ok ())
+          (Ok ()) env.Alloy.Typecheck.spec.commands
+  else Error (Printf.sprintf "unknown corpus entry kind: %s" path)
+
+let replay_dir dir =
+  List.map (fun path -> (path, replay path)) (Corpus.files dir)

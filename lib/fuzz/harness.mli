@@ -1,0 +1,63 @@
+(** The differential fuzzing campaigns: generate, cross-check, shrink,
+    persist.
+
+    Four targets, each pitting a production component against an
+    independent reference:
+
+    - [Sat_target] — the CDCL solver vs. the DPLL reference
+      ({!Ref_sat}), plain, under assumptions, under [max_conflicts]
+      budgets, and incrementally across clause additions; models are
+      checked against the clauses and unsat-cores against the assumption
+      set.
+    - [Solver_target] — [Translate] + CDCL bounded model finding vs. the
+      exhaustive enumeration finder ({!Ref_models}); [Sat] instances are
+      additionally re-checked by direct evaluation.
+    - [Oracle_target] — the incremental, assumption-guarded
+      [Solver.Oracle] vs. fresh [Analyzer] solves over mutation-derived
+      candidate streams, including repeat queries (cache coherence).
+    - [Eval_target] — [Alloy.Eval] vs. the translation pinned to a
+      concrete random instance, for both goal formulas and the
+      facts/implicit conjunction.
+
+    Every iteration derives its own {!Rng} stream from (seed, target,
+    iteration index), so campaigns are bit-reproducible and every failure
+    is replayable from the summary alone.  Discrepancies are shrunk
+    ({!Shrink}) and persisted ({!Corpus}) before being counted. *)
+
+type target = Sat_target | Solver_target | Oracle_target | Eval_target
+
+val all_targets : target list
+
+val target_name : target -> string
+(** CLI spelling: ["sat"], ["solver"], ["oracle"], ["eval"]. *)
+
+type report = {
+  target : string;
+  seed : int;
+  iters : int;
+  checks : int;  (** iterations that ran a full differential comparison *)
+  skipped : int;  (** instance space exceeded the enumeration cap *)
+  discrepancies : int;
+  corpus : string list;  (** paths of persisted shrunk failures *)
+}
+
+val run :
+  ?corpus_dir:string -> target -> seed:int -> iters:int -> unit -> report
+(** Runs one campaign.  [corpus_dir] (default ["artifacts/fuzz"]) receives
+    one shrunk [.cnf]/[.als] entry per discrepancy. *)
+
+val report_json : report -> string
+(** One-line JSON object; deterministic (no wall-clock fields), so two
+    runs with the same seed are byte-identical. *)
+
+val summary_json : corpus_dir:string -> seed:int -> report list -> string
+(** The per-run JSON summary the CLI prints. *)
+
+val replay : string -> (unit, string) result
+(** Re-runs the differential checks on one corpus entry: [.cnf] files go
+    through the SAT cross-check (with their recorded assumptions), [.als]
+    files through the model-finder and oracle cross-checks for every
+    command.  [Error] describes the first disagreement. *)
+
+val replay_dir : string -> (string * (unit, string) result) list
+(** {!replay} over {!Corpus.files}. *)

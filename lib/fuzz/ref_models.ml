@@ -1,0 +1,24 @@
+module Alloy = Specrepair_alloy
+
+type verdict = Found of Alloy.Instance.t | No_instance | Too_big
+
+let default_max_bits = 14
+
+let find ?(max_bits = default_max_bits) env scope goal =
+  let space = Space.create env scope in
+  if space.Space.n_bits > max_bits then Too_big
+  else begin
+    let limit = 1 lsl space.Space.n_bits in
+    let rec scan mask =
+      if mask >= limit then No_instance
+      else
+        let inst = Space.instance_of_mask space (fun i -> mask land (1 lsl i) <> 0) in
+        if
+          Space.caps_hold space inst
+          && Alloy.Eval.facts_hold env inst
+          && Alloy.Eval.fmla env inst [] goal
+        then Found inst
+        else scan (mask + 1)
+    in
+    scan 0
+  end

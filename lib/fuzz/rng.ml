@@ -1,0 +1,57 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+(* FNV-1a over the seed and the context path: cheap, stable, and spreads
+   nearby seeds / iteration indices into unrelated streams. *)
+let of_context ~seed path =
+  let h = ref 0xcbf29ce484222325L in
+  let mix byte =
+    h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) 0x100000001b3L
+  in
+  String.iter (fun c -> mix (Char.code c)) (string_of_int seed);
+  List.iter
+    (fun s ->
+      mix 0x1f;
+      String.iter (fun c -> mix (Char.code c)) s)
+    path;
+  create !h
+
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int n))
+
+let range t lo hi = lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let chance t p = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11)
+                 *. 0x1.p-53 < p
+
+let choose t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let sample t n xs =
+  let len = List.length xs in
+  if len = 0 || n <= 0 then []
+  else begin
+    (* draw n indices, dedup, keep original order *)
+    let picked = Hashtbl.create 16 in
+    for _ = 1 to n do
+      Hashtbl.replace picked (int t len) ()
+    done;
+    List.filteri (fun i _ -> Hashtbl.mem picked i) xs
+  end

@@ -1,0 +1,35 @@
+(** Deterministic pseudo-random numbers for the fuzzing harness
+    (splitmix64).
+
+    The harness derives one independent stream per (target, iteration) from
+    the campaign seed, so every failing input is replayable from the seed
+    alone and campaigns are bit-reproducible across runs.  Mirrors the
+    technique of the simulated LLM's generator but lives here so the fuzz
+    library stays independent of the repair stack. *)
+
+type t
+
+val create : int64 -> t
+
+val of_context : seed:int -> string list -> t
+(** Derive a generator from the campaign seed and a context path, e.g.
+    [["sat"; "iter"; "17"]].  Distinct paths give independent streams. *)
+
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** Uniform in [0, n).  Raises [Invalid_argument] when [n <= 0]. *)
+
+val range : t -> int -> int -> int
+(** Uniform in [lo, hi] inclusive. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [true] with the given probability. *)
+
+val choose : t -> 'a list -> 'a
+(** Uniform pick; raises [Invalid_argument] on the empty list. *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** Up to [n] distinct positions of the list, in original order. *)

@@ -1,0 +1,108 @@
+open Specrepair_sat
+module Ast = Specrepair_alloy.Ast
+
+let run ?(max_steps = 400) candidates still_fails x =
+  let steps = ref 0 in
+  let rec improve x =
+    if !steps >= max_steps then x
+    else
+      let next =
+        List.find_opt
+          (fun c ->
+            !steps < max_steps
+            && begin
+                 incr steps;
+                 still_fails c
+               end)
+          (candidates x)
+      in
+      match next with Some c -> improve c | None -> x
+  in
+  improve x
+
+(* Each way of removing the [i]th element. *)
+let drop_each xs =
+  List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) xs) xs
+
+(* Each way of replacing the [i]th element by one of its variants. *)
+let replace_each variants xs =
+  List.concat (List.mapi
+    (fun i x ->
+      List.map (fun v -> List.mapi (fun j y -> if i = j then v else y) xs) (variants x))
+    xs)
+
+let cnf_candidates (cnf : Dimacs.cnf) =
+  let dropped_clause =
+    List.map (fun clauses -> { cnf with Dimacs.clauses }) (drop_each cnf.Dimacs.clauses)
+  in
+  let dropped_literal =
+    List.map
+      (fun clauses -> { cnf with Dimacs.clauses })
+      (replace_each (fun clause -> drop_each clause) cnf.Dimacs.clauses)
+  in
+  dropped_clause @ dropped_literal
+
+(* Formula-valued direct children of a formula node. *)
+let children = function
+  | Ast.True | Ast.False | Ast.Cmp _ | Ast.Multf _ | Ast.Card _ | Ast.Call _ ->
+      []
+  | Ast.Not f -> [ f ]
+  | Ast.And (a, b) | Ast.Or (a, b) | Ast.Implies (a, b) | Ast.Iff (a, b) ->
+      [ a; b ]
+  | Ast.Quant (_, _, f) -> [ f ]
+  | Ast.Let (_, _, f) -> [ f ]
+
+let rebuild f kids =
+  match (f, kids) with
+  | Ast.Not _, [ a ] -> Ast.Not a
+  | Ast.And _, [ a; b ] -> Ast.And (a, b)
+  | Ast.Or _, [ a; b ] -> Ast.Or (a, b)
+  | Ast.Implies _, [ a; b ] -> Ast.Implies (a, b)
+  | Ast.Iff _, [ a; b ] -> Ast.Iff (a, b)
+  | Ast.Quant (q, d, _), [ a ] -> Ast.Quant (q, d, a)
+  | Ast.Let (x, e, _), [ a ] -> Ast.Let (x, e, a)
+  | _ -> f
+
+let rec fmla_candidates f =
+  let truncations =
+    (if f <> Ast.True then [ Ast.True ] else [])
+    @ (if f <> Ast.False then [ Ast.False ] else [])
+    @ children f
+  in
+  let inner =
+    List.map (rebuild f) (replace_each fmla_candidates (children f))
+  in
+  truncations @ inner
+
+let spec_candidates (spec : Ast.spec) =
+  let dropped_fact =
+    List.map (fun facts -> { spec with Ast.facts }) (drop_each spec.facts)
+  in
+  let shrunk_fact =
+    List.map
+      (fun facts -> { spec with Ast.facts })
+      (replace_each
+         (fun (fact : Ast.fact_decl) ->
+           List.map (fun b -> { fact with Ast.fact_body = b })
+             (fmla_candidates fact.Ast.fact_body))
+         spec.facts)
+  in
+  let shrunk_pred =
+    List.map
+      (fun preds -> { spec with Ast.preds })
+      (replace_each
+         (fun (p : Ast.pred_decl) ->
+           List.map (fun b -> { p with Ast.pred_body = b })
+             (fmla_candidates p.Ast.pred_body))
+         spec.preds)
+  in
+  let shrunk_assert =
+    List.map
+      (fun asserts -> { spec with Ast.asserts })
+      (replace_each
+         (fun (a : Ast.assert_decl) ->
+           List.map (fun b -> { a with Ast.assert_body = b })
+             (fmla_candidates a.Ast.assert_body))
+         spec.asserts)
+  in
+  dropped_fact @ shrunk_fact @ shrunk_pred @ shrunk_assert

@@ -1,0 +1,27 @@
+(** Greedy first-improvement shrinking of failing fuzz inputs.
+
+    Each candidate function proposes strictly smaller variants of an input;
+    {!run} repeatedly commits the first variant on which the failure
+    predicate still holds, until a fixpoint or the step budget.  All
+    candidate orders are deterministic, so shrunk corpus entries are
+    reproducible from the seed. *)
+
+open Specrepair_sat
+module Ast = Specrepair_alloy.Ast
+
+val run : ?max_steps:int -> ('a -> 'a list) -> ('a -> bool) -> 'a -> 'a
+(** [run candidates still_fails x]: [x] must satisfy [still_fails]; the
+    result does too.  Default budget 400 predicate evaluations. *)
+
+val cnf_candidates : Dimacs.cnf -> Dimacs.cnf list
+(** Drop one clause, then drop one literal of one clause.  [num_vars] is
+    kept so assumption literals stay in range. *)
+
+val fmla_candidates : Ast.fmla -> Ast.fmla list
+(** Replace any subformula by [True], [False], or one of its own
+    formula-valued children. *)
+
+val spec_candidates : Ast.spec -> Ast.spec list
+(** Drop one fact, or apply {!fmla_candidates} inside one fact, predicate
+    or assertion body.  Signatures and commands are preserved (commands may
+    reference predicates and assertions by name). *)

@@ -1,0 +1,120 @@
+module Alloy = Specrepair_alloy
+module Ast = Alloy.Ast
+module Bounds = Specrepair_solver.Bounds
+
+type t = {
+  env : Alloy.Typecheck.env;
+  pools : (string * string list) list;
+  cells : (string * Alloy.Instance.Tuple.t array) list;
+  n_bits : int;
+  caps : (string * int) list;
+}
+
+(* Same syntactic over-approximation as Bounds.pool_of_expr: the root pools
+   of the signatures an expression mentions, or the whole universe. *)
+let rec sig_names_of_expr (env : Alloy.Typecheck.env) = function
+  | Ast.Rel n -> if Ast.find_sig env.spec n <> None then [ n ] else []
+  | Ast.Univ | Ast.Iden | Ast.None_ -> []
+  | Ast.Unop (_, e) -> sig_names_of_expr env e
+  | Ast.Binop (_, a, b) -> sig_names_of_expr env a @ sig_names_of_expr env b
+  | Ast.Ite (_, a, b) -> sig_names_of_expr env a @ sig_names_of_expr env b
+  | Ast.Compr (decls, _) ->
+      List.concat_map (fun (_, e) -> sig_names_of_expr env e) decls
+
+let pool_of_expr env pools universe e =
+  match sig_names_of_expr env e with
+  | [] -> universe
+  | names ->
+      let roots =
+        List.sort_uniq String.compare
+          (List.map (Alloy.Typecheck.root_of env) names)
+      in
+      List.concat_map
+        (fun r -> Option.value ~default:[] (List.assoc_opt r pools))
+        roots
+
+let rec cartesian = function
+  | [] -> [ [] ]
+  | pool :: rest ->
+      let tails = cartesian rest in
+      List.concat_map (fun a -> List.map (fun t -> a :: t) tails) pool
+
+let create (env : Alloy.Typecheck.env) (scope : Bounds.scope) =
+  let spec = env.spec in
+  let pools =
+    List.map
+      (fun top ->
+        let n =
+          match List.assoc_opt top scope.Bounds.overrides with
+          | Some k -> k
+          | None -> scope.Bounds.default
+        in
+        (top, List.init n (Alloy.Instance.atom_name top)))
+      env.top_sigs
+  in
+  let universe = List.concat_map snd pools in
+  let sig_cells =
+    List.map
+      (fun (s : Ast.sig_decl) ->
+        let root = Alloy.Typecheck.root_of env s.sig_name in
+        let pool = Option.value ~default:[] (List.assoc_opt root pools) in
+        (s.sig_name, Array.of_list (List.map (fun a -> [| a |]) pool)))
+      spec.sigs
+  in
+  let field_cells =
+    List.concat_map
+      (fun (s : Ast.sig_decl) ->
+        let owner_pool = pool_of_expr env pools universe (Ast.Rel s.sig_name) in
+        List.map
+          (fun (f : Ast.field) ->
+            let col_pools =
+              List.map (pool_of_expr env pools universe) f.fld_cols
+            in
+            ( f.fld_name,
+              Array.of_list
+                (List.map Array.of_list (cartesian (owner_pool :: col_pools)))
+            ))
+          s.sig_fields)
+      spec.sigs
+  in
+  let cells = sig_cells @ field_cells in
+  let n_bits =
+    List.fold_left (fun n (_, tuples) -> n + Array.length tuples) 0 cells
+  in
+  let caps =
+    List.filter (fun (name, _) -> not (List.mem name env.top_sigs)) scope.overrides
+  in
+  { env; pools; cells; n_bits; caps }
+
+let instance_of_mask t bit =
+  let index = ref 0 in
+  let members tuples =
+    Array.to_list tuples
+    |> List.filter (fun _ ->
+           let b = bit !index in
+           incr index;
+           b)
+  in
+  let sigs, fields =
+    List.partition_map
+      (fun (name, tuples) ->
+        match Ast.find_sig t.env.spec name with
+        | Some _ ->
+            Either.Left
+              ( name,
+                List.map
+                  (fun (tu : Alloy.Instance.Tuple.t) -> tu.(0))
+                  (members tuples) )
+        | None ->
+            Either.Right (name, Alloy.Instance.Tuple_set.of_list (members tuples)))
+      t.cells
+  in
+  { Alloy.Instance.sigs; fields }
+
+let caps_hold t inst =
+  List.for_all
+    (fun (name, k) ->
+      match List.assoc_opt name inst.Alloy.Instance.sigs with
+      | Some atoms -> List.length atoms <= k
+      | None -> true)
+    t.caps

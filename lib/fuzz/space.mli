@@ -1,0 +1,39 @@
+(** The bounded instance space of a specification under a command scope:
+    which (relation, tuple) memberships exist, independently of the SAT
+    translation.
+
+    This mirrors the universe construction of {!Specrepair_solver.Bounds}
+    (top-level signature atom pools of the commanded scope, signature
+    membership over the root pool, field tuples over the owner/column root
+    pools) but builds no solver and allocates no variables: an instance is
+    just an assignment of one bit per cell.  The exhaustive reference model
+    finder enumerates these assignments; the instance generator samples
+    them.
+
+    Sharing the space *definition* with the production bounds is
+    intentional — bounded model finding is only comparable when both sides
+    agree on what "within scope" means — while the *decision procedures*
+    (CDCL + Tseitin + relational compilation vs. enumeration + direct
+    evaluation) stay fully independent. *)
+
+module Alloy = Specrepair_alloy
+
+type t = {
+  env : Alloy.Typecheck.env;
+  pools : (string * string list) list;  (** top-level sig -> atom pool *)
+  cells : (string * Alloy.Instance.Tuple.t array) list;
+      (** per relation (sigs then fields, declaration order), its tuple
+          space *)
+  n_bits : int;  (** total cells; the enumeration is [2^n_bits] masks *)
+  caps : (string * int) list;
+      (** child-signature scope caps ([for n but k Sub] on a non-top sig) *)
+}
+
+val create : Alloy.Typecheck.env -> Specrepair_solver.Bounds.scope -> t
+
+val instance_of_mask : t -> (int -> bool) -> Alloy.Instance.t
+(** Instance whose cell [i] is a member exactly when [bit i] holds; bits
+    are indexed in [cells] order. *)
+
+val caps_hold : t -> Alloy.Instance.t -> bool
+(** Do the child-signature scope caps hold in the instance? *)

@@ -1,5 +1,9 @@
 type cnf = { num_vars : int; clauses : Lit.t list list }
 
+exception Parse_error of string
+
+let error fmt = Printf.ksprintf (fun msg -> raise (Parse_error msg)) fmt
+
 let parse text =
   let lines = String.split_on_char '\n' text in
   let num_vars = ref 0 in
@@ -8,13 +12,15 @@ let parse text =
   let header_seen = ref false in
   let handle_token tok =
     match int_of_string_opt tok with
-    | None -> failwith (Printf.sprintf "Dimacs.parse: bad token %S" tok)
+    | None -> error "Dimacs.parse: bad token %S" tok
     | Some 0 ->
         clauses := List.rev !current :: !clauses;
         current := []
     | Some i ->
         let l = Lit.of_dimacs i in
-        if Lit.var l >= !num_vars then num_vars := Lit.var l + 1;
+        if Lit.var l >= !num_vars then
+          error "Dimacs.parse: literal %d exceeds the %d-variable header" i
+            !num_vars;
         current := l :: !current
   in
   List.iter
@@ -22,21 +28,25 @@ let parse text =
       let line = String.trim line in
       if line = "" || line.[0] = 'c' then ()
       else if line.[0] = 'p' then begin
+        if !header_seen then error "Dimacs.parse: duplicate p-line";
         header_seen := true;
         match String.split_on_char ' ' line |> List.filter (( <> ) "") with
-        | [ "p"; "cnf"; nv; _nc ] -> (
-            match int_of_string_opt nv with
-            | Some n -> num_vars := max !num_vars n
-            | None -> failwith "Dimacs.parse: bad header")
-        | _ -> failwith "Dimacs.parse: bad header"
+        | [ "p"; "cnf"; nv; nc ] -> (
+            match (int_of_string_opt nv, int_of_string_opt nc) with
+            | Some n, Some _ when n >= 0 -> num_vars := n
+            | _ -> error "Dimacs.parse: bad header %S" line)
+        | _ -> error "Dimacs.parse: bad header %S" line
       end
-      else
+      else begin
+        if not !header_seen then
+          error "Dimacs.parse: clause before the p-line";
         String.split_on_char ' ' line
         |> List.filter (( <> ) "")
-        |> List.iter handle_token)
+        |> List.iter handle_token
+      end)
     lines;
-  if not !header_seen then failwith "Dimacs.parse: missing p-line";
-  if !current <> [] then failwith "Dimacs.parse: clause not 0-terminated";
+  if not !header_seen then error "Dimacs.parse: missing p-line";
+  if !current <> [] then error "Dimacs.parse: clause not 0-terminated";
   { num_vars = !num_vars; clauses = List.rev !clauses }
 
 let print ppf { num_vars; clauses } =

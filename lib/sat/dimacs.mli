@@ -2,9 +2,13 @@
 
 type cnf = { num_vars : int; clauses : Lit.t list list }
 
+exception Parse_error of string
+
 val parse : string -> cnf
-(** Parses DIMACS CNF text.  Raises [Failure] with a diagnostic on
-    malformed input. *)
+(** Parses DIMACS CNF text.  Raises {!Parse_error} with a diagnostic on
+    malformed input: a missing, duplicate or unreadable [p cnf] header, a
+    non-integer token, an unterminated clause, a clause before the header,
+    or a literal naming a variable beyond the header's count. *)
 
 val print : Format.formatter -> cnf -> unit
 

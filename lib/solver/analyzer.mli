@@ -12,7 +12,12 @@ type outcome =
   | Unsat
   | Unknown  (** conflict budget exhausted *)
 
+type verdict = [ `Sat | `Unsat | `Unknown ]
+(** An outcome without its instance — what verdict-only callers (the
+    oracle's cache, the fuzzer's cross-checks) compare on. *)
+
 val outcome_to_string : outcome -> string
+val outcome_verdict : outcome -> verdict
 
 val solve_fmla :
   ?max_conflicts:int ->

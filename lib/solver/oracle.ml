@@ -2,7 +2,7 @@ open Specrepair_sat
 module Alloy = Specrepair_alloy
 module Ast = Alloy.Ast
 
-type verdict = [ `Sat | `Unsat | `Unknown ]
+type verdict = Analyzer.verdict
 
 type stats = {
   verdict_hits : int;
@@ -172,10 +172,7 @@ let goal_of (env : Alloy.Typecheck.env) (c : Ast.command) =
       | Some a -> Some (Ast.Not a.assert_body)
       | None -> None)
 
-let outcome_tag : Analyzer.outcome -> verdict = function
-  | Analyzer.Sat _ -> `Sat
-  | Analyzer.Unsat -> `Unsat
-  | Analyzer.Unknown -> `Unknown
+let outcome_tag = Analyzer.outcome_verdict
 
 (* {2 Verdict queries (incremental)} *)
 

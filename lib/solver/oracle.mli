@@ -34,7 +34,7 @@ module Alloy = Specrepair_alloy
 
 type t
 
-type verdict = [ `Sat | `Unsat | `Unknown ]
+type verdict = Analyzer.verdict
 
 type stats = {
   verdict_hits : int;  (** verdict served from the structural cache *)

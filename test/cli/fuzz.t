@@ -1,0 +1,42 @@
+The fuzz subcommand cross-checks the production stack against the
+reference oracles and prints a deterministic JSON summary: the same
+seed yields byte-identical output.
+
+  $ ../../bin/specrepair.exe fuzz --target sat --iters 40 --seed 42 --corpus-dir corpus > run1.json
+  $ ../../bin/specrepair.exe fuzz --target sat --iters 40 --seed 42 --corpus-dir corpus > run2.json
+  $ cmp run1.json run2.json && cat run1.json
+  {"fuzz":{"seed":42,"corpus_dir":"corpus","targets":[{"target":"sat","seed":42,"iters":40,"checks":40,"skipped":0,"discrepancies":0,"corpus":[]}],"total_discrepancies":0}}
+
+A different seed explores different inputs but stays clean:
+
+  $ ../../bin/specrepair.exe fuzz --target eval --iters 20 --seed 7 --corpus-dir corpus
+  {"fuzz":{"seed":7,"corpus_dir":"corpus","targets":[{"target":"eval","seed":7,"iters":20,"checks":20,"skipped":0,"discrepancies":0,"corpus":[]}],"total_discrepancies":0}}
+
+Nonsensical iteration counts and unknown targets are rejected at the
+flag parser, before any campaign starts:
+
+  $ ../../bin/specrepair.exe fuzz --iters 0
+  specrepair: option '--iters': expected a positive integer
+  Usage: specrepair fuzz [OPTION]…
+  Try 'specrepair fuzz --help' or 'specrepair --help' for more information.
+  [124]
+
+  $ ../../bin/specrepair.exe fuzz --target dpll
+  specrepair: option '--target': invalid value 'dpll', expected one of 'sat',
+              'solver', 'oracle' or 'eval'
+  Usage: specrepair fuzz [OPTION]…
+  Try 'specrepair fuzz --help' or 'specrepair --help' for more information.
+  [124]
+
+An injected fault in the reference checker (the drop-clause chaos
+hook) is caught, shrunk, persisted to the corpus, and fails the run:
+
+  $ SPECREPAIR_FUZZ_CHAOS=drop-clause ../../bin/specrepair.exe fuzz --target sat --iters 50 --seed 42 --corpus-dir chaos > chaos.json
+  [1]
+  $ grep -o '"total_discrepancies":2' chaos.json
+  "total_discrepancies":2
+  $ cat chaos/sat-s42-i0006.cnf
+  c specrepair fuzz regression sat-s42-i0006 (seed 42)
+  c assumptions: 2 1 2
+  p cnf 2 1
+  0

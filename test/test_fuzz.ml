@@ -1,0 +1,216 @@
+(* Tests for the differential fuzzing harness itself: seeded determinism
+   of the generators, the DPLL reference against hand-checkable inputs,
+   zero-discrepancy smoke campaigns for all four targets, the chaos
+   injection path (caught, shrunk, persisted), and regression-corpus
+   replay. *)
+
+open Specrepair_sat
+module Fuzz = Specrepair_fuzz
+module Rng = Fuzz.Rng
+module Gen = Fuzz.Gen
+module Harness = Fuzz.Harness
+module Alloy = Specrepair_alloy
+
+(* A fresh directory path per call; the harness creates it lazily, only
+   when a discrepancy is persisted. *)
+let tmp_dir =
+  let counter = ref 0 in
+  fun prefix ->
+    incr counter;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) !counter)
+
+(* {2 Rng} *)
+
+let test_rng_deterministic () =
+  let stream seed path =
+    let rng = Rng.of_context ~seed path in
+    List.init 50 (fun _ -> Rng.next_int64 rng)
+  in
+  Alcotest.(check bool)
+    "same seed, same path" true
+    (stream 42 [ "sat"; "iter"; "3" ] = stream 42 [ "sat"; "iter"; "3" ]);
+  Alcotest.(check bool)
+    "different seed" false
+    (stream 42 [ "sat"; "iter"; "3" ] = stream 43 [ "sat"; "iter"; "3" ]);
+  Alcotest.(check bool)
+    "different path" false
+    (stream 42 [ "sat"; "iter"; "3" ] = stream 42 [ "sat"; "iter"; "4" ])
+
+let test_rng_ranges () =
+  let rng = Rng.of_context ~seed:1 [ "ranges" ] in
+  for _ = 1 to 1000 do
+    let v = Rng.range rng 3 7 in
+    Alcotest.(check bool) "range inclusive" true (v >= 3 && v <= 7);
+    let w = Rng.int rng 5 in
+    Alcotest.(check bool) "int bound" true (w >= 0 && w < 5)
+  done
+
+(* {2 Generators} *)
+
+let test_gen_deterministic () =
+  let cnf_of seed =
+    Format.asprintf "%a" Dimacs.print (Gen.cnf (Rng.of_context ~seed [ "g" ]))
+  in
+  Alcotest.(check string) "same seed, same cnf" (cnf_of 9) (cnf_of 9);
+  Alcotest.(check bool) "different seeds differ" true
+    (List.exists
+       (fun s -> cnf_of s <> cnf_of 9)
+       [ 10; 11; 12; 13; 14 ]);
+  let spec_of seed =
+    let env = Gen.spec ~with_commands:true (Rng.of_context ~seed [ "g" ]) in
+    Alloy.Pretty.spec_to_string env.Alloy.Typecheck.spec
+  in
+  Alcotest.(check string) "same seed, same spec" (spec_of 9) (spec_of 9);
+  Alcotest.(check bool) "different seeds give different specs" true
+    (List.exists (fun s -> spec_of s <> spec_of 9) [ 10; 11; 12; 13; 14 ])
+
+let test_gen_specs_well_typed () =
+  for seed = 0 to 30 do
+    let env = Gen.spec ~with_commands:true (Rng.of_context ~seed [ "wt" ]) in
+    match Alloy.Typecheck.check_result env.Alloy.Typecheck.spec with
+    | Ok _ -> ()
+    | Error msg -> Alcotest.failf "seed %d generated an ill-typed spec: %s" seed msg
+  done
+
+(* {2 The DPLL reference} *)
+
+let lit = Lit.of_dimacs
+
+let test_ref_sat_basics () =
+  let cnf = { Dimacs.num_vars = 2; clauses = [ [ lit 1; lit 2 ]; [ lit (-1) ] ] } in
+  (match Fuzz.Ref_sat.solve cnf with
+  | Fuzz.Ref_sat.Sat m ->
+      Alcotest.(check bool) "x1 false" false m.(0);
+      Alcotest.(check bool) "x2 true" true m.(1)
+  | Fuzz.Ref_sat.Unsat -> Alcotest.fail "expected sat");
+  let unsat =
+    { Dimacs.num_vars = 1; clauses = [ [ lit 1 ]; [ lit (-1) ] ] }
+  in
+  (match Fuzz.Ref_sat.solve unsat with
+  | Fuzz.Ref_sat.Unsat -> ()
+  | Fuzz.Ref_sat.Sat _ -> Alcotest.fail "expected unsat");
+  match Fuzz.Ref_sat.solve ~assumptions:[ lit (-2) ] cnf with
+  | Fuzz.Ref_sat.Unsat -> ()
+  | Fuzz.Ref_sat.Sat _ -> Alcotest.fail "assumptions must bind"
+
+let test_ref_sat_vs_solver () =
+  for seed = 0 to 199 do
+    let rng = Rng.of_context ~seed [ "refsat" ] in
+    let cnf = Gen.cnf rng in
+    let assumptions =
+      if Rng.bool rng then Gen.assumptions rng ~num_vars:cnf.Dimacs.num_vars
+      else []
+    in
+    let s = Solver.create () in
+    ignore (Solver.new_vars s cnf.Dimacs.num_vars);
+    List.iter (Solver.add_clause s) cnf.Dimacs.clauses;
+    match (Solver.solve ~assumptions s, Fuzz.Ref_sat.solve ~assumptions cnf) with
+    | Solver.Sat, Fuzz.Ref_sat.Sat _ | Solver.Unsat, Fuzz.Ref_sat.Unsat -> ()
+    | r, _ ->
+        Alcotest.failf "seed %d: solver %s disagrees with reference" seed
+          (match r with
+          | Solver.Sat -> "sat"
+          | Solver.Unsat -> "unsat"
+          | Solver.Unknown -> "unknown")
+  done
+
+(* {2 Campaign smoke: all four targets, zero discrepancies} *)
+
+let smoke target iters () =
+  let dir = tmp_dir "fuzz-smoke" in
+  let r = Harness.run ~corpus_dir:dir target ~seed:11 ~iters () in
+  Alcotest.(check int) "zero discrepancies" 0 r.Harness.discrepancies;
+  Alcotest.(check int) "all iterations accounted for" iters
+    (r.Harness.checks + r.Harness.skipped)
+
+let test_report_deterministic () =
+  let dir = tmp_dir "fuzz-det" in
+  let run () =
+    Harness.report_json
+      (Harness.run ~corpus_dir:dir Harness.Sat_target ~seed:5 ~iters:60 ())
+  in
+  Alcotest.(check string) "byte-identical reports" (run ()) (run ())
+
+(* {2 Chaos injection: caught, shrunk, persisted, replayable} *)
+
+let test_chaos_injection () =
+  let dir = tmp_dir "fuzz-chaos" in
+  Unix.putenv "SPECREPAIR_FUZZ_CHAOS" "drop-clause";
+  let r =
+    Fun.protect
+      ~finally:(fun () -> Unix.putenv "SPECREPAIR_FUZZ_CHAOS" "")
+      (fun () -> Harness.run ~corpus_dir:dir Harness.Sat_target ~seed:42 ~iters:50 ())
+  in
+  Alcotest.(check bool) "injected fault detected" true
+    (r.Harness.discrepancies > 0);
+  Alcotest.(check int) "one corpus entry per discrepancy"
+    r.Harness.discrepancies
+    (List.length r.Harness.corpus);
+  List.iter
+    (fun path ->
+      Alcotest.(check bool) "corpus entry exists" true (Sys.file_exists path);
+      let cnf, _ = Fuzz.Corpus.load_cnf path in
+      (* the shrinker must have reduced the failure to a handful of
+         clauses: dropping any one of them makes the checkers agree *)
+      Alcotest.(check bool) "entry is minimized" true
+        (List.length cnf.Dimacs.clauses <= 3))
+    r.Harness.corpus;
+  (* with the fault healed, every persisted entry replays clean *)
+  List.iter
+    (fun (path, res) ->
+      match res with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "replay of %s failed: %s" path msg)
+    (Harness.replay_dir dir)
+
+(* {2 Regression corpus replay} *)
+
+(* `dune runtest` runs from the test directory, `dune exec` from the
+   project root; the committed corpus is reachable from both. *)
+let corpus_dir =
+  if Sys.file_exists "../artifacts/fuzz" then "../artifacts/fuzz"
+  else "artifacts/fuzz"
+
+let test_corpus_replay () =
+  let entries = Harness.replay_dir corpus_dir in
+  Alcotest.(check bool) "corpus is not empty" true (entries <> []);
+  List.iter
+    (fun (path, res) ->
+      match res with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "regression %s failed: %s" path msg)
+    entries
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "ranges" `Quick test_rng_ranges;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
+          Alcotest.test_case "well-typed specs" `Quick test_gen_specs_well_typed;
+        ] );
+      ( "reference sat",
+        [
+          Alcotest.test_case "basics" `Quick test_ref_sat_basics;
+          Alcotest.test_case "agrees with solver" `Quick test_ref_sat_vs_solver;
+        ] );
+      ( "campaigns",
+        [
+          Alcotest.test_case "sat" `Quick (smoke Harness.Sat_target 150);
+          Alcotest.test_case "solver" `Quick (smoke Harness.Solver_target 40);
+          Alcotest.test_case "oracle" `Quick (smoke Harness.Oracle_target 25);
+          Alcotest.test_case "eval" `Quick (smoke Harness.Eval_target 40);
+          Alcotest.test_case "deterministic report" `Quick
+            test_report_deterministic;
+        ] );
+      ( "chaos",
+        [ Alcotest.test_case "injection caught" `Quick test_chaos_injection ] );
+      ( "corpus",
+        [ Alcotest.test_case "regression replay" `Quick test_corpus_replay ] );
+    ]

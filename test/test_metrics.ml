@@ -240,6 +240,74 @@ let prop_pearson_bounds =
       let r = Metrics.Pearson.r xs ys in
       r >= -1.0000001 && r <= 1.0000001)
 
+(* {2 Properties over fuzz-generated specifications}
+
+   The hand-rolled QCheck generators above cover token lists and tiny
+   formula strings; these drive the metrics with whole well-typed
+   specifications from the fuzzing subsystem's generators. *)
+
+module Fuzz = Specrepair_fuzz
+
+let gen_spec seed =
+  let env =
+    Fuzz.Gen.spec ~with_commands:true
+      (Fuzz.Rng.of_context ~seed [ "metrics" ])
+  in
+  env.Typecheck.spec
+
+let test_rep_reflexive_generated () =
+  for seed = 0 to 14 do
+    let spec = gen_spec seed in
+    Alcotest.(check int)
+      (Printf.sprintf "REP(x,x) = 1 (seed %d)" seed)
+      1
+      (Metrics.Rep.rep_score ~ground_truth:spec ~candidate:spec ())
+  done
+
+let test_bleu_bounds_generated () =
+  for seed = 0 to 14 do
+    let a = Pretty.spec_to_string (gen_spec seed) in
+    let b = Pretty.spec_to_string (gen_spec (seed + 100)) in
+    let v = Metrics.Bleu.token_match ~reference:a ~candidate:b in
+    Alcotest.(check bool)
+      (Printf.sprintf "BLEU in [0,1] (seed %d)" seed)
+      true
+      (v >= 0. && v <= 1.0000001);
+    Alcotest.(check (float 1e-9))
+      (Printf.sprintf "BLEU identity (seed %d)" seed)
+      1.0
+      (Metrics.Bleu.token_match ~reference:a ~candidate:a)
+  done
+
+let test_kernel_nonneg_generated () =
+  for seed = 0 to 14 do
+    let a = gen_spec seed and b = gen_spec (seed + 100) in
+    let v = Metrics.Tree_kernel.syntax_match a b in
+    Alcotest.(check bool)
+      (Printf.sprintf "kernel non-negative and bounded (seed %d)" seed)
+      true
+      (v >= 0. && v <= 1.0000001);
+    Alcotest.(check (float 1e-9))
+      (Printf.sprintf "kernel identity (seed %d)" seed)
+      1.0
+      (Metrics.Tree_kernel.syntax_match a a)
+  done
+
+let test_pearson_identical_generated () =
+  for seed = 0 to 14 do
+    let rng = Fuzz.Rng.of_context ~seed [ "pearson" ] in
+    let n = 2 + Fuzz.Rng.int rng 20 in
+    (* index offset keeps the vector non-constant, so r is defined *)
+    let xs =
+      Array.init n (fun i ->
+          float_of_int (i + Fuzz.Rng.int rng 100) /. 7.)
+    in
+    Alcotest.(check (float 1e-9))
+      (Printf.sprintf "r(x,x) = 1 (seed %d)" seed)
+      1.0
+      (Metrics.Pearson.r xs xs)
+  done
+
 let () =
   Alcotest.run "metrics"
     [
@@ -270,6 +338,15 @@ let () =
           QCheck_alcotest.to_alcotest prop_bleu_bounds;
           QCheck_alcotest.to_alcotest prop_kernel_bounds;
           QCheck_alcotest.to_alcotest prop_pearson_bounds;
+        ] );
+      ( "generated specs",
+        [
+          Alcotest.test_case "REP reflexive" `Quick test_rep_reflexive_generated;
+          Alcotest.test_case "BLEU bounded" `Quick test_bleu_bounds_generated;
+          Alcotest.test_case "tree kernel non-negative" `Quick
+            test_kernel_nonneg_generated;
+          Alcotest.test_case "pearson identity" `Quick
+            test_pearson_identical_generated;
         ] );
       ( "pearson",
         [

@@ -180,6 +180,38 @@ let test_quant_swap_present () =
         (List.mem expected ops))
     [ "quant-swap"; "cmpop-swap"; "fmult-swap"; "junct-drop"; "negation-add" ]
 
+(* {2 Determinism}
+
+   The fuzzer replays failures from a seed alone, which only works if the
+   candidate streams under the seed are bit-reproducible: the unseeded
+   pool/mutation enumeration must be stable across calls, and the seeded
+   sampling on top of it must depend on nothing but the seed. *)
+
+let test_pool_deterministic () =
+  let e = Lazy.force env in
+  let stream () =
+    Pool.exprs e ~vars:[ ("n", 1) ] ~arity:1 ~depth:2 ()
+    |> List.map Pretty.expr_to_string
+  in
+  Alcotest.(check (list string)) "pool stream stable" (stream ()) (stream ());
+  let muts () =
+    Mutate.all_mutations e (spec ()) ()
+    |> List.map (Format.asprintf "%a" Mutate.pp)
+  in
+  Alcotest.(check (list string)) "mutation stream stable" (muts ()) (muts ())
+
+let test_seeded_stream_deterministic () =
+  let e = Lazy.force env in
+  let candidates seed =
+    let rng = Specrepair_fuzz.Rng.of_context ~seed [ "mutants" ] in
+    Specrepair_fuzz.Rng.sample rng 8 (Mutate.all_mutations e (spec ()) ())
+    |> List.map (fun m -> Pretty.spec_to_string (Mutate.apply (spec ()) m))
+  in
+  Alcotest.(check (list string))
+    "same seed, byte-identical candidates" (candidates 3) (candidates 3);
+  Alcotest.(check bool) "different seeds sample differently" true
+    (List.exists (fun s -> candidates s <> candidates 3) [ 4; 5; 6; 7 ])
+
 let () =
   Alcotest.run "mutation"
     [
@@ -198,6 +230,10 @@ let () =
           Alcotest.test_case "dedup" `Quick test_pool_dedup;
           Alcotest.test_case "variables" `Quick test_pool_vars;
           Alcotest.test_case "atomic formulas" `Quick test_atomic_fmlas;
+          Alcotest.test_case "deterministic streams" `Quick
+            test_pool_deterministic;
+          Alcotest.test_case "seeded sampling deterministic" `Quick
+            test_seeded_stream_deterministic;
         ] );
       ( "mutate",
         [

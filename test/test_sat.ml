@@ -345,6 +345,28 @@ let prop_dimacs_roundtrip =
       let cnf' = Dimacs.parse text in
       cnf'.Dimacs.clauses = cnf.Dimacs.clauses)
 
+(* Malformed input must raise the named [Dimacs.Parse_error], never
+   silently misread. *)
+let test_dimacs_rejects () =
+  let rejects label text =
+    match Dimacs.parse text with
+    | _ -> Alcotest.failf "%s: accepted %S" label text
+    | exception Dimacs.Parse_error _ -> ()
+  in
+  rejects "missing p-line" "1 -2 0\n";
+  rejects "bad header arity" "p cnf 2\n1 0\n";
+  rejects "non-numeric header" "p cnf two 1\n1 0\n";
+  rejects "negative var count" "p cnf -2 1\n1 0\n";
+  rejects "duplicate header" "p cnf 2 1\np cnf 2 1\n1 0\n";
+  rejects "bad token" "p cnf 2 1\n1 x 0\n";
+  rejects "literal beyond header" "p cnf 2 1\n3 0\n";
+  rejects "unterminated clause" "p cnf 2 1\n1 -2\n";
+  rejects "clause before header" "1 0\np cnf 2 1\n";
+  (* and the happy path still parses *)
+  let cnf = Dimacs.parse "c comment\np cnf 3 2\n1 -2 0\n3 0\n" in
+  Alcotest.(check int) "num_vars" 3 cnf.Dimacs.num_vars;
+  Alcotest.(check int) "clauses" 2 (List.length cnf.Dimacs.clauses)
+
 (* {2 Containers} *)
 
 let test_vec_basics () =
@@ -446,5 +468,10 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_matches_brute_force;
           QCheck_alcotest.to_alcotest prop_dimacs_roundtrip;
+        ] );
+      ( "dimacs",
+        [
+          Alcotest.test_case "rejects malformed input" `Quick
+            test_dimacs_rejects;
         ] );
     ]

@@ -1,0 +1,62 @@
+#!/bin/sh
+# Differential-fuzzing smoke gate: run every target of `specrepair fuzz`
+# at a pinned seed and a bounded iteration count, and require zero
+# cross-oracle discrepancies plus byte-identical summaries across two
+# runs (the reproducibility contract the regression corpus depends on).
+#
+# Iteration counts are deliberately modest — the full campaigns run
+# locally via `specrepair fuzz --iters 500` — but every discrepancy
+# class the harness knows (SAT verdicts, models, unsat cores, budget
+# behaviour, model-finder vs enumeration, oracle coherence, pinned
+# translation vs evaluation) is exercised on every run.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+seed="${FUZZ_SEED:-42}"
+sat_iters="${FUZZ_SAT_ITERS:-500}"
+iters="${FUZZ_ITERS:-100}"
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+run() {
+    dune exec bin/specrepair.exe -- fuzz \
+        --target "$1" --iters "$2" --seed "$seed" \
+        --corpus-dir "$workdir/corpus-$1"
+}
+
+for pass in 1 2; do
+    {
+        run sat "$sat_iters"
+        run solver "$iters"
+        run oracle "$iters"
+        run eval "$iters"
+    } > "$workdir/summary-$pass.json" || {
+        echo "fuzz_smoke: discrepancies found (pass $pass):" >&2
+        cat "$workdir/summary-$pass.json" >&2
+        ls "$workdir"/corpus-* >&2 || true
+        exit 1
+    }
+done
+
+if ! cmp -s "$workdir/summary-1.json" "$workdir/summary-2.json"; then
+    echo "fuzz_smoke: summaries differ between identically-seeded runs" >&2
+    diff "$workdir/summary-1.json" "$workdir/summary-2.json" >&2 || true
+    exit 1
+fi
+
+# The chaos hook corrupts the DPLL reference on purpose; the harness must
+# notice, shrink, persist a corpus entry, and exit nonzero.
+if SPECREPAIR_FUZZ_CHAOS=drop-clause dune exec bin/specrepair.exe -- fuzz \
+    --target sat --iters 50 --seed "$seed" \
+    --corpus-dir "$workdir/chaos" > "$workdir/chaos.json" 2>&1; then
+    echo "fuzz_smoke: injected reference fault was not detected" >&2
+    exit 1
+fi
+if ! ls "$workdir/chaos"/*.cnf >/dev/null 2>&1; then
+    echo "fuzz_smoke: chaos run persisted no corpus entry" >&2
+    exit 1
+fi
+
+echo "fuzz_smoke: ok (seed $seed; sat x$sat_iters, solver/oracle/eval x$iters, twice, byte-identical; chaos hook caught)"
