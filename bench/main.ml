@@ -11,6 +11,8 @@
                         the full-scale run is `specrepair evaluate`).
      BENCH_ORACLE_OUT   where to write the oracle stage's JSON artifact
                         (default BENCH_oracle.json in the working directory).
+     BENCH_PROOF_OUT    where to write the proof-certification stage's JSON
+                        artifact (default BENCH_proof.json).
      BENCH_PARALLEL_OUT where to write the parallel-scheduling stage's JSON
                         artifact (default BENCH_parallel.json).
      BENCH_JOBS         worker count for the parallel stage (default 4). *)
@@ -171,6 +173,9 @@ let () =
           formulas_translated = acc.formulas_translated + s.formulas_translated;
           formulas_reused = acc.formulas_reused + s.formulas_reused;
           contexts = acc.contexts + s.contexts;
+          certified = acc.certified + s.certified;
+          certificate_failures =
+            acc.certificate_failures + s.certificate_failures;
         })
       {
         S.Analyzer.Oracle.verdict_hits = 0;
@@ -181,6 +186,8 @@ let () =
         formulas_translated = 0;
         formulas_reused = 0;
         contexts = 0;
+        certified = 0;
+        certificate_failures = 0;
       }
       !oracles
   in
@@ -226,6 +233,145 @@ let () =
   output_string oc json;
   close_out oc;
   Printf.printf "oracle artifact written to %s\n\n%!" path
+
+(* {2 Proof stage: certification overhead}
+
+   The same candidate-checking workload as the oracle stage, once with a
+   plain incremental oracle and once with `~certify:true`, where every
+   UNSAT verdict is cross-checked by the independent DRUP checker.  Both
+   runs must agree on every verdict, every certificate must be accepted,
+   and the measured ratio is the price of auditing a study run.  A
+   SAT-level microbenchmark (a pigeonhole instance) separates the cost of
+   logging from the cost of checking. *)
+
+let () =
+  let plain_passes, plain_ms =
+    time_ms (fun () ->
+        check_workload
+          ~mk_check:(fun d ->
+            let env = S.Benchmarks.Domains.env d in
+            let session = S.Repair.Session.create env in
+            fun candidate -> S.Repair.Common.oracle_passes session candidate)
+          ())
+  in
+  let cert_oracles = ref [] in
+  let cert_passes, cert_ms =
+    time_ms (fun () ->
+        check_workload
+          ~mk_check:(fun d ->
+            let env = S.Benchmarks.Domains.env d in
+            let o = S.Analyzer.Oracle.create ~certify:true env in
+            cert_oracles := o :: !cert_oracles;
+            let session = S.Repair.Session.create ~oracle:o env in
+            fun candidate -> S.Repair.Common.oracle_passes session candidate)
+          ())
+  in
+  if plain_passes <> cert_passes then
+    failwith "proof stage: certified verdicts disagree with plain verdicts";
+  let certified, cert_failures =
+    List.fold_left
+      (fun (c, f) o ->
+        let s = S.Analyzer.Oracle.stats o in
+        (c + s.S.Analyzer.Oracle.certified, f + s.certificate_failures))
+      (0, 0) !cert_oracles
+  in
+  if cert_failures > 0 then
+    failwith "proof stage: a certificate was rejected by the checker";
+  if certified = 0 then
+    failwith "proof stage: no UNSAT verdict was certified";
+  (* SAT-level microbenchmark: pigeonhole (n+1 pigeons, n holes) *)
+  let pigeonhole n =
+    let var ~pigeon ~hole = (pigeon * n) + hole in
+    let num_vars = (n + 1) * n in
+    let pigeon_clauses =
+      List.init (n + 1) (fun p ->
+          List.init n (fun h -> S.Sat.Lit.make (var ~pigeon:p ~hole:h) true))
+    in
+    let hole_clauses =
+      List.concat_map
+        (fun h ->
+          List.concat_map
+            (fun p ->
+              List.filter_map
+                (fun q ->
+                  if q <= p then None
+                  else
+                    Some
+                      [
+                        S.Sat.Lit.make (var ~pigeon:p ~hole:h) false;
+                        S.Sat.Lit.make (var ~pigeon:q ~hole:h) false;
+                      ])
+                (List.init (n + 1) Fun.id))
+            (List.init (n + 1) Fun.id))
+        (List.init n Fun.id)
+    in
+    { S.Sat.Dimacs.num_vars; clauses = pigeon_clauses @ hole_clauses }
+  in
+  let cnf = pigeonhole 6 in
+  let solve ?sink () =
+    let s = S.Sat.Solver.create () in
+    (match sink with None -> () | Some _ -> S.Sat.Solver.set_proof s sink);
+    S.Sat.Dimacs.load_into s cnf;
+    if S.Sat.Solver.solve s <> S.Sat.Solver.Unsat then
+      failwith "proof stage: pigeonhole instance must be unsat"
+  in
+  let (), sat_plain_ms = time_ms (fun () -> solve ()) in
+  let recorder = S.Sat.Proof.recorder () in
+  let (), sat_logged_ms =
+    time_ms (fun () ->
+        solve ~sink:(S.Sat.Proof.recorder_sink recorder) ())
+  in
+  let steps = S.Sat.Proof.steps recorder in
+  let (), sat_checked_ms =
+    time_ms (fun () ->
+        match
+          S.Sat.Drat.check
+            ~premises:(S.Sat.Proof.inputs recorder)
+            (List.to_seq steps)
+        with
+        | Ok () -> ()
+        | Error e -> failwith ("proof stage: checker rejected pigeonhole: " ^ e))
+  in
+  let overhead = cert_ms /. plain_ms in
+  Printf.printf
+    "PROOF (certified oracle re-run of the workload above)\n\n\
+    \  oracle-plain:       %8.1f ms\n\
+    \  oracle-certified:   %8.1f ms (overhead %.2fx)\n\
+    \  certificates:       %d accepted / %d rejected\n\
+    \  pigeonhole(7,6):    %8.1f ms plain, %8.1f ms logged, %8.1f ms checked \
+     (%d steps)\n\n%!"
+    plain_ms cert_ms overhead certified cert_failures sat_plain_ms
+    sat_logged_ms sat_checked_ms (List.length steps);
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"sample\": %d,\n\
+      \  \"domains\": %d,\n\
+      \  \"candidates\": %d,\n\
+      \  \"plain_ms\": %.3f,\n\
+      \  \"certified_ms\": %.3f,\n\
+      \  \"overhead\": %.3f,\n\
+      \  \"verdicts_match\": true,\n\
+      \  \"certified\": %d,\n\
+      \  \"certificate_failures\": %d,\n\
+      \  \"sat_plain_ms\": %.3f,\n\
+      \  \"sat_logged_ms\": %.3f,\n\
+      \  \"sat_checked_ms\": %.3f,\n\
+      \  \"proof_steps\": %d\n\
+       }\n"
+      sample_size
+      (List.length oracle_workload)
+      (List.fold_left (fun n (_, cs) -> n + List.length cs) 0 oracle_workload)
+      plain_ms cert_ms overhead certified cert_failures sat_plain_ms
+      sat_logged_ms sat_checked_ms (List.length steps)
+  in
+  let path =
+    Option.value (Sys.getenv_opt "BENCH_PROOF_OUT") ~default:"BENCH_proof.json"
+  in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "proof artifact written to %s\n\n%!" path
 
 (* {2 Parallel stages: static partition vs dynamic work-stealing scheduler}
 

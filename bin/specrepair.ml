@@ -328,6 +328,93 @@ let evaluate_cmd =
       const run $ sample $ seed $ jobs $ retries $ quiet $ what $ csv_out
       $ csv_in $ artifacts_dir $ deadline_ms $ telemetry_out)
 
+(* {2 sat / check-proof} *)
+
+let proof_format =
+  Arg.enum
+    [ ("text", Specrepair_sat.Proof.Text); ("binary", Specrepair_sat.Proof.Binary) ]
+
+let format_arg =
+  Arg.(
+    value
+    & opt proof_format Specrepair_sat.Proof.Text
+    & info [ "format" ] ~docv:"FORMAT"
+        ~doc:"Proof file format: $(b,text) (classic DRUP) or $(b,binary) (DRAT).")
+
+let sat_cmd =
+  let module Sat = Specrepair_sat in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"CNF") in
+  let proof =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "proof" ] ~docv:"FILE"
+          ~doc:
+            "Stream a DRUP proof of the run to $(docv); for unsatisfiable \
+             inputs the file is a certificate $(b,check-proof) can verify \
+             against the CNF.")
+  in
+  let run file proof format =
+    match Sat.Dimacs.parse (read_file file) with
+    | exception Sat.Dimacs.Parse_error msg -> `Error (false, msg)
+    | cnf ->
+        let s = Sat.Solver.create () in
+        let oc = Option.map open_out_bin proof in
+        Option.iter
+          (fun oc -> Sat.Solver.set_proof s (Some (Sat.Proof.file_sink format oc)))
+          oc;
+        Sat.Dimacs.load_into s cnf;
+        let result = Sat.Solver.solve s in
+        Option.iter close_out oc;
+        (match result with
+        | Sat.Solver.Sat ->
+            let buf = Buffer.create 64 in
+            for v = 0 to cnf.Sat.Dimacs.num_vars - 1 do
+              Buffer.add_string buf
+                (Printf.sprintf " %d"
+                   (if Sat.Solver.value s v then v + 1 else -(v + 1)))
+            done;
+            Printf.printf "s SATISFIABLE\nv%s 0\n" (Buffer.contents buf)
+        | Sat.Solver.Unsat -> print_endline "s UNSATISFIABLE"
+        | Sat.Solver.Unknown -> print_endline "s UNKNOWN");
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "sat"
+       ~doc:
+         "Solve a DIMACS CNF file, optionally logging a DRUP proof of the run")
+    Term.(ret (const run $ file $ proof $ format_arg))
+
+let check_proof_cmd =
+  let module Sat = Specrepair_sat in
+  let cnf_file = Arg.(required & pos 0 (some file) None & info [] ~docv:"CNF") in
+  let proof_file =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"PROOF")
+  in
+  let run cnf_file proof_file format =
+    match Sat.Dimacs.parse (read_file cnf_file) with
+    | exception Sat.Dimacs.Parse_error msg -> `Error (false, msg)
+    | cnf -> (
+        match Sat.Drat.check_file ~cnf ~format proof_file with
+        | Ok () ->
+            print_endline "proof accepted";
+            `Ok ()
+        | Error msg ->
+            (* a bad certificate is a verification verdict, not a usage
+               error: report it on stderr and exit 1 (cmdliner's `Error
+               path would exit 124) *)
+            Printf.eprintf "proof rejected: %s\n" msg;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "check-proof"
+       ~doc:
+         "Verify a DRUP proof against its CNF with the independent checker: \
+          exit 0 and print 'proof accepted' if the certificate derives a \
+          conflict by reverse unit propagation, exit 1 with the offending \
+          step otherwise")
+    Term.(ret (const run $ cnf_file $ proof_file $ format_arg))
+
 (* {2 fuzz} *)
 
 let fuzz_cmd =
@@ -342,8 +429,8 @@ let fuzz_cmd =
       & opt (some target_conv) None
       & info [ "target" ] ~docv:"TARGET"
           ~doc:
-            "Fuzz a single target ($(b,sat), $(b,solver), $(b,oracle) or \
-             $(b,eval)); default: all four.")
+            "Fuzz a single target ($(b,sat), $(b,solver), $(b,oracle), \
+             $(b,eval) or $(b,proof)); default: all five.")
   in
   let seed =
     Arg.(
@@ -380,8 +467,8 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
-         "Differential fuzzing: cross-check the SAT/solver/oracle/eval stack \
-          against independent reference oracles")
+         "Differential fuzzing: cross-check the SAT/solver/oracle/eval/proof \
+          stack against independent reference oracles")
     Term.(const run $ seed $ iters $ target $ corpus_dir)
 
 let () =
@@ -400,5 +487,7 @@ let () =
             repair_cmd;
             domains_cmd;
             evaluate_cmd;
+            sat_cmd;
+            check_proof_cmd;
             fuzz_cmd;
           ]))

@@ -20,6 +20,8 @@ end
 module Sat = struct
   module Lit = Specrepair_sat.Lit
   module Solver = Specrepair_sat.Solver
+  module Proof = Specrepair_sat.Proof
+  module Drat = Specrepair_sat.Drat
   module Formula = Specrepair_sat.Formula
   module Tseitin = Specrepair_sat.Tseitin
   module Card = Specrepair_sat.Card

@@ -35,9 +35,16 @@ type t = {
 
 let now_ns () = Monotonic_clock.now ()
 
-let create ?oracle ?(budget = default_budget) ?(seed = 42) ?deadline_ms env =
+let create ?oracle ?(certify = false) ?(budget = default_budget) ?(seed = 42)
+    ?deadline_ms env =
+  let telemetry = Telemetry.create () in
   let oracle =
-    match oracle with Some o -> o | None -> Solver.Oracle.create env
+    match oracle with
+    | Some o -> o
+    | None ->
+        Solver.Oracle.create ~certify
+          ~on_certify:(Telemetry.record_certified telemetry)
+          env
   in
   let started_ns = now_ns () in
   {
@@ -51,12 +58,12 @@ let create ?oracle ?(budget = default_budget) ?(seed = 42) ?deadline_ms env =
         (fun ms -> Int64.add started_ns (Int64.of_float (ms *. 1e6)))
         deadline_ms;
     deadline_rel_ms = deadline_ms;
-    telemetry = Telemetry.create ();
+    telemetry;
     oracle_base = Solver.Oracle.stats oracle;
     expiry = ref false;
   }
 
-let for_spec ?oracle ?budget ?seed ?deadline_ms spec =
+let for_spec ?oracle ?certify ?budget ?seed ?deadline_ms spec =
   let env =
     match Alloy.Typecheck.check_result spec with
     | Ok env -> env
@@ -66,7 +73,7 @@ let for_spec ?oracle ?budget ?seed ?deadline_ms spec =
            the oracle serves it by fresh-solve fallback, transparently *)
         Alloy.Typecheck.check Alloy.Ast.empty_spec
   in
-  create ?oracle ?budget ?seed ?deadline_ms env
+  create ?oracle ?certify ?budget ?seed ?deadline_ms env
 
 let with_budget t f = { t with budget = f t.budget }
 
@@ -125,6 +132,8 @@ let oracle_stats t =
     formulas_translated = s.formulas_translated - b.formulas_translated;
     formulas_reused = s.formulas_reused - b.formulas_reused;
     contexts = s.contexts;
+    certified = s.certified - b.certified;
+    certificate_failures = s.certificate_failures - b.certificate_failures;
   }
 
 (* {2 JSON serialization} *)
@@ -171,15 +180,19 @@ let telemetry_json ?(extra = []) t =
   field "llm_rounds" (string_of_int m.Telemetry.llm_rounds);
   field "pool_peak" (string_of_int m.Telemetry.pool_peak);
   field "deadline_checks" (string_of_int m.Telemetry.deadline_checks);
+  field "certified_unsat" (string_of_int m.Telemetry.certified_unsat);
+  field "certificate_failures"
+    (string_of_int m.Telemetry.certificate_failures);
   let os = oracle_stats t in
   field "oracle"
     (Printf.sprintf
        "{\"verdict_hits\":%d,\"verdict_misses\":%d,\"instance_hits\":%d,\
         \"instance_misses\":%d,\"fallback_queries\":%d,\
-        \"formulas_translated\":%d,\"formulas_reused\":%d,\"contexts\":%d}"
+        \"formulas_translated\":%d,\"formulas_reused\":%d,\"contexts\":%d,\
+        \"certified\":%d,\"certificate_failures\":%d}"
        os.Solver.Oracle.verdict_hits os.verdict_misses os.instance_hits
        os.instance_misses os.fallback_queries os.formulas_translated
-       os.formulas_reused os.contexts);
+       os.formulas_reused os.contexts os.certified os.certificate_failures);
   let phase_fields =
     List.map
       (fun (phase, ms) ->

@@ -43,18 +43,25 @@ type t
 
 val create :
   ?oracle:Solver.Oracle.t ->
+  ?certify:bool ->
   ?budget:budget ->
   ?seed:int ->
   ?deadline_ms:float ->
   Alloy.Typecheck.env ->
   t
 (** A fresh session for [env].  Without [?oracle] a new incremental oracle
-    is created from [env] (cheap; real work is lazy).  [?deadline_ms] is
-    relative to now on the monotonic clock; omitted means no deadline.
-    Default budget {!default_budget}, default seed 42. *)
+    is created from [env] (cheap; real work is lazy).  With [~certify:true]
+    (default [false]) that oracle cross-checks every UNSAT verdict against
+    an independent DRUP proof checker and reports each outcome into the
+    session's telemetry ([certified_unsat] / [certificate_failures]);
+    ignored when an explicit [?oracle] is supplied — configure certification
+    on the oracle itself in that case.  [?deadline_ms] is relative to now on
+    the monotonic clock; omitted means no deadline.  Default budget
+    {!default_budget}, default seed 42. *)
 
 val for_spec :
   ?oracle:Solver.Oracle.t ->
+  ?certify:bool ->
   ?budget:budget ->
   ?seed:int ->
   ?deadline_ms:float ->

@@ -9,6 +9,8 @@ type t = {
   mutable llm_rounds : int;
   mutable pool_peak : int;
   mutable deadline_checks : int;
+  mutable certified_unsat : int;
+  mutable certificate_failures : int;
   phase_ms : (string, float) Hashtbl.t;
 }
 
@@ -24,6 +26,8 @@ let create () =
     llm_rounds = 0;
     pool_peak = 0;
     deadline_checks = 0;
+    certified_unsat = 0;
+    certificate_failures = 0;
     phase_ms = Hashtbl.create 8;
   }
 
@@ -42,6 +46,10 @@ let candidates_generated t n =
 let candidate_evaluated t = t.candidates_evaluated <- t.candidates_evaluated + 1
 let llm_round t = t.llm_rounds <- t.llm_rounds + 1
 let deadline_check t = t.deadline_checks <- t.deadline_checks + 1
+
+let record_certified t ok =
+  if ok then t.certified_unsat <- t.certified_unsat + 1
+  else t.certificate_failures <- t.certificate_failures + 1
 
 let add_phase_ms t phase ms =
   let prev = Option.value ~default:0. (Hashtbl.find_opt t.phase_ms phase) in
@@ -96,10 +104,12 @@ let pp ppf t =
     "@[<v>solver queries: %d (sat %d / unsat %d / unknown %d)@,\
      instance queries: %d, enumerations: %d@,\
      candidates: %d generated, %d evaluated (pool peak %d)@,\
-     llm rounds: %d, deadline checks: %d"
+     llm rounds: %d, deadline checks: %d@,\
+     certificates: %d accepted, %d failed"
     (solver_queries t) t.sat_verdicts t.unsat_verdicts t.unknown_verdicts
     t.instance_queries t.enumerations t.candidates_generated
-    t.candidates_evaluated t.pool_peak t.llm_rounds t.deadline_checks;
+    t.candidates_evaluated t.pool_peak t.llm_rounds t.deadline_checks
+    t.certified_unsat t.certificate_failures;
   List.iter
     (fun (phase, ms) -> Format.fprintf ppf "@,phase %s: %.3f ms" phase ms)
     (phases t);

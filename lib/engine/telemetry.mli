@@ -22,6 +22,10 @@ type t = {
   mutable llm_rounds : int;  (** dialogue rounds of the LLM pipelines *)
   mutable pool_peak : int;  (** largest single mutation / template pool *)
   mutable deadline_checks : int;  (** cooperative deadline polls performed *)
+  mutable certified_unsat : int;
+      (** UNSAT verdicts whose DRUP certificate the checker accepted *)
+  mutable certificate_failures : int;
+      (** UNSAT verdicts the proof checker could {e not} certify *)
   phase_ms : (string, float) Hashtbl.t;
       (** accumulated wall-clock milliseconds per named phase *)
 }
@@ -37,6 +41,11 @@ val candidates_generated : t -> int -> unit
 val candidate_evaluated : t -> unit
 val llm_round : t -> unit
 val deadline_check : t -> unit
+
+val record_certified : t -> bool -> unit
+(** Outcome of one proof-checker run over an UNSAT verdict (the oracle's
+    [on_certify] callback feeds this when the session runs with
+    [~certify:true]). *)
 
 val add_phase_ms : t -> string -> float -> unit
 

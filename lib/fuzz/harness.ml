@@ -7,15 +7,22 @@ module Oracle = Specrepair_solver.Oracle
 module Translate = Specrepair_solver.Translate
 module Mutate = Specrepair_mutation.Mutate
 
-type target = Sat_target | Solver_target | Oracle_target | Eval_target
+type target =
+  | Sat_target
+  | Solver_target
+  | Oracle_target
+  | Eval_target
+  | Proof_target
 
-let all_targets = [ Sat_target; Solver_target; Oracle_target; Eval_target ]
+let all_targets =
+  [ Sat_target; Solver_target; Oracle_target; Eval_target; Proof_target ]
 
 let target_name = function
   | Sat_target -> "sat"
   | Solver_target -> "solver"
   | Oracle_target -> "oracle"
   | Eval_target -> "eval"
+  | Proof_target -> "proof"
 
 type report = {
   target : string;
@@ -115,6 +122,85 @@ let check_sat_case (c : sat_case) =
           else Ok ()
       | Ref_sat.Unsat -> Ok ())
   | _ -> Ok ()
+
+(* {2 Proof target} *)
+
+type proof_case = {
+  p_cnf : Dimacs.cnf;
+  p_assumptions : Lit.t list;
+  p_format : Proof.format;
+}
+
+let gen_proof_case rng =
+  let p_cnf = Gen.cnf rng in
+  let p_assumptions =
+    if Rng.bool rng then Gen.assumptions rng ~num_vars:p_cnf.Dimacs.num_vars
+    else []
+  in
+  let p_format = if Rng.bool rng then Proof.Text else Proof.Binary in
+  { p_cnf; p_assumptions; p_format }
+
+(* Under the drop-clause chaos hook the checker is fed every premise but
+   the last — the same corruption {!Ref_sat} applies to its clause set.
+   Derivations that depended on the missing clause are no longer RUP, so a
+   correct checker rejects, which the harness counts as a discrepancy: the
+   hook trips the proof target the same way it trips the sat target's
+   corrupted reference. *)
+let chaos_premises premises =
+  match Sys.getenv_opt "SPECREPAIR_FUZZ_CHAOS" with
+  | Some "drop-clause" -> (
+      match List.rev premises with [] -> [] | _ :: rest -> List.rev rest)
+  | _ -> premises
+
+(* One proof-logged solve: the recorded steps must survive a round-trip
+   through the on-disk format, and the checker must accept — a conflict
+   derivation for Unsat results, plain RUP-ness of every logged step
+   otherwise. *)
+let check_proof_case { p_cnf = cnf; p_assumptions = assumptions; p_format } =
+  let r = Proof.recorder () in
+  let s = Solver.create () in
+  Solver.set_proof s (Some (Proof.recorder_sink r));
+  ignore (Solver.new_vars s cnf.Dimacs.num_vars);
+  List.iter (Solver.add_clause s) cnf.Dimacs.clauses;
+  let result = Solver.solve ~assumptions s in
+  let steps = Proof.steps r in
+  let ext = match p_format with Proof.Text -> ".drup" | Proof.Binary -> ".drat" in
+  let path = Filename.temp_file "specrepair_fuzz_proof" ext in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin path in
+      List.iter (Proof.write_step p_format oc) steps;
+      close_out oc;
+      let ic = open_in_bin path in
+      let back =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> List.of_seq (Proof.read_steps p_format ic))
+      in
+      if
+        not
+          (List.length back = List.length steps
+          && List.for_all2 Proof.step_equal back steps)
+      then `Fail "proof steps changed across a file round-trip"
+      else
+        let premises = chaos_premises (Proof.inputs r) in
+        match result with
+        | Solver.Unsat -> (
+            match Drat.check ~assumptions ~premises (List.to_seq steps) with
+            | Ok () -> `Ok
+            | Error m ->
+                `Fail
+                  (Printf.sprintf "checker rejected an UNSAT certificate: %s" m))
+        | Solver.Sat | Solver.Unknown -> (
+            (* nothing to refute, but every logged derivation must still
+               be RUP over what precedes it *)
+            match
+              Drat.check ~require_conflict:false ~premises (List.to_seq steps)
+            with
+            | Ok () -> `Ok
+            | Error m ->
+                `Fail (Printf.sprintf "a logged derivation is not RUP: %s" m)))
 
 (* {2 Model-finder target} *)
 
@@ -395,6 +481,23 @@ let run ?(corpus_dir = "artifacts/fuzz") target ~seed ~iters () =
                         cand.Alloy.Typecheck.spec
                 in
                 Corpus.save_spec ~dir:corpus_dir ~name ~seed spec))
+    | Proof_target -> (
+        let case = gen_proof_case rng in
+        match guard (fun () -> check_proof_case case) with
+        | `Skip -> incr skipped
+        | `Ok -> incr checks
+        | `Fail _ ->
+            incr checks;
+            fail_and_persist (fun () ->
+                let still_fails cnf' =
+                  guard (fun () -> check_proof_case { case with p_cnf = cnf' })
+                  <> `Ok
+                in
+                let shrunk =
+                  Shrink.run Shrink.cnf_candidates still_fails case.p_cnf
+                in
+                Corpus.save_cnf ~dir:corpus_dir ~name ~seed
+                  ~assumptions:case.p_assumptions shrunk))
     | Eval_target -> (
         let case = gen_eval_case rng in
         match guard (fun () -> check_eval_case case) with
@@ -447,8 +550,17 @@ let replay path =
   let ( let* ) = Result.bind in
   if Filename.check_suffix path ".cnf" then
     match Corpus.load_cnf path with
-    | cnf, assumptions ->
-        check_sat_case { cnf; assumptions; budget = None; split = None }
+    | cnf, assumptions -> (
+        let* () =
+          check_sat_case { cnf; assumptions; budget = None; split = None }
+        in
+        match
+          guard (fun () ->
+              check_proof_case
+                { p_cnf = cnf; p_assumptions = assumptions; p_format = Proof.Text })
+        with
+        | `Ok | `Skip -> Ok ()
+        | `Fail m -> Error m)
     | exception e -> Error (Printexc.to_string e)
   else if Filename.check_suffix path ".als" then
     match Corpus.load_spec path with

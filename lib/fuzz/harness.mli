@@ -1,7 +1,7 @@
 (** The differential fuzzing campaigns: generate, cross-check, shrink,
     persist.
 
-    Four targets, each pitting a production component against an
+    Five targets, each pitting a production component against an
     independent reference:
 
     - [Sat_target] — the CDCL solver vs. the DPLL reference
@@ -18,18 +18,31 @@
     - [Eval_target] — [Alloy.Eval] vs. the translation pinned to a
       concrete random instance, for both goal formulas and the
       facts/implicit conjunction.
+    - [Proof_target] — the CDCL solver's DRUP proof log vs. the
+      independent checker ({!Specrepair_sat.Drat}): every random CNF is
+      solved with logging on, the steps must survive a round-trip through
+      a randomly chosen on-disk format, and the checker must accept the
+      certificate (a conflict derivation for Unsat, plain RUP-ness of
+      every step otherwise).  Under [SPECREPAIR_FUZZ_CHAOS=drop-clause]
+      the proof is tampered with before checking, so a correct checker
+      {e rejects} and the hook trips as a discrepancy.
 
     Every iteration derives its own {!Rng} stream from (seed, target,
     iteration index), so campaigns are bit-reproducible and every failure
     is replayable from the summary alone.  Discrepancies are shrunk
     ({!Shrink}) and persisted ({!Corpus}) before being counted. *)
 
-type target = Sat_target | Solver_target | Oracle_target | Eval_target
+type target =
+  | Sat_target
+  | Solver_target
+  | Oracle_target
+  | Eval_target
+  | Proof_target
 
 val all_targets : target list
 
 val target_name : target -> string
-(** CLI spelling: ["sat"], ["solver"], ["oracle"], ["eval"]. *)
+(** CLI spelling: ["sat"], ["solver"], ["oracle"], ["eval"], ["proof"]. *)
 
 type report = {
   target : string;
@@ -55,9 +68,10 @@ val summary_json : corpus_dir:string -> seed:int -> report list -> string
 
 val replay : string -> (unit, string) result
 (** Re-runs the differential checks on one corpus entry: [.cnf] files go
-    through the SAT cross-check (with their recorded assumptions), [.als]
-    files through the model-finder and oracle cross-checks for every
-    command.  [Error] describes the first disagreement. *)
+    through the SAT cross-check (with their recorded assumptions) and a
+    proof-logged solve whose certificate must check, [.als] files through
+    the model-finder and oracle cross-checks for every command.  [Error]
+    describes the first disagreement. *)
 
 val replay_dir : string -> (string * (unit, string) result) list
 (** {!replay} over {!Corpus.files}. *)

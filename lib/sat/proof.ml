@@ -1,0 +1,157 @@
+type step = Add of Lit.t array | Delete of Lit.t array
+type event = Input of Lit.t array | Step of step
+type sink = event -> unit
+type format = Text | Binary
+
+exception Parse_error of string
+
+let error fmt = Printf.ksprintf (fun msg -> raise (Parse_error msg)) fmt
+
+(* {2 In-memory recording} *)
+
+type recorder = {
+  mutable rev_inputs : Lit.t array list;
+  mutable rev_steps : step list;
+  mutable count : int;
+}
+
+let recorder () = { rev_inputs = []; rev_steps = []; count = 0 }
+
+let recorder_sink r = function
+  | Input c -> r.rev_inputs <- c :: r.rev_inputs
+  | Step s ->
+      r.rev_steps <- s :: r.rev_steps;
+      r.count <- r.count + 1
+
+let inputs r = List.rev r.rev_inputs
+let steps r = List.rev r.rev_steps
+let n_steps r = r.count
+
+(* {2 Text format (DRUP)} *)
+
+let write_text oc lits ~deleted =
+  if deleted then output_string oc "d ";
+  Array.iter (fun l -> Printf.fprintf oc "%d " (Lit.to_dimacs l)) lits;
+  output_string oc "0\n"
+
+(* {2 Binary format (DRAT)}
+
+   Each step is a tag byte ('a' or 'd') followed by the literals as
+   variable-length 7-bit codes of the standard mapping
+   [u = 2*|l| + (1 if l < 0)], terminated by a 0 byte. *)
+
+let write_varint oc u =
+  let u = ref u in
+  while !u >= 0x80 do
+    output_byte oc (0x80 lor (!u land 0x7f));
+    u := !u lsr 7
+  done;
+  output_byte oc !u
+
+let write_binary oc lits ~deleted =
+  output_char oc (if deleted then 'd' else 'a');
+  Array.iter
+    (fun l ->
+      let d = Lit.to_dimacs l in
+      write_varint oc (if d > 0 then 2 * d else (-2 * d) + 1))
+    lits;
+  output_byte oc 0
+
+let write_step format oc step =
+  let lits, deleted =
+    match step with Add c -> (c, false) | Delete c -> (c, true)
+  in
+  match format with
+  | Text -> write_text oc lits ~deleted
+  | Binary -> write_binary oc lits ~deleted
+
+let file_sink format oc = function
+  | Input _ -> ()
+  | Step s -> write_step format oc s
+
+(* {2 Reading back} *)
+
+let read_text_step ic =
+  (* skip blank lines; one step per non-blank line *)
+  let rec next_line () =
+    match input_line ic with
+    | line -> if String.trim line = "" then next_line () else Some line
+    | exception End_of_file -> None
+  in
+  match next_line () with
+  | None -> None
+  | Some line ->
+      let toks =
+        String.split_on_char ' ' (String.trim line)
+        |> List.filter (( <> ) "")
+      in
+      let deleted, toks =
+        match toks with "d" :: rest -> (true, rest) | _ -> (false, toks)
+      in
+      let rec lits acc = function
+        | [] -> error "Proof.read_steps: step not 0-terminated: %S" line
+        | [ "0" ] -> List.rev acc
+        | "0" :: _ -> error "Proof.read_steps: literals after 0: %S" line
+        | tok :: rest -> (
+            match int_of_string_opt tok with
+            | Some d when d <> 0 -> lits (Lit.of_dimacs d :: acc) rest
+            | _ -> error "Proof.read_steps: bad literal %S" tok)
+      in
+      let c = Array.of_list (lits [] toks) in
+      Some (if deleted then Delete c else Add c)
+
+let read_varint ic =
+  let rec go shift acc =
+    if shift > 56 then error "Proof.read_steps: varint overflow";
+    match input_byte ic with
+    | exception End_of_file -> error "Proof.read_steps: truncated varint"
+    | b ->
+        let acc = acc lor ((b land 0x7f) lsl shift) in
+        if b land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  go 0 0
+
+let read_binary_step ic =
+  match input_char ic with
+  | exception End_of_file -> None
+  | tag ->
+      let deleted =
+        match tag with
+        | 'a' -> false
+        | 'd' -> true
+        | c -> error "Proof.read_steps: bad step tag %C" c
+      in
+      let rec lits acc =
+        match read_varint ic with
+        | 0 -> List.rev acc
+        | u ->
+            let d = if u land 1 = 0 then u / 2 else -(u / 2) in
+            if d = 0 then error "Proof.read_steps: zero literal code";
+            lits (Lit.of_dimacs d :: acc)
+      in
+      let c = Array.of_list (lits []) in
+      Some (if deleted then Delete c else Add c)
+
+let read_steps format ic =
+  let read =
+    match format with Text -> read_text_step | Binary -> read_binary_step
+  in
+  let rec seq () =
+    match read ic with None -> Seq.Nil | Some s -> Seq.Cons (s, seq)
+  in
+  seq
+
+(* {2 Plumbing} *)
+
+let pp_step ppf step =
+  let lits, tag =
+    match step with Add c -> (c, "") | Delete c -> (c, "d ")
+  in
+  Format.fprintf ppf "%s" tag;
+  Array.iter (fun l -> Format.fprintf ppf "%d " (Lit.to_dimacs l)) lits;
+  Format.fprintf ppf "0"
+
+let step_equal a b =
+  match (a, b) with
+  | Add x, Add y | Delete x, Delete y -> x = y
+  | Add _, Delete _ | Delete _, Add _ -> false

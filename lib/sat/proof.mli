@@ -1,0 +1,70 @@
+(** DRUP proof logging: the event stream a proof-logged solver emits.
+
+    A proof is the sequence of clauses the solver {e derived} (every learnt
+    clause, every final conflict clause) interleaved with the clauses it
+    {e deleted} (learnt-database reductions), in emission order.  Together
+    with the original CNF — streamed separately as {!Input} events, never
+    part of a proof file — the sequence is a checkable certificate: each
+    added clause must follow from what precedes it by reverse unit
+    propagation (see {!Drat}).
+
+    The solver talks to a {!sink}; when no sink is installed the hot path
+    pays one [None] test per learnt clause and nothing else.  Three sinks
+    are provided: an in-memory {!recorder}, and streaming file writers in
+    the two standard on-disk formats ({!file_sink}) for proofs too large to
+    hold in memory.
+
+    Formats:
+    - {e text} — classic DRUP: one step per line, DIMACS literals
+      terminated by [0], deletions prefixed with [d].
+    - {e binary} — the DRAT binary encoding: ['a']/['d'] tag bytes followed
+      by 7-bit variable-length literal codes, zero-terminated. *)
+
+type step =
+  | Add of Lit.t array  (** a clause the solver derived *)
+  | Delete of Lit.t array  (** a learnt clause dropped from the database *)
+
+type event =
+  | Input of Lit.t array
+      (** an original clause, exactly as handed to [Solver.add_clause];
+          premise material for the checker, not part of the proof proper *)
+  | Step of step
+
+type sink = event -> unit
+
+type format = Text | Binary
+
+(** {2 In-memory recording} *)
+
+type recorder
+
+val recorder : unit -> recorder
+val recorder_sink : recorder -> sink
+
+val inputs : recorder -> Lit.t array list
+(** Original clauses seen so far, in order. *)
+
+val steps : recorder -> step list
+(** Proof steps seen so far, in order. *)
+
+val n_steps : recorder -> int
+
+(** {2 File-backed streaming} *)
+
+val file_sink : format -> out_channel -> sink
+(** Writes each {!Step} to the channel as it arrives; {!Input} events are
+    ignored (the CNF travels separately).  The caller owns the channel. *)
+
+val write_step : format -> out_channel -> step -> unit
+
+val read_steps : format -> in_channel -> step Seq.t
+(** Lazily parses a proof file back into steps; the sequence is
+    single-shot and reads as it is forced.  Raises {!Parse_error} on
+    malformed input when forced. *)
+
+exception Parse_error of string
+
+(** {2 Plumbing} *)
+
+val pp_step : Format.formatter -> step -> unit
+val step_equal : step -> step -> bool

@@ -30,10 +30,13 @@ type t = {
   mutable root_level : int;
   mutable conflict_assumps : int list;
       (* assumptions involved in the last assumption-level Unsat *)
+  mutable proof : Proof.sink option;
   (* statistics *)
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
+  mutable restarts : int;
+  mutable reductions : int;
 }
 
 type result = Sat | Unsat | Unknown
@@ -64,9 +67,12 @@ let create () =
         ok = true;
         root_level = 0;
         conflict_assumps = [];
+        proof = None;
         conflicts = 0;
         decisions = 0;
         propagations = 0;
+        restarts = 0;
+        reductions = 0;
       }
   in
   Lazy.force s
@@ -78,6 +84,32 @@ let n_decisions s = s.decisions
 let n_propagations s = s.propagations
 let n_clauses s = Vec.length s.clauses
 let n_learnts s = Vec.length s.learnts
+let n_restarts s = s.restarts
+let n_reductions s = s.reductions
+
+(* {2 Proof logging}
+
+   With no sink installed every emission point is a single [None] test; the
+   solver's data structures and control flow are otherwise identical.  The
+   solver mutates clause literal arrays in place (watch reordering), so
+   every emission copies. *)
+
+let set_proof s sink = s.proof <- sink
+
+let emit_input s lits =
+  match s.proof with
+  | None -> ()
+  | Some sink -> sink (Proof.Input (Array.of_list lits))
+
+let emit_derived s (lits : int array) =
+  match s.proof with
+  | None -> ()
+  | Some sink -> sink (Proof.Step (Proof.Add (Array.map Lit.of_int lits)))
+
+let emit_deleted s (lits : int array) =
+  match s.proof with
+  | None -> ()
+  | Some sink -> sink (Proof.Step (Proof.Delete (Array.map Lit.of_int lits)))
 
 let grow_arrays s n =
   let cap = Array.length s.assigns in
@@ -332,6 +364,7 @@ let record s learnt =
        lits.(!i) <- l;
        incr i)
     learnt;
+  emit_derived s lits;
   if Array.length lits = 1 then enqueue s lits.(0) dummy_clause
   else begin
     (* watch the asserting literal and a literal of the backtrack level *)
@@ -356,6 +389,7 @@ let locked s (c : clause) =
 
 (* Drop roughly half of the learnt clauses, by activity. *)
 let reduce_db s =
+  s.reductions <- s.reductions + 1;
   let n = Vec.length s.learnts in
   let arr = Array.init n (Vec.get s.learnts) in
   Array.sort (fun (a : clause) (b : clause) -> compare a.activity b.activity) arr;
@@ -364,11 +398,15 @@ let reduce_db s =
     (fun i c ->
       if (i >= n / 2 && Array.length c.lits > 0) || locked s c || Array.length c.lits <= 2
       then Vec.push s.learnts c
-      else detach s c)
+      else begin
+        emit_deleted s c.lits;
+        detach s c
+      end)
     arr
 
 let add_clause s lits =
   if s.ok then begin
+    emit_input s lits;
     cancel_until s 0;
     let lits = List.map Lit.to_int lits in
     let lits = List.sort_uniq Int.compare lits in
@@ -379,10 +417,15 @@ let add_clause s lits =
     if not tautology then begin
       let lits = List.filter (fun l -> value_lit s l <> 0) lits in
       match lits with
-      | [] -> s.ok <- false
+      | [] ->
+          emit_derived s [||];
+          s.ok <- false
       | [ l ] ->
           enqueue s l dummy_clause;
-          if propagate s <> None then s.ok <- false
+          if propagate s <> None then begin
+            emit_derived s [||];
+            s.ok <- false
+          end
       | _ ->
           let c = { lits = Array.of_list lits; activity = 0.; learnt = false } in
           Vec.push s.clauses c;
@@ -425,8 +468,19 @@ let search s ~max_learnts ~restart_budget ~conflict_limit =
           if decision_level s <= s.root_level then begin
             (* conflict within the assumption levels: this call is Unsat,
                but the clause set itself may still be satisfiable *)
-            if s.root_level > 0 then
+            if s.root_level > 0 then begin
               s.conflict_assumps <- analyze_final_clause s confl;
+              emit_derived s
+                (Array.of_list
+                   (List.map (fun l -> l lxor 1) s.conflict_assumps))
+            end
+            else begin
+              (* a conflict at level 0 is permanent: without this, a
+                 re-solve would find the queue already drained and miss
+                 the conflict entirely *)
+              emit_derived s [||];
+              s.ok <- false
+            end;
             raise (Found Unsat)
           end;
           let learnt, btlevel = analyze s confl in
@@ -435,9 +489,16 @@ let search s ~max_learnts ~restart_budget ~conflict_limit =
           s.var_inc <- s.var_inc *. var_decay;
           s.clause_inc <- s.clause_inc *. clause_decay
       | None ->
-          if float_of_int (Vec.length s.learnts) >= !max_learnts then reduce_db s;
+          if float_of_int (Vec.length s.learnts) >= !max_learnts then begin
+            reduce_db s;
+            (* grow the limit per reduction, not per restart: Luby restarts
+               are frequent enough that a per-restart growth outruns the
+               learnt count and the database is never reduced at all *)
+            max_learnts := !max_learnts *. 1.1
+          end;
           if !conflicts_here >= restart_budget && decision_level s > s.root_level
           then begin
+            s.restarts <- s.restarts + 1;
             cancel_until s s.root_level;
             raise (Found Unknown) (* caller treats Unknown as "restart" *)
           end;
@@ -457,6 +518,7 @@ let solve ?(assumptions = []) ?max_conflicts s =
   else begin
     cancel_until s 0;
     if propagate s <> None then begin
+      emit_derived s [||];
       s.ok <- false;
       Unsat
     end
@@ -466,23 +528,25 @@ let solve ?(assumptions = []) ?max_conflicts s =
          have earlier calls eat later calls' budgets *)
       let conflict_limit = Option.map (fun b -> s.conflicts + b) max_conflicts in
       (* enqueue assumptions, one pseudo-decision level each *)
+      let assumption_core core =
+        s.conflict_assumps <- core;
+        emit_derived s (Array.of_list (List.map (fun l -> l lxor 1) core));
+        false
+      in
       let rec assume = function
         | [] -> true
         | a :: rest -> (
             let l = Lit.to_int a in
             match value_lit s l with
             | 1 -> assume rest
-            | 0 ->
-                s.conflict_assumps <- analyze_final_lit s l;
-                false
+            | 0 -> assumption_core (analyze_final_lit s l)
             | _ -> (
                 Vec.push s.trail_lim (Vec.length s.trail);
                 enqueue s l dummy_clause;
                 match propagate s with
                 | None -> assume rest
                 | Some confl ->
-                    s.conflict_assumps <- analyze_final_clause s confl;
-                    false))
+                    assumption_core (analyze_final_clause s confl)))
       in
       if not (assume assumptions) then begin
         cancel_until s 0;
@@ -502,8 +566,7 @@ let solve ?(assumptions = []) ?max_conflicts s =
                int_of_float (100. *. luby 2. !restart)
              in
              incr restart;
-             result := search s ~max_learnts ~restart_budget ~conflict_limit;
-             max_learnts := !max_learnts *. 1.1
+             result := search s ~max_learnts ~restart_budget ~conflict_limit
            done
          with Exit -> result := Unknown);
         let r = !result in

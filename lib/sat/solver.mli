@@ -61,6 +61,20 @@ val lit_value : t -> Lit.t -> bool
 val model : t -> bool array
 (** Snapshot of the full model after [Sat]. *)
 
+(** {2 Proof logging} *)
+
+val set_proof : t -> Proof.sink option -> unit
+(** Installs (or, with [None], removes) a proof sink.  While installed, the
+    solver reports every original clause as a {!Proof.Input} event and every
+    derivation as a {!Proof.Step}: learnt clauses and final
+    assumption-conflict clauses as [Add]s (the negated {!unsat_assumptions}
+    core, so assumption-[Unsat] answers are checkable too), learnt-database
+    evictions as [Delete]s, and the empty clause whenever the solver
+    concludes root-level unsatisfiability.  The stream is a DRUP proof
+    checkable by {!Drat}.  Install the sink before adding clauses: premises
+    added earlier are never replayed.  With no sink the solver pays one
+    [None] test per emission point and nothing else. *)
+
 (** {2 Statistics} *)
 
 val n_conflicts : t -> int
@@ -68,3 +82,10 @@ val n_decisions : t -> int
 val n_propagations : t -> int
 val n_clauses : t -> int
 val n_learnts : t -> int
+
+val n_restarts : t -> int
+(** Restarts actually taken (Luby budget exhaustions), across all [solve]
+    calls. *)
+
+val n_reductions : t -> int
+(** Times the learnt-clause database was reduced ([reduce_db] runs). *)

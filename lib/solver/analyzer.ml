@@ -17,14 +17,18 @@ let outcome_verdict : outcome -> verdict = function
 
 let default_scope = { Bounds.default = 3; overrides = [] }
 
-let setup env scope =
+(* The proof sink must be installed before [Bounds.create]: bounds assert
+   symmetry-breaking and multiplicity clauses at construction time, and a
+   checker that never saw them cannot validate anything derived from them. *)
+let setup ?proof env scope =
   let solver = Solver.create () in
+  (match proof with None -> () | Some _ -> Solver.set_proof solver proof);
   let bounds = Bounds.create solver env scope in
   let ts = Tseitin.create solver in
   (solver, bounds, ts)
 
-let solve_goal ?max_conflicts env scope goal_of_bounds =
-  let solver, bounds, ts = setup env scope in
+let solve_goal ?proof ?max_conflicts env scope goal_of_bounds =
+  let solver, bounds, ts = setup ?proof env scope in
   Tseitin.assert_formula ts (Translate.spec_fmla bounds);
   Tseitin.assert_formula ts (goal_of_bounds bounds);
   match Solver.solve ?max_conflicts solver with
@@ -32,28 +36,29 @@ let solve_goal ?max_conflicts env scope goal_of_bounds =
   | Solver.Unsat -> Unsat
   | Solver.Unknown -> Unknown
 
-let solve_fmla ?max_conflicts env scope f =
-  solve_goal ?max_conflicts env scope (fun bounds -> Translate.fmla bounds [] f)
+let solve_fmla ?proof ?max_conflicts env scope f =
+  solve_goal ?proof ?max_conflicts env scope (fun bounds ->
+      Translate.fmla bounds [] f)
 
-let run_pred ?max_conflicts env scope name =
+let run_pred ?proof ?max_conflicts env scope name =
   match Ast.find_pred env.Alloy.Typecheck.spec name with
   | None -> invalid_arg (Printf.sprintf "Analyzer.run_pred: unknown predicate %s" name)
   | Some p ->
-      solve_goal ?max_conflicts env scope (fun bounds ->
+      solve_goal ?proof ?max_conflicts env scope (fun bounds ->
           Translate.pred_goal bounds p)
 
-let check_assert ?max_conflicts env scope name =
+let check_assert ?proof ?max_conflicts env scope name =
   match Ast.find_assert env.Alloy.Typecheck.spec name with
   | None ->
       invalid_arg (Printf.sprintf "Analyzer.check_assert: unknown assertion %s" name)
-  | Some a -> solve_fmla ?max_conflicts env scope (Ast.Not a.assert_body)
+  | Some a -> solve_fmla ?proof ?max_conflicts env scope (Ast.Not a.assert_body)
 
-let run_command ?max_conflicts env (c : Ast.command) =
+let run_command ?proof ?max_conflicts env (c : Ast.command) =
   let scope = Bounds.scope_of_command c in
   match c.cmd_kind with
-  | Ast.Run_pred name -> run_pred ?max_conflicts env scope name
-  | Ast.Run_fmla f -> solve_fmla ?max_conflicts env scope f
-  | Ast.Check name -> check_assert ?max_conflicts env scope name
+  | Ast.Run_pred name -> run_pred ?proof ?max_conflicts env scope name
+  | Ast.Run_fmla f -> solve_fmla ?proof ?max_conflicts env scope f
+  | Ast.Check name -> check_assert ?proof ?max_conflicts env scope name
 
 let enumerate ?(limit = 10) ?max_conflicts env scope f =
   let solver, bounds, ts = setup env scope in

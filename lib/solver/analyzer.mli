@@ -20,14 +20,19 @@ val outcome_to_string : outcome -> string
 val outcome_verdict : outcome -> verdict
 
 val solve_fmla :
+  ?proof:Specrepair_sat.Proof.sink ->
   ?max_conflicts:int ->
   Alloy.Typecheck.env ->
   Bounds.scope ->
   Alloy.Ast.fmla ->
   outcome
-(** Satisfiability of [facts /\ implicit /\ f] within the scope. *)
+(** Satisfiability of [facts /\ implicit /\ f] within the scope.  With
+    [?proof], the underlying solver logs its run — original clauses and
+    derivations — to the sink, making UNSAT outcomes independently
+    checkable (see {!Specrepair_sat.Drat}). *)
 
 val run_pred :
+  ?proof:Specrepair_sat.Proof.sink ->
   ?max_conflicts:int ->
   Alloy.Typecheck.env ->
   Bounds.scope ->
@@ -36,6 +41,7 @@ val run_pred :
 (** [run p]: parameters are existentially quantified. *)
 
 val check_assert :
+  ?proof:Specrepair_sat.Proof.sink ->
   ?max_conflicts:int ->
   Alloy.Typecheck.env ->
   Bounds.scope ->
@@ -44,7 +50,11 @@ val check_assert :
 (** [check a]: [Sat inst] means [inst] is a counterexample. *)
 
 val run_command :
-  ?max_conflicts:int -> Alloy.Typecheck.env -> Alloy.Ast.command -> outcome
+  ?proof:Specrepair_sat.Proof.sink ->
+  ?max_conflicts:int ->
+  Alloy.Typecheck.env ->
+  Alloy.Ast.command ->
+  outcome
 
 val enumerate :
   ?limit:int ->

@@ -13,6 +13,8 @@ type stats = {
   formulas_translated : int;
   formulas_reused : int;
   contexts : int;
+  certified : int;
+  certificate_failures : int;
 }
 
 type counters = {
@@ -23,7 +25,15 @@ type counters = {
   mutable c_fallback_queries : int;
   mutable c_formulas_translated : int;
   mutable c_formulas_reused : int;
+  mutable c_certified : int;
+  mutable c_cert_failures : int;
 }
+
+(* The certification state of one long-lived context: an independent DRUP
+   checker mirroring the solver's clause stream step by step.  A failed
+   step is latched — once the stream has a gap, no later UNSAT from this
+   context can be trusted. *)
+type cert = { checker : Drat.t; mutable cert_error : string option }
 
 (* One shared solver per command scope: base bounds, Tseitin state, and the
    activation-literal memo for every formula ever guarded in it. *)
@@ -32,10 +42,13 @@ type context = {
   bounds : Bounds.t;
   ts : Tseitin.t;
   acts : (string, Lit.t) Hashtbl.t;
+  cert : cert option;
 }
 
 type t = {
   base : Alloy.Typecheck.env;
+  certify : bool;
+  on_certify : (bool -> unit) option;
   contexts : (string, context) Hashtbl.t;
   verdicts : (string, verdict) Hashtbl.t;
   outcomes : (string, Analyzer.outcome) Hashtbl.t;
@@ -43,9 +56,11 @@ type t = {
   counters : counters;
 }
 
-let create base =
+let create ?(certify = false) ?on_certify base =
   {
     base;
+    certify;
+    on_certify;
     contexts = Hashtbl.create 4;
     verdicts = Hashtbl.create 512;
     outcomes = Hashtbl.create 64;
@@ -59,8 +74,15 @@ let create base =
         c_fallback_queries = 0;
         c_formulas_translated = 0;
         c_formulas_reused = 0;
+        c_certified = 0;
+        c_cert_failures = 0;
       };
   }
+
+let note_certified t ok =
+  if ok then t.counters.c_certified <- t.counters.c_certified + 1
+  else t.counters.c_cert_failures <- t.counters.c_cert_failures + 1;
+  match t.on_certify with Some f -> f ok | None -> ()
 
 let base t = t.base
 
@@ -121,12 +143,31 @@ let context_for t scope =
   | Some ctx -> ctx
   | None ->
       let solver = Solver.create () in
+      let cert =
+        if not t.certify then None
+        else begin
+          (* mirror the solver's stream into an incremental checker; the
+             sink must be installed before [Bounds.create], which asserts
+             clauses at construction time *)
+          let cert = { checker = Drat.create (); cert_error = None } in
+          Solver.set_proof solver
+            (Some
+               (function
+               | Proof.Input c -> Drat.add_premise cert.checker c
+               | Proof.Step step -> (
+                   match Drat.apply cert.checker step with
+                   | Ok () -> ()
+                   | Error e ->
+                       if cert.cert_error = None then cert.cert_error <- Some e)));
+          Some cert
+        end
+      in
       let bounds = Bounds.create solver t.base scope in
       let ts = Tseitin.create solver in
       (* the immutable base: implicit constraints and scope caps, asserted
          unguarded exactly once per context *)
       Tseitin.assert_formula ts (Translate.implicit_fmla bounds);
-      let ctx = { solver; bounds; ts; acts = Hashtbl.create 256 } in
+      let ctx = { solver; bounds; ts; acts = Hashtbl.create 256; cert } in
       Hashtbl.add t.contexts key ctx;
       ctx
 
@@ -174,6 +215,29 @@ let goal_of (env : Alloy.Typecheck.env) (c : Ast.command) =
 
 let outcome_tag = Analyzer.outcome_verdict
 
+(* Fresh (non-incremental) solve, proof-checked when certifying: covers the
+   sig-incompatible fallback and instance-producing queries, so an UNSAT
+   answer is certified no matter which path served it. *)
+let analyzer_run ?max_conflicts t env c =
+  if not t.certify then Analyzer.run_command ?max_conflicts env c
+  else begin
+    let r = Proof.recorder () in
+    let o =
+      Analyzer.run_command ~proof:(Proof.recorder_sink r) ?max_conflicts env c
+    in
+    (match o with
+    | Analyzer.Unsat ->
+        note_certified t
+          (match
+             Drat.check ~premises:(Proof.inputs r)
+               (List.to_seq (Proof.steps r))
+           with
+          | Ok () -> true
+          | Error _ -> false)
+    | Analyzer.Sat _ | Analyzer.Unknown -> ());
+    o
+  end
+
 (* {2 Verdict queries (incremental)} *)
 
 let solve_incremental ?max_conflicts t (env : Alloy.Typecheck.env) c goal =
@@ -193,12 +257,19 @@ let solve_incremental ?max_conflicts t (env : Alloy.Typecheck.env) c goal =
       env.spec.facts
   in
   let goal_act = activation t ctx env ("goal:" ^ fmla_key env.spec goal) goal in
-  match
-    Solver.solve ~assumptions:(fact_acts @ [ goal_act ]) ?max_conflicts
-      ctx.solver
-  with
+  let assumptions = fact_acts @ [ goal_act ] in
+  match Solver.solve ~assumptions ?max_conflicts ctx.solver with
   | Solver.Sat -> `Sat
-  | Solver.Unsat -> `Unsat
+  | Solver.Unsat ->
+      (match ctx.cert with
+      | None -> ()
+      | Some cert ->
+          (* every proof step was already RUP-checked as it streamed in;
+             what remains is that the clause store actually refutes this
+             query's assumptions *)
+          note_certified t
+            (cert.cert_error = None && Drat.refutes cert.checker assumptions));
+      `Unsat
   | Solver.Unknown -> `Unknown
 
 let command_verdict ?max_conflicts t (env : Alloy.Typecheck.env)
@@ -211,7 +282,7 @@ let command_verdict ?max_conflicts t (env : Alloy.Typecheck.env)
   | None ->
       let fresh () =
         t.counters.c_fallback_queries <- t.counters.c_fallback_queries + 1;
-        outcome_tag (Analyzer.run_command ?max_conflicts env c)
+        outcome_tag (analyzer_run ?max_conflicts t env c)
       in
       let v =
         if not (compatible t env) then fresh ()
@@ -239,7 +310,7 @@ let run_command ?max_conflicts t (env : Alloy.Typecheck.env) (c : Ast.command)
       o
   | None ->
       t.counters.c_instance_misses <- t.counters.c_instance_misses + 1;
-      let o = Analyzer.run_command ?max_conflicts env c in
+      let o = analyzer_run ?max_conflicts t env c in
       Hashtbl.add t.outcomes key o;
       (* a fresh outcome also answers future verdict-only queries *)
       let vkey = verdict_cache_key ?max_conflicts env c in
@@ -278,6 +349,8 @@ let stats t =
     formulas_translated = c.c_formulas_translated;
     formulas_reused = c.c_formulas_reused;
     contexts = Hashtbl.length t.contexts;
+    certified = c.c_certified;
+    certificate_failures = c.c_cert_failures;
   }
 
 let reset_stats t =
@@ -288,12 +361,16 @@ let reset_stats t =
   c.c_instance_misses <- 0;
   c.c_fallback_queries <- 0;
   c.c_formulas_translated <- 0;
-  c.c_formulas_reused <- 0
+  c.c_formulas_reused <- 0;
+  c.c_certified <- 0;
+  c.c_cert_failures <- 0
 
 let pp_stats fmt t =
   let s = stats t in
   Format.fprintf fmt
     "verdicts: %d hit / %d solved; instances: %d hit / %d solved; \
-     translations: %d fresh / %d reused; fallbacks: %d; contexts: %d"
+     translations: %d fresh / %d reused; fallbacks: %d; contexts: %d; \
+     certified: %d ok / %d failed"
     s.verdict_hits s.verdict_misses s.instance_hits s.instance_misses
     s.formulas_translated s.formulas_reused s.fallback_queries s.contexts
+    s.certified s.certificate_failures

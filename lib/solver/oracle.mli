@@ -45,11 +45,26 @@ type stats = {
   formulas_translated : int;  (** guarded translations performed *)
   formulas_reused : int;  (** activation literals served from memo *)
   contexts : int;  (** solving contexts (one per distinct scope) *)
+  certified : int;  (** UNSAT verdicts accepted by the proof checker *)
+  certificate_failures : int;
+      (** UNSAT verdicts the checker could {e not} certify *)
 }
 
-val create : Alloy.Typecheck.env -> t
+val create :
+  ?certify:bool -> ?on_certify:(bool -> unit) -> Alloy.Typecheck.env -> t
 (** A session keyed on the base spec's signature declarations.  Cheap: real
-    work happens lazily, per scope, at the first query. *)
+    work happens lazily, per scope, at the first query.
+
+    With [~certify:true] every UNSAT verdict — the answer the repair study's
+    "ok" and counterexample-free results rest on — is cross-checked by an
+    independent DRUP proof checker ({!Specrepair_sat.Drat}): incremental
+    contexts stream each learnt clause into a per-context checker as it is
+    derived, and fresh fallback solves are checked from their recorded
+    proofs.  Outcomes land in the [certified] / [certificate_failures]
+    counters and, when given, [on_certify] is called with each result
+    (the {!Specrepair_engine} session uses this to count certificates in
+    its telemetry).  Certification roughly doubles solving cost; leave it
+    off on hot paths and on for auditing runs. *)
 
 val base : t -> Alloy.Typecheck.env
 

@@ -23,7 +23,7 @@ flag parser, before any campaign starts:
 
   $ ../../bin/specrepair.exe fuzz --target dpll
   specrepair: option '--target': invalid value 'dpll', expected one of 'sat',
-              'solver', 'oracle' or 'eval'
+              'solver', 'oracle', 'eval' or 'proof'
   Usage: specrepair fuzz [OPTION]…
   Try 'specrepair fuzz --help' or 'specrepair --help' for more information.
   [124]
@@ -40,3 +40,18 @@ hook) is caught, shrunk, persisted to the corpus, and fails the run:
   c assumptions: 2 1 2
   p cnf 2 1
   0
+
+The proof target solves random CNFs with DRUP logging on and requires
+the independent checker to accept every certificate:
+
+  $ ../../bin/specrepair.exe fuzz --target proof --iters 50 --seed 42 --corpus-dir pcorpus
+  {"fuzz":{"seed":42,"corpus_dir":"pcorpus","targets":[{"target":"proof","seed":42,"iters":50,"checks":50,"skipped":0,"discrepancies":0,"corpus":[]}],"total_discrepancies":0}}
+
+Under the same chaos hook the checker is fed every premise but the
+last, so certificates stop checking: each rejection is a discrepancy
+and the run fails:
+
+  $ SPECREPAIR_FUZZ_CHAOS=drop-clause ../../bin/specrepair.exe fuzz --target proof --iters 50 --seed 42 --corpus-dir proofchaos > proofchaos.json
+  [1]
+  $ grep -o '"checks":50,"skipped":0,"discrepancies":36' proofchaos.json
+  "checks":50,"skipped":0,"discrepancies":36

@@ -1,0 +1,63 @@
+The sat subcommand solves DIMACS CNF files; with --proof it streams a
+DRUP certificate of the run, and check-proof verifies a certificate
+against its CNF with the independent checker (no solver code involved).
+
+  $ cat > php.cnf <<EOF
+  > p cnf 6 9
+  > 1 2 0
+  > 3 4 0
+  > 5 6 0
+  > -1 -3 0
+  > -1 -5 0
+  > -3 -5 0
+  > -2 -4 0
+  > -2 -6 0
+  > -4 -6 0
+  > EOF
+
+  $ ../../bin/specrepair.exe sat --proof php.drup php.cnf
+  s UNSATISFIABLE
+  $ ../../bin/specrepair.exe check-proof php.cnf php.drup
+  proof accepted
+
+Satisfiable inputs print a model line (there is nothing to certify):
+
+  $ cat > simple.cnf <<EOF
+  > p cnf 2 2
+  > 1 2 0
+  > -1 0
+  > EOF
+  $ ../../bin/specrepair.exe sat simple.cnf
+  s SATISFIABLE
+  v -1 2 0
+
+The binary DRAT encoding round-trips the same way:
+
+  $ ../../bin/specrepair.exe sat --format binary --proof php.drat php.cnf
+  s UNSATISFIABLE
+  $ ../../bin/specrepair.exe check-proof --format binary php.cnf php.drat
+  proof accepted
+
+A bad certificate is rejected with exit code 1 and the offending step
+named, never a crash.  A truncated (here: empty) proof does not reach a
+conflict:
+
+  $ : > empty.drup
+  $ ../../bin/specrepair.exe check-proof php.cnf empty.drup
+  proof rejected: proof does not derive a conflict
+  [1]
+
+A tampered proof claims a clause the CNF does not entail by reverse
+unit propagation:
+
+  $ printf '9 0\n0\n' > tampered.drup
+  $ ../../bin/specrepair.exe check-proof php.cnf tampered.drup
+  proof rejected: step 1: clause is not RUP: 9 0
+  [1]
+
+Malformed proof files fail parsing, with the same exit code:
+
+  $ printf '1 2\n' > garbage.drup
+  $ ../../bin/specrepair.exe check-proof php.cnf garbage.drup
+  proof rejected: Proof.read_steps: step not 0-terminated: "1 2"
+  [1]

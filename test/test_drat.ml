@@ -1,0 +1,389 @@
+(* Certified UNSAT: proof logging round-trips, the independent DRUP checker
+   accepting real solver proofs and rejecting tampered ones, targeted tests
+   for the solver's cold paths (Luby restarts, learnt-DB reduction, phase
+   saving), and certified replay of the committed fuzz corpus. *)
+
+open Specrepair_sat
+
+let lit v sign = if sign then Lit.pos v else Lit.neg v
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let result_str = function
+  | Solver.Sat -> "sat"
+  | Solver.Unsat -> "unsat"
+  | Solver.Unknown -> "unknown"
+
+(* Solve [clauses] with proof logging on; return the verdict, the recorder,
+   and the solver (for stats and models). *)
+let solve_logged ?assumptions n clauses =
+  let s = Solver.create () in
+  let r = Proof.recorder () in
+  Solver.set_proof s (Some (Proof.recorder_sink r));
+  ignore (Solver.new_vars s n);
+  List.iter (Solver.add_clause s) clauses;
+  let res = Solver.solve ?assumptions s in
+  (res, r, s)
+
+(* Proof-check a logged run: an Unsat verdict must be refuted by the checker
+   under the same assumptions; a Sat verdict's derivations must still all be
+   RUP. *)
+let certify ?(assumptions = []) result r =
+  let premises = Proof.inputs r in
+  let steps = List.to_seq (Proof.steps r) in
+  match result with
+  | Solver.Unsat -> Drat.check ~assumptions ~premises steps
+  | Solver.Sat | Solver.Unknown ->
+      Drat.check ~require_conflict:false ~premises steps
+
+let check_certified ?assumptions msg result r =
+  match certify ?assumptions result r with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: checker rejected the proof: %s" msg e
+
+(* Pigeonhole principle: n+1 pigeons in n holes, unsatisfiable. *)
+let pigeonhole n =
+  let var p h = (p * n) + h in
+  let clauses = ref [] in
+  for p = 0 to n do
+    clauses := List.init n (fun h -> lit (var p h) true) :: !clauses
+  done;
+  for h = 0 to n - 1 do
+    for p1 = 0 to n do
+      for p2 = p1 + 1 to n do
+        clauses := [ lit (var p1 h) false; lit (var p2 h) false ] :: !clauses
+      done
+    done
+  done;
+  ((n + 1) * n, !clauses)
+
+(* {2 Proof format round-trips} *)
+
+let random_steps rand n =
+  List.init n (fun _ ->
+      let len = Random.State.int rand 5 in
+      let c =
+        Array.init len (fun _ ->
+            lit (Random.State.int rand 20) (Random.State.bool rand))
+      in
+      if Random.State.bool rand then Proof.Add c else Proof.Delete c)
+
+let test_format_roundtrip () =
+  let rand = Random.State.make [| 2026 |] in
+  List.iter
+    (fun format ->
+      for _ = 1 to 50 do
+        let steps = random_steps rand (Random.State.int rand 20) in
+        let path = Filename.temp_file "proof" ".drat" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let oc = open_out_bin path in
+            List.iter (Proof.write_step format oc) steps;
+            close_out oc;
+            let ic = open_in_bin path in
+            let back = List.of_seq (Proof.read_steps format ic) in
+            close_in ic;
+            Alcotest.(check int)
+              "step count survives" (List.length steps) (List.length back);
+            List.iter2
+              (fun a b ->
+                if not (Proof.step_equal a b) then
+                  Alcotest.failf "step mangled: %a vs %a" Proof.pp_step a
+                    Proof.pp_step b)
+              steps back)
+      done)
+    [ Proof.Text; Proof.Binary ]
+
+let test_parse_errors () =
+  let rejects format bytes =
+    let path = Filename.temp_file "proof" ".drat" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let oc = open_out_bin path in
+        output_string oc bytes;
+        close_out oc;
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () ->
+            match List.of_seq (Proof.read_steps format ic) with
+            | _ -> Alcotest.failf "accepted malformed proof %S" bytes
+            | exception Proof.Parse_error _ -> ()))
+  in
+  rejects Proof.Text "1 2 3\n";
+  (* missing terminator *)
+  rejects Proof.Text "1 x 0\n";
+  (* bad literal *)
+  rejects Proof.Binary "a\x02";
+  (* truncated varint stream *)
+  rejects Proof.Binary "q\x02\x00" (* bad tag *)
+
+(* {2 Checker verdicts} *)
+
+let test_accepts_pigeonhole () =
+  let nvars, clauses = pigeonhole 4 in
+  let res, r, _ = solve_logged nvars clauses in
+  Alcotest.(check string) "php(5,4) unsat" "unsat" (result_str res);
+  Alcotest.(check bool) "proof has steps" true (Proof.n_steps r > 0);
+  check_certified "php(5,4)" res r
+
+let test_rejects_tampered () =
+  let nvars, clauses = pigeonhole 4 in
+  let res, r, _ = solve_logged nvars clauses in
+  Alcotest.(check string) "php(5,4) unsat" "unsat" (result_str res);
+  (* drop the last non-empty addition: the derivation now has a gap, and the
+     checker must notice — either a later step fails RUP or the final
+     conflict is gone *)
+  let steps = Proof.steps r in
+  let last_add =
+    let rec find i best =
+      match List.nth_opt steps i with
+      | None -> best
+      | Some (Proof.Add c) when Array.length c > 0 -> find (i + 1) (Some i)
+      | Some _ -> find (i + 1) best
+    in
+    match find 0 None with
+    | Some i -> i
+    | None -> Alcotest.fail "proof has no non-empty additions"
+  in
+  let tampered = List.filteri (fun i _ -> i <> last_add) steps in
+  match
+    Drat.check ~premises:(Proof.inputs r) (List.to_seq tampered)
+  with
+  | Ok () -> Alcotest.fail "checker accepted a tampered proof"
+  | Error _ -> ()
+
+let test_rejects_non_rup () =
+  let premises = [ [| lit 0 true; lit 1 true |] ] in
+  let bogus = List.to_seq [ Proof.Add [| lit 2 true |] ] in
+  (match Drat.check ~require_conflict:false ~premises bogus with
+  | Ok () -> Alcotest.fail "accepted a non-RUP addition"
+  | Error e ->
+      Alcotest.(check bool)
+        "error names the offense" true (contains ~sub:"not RUP" e));
+  let unknown_delete = List.to_seq [ Proof.Delete [| lit 0 true |] ] in
+  match Drat.check ~require_conflict:false ~premises unknown_delete with
+  | Ok () -> Alcotest.fail "accepted a delete of an unknown clause"
+  | Error e ->
+      Alcotest.(check bool)
+        "error names the offense" true (contains ~sub:"unknown clause" e)
+
+let test_no_conflict_rejected () =
+  (* a satisfiable CNF's (empty) proof must not certify UNSAT *)
+  let premises = [ [| lit 0 true |] ] in
+  match Drat.check ~premises Seq.empty with
+  | Ok () -> Alcotest.fail "certified UNSAT for a satisfiable CNF"
+  | Error e ->
+      Alcotest.(check bool)
+        "error names the missing conflict" true (contains ~sub:"conflict" e)
+
+let test_assumption_core_certified () =
+  (* the oracle pattern: a guarded hard subproblem toggled by assumptions;
+     the emitted ¬core clause must let the checker refute the assumptions *)
+  let s = Solver.create () in
+  let r = Proof.recorder () in
+  Solver.set_proof s (Some (Proof.recorder_sink r));
+  let nvars, clauses = pigeonhole 3 in
+  ignore (Solver.new_vars s nvars);
+  let act = Lit.pos (Solver.new_var s) in
+  List.iter (fun c -> Solver.add_clause s (Lit.negate act :: c)) clauses;
+  (match Solver.solve ~assumptions:[ act ] s with
+  | Unsat -> ()
+  | r -> Alcotest.failf "expected unsat, got %s" (result_str r));
+  (* incremental checker, the way the oracle drives it *)
+  let t = Drat.create () in
+  List.iter (Drat.add_premise t) (Proof.inputs r);
+  List.iter
+    (fun step ->
+      match Drat.apply t step with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "step rejected: %s" e)
+    (Proof.steps r);
+  Alcotest.(check bool) "refutes the assumption" true (Drat.refutes t [ act ]);
+  Alcotest.(check bool)
+    "does not refute without it" false
+    (Drat.refutes t [ Lit.negate act ]);
+  (* the solver is still usable, and steps learnt by later solves keep
+     extending the same incremental checker *)
+  let n_before = List.length (Proof.steps r) in
+  (match Solver.solve ~assumptions:[ Lit.negate act ] s with
+  | Sat -> ()
+  | r -> Alcotest.failf "expected sat, got %s" (result_str r));
+  List.iteri
+    (fun i step ->
+      if i >= n_before then
+        match Drat.apply t step with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "post-sat step rejected: %s" e)
+    (Proof.steps r)
+
+(* {2 Random CNFs, both verdicts} *)
+
+let random_cnf rand =
+  let n = 1 + Random.State.int rand 8 in
+  let n_clauses = Random.State.int rand 36 in
+  let clause () =
+    List.init
+      (1 + Random.State.int rand 4)
+      (fun _ -> lit (Random.State.int rand n) (Random.State.bool rand))
+  in
+  (n, List.init n_clauses (fun _ -> clause ()))
+
+let test_random_certified () =
+  let rand = Random.State.make [| 77 |] in
+  let unsat = ref 0 in
+  for _ = 1 to 300 do
+    let n, clauses = random_cnf rand in
+    let res, r, _ = solve_logged n clauses in
+    if res = Solver.Unsat then incr unsat;
+    check_certified "random cnf" res r
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "sample exercises unsat (%d found)" !unsat)
+    true (!unsat > 10)
+
+(* {2 Solver cold paths} *)
+
+let test_restarts_certified () =
+  let nvars, clauses = pigeonhole 5 in
+  let res, r, s = solve_logged nvars clauses in
+  Alcotest.(check string) "php(6,5) unsat" "unsat" (result_str res);
+  Alcotest.(check bool)
+    (Printf.sprintf "restarts taken (%d)" (Solver.n_restarts s))
+    true
+    (Solver.n_restarts s > 0);
+  check_certified "across restarts" res r;
+  (* the verdict is stable on re-solve, and the longer proof still checks *)
+  let res2 = Solver.solve s in
+  Alcotest.(check string) "stable verdict" "unsat" (result_str res2);
+  check_certified "after re-solve" res2 r
+
+let test_reduce_db_certified () =
+  (* php(8,7) needs a few thousand conflicts: learnt clauses pile up past
+     the reduction threshold, deletions are emitted, and the proof must
+     still check — deletions may not break later derivations *)
+  let s = Solver.create () in
+  let r = Proof.recorder () in
+  Solver.set_proof s (Some (Proof.recorder_sink r));
+  let nvars, clauses = pigeonhole 7 in
+  ignore (Solver.new_vars s nvars);
+  List.iter (Solver.add_clause s) clauses;
+  let res = Solver.solve s in
+  Alcotest.(check string) "php(8,7) unsat" "unsat" (result_str res);
+  Alcotest.(check bool)
+    (Printf.sprintf "learnt DB reduced (%d times)" (Solver.n_reductions s))
+    true
+    (Solver.n_reductions s > 0);
+  let deletions =
+    List.length
+      (List.filter
+         (function Proof.Delete _ -> true | Proof.Add _ -> false)
+         (Proof.steps r))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "deletions emitted (%d)" deletions)
+    true (deletions > 0);
+  check_certified "with deletions" res r
+
+let test_phase_saving () =
+  (* phases are saved on backtrack and reused by pick_branch: a model found
+     under assumptions persists into later unconstrained solves *)
+  let s = Solver.create () in
+  ignore (Solver.new_vars s 6);
+  Solver.add_clause s [ lit 0 true; lit 1 true ];
+  (match Solver.solve s with
+  | Sat -> ()
+  | r -> Alcotest.failf "expected sat, got %s" (result_str r));
+  (* default phase is false: unconstrained vars come out false *)
+  Alcotest.(check bool) "default phase false" false (Solver.value s 5);
+  (match Solver.solve ~assumptions:[ lit 5 true; lit 3 true ] s with
+  | Sat -> ()
+  | r -> Alcotest.failf "expected sat, got %s" (result_str r));
+  Alcotest.(check bool) "assumed true" true (Solver.value s 5);
+  (* without the assumptions, the saved phase keeps the flipped values *)
+  (match Solver.solve s with
+  | Sat -> ()
+  | r -> Alcotest.failf "expected sat, got %s" (result_str r));
+  Alcotest.(check bool) "phase saved across solves" true (Solver.value s 5);
+  Alcotest.(check bool) "phase saved across solves" true (Solver.value s 3)
+
+(* {2 Certified corpus replay} *)
+
+let corpus_dir =
+  if Sys.file_exists "../artifacts/fuzz" then "../artifacts/fuzz"
+  else "artifacts/fuzz"
+
+let test_corpus_certified () =
+  let entries =
+    Sys.readdir corpus_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".cnf")
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "corpus has CNF entries" true (entries <> []);
+  List.iter
+    (fun file ->
+      let path = Filename.concat corpus_dir file in
+      let ic = open_in path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let cnf = Dimacs.parse text in
+      let s = Solver.create () in
+      let recorder = Proof.recorder () in
+      Solver.set_proof s (Some (Proof.recorder_sink recorder));
+      Dimacs.load_into s cnf;
+      let res = Solver.solve s in
+      (* stream the proof through a temp file in both formats: the on-disk
+         path the CLI uses must agree with the in-memory recorder *)
+      List.iter
+        (fun format ->
+          let proof_path = Filename.temp_file "corpus" ".drat" in
+          Fun.protect
+            ~finally:(fun () -> Sys.remove proof_path)
+            (fun () ->
+              let oc = open_out_bin proof_path in
+              List.iter (Proof.write_step format oc) (Proof.steps recorder);
+              close_out oc;
+              let require_conflict = res = Solver.Unsat in
+              match
+                Drat.check_file ~require_conflict ~cnf ~format proof_path
+              with
+              | Ok () -> ()
+              | Error e -> Alcotest.failf "%s: %s" file e))
+        [ Proof.Text; Proof.Binary ];
+      check_certified file res recorder)
+    entries
+
+let () =
+  Alcotest.run "drat"
+    [
+      ( "formats",
+        [
+          Alcotest.test_case "round-trip" `Quick test_format_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "accepts pigeonhole" `Quick test_accepts_pigeonhole;
+          Alcotest.test_case "rejects tampered" `Quick test_rejects_tampered;
+          Alcotest.test_case "rejects non-RUP" `Quick test_rejects_non_rup;
+          Alcotest.test_case "no conflict, no certificate" `Quick
+            test_no_conflict_rejected;
+          Alcotest.test_case "assumption cores" `Quick
+            test_assumption_core_certified;
+          Alcotest.test_case "random CNFs" `Quick test_random_certified;
+        ] );
+      ( "cold paths",
+        [
+          Alcotest.test_case "restarts" `Quick test_restarts_certified;
+          Alcotest.test_case "reduce_db" `Slow test_reduce_db_certified;
+          Alcotest.test_case "phase saving" `Quick test_phase_saving;
+        ] );
+      ( "corpus",
+        [ Alcotest.test_case "certified replay" `Quick test_corpus_certified ]
+      );
+    ]

@@ -1,6 +1,6 @@
 (* Tests for the differential fuzzing harness itself: seeded determinism
    of the generators, the DPLL reference against hand-checkable inputs,
-   zero-discrepancy smoke campaigns for all four targets, the chaos
+   zero-discrepancy smoke campaigns for all five targets, the chaos
    injection path (caught, shrunk, persisted), and regression-corpus
    replay. *)
 
@@ -115,7 +115,7 @@ let test_ref_sat_vs_solver () =
           | Solver.Unknown -> "unknown")
   done
 
-(* {2 Campaign smoke: all four targets, zero discrepancies} *)
+(* {2 Campaign smoke: all five targets, zero discrepancies} *)
 
 let smoke target iters () =
   let dir = tmp_dir "fuzz-smoke" in
@@ -157,6 +157,30 @@ let test_chaos_injection () =
         (List.length cnf.Dimacs.clauses <= 3))
     r.Harness.corpus;
   (* with the fault healed, every persisted entry replays clean *)
+  List.iter
+    (fun (path, res) ->
+      match res with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "replay of %s failed: %s" path msg)
+    (Harness.replay_dir dir)
+
+(* The proof target under chaos: the checker sees every premise but the
+   last, so certificates stop checking — a rejection counted as a
+   discrepancy, never a crash — and the persisted entries replay clean
+   once the fault is healed. *)
+let test_chaos_proof_rejection () =
+  let dir = tmp_dir "fuzz-chaos-proof" in
+  Unix.putenv "SPECREPAIR_FUZZ_CHAOS" "drop-clause";
+  let r =
+    Fun.protect
+      ~finally:(fun () -> Unix.putenv "SPECREPAIR_FUZZ_CHAOS" "")
+      (fun () ->
+        Harness.run ~corpus_dir:dir Harness.Proof_target ~seed:42 ~iters:50 ())
+  in
+  Alcotest.(check bool) "tampered certificates rejected" true
+    (r.Harness.discrepancies > 0);
+  Alcotest.(check int) "every iteration still completed" 50
+    (r.Harness.checks + r.Harness.skipped);
   List.iter
     (fun (path, res) ->
       match res with
@@ -206,11 +230,16 @@ let () =
           Alcotest.test_case "solver" `Quick (smoke Harness.Solver_target 40);
           Alcotest.test_case "oracle" `Quick (smoke Harness.Oracle_target 25);
           Alcotest.test_case "eval" `Quick (smoke Harness.Eval_target 40);
+          Alcotest.test_case "proof" `Quick (smoke Harness.Proof_target 100);
           Alcotest.test_case "deterministic report" `Quick
             test_report_deterministic;
         ] );
       ( "chaos",
-        [ Alcotest.test_case "injection caught" `Quick test_chaos_injection ] );
+        [
+          Alcotest.test_case "injection caught" `Quick test_chaos_injection;
+          Alcotest.test_case "proof rejection" `Quick
+            test_chaos_proof_rejection;
+        ] );
       ( "corpus",
         [ Alcotest.test_case "regression replay" `Quick test_corpus_replay ] );
     ]

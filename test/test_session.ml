@@ -173,6 +173,29 @@ let test_telemetry_json_parses () =
       "\"oracle\"";
     ]
 
+(* With ~certify:true every UNSAT verdict the repair relies on must come
+   with a DRUP certificate the independent checker accepts; the outcomes
+   land both in the oracle stats and in the session telemetry. *)
+let test_certified_repair () =
+  let env = Lazy.force faulty_env in
+  let session = Session.create ~certify:true env in
+  let r = Repair.Beafix.repair ~session env in
+  Alcotest.(check bool) "repair succeeded" true r.repaired;
+  let t = Session.telemetry session in
+  Alcotest.(check bool) "some UNSAT verdicts were certified" true
+    (t.Telemetry.certified_unsat >= 1);
+  Alcotest.(check int) "no certificate failures" 0
+    t.Telemetry.certificate_failures;
+  let os = Session.oracle_stats session in
+  Alcotest.(check int) "oracle stats agree with telemetry"
+    t.Telemetry.certified_unsat os.Solver.Oracle.certified;
+  Alcotest.(check int) "oracle stats report no failures" 0
+    os.Solver.Oracle.certificate_failures;
+  (* certification is an observer: the verdicts themselves are unchanged *)
+  let plain = Repair.Beafix.repair ~session:(Session.create env) env in
+  Alcotest.(check bool) "same outcome without certification" r.repaired
+    plain.repaired
+
 let test_session_budget_and_seed () =
   let env = Lazy.force faulty_env in
   let budget = { Session.default_budget with max_candidates = 7 } in
@@ -222,6 +245,7 @@ let () =
       ( "telemetry",
         [
           Alcotest.test_case "counters" `Quick test_telemetry_counters;
+          Alcotest.test_case "certified repair" `Quick test_certified_repair;
           Alcotest.test_case "json" `Quick test_telemetry_json_parses;
           Alcotest.test_case "budget and seed" `Quick
             test_session_budget_and_seed;

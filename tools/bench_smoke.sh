@@ -1,7 +1,7 @@
 #!/bin/sh
 # Smoke test of the benchmark harness: run the whole bench at the smallest
-# sample and check that the oracle and parallel stages produced well-formed
-# artifacts.  Exits nonzero on any failure.
+# sample and check that the oracle, proof-certification and parallel stages
+# produced well-formed artifacts.  Exits nonzero on any failure.
 #
 # Wall-clock thresholds (the oracle's >= 2x speedup) are only enforced on
 # quiet local machines; under CI=1 the script gates on the stages' cache
@@ -15,13 +15,14 @@ workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
 
 out="$workdir/BENCH_oracle.json"
+proof="$workdir/BENCH_proof.json"
 par="$workdir/BENCH_parallel.json"
 ci_mode="${CI:-0}"
 
 BENCH_SAMPLE="${BENCH_SAMPLE:-1}" BENCH_ORACLE_OUT="$out" \
-    BENCH_PARALLEL_OUT="$par" dune exec bench/main.exe
+    BENCH_PROOF_OUT="$proof" BENCH_PARALLEL_OUT="$par" dune exec bench/main.exe
 
-for f in "$out" "$par"; do
+for f in "$out" "$proof" "$par"; do
     if [ ! -s "$f" ]; then
         echo "bench_smoke: $f missing or empty" >&2
         exit 1
@@ -29,7 +30,7 @@ for f in "$out" "$par"; do
 done
 
 if command -v python3 >/dev/null 2>&1; then
-    CI_MODE="$ci_mode" python3 - "$out" "$par" <<'EOF'
+    CI_MODE="$ci_mode" python3 - "$out" "$proof" "$par" <<'EOF'
 import json, os, sys
 
 ci = os.environ.get("CI_MODE", "0") == "1"
@@ -64,6 +65,30 @@ else:
           f"{data['candidates']} candidates)")
 
 with open(sys.argv[2]) as f:
+    cdata = json.load(f)
+
+crequired = [
+    "sample", "domains", "candidates", "plain_ms", "certified_ms",
+    "overhead", "verdicts_match", "certified", "certificate_failures",
+    "sat_plain_ms", "sat_logged_ms", "sat_checked_ms", "proof_steps",
+]
+missing = [k for k in crequired if k not in cdata]
+if missing:
+    sys.exit(f"bench_smoke: BENCH_proof.json lacks keys: {missing}")
+if not cdata["verdicts_match"]:
+    sys.exit("bench_smoke: certified verdicts diverged from plain verdicts")
+if cdata["certified"] <= 0:
+    sys.exit("bench_smoke: proof stage certified no UNSAT verdict")
+if cdata["certificate_failures"] != 0:
+    sys.exit("bench_smoke: the checker rejected "
+             f"{cdata['certificate_failures']} certificate(s)")
+if cdata["proof_steps"] <= 0:
+    sys.exit("bench_smoke: pigeonhole run logged no proof steps")
+print(f"bench_smoke: proof ok ({cdata['certified']} certificates accepted, "
+      f"overhead {cdata['overhead']}x, {cdata['proof_steps']} pigeonhole "
+      "steps)")
+
+with open(sys.argv[3]) as f:
     pdata = json.load(f)
 
 prequired = [
@@ -100,6 +125,12 @@ else
     for key in speedup fresh_ms incremental_ms verdict_hits; do
         if ! grep -q "\"$key\"" "$out"; then
             echo "bench_smoke: BENCH_oracle.json lacks key $key" >&2
+            exit 1
+        fi
+    done
+    for key in certified certificate_failures overhead proof_steps; do
+        if ! grep -q "\"$key\"" "$proof"; then
+            echo "bench_smoke: BENCH_proof.json lacks key $key" >&2
             exit 1
         fi
     done

@@ -8,7 +8,8 @@
 # locally via `specrepair fuzz --iters 500` — but every discrepancy
 # class the harness knows (SAT verdicts, models, unsat cores, budget
 # behaviour, model-finder vs enumeration, oracle coherence, pinned
-# translation vs evaluation) is exercised on every run.
+# translation vs evaluation, DRUP certificate checking) is exercised on
+# every run.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -32,6 +33,7 @@ for pass in 1 2; do
         run solver "$iters"
         run oracle "$iters"
         run eval "$iters"
+        run proof "$iters"
     } > "$workdir/summary-$pass.json" || {
         echo "fuzz_smoke: discrepancies found (pass $pass):" >&2
         cat "$workdir/summary-$pass.json" >&2
@@ -59,4 +61,18 @@ if ! ls "$workdir/chaos"/*.cnf >/dev/null 2>&1; then
     exit 1
 fi
 
-echo "fuzz_smoke: ok (seed $seed; sat x$sat_iters, solver/oracle/eval x$iters, twice, byte-identical; chaos hook caught)"
+# The same hook feeds the proof checker every premise but the last, so
+# DRUP certificates stop checking: the rejections (never crashes) must be
+# counted as discrepancies and fail the run.
+if SPECREPAIR_FUZZ_CHAOS=drop-clause dune exec bin/specrepair.exe -- fuzz \
+    --target proof --iters 50 --seed "$seed" \
+    --corpus-dir "$workdir/chaos-proof" > "$workdir/chaos-proof.json" 2>&1; then
+    echo "fuzz_smoke: tampered proof premises were not rejected" >&2
+    exit 1
+fi
+if ! ls "$workdir/chaos-proof"/*.cnf >/dev/null 2>&1; then
+    echo "fuzz_smoke: proof chaos run persisted no corpus entry" >&2
+    exit 1
+fi
+
+echo "fuzz_smoke: ok (seed $seed; sat x$sat_iters, solver/oracle/eval/proof x$iters, twice, byte-identical; chaos hooks caught)"
