@@ -42,6 +42,27 @@ let nonneg_int =
   in
   Arg.conv ~docv:"N" (parse, Format.pp_print_int)
 
+(* Solving options shared by [sat], [repair] and [evaluate]. *)
+let simplify_flag =
+  Arg.(
+    value & flag
+    & info [ "simplify" ]
+        ~doc:
+          "Route SAT solving through the proof-preserving simplifier: \
+           preprocessing (subsumption, self-subsuming resolution, \
+           vivification, bounded variable elimination) plus periodic \
+           inprocessing between conflict-budgeted solve chunks.")
+
+let portfolio_arg =
+  Arg.(
+    value
+    & opt positive_int 1
+    & info [ "portfolio" ] ~docv:"N"
+        ~doc:
+          "Race $(docv) diversified solver configurations (seed, restart \
+           schedule, phase polarity, simplification) in forked workers; \
+           the first verdict wins.  $(b,1) (the default) solves in-process.")
+
 (* {2 parse} *)
 
 let parse_cmd =
@@ -127,10 +148,12 @@ let repair_cmd =
       & info [ "telemetry" ]
           ~doc:"Print the session's telemetry as one JSON line on stderr")
   in
-  let run file tool seed deadline_ms telemetry =
+  let run file tool seed deadline_ms telemetry simplify portfolio =
     match load_env file with
     | env ->
-        let session = Repair.Session.create ~seed ?deadline_ms env in
+        let session =
+          Repair.Session.create ~seed ?deadline_ms ~simplify ~portfolio env
+        in
         let result =
           match tool with
           | `Beafix -> Repair.Beafix.repair ~session env
@@ -166,7 +189,10 @@ let repair_cmd =
   Cmd.v
     (Cmd.info "repair"
        ~doc:"Repair a faulty specification against its own commands")
-    Term.(ret (const run $ file $ tool $ seed $ deadline_ms $ telemetry))
+    Term.(
+      ret
+        (const run $ file $ tool $ seed $ deadline_ms $ telemetry
+       $ simplify_flag $ portfolio_arg))
 
 (* {2 domains} *)
 
@@ -256,7 +282,7 @@ let evaluate_cmd =
           ~doc:"Write per-row telemetry as JSON lines to FILE")
   in
   let run sample seed jobs retries quiet what csv_out csv_in artifacts_dir
-      deadline_ms telemetry_out =
+      deadline_ms telemetry_out simplify portfolio =
     let telemetry_chan = Option.map open_out telemetry_out in
     let telemetry =
       Option.map
@@ -283,7 +309,7 @@ let evaluate_cmd =
               (List.length variants)
               (List.length Eval.Technique.all);
           Eval.Study.run_parallel ~seed ~jobs ~max_retries:retries ?deadline_ms
-            ?telemetry ~progress variants
+            ?telemetry ~simplify ~portfolio ~progress variants
     in
     Option.iter close_out telemetry_chan;
     (match csv_out with
@@ -326,7 +352,8 @@ let evaluate_cmd =
        ~doc:"Run the study and regenerate the paper's tables and figures")
     Term.(
       const run $ sample $ seed $ jobs $ retries $ quiet $ what $ csv_out
-      $ csv_in $ artifacts_dir $ deadline_ms $ telemetry_out)
+      $ csv_in $ artifacts_dir $ deadline_ms $ telemetry_out $ simplify_flag
+      $ portfolio_arg)
 
 (* {2 sat / check-proof} *)
 
@@ -354,36 +381,63 @@ let sat_cmd =
              inputs the file is a certificate $(b,check-proof) can verify \
              against the CNF.")
   in
-  let run file proof format =
+  let run file proof format simplify portfolio =
     match Sat.Dimacs.parse (read_file file) with
     | exception Sat.Dimacs.Parse_error msg -> `Error (false, msg)
     | cnf ->
-        let s = Sat.Solver.create () in
         let oc = Option.map open_out_bin proof in
-        Option.iter
-          (fun oc -> Sat.Solver.set_proof s (Some (Sat.Proof.file_sink format oc)))
-          oc;
-        Sat.Dimacs.load_into s cnf;
-        let result = Sat.Solver.solve s in
-        Option.iter close_out oc;
-        (match result with
-        | Sat.Solver.Sat ->
-            let buf = Buffer.create 64 in
-            for v = 0 to cnf.Sat.Dimacs.num_vars - 1 do
-              Buffer.add_string buf
-                (Printf.sprintf " %d"
-                   (if Sat.Solver.value s v then v + 1 else -(v + 1)))
-            done;
-            Printf.printf "s SATISFIABLE\nv%s 0\n" (Buffer.contents buf)
-        | Sat.Solver.Unsat -> print_endline "s UNSATISFIABLE"
-        | Sat.Solver.Unknown -> print_endline "s UNKNOWN");
+        let sink = Option.map (Sat.Proof.file_sink format) oc in
+        (* Stats go to stderr so stdout stays byte-identical across solving
+           options (for equal verdicts; models may legitimately differ). *)
+        let emit result value =
+          match result with
+          | Sat.Solver.Sat ->
+              let buf = Buffer.create 64 in
+              for v = 0 to cnf.Sat.Dimacs.num_vars - 1 do
+                Buffer.add_string buf
+                  (Printf.sprintf " %d" (if value v then v + 1 else -(v + 1)))
+              done;
+              Printf.printf "s SATISFIABLE\nv%s 0\n" (Buffer.contents buf)
+          | Sat.Solver.Unsat -> print_endline "s UNSATISFIABLE"
+          | Sat.Solver.Unknown -> print_endline "s UNKNOWN"
+        in
+        let of_model model v =
+          match model with Some m -> v < Array.length m && m.(v) | None -> false
+        in
+        if portfolio > 1 then begin
+          let o = Sat.Portfolio.solve ~jobs:portfolio ~simplify ?proof:sink cnf in
+          Option.iter close_out oc;
+          Printf.eprintf "c portfolio: winner %d of %d worker(s), %d rejected\n"
+            o.Sat.Portfolio.winner o.workers o.rejected;
+          emit o.result (of_model o.model)
+        end
+        else if simplify then begin
+          let r = Sat.Simplify.solve ?proof:sink cnf in
+          Option.iter close_out oc;
+          let st = r.Sat.Simplify.sstats in
+          Printf.eprintf
+            "c simplify: %d subsumed, %d strengthened, %d vivified, %d \
+             eliminated; %d conflicts, %d propagations, %d restarts\n"
+            st.Sat.Simplify.subsumed st.strengthened st.vivified st.eliminated
+            r.Sat.Simplify.conflicts r.propagations r.restarts;
+          emit r.result (of_model r.model)
+        end
+        else begin
+          let s = Sat.Solver.create () in
+          Option.iter (fun sink -> Sat.Solver.set_proof s (Some sink)) sink;
+          Sat.Dimacs.load_into s cnf;
+          let result = Sat.Solver.solve s in
+          Option.iter close_out oc;
+          emit result (Sat.Solver.value s)
+        end;
         `Ok ()
   in
   Cmd.v
     (Cmd.info "sat"
        ~doc:
          "Solve a DIMACS CNF file, optionally logging a DRUP proof of the run")
-    Term.(ret (const run $ file $ proof $ format_arg))
+    Term.(
+      ret (const run $ file $ proof $ format_arg $ simplify_flag $ portfolio_arg))
 
 let check_proof_cmd =
   let module Sat = Specrepair_sat in
@@ -430,7 +484,7 @@ let fuzz_cmd =
       & info [ "target" ] ~docv:"TARGET"
           ~doc:
             "Fuzz a single target ($(b,sat), $(b,solver), $(b,oracle), \
-             $(b,eval) or $(b,proof)); default: all five.")
+             $(b,eval), $(b,proof) or $(b,simplify)); default: all six.")
   in
   let seed =
     Arg.(
@@ -467,8 +521,9 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
-         "Differential fuzzing: cross-check the SAT/solver/oracle/eval/proof \
-          stack against independent reference oracles")
+         "Differential fuzzing: cross-check the \
+          SAT/solver/oracle/eval/proof/simplify stack against independent \
+          reference oracles")
     Term.(const run $ seed $ iters $ target $ corpus_dir)
 
 let () =

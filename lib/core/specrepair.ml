@@ -16,7 +16,8 @@ module Alloy = struct
 end
 
 (** The SAT substrate: CDCL solver, boolean formulas, Tseitin, cardinality
-    encodings, DIMACS I/O. *)
+    encodings, DIMACS I/O, proof-preserving simplification, the racing
+    portfolio, and hard-instance generators. *)
 module Sat = struct
   module Lit = Specrepair_sat.Lit
   module Solver = Specrepair_sat.Solver
@@ -26,6 +27,9 @@ module Sat = struct
   module Tseitin = Specrepair_sat.Tseitin
   module Card = Specrepair_sat.Card
   module Dimacs = Specrepair_sat.Dimacs
+  module Simplify = Specrepair_sat.Simplify
+  module Portfolio = Specrepair_sat.Portfolio
+  module Hard_cnf = Specrepair_sat.Hard_cnf
 end
 
 (** The bounded model finder (the "Alloy Analyzer" of this repository). *)

@@ -30,19 +30,20 @@ type t = {
   deadline_rel_ms : float option;
   telemetry : Telemetry.t;
   oracle_base : Solver.Oracle.stats;  (* snapshot at creation, for deltas *)
+  sat_base : Solver.Oracle.sat_stats;
   expiry : bool ref;  (* latched; shared with derived sessions *)
 }
 
 let now_ns () = Monotonic_clock.now ()
 
-let create ?oracle ?(certify = false) ?(budget = default_budget) ?(seed = 42)
-    ?deadline_ms env =
+let create ?oracle ?(certify = false) ?(simplify = false) ?(portfolio = 1)
+    ?(budget = default_budget) ?(seed = 42) ?deadline_ms env =
   let telemetry = Telemetry.create () in
   let oracle =
     match oracle with
     | Some o -> o
     | None ->
-        Solver.Oracle.create ~certify
+        Solver.Oracle.create ~certify ~simplify ~portfolio
           ~on_certify:(Telemetry.record_certified telemetry)
           env
   in
@@ -60,10 +61,12 @@ let create ?oracle ?(certify = false) ?(budget = default_budget) ?(seed = 42)
     deadline_rel_ms = deadline_ms;
     telemetry;
     oracle_base = Solver.Oracle.stats oracle;
+    sat_base = Solver.Oracle.sat_stats oracle;
     expiry = ref false;
   }
 
-let for_spec ?oracle ?certify ?budget ?seed ?deadline_ms spec =
+let for_spec ?oracle ?certify ?simplify ?portfolio ?budget ?seed ?deadline_ms
+    spec =
   let env =
     match Alloy.Typecheck.check_result spec with
     | Ok env -> env
@@ -73,7 +76,7 @@ let for_spec ?oracle ?certify ?budget ?seed ?deadline_ms spec =
            the oracle serves it by fresh-solve fallback, transparently *)
         Alloy.Typecheck.check Alloy.Ast.empty_spec
   in
-  create ?oracle ?certify ?budget ?seed ?deadline_ms env
+  create ?oracle ?certify ?simplify ?portfolio ?budget ?seed ?deadline_ms env
 
 let with_budget t f = { t with budget = f t.budget }
 
@@ -120,6 +123,20 @@ let run_command ?max_conflicts t env cmd =
 let enumerate ?limit ?max_conflicts t env scope f =
   Telemetry.record_enumeration t.telemetry;
   Solver.Oracle.enumerate ?limit ?max_conflicts t.oracle env scope f
+
+let sat_stats t =
+  let s = Solver.Oracle.sat_stats t.oracle and b = t.sat_base in
+  {
+    Solver.Oracle.conflicts = s.conflicts - b.conflicts;
+    decisions = s.decisions - b.decisions;
+    propagations = s.propagations - b.propagations;
+    restarts = s.restarts - b.restarts;
+    reductions = s.reductions - b.reductions;
+    subsumed = s.subsumed - b.subsumed;
+    strengthened = s.strengthened - b.strengthened;
+    vivified = s.vivified - b.vivified;
+    eliminated = s.eliminated - b.eliminated;
+  }
 
 let oracle_stats t =
   let s = Solver.Oracle.stats t.oracle and b = t.oracle_base in
@@ -193,6 +210,14 @@ let telemetry_json ?(extra = []) t =
        os.Solver.Oracle.verdict_hits os.verdict_misses os.instance_hits
        os.instance_misses os.fallback_queries os.formulas_translated
        os.formulas_reused os.contexts os.certified os.certificate_failures);
+  let ss = sat_stats t in
+  field "sat"
+    (Printf.sprintf
+       "{\"conflicts\":%d,\"decisions\":%d,\"propagations\":%d,\
+        \"restarts\":%d,\"reductions\":%d,\"subsumed\":%d,\
+        \"strengthened\":%d,\"vivified\":%d,\"eliminated\":%d}"
+       ss.Solver.Oracle.conflicts ss.decisions ss.propagations ss.restarts
+       ss.reductions ss.subsumed ss.strengthened ss.vivified ss.eliminated);
   let phase_fields =
     List.map
       (fun (phase, ms) ->

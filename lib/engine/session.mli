@@ -44,6 +44,8 @@ type t
 val create :
   ?oracle:Solver.Oracle.t ->
   ?certify:bool ->
+  ?simplify:bool ->
+  ?portfolio:int ->
   ?budget:budget ->
   ?seed:int ->
   ?deadline_ms:float ->
@@ -55,13 +57,18 @@ val create :
     an independent DRUP proof checker and reports each outcome into the
     session's telemetry ([certified_unsat] / [certificate_failures]);
     ignored when an explicit [?oracle] is supplied — configure certification
-    on the oracle itself in that case.  [?deadline_ms] is relative to now on
-    the monotonic clock; omitted means no deadline.  Default budget
+    on the oracle itself in that case.  [~simplify:true] and [~portfolio:n]
+    configure the created oracle's verdict-only fresh solves (see
+    {!Specrepair_solver.Oracle.create}); like [certify], they are ignored
+    when an explicit [?oracle] is supplied.  [?deadline_ms] is relative to
+    now on the monotonic clock; omitted means no deadline.  Default budget
     {!default_budget}, default seed 42. *)
 
 val for_spec :
   ?oracle:Solver.Oracle.t ->
   ?certify:bool ->
+  ?simplify:bool ->
+  ?portfolio:int ->
   ?budget:budget ->
   ?seed:int ->
   ?deadline_ms:float ->
@@ -145,10 +152,17 @@ val oracle_stats : t -> Solver.Oracle.stats
     shared across sessions, as in the study).  [contexts] is a gauge and is
     reported absolute. *)
 
+val sat_stats : t -> Solver.Oracle.sat_stats
+(** SAT-solver work accumulated during this session (same delta semantics
+    as {!oracle_stats}): conflicts, decisions, propagations, restarts and
+    learnt-database reductions across the oracle's solvers, plus the
+    simplifier's subsumed / strengthened / vivified / eliminated counters
+    when simplification is enabled. *)
+
 val telemetry_json : ?extra:(string * string) list -> t -> string
 (** One-line JSON object: [extra] string fields first (escaped), then
     [elapsed_ms], [timed_out], the {!Telemetry.t} counters, the per-phase
-    timers, and the session-relative oracle stats.  Schema documented in
-    DESIGN.md. *)
+    timers, the session-relative oracle stats, and a ["sat"] object with
+    the {!sat_stats} solver counters.  Schema documented in DESIGN.md. *)
 
 val pp_telemetry : Format.formatter -> t -> unit

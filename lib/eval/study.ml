@@ -31,12 +31,19 @@ let suite_cache : (string, Aunit.test list) Hashtbl.t = Hashtbl.create 18
 let oracle_cache : (string, Specrepair_solver.Oracle.t) Hashtbl.t =
   Hashtbl.create 18
 
-let domain_oracle (d : Benchmarks.Domains.t) =
-  match Hashtbl.find_opt oracle_cache d.name with
+(* Keyed on the solving options too: a simplifying study run must not
+   reuse (or poison) the plain run's oracle. *)
+let domain_oracle ?(simplify = false) ?(portfolio = 1)
+    (d : Benchmarks.Domains.t) =
+  let key = Printf.sprintf "%s|%b|%d" d.name simplify portfolio in
+  match Hashtbl.find_opt oracle_cache key with
   | Some o -> o
   | None ->
-      let o = Specrepair_solver.Oracle.create (Benchmarks.Domains.env d) in
-      Hashtbl.replace oracle_cache d.name o;
+      let o =
+        Specrepair_solver.Oracle.create ~simplify ~portfolio
+          (Benchmarks.Domains.env d)
+      in
+      Hashtbl.replace oracle_cache key o;
       o
 
 let aunit_suite (d : Benchmarks.Domains.t) =
@@ -102,12 +109,13 @@ let apply_technique ~session technique (v : Benchmarks.Generate.variant) =
         (Benchmarks.Generate.to_task v) fb
 
 let run_one ?(seed = 42) ?(budget = Repair.Common.default_budget) ?deadline_ms
-    ?telemetry technique (v : Benchmarks.Generate.variant) =
+    ?telemetry ?simplify ?portfolio technique (v : Benchmarks.Generate.variant)
+    =
   (* one session per study row: shared domain oracle, per-technique budget,
      monotonic clock for [time_ms] *)
   let session =
     Session.create
-      ~oracle:(domain_oracle v.domain)
+      ~oracle:(domain_oracle ?simplify ?portfolio v.domain)
       ~budget:(budget_for technique budget)
       ~seed ?deadline_ms
       (Benchmarks.Domains.env v.domain)
@@ -150,15 +158,18 @@ let run_one ?(seed = 42) ?(budget = Repair.Common.default_budget) ?deadline_ms
   }
 
 let run ?(seed = 42) ?(budget = Repair.Common.default_budget) ?deadline_ms
-    ?telemetry ?(techniques = Technique.all) ?(progress = fun _ -> ())
-    variants =
+    ?telemetry ?simplify ?portfolio ?(techniques = Technique.all)
+    ?(progress = fun _ -> ()) variants =
   let total = List.length variants * List.length techniques in
   let done_count = ref 0 in
   List.concat_map
     (fun v ->
       List.map
         (fun t ->
-          let r = run_one ~seed ~budget ?deadline_ms ?telemetry t v in
+          let r =
+            run_one ~seed ~budget ?deadline_ms ?telemetry ?simplify ?portfolio
+              t v
+          in
           incr done_count;
           if !done_count mod 100 = 0 then
             progress
@@ -239,11 +250,12 @@ let of_csv text =
    followed by one final [{"scheduler":…}] summary line. *)
 
 let run_parallel ?(seed = 42) ?(budget = Repair.Common.default_budget)
-    ?deadline_ms ?telemetry ?(techniques = Technique.all) ?(jobs = 1)
-    ?(max_retries = 2) ?heartbeat_timeout_ms ?on_stats
+    ?deadline_ms ?telemetry ?simplify ?portfolio ?(techniques = Technique.all)
+    ?(jobs = 1) ?(max_retries = 2) ?heartbeat_timeout_ms ?on_stats
     ?(progress = fun _ -> ()) variants =
   if jobs <= 1 then
-    run ~seed ~budget ?deadline_ms ?telemetry ~techniques ~progress variants
+    run ~seed ~budget ?deadline_ms ?telemetry ?simplify ?portfolio ~techniques
+      ~progress variants
   else begin
     let work =
       Array.of_list
@@ -257,7 +269,9 @@ let run_parallel ?(seed = 42) ?(budget = Repair.Common.default_budget)
     let f ~emit i =
       let v, t = work.(i) in
       let telemetry = if want_telemetry then Some emit else None in
-      row_to_line (run_one ~seed ~budget ?deadline_ms ?telemetry t v)
+      row_to_line
+        (run_one ~seed ~budget ?deadline_ms ?telemetry ?simplify ?portfolio t
+           v)
     in
     let lines, stats =
       Scheduler.map ~jobs ~max_retries ?heartbeat_timeout_ms ~progress

@@ -28,6 +28,8 @@ val run_one :
   ?budget:Specrepair_repair.Common.budget ->
   ?deadline_ms:float ->
   ?telemetry:(string -> unit) ->
+  ?simplify:bool ->
+  ?portfolio:int ->
   Technique.t ->
   Benchmarks.Generate.variant ->
   spec_result
@@ -37,17 +39,25 @@ val run :
   ?budget:Specrepair_repair.Common.budget ->
   ?deadline_ms:float ->
   ?telemetry:(string -> unit) ->
+  ?simplify:bool ->
+  ?portfolio:int ->
   ?techniques:Technique.t list ->
   ?progress:(string -> unit) ->
   Benchmarks.Generate.variant list ->
   spec_result list
-(** Row-major: every technique applied to every variant. *)
+(** Row-major: every technique applied to every variant.  [?simplify] and
+    [?portfolio] configure the shared per-domain oracle's verdict-only
+    fresh solves (see {!Specrepair_solver.Oracle.create}); result rows are
+    bit-identical whatever the solving options, because instance-producing
+    queries always take the plain analyzer path. *)
 
 val run_parallel :
   ?seed:int ->
   ?budget:Specrepair_repair.Common.budget ->
   ?deadline_ms:float ->
   ?telemetry:(string -> unit) ->
+  ?simplify:bool ->
+  ?portfolio:int ->
   ?techniques:Technique.t list ->
   ?jobs:int ->
   ?max_retries:int ->

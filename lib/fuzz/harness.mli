@@ -1,7 +1,7 @@
 (** The differential fuzzing campaigns: generate, cross-check, shrink,
     persist.
 
-    Five targets, each pitting a production component against an
+    Six targets, each pitting a production component against an
     independent reference:
 
     - [Sat_target] — the CDCL solver vs. the DPLL reference
@@ -26,6 +26,14 @@
       every step otherwise).  Under [SPECREPAIR_FUZZ_CHAOS=drop-clause]
       the proof is tampered with before checking, so a correct checker
       {e rejects} and the hook trips as a discrepancy.
+    - [Simplify_target] — the proof-preserving inprocessing driver
+      ({!Specrepair_sat.Simplify}) vs. the DPLL reference: the verdict
+      must agree, a reconstructed model (variable elimination undone)
+      must satisfy the {e original} clauses, and the emitted Add/Delete
+      stream must be accepted by the DRUP checker against the original
+      CNF as premises.  Under [SPECREPAIR_FUZZ_CHAOS=corrupt-simplify]
+      one clause is strengthened without a justifying proof step, and the
+      checker (or the model/verdict comparison) must trip.
 
     Every iteration derives its own {!Rng} stream from (seed, target,
     iteration index), so campaigns are bit-reproducible and every failure
@@ -38,11 +46,13 @@ type target =
   | Oracle_target
   | Eval_target
   | Proof_target
+  | Simplify_target
 
 val all_targets : target list
 
 val target_name : target -> string
-(** CLI spelling: ["sat"], ["solver"], ["oracle"], ["eval"], ["proof"]. *)
+(** CLI spelling: ["sat"], ["solver"], ["oracle"], ["eval"], ["proof"],
+    ["simplify"]. *)
 
 type report = {
   target : string;
@@ -68,8 +78,9 @@ val summary_json : corpus_dir:string -> seed:int -> report list -> string
 
 val replay : string -> (unit, string) result
 (** Re-runs the differential checks on one corpus entry: [.cnf] files go
-    through the SAT cross-check (with their recorded assumptions) and a
-    proof-logged solve whose certificate must check, [.als] files through
+    through the SAT cross-check (with their recorded assumptions), a
+    proof-logged solve whose certificate must check, and — when the entry
+    recorded no assumptions — the simplify cross-check; [.als] files through
     the model-finder and oracle cross-checks for every command.  [Error]
     describes the first disagreement. *)
 

@@ -1,0 +1,384 @@
+(* A racing portfolio over forked solver workers.
+
+   The parent forks [jobs] diversified solver configurations over the same
+   CNF (inherited copy-on-write, nothing is serialized) and takes the first
+   decisive verdict.  Worker 0 always runs the vanilla configuration — the
+   exact solve the caller would have run alone, so [~jobs:1] is
+   byte-identical to plain solving — and the rest scramble saved phases,
+   restart schedules, and simplification on/off.
+
+   Wire protocol (one line per message on the worker's message pipe):
+
+     HB             still alive (sent at start and at every solver restart)
+     DONE           result file published; exiting 0
+     ERR <message>  deterministic failure; exiting nonzero
+
+   A worker publishes its verdict by writing `res_<i>.tmp` in the run's
+   scratch directory and renaming it to `res_<i>.res` (atomic, never torn):
+   the first line is SAT/UNSAT/UNKNOWN, and a SAT verdict carries the model
+   as a 0/1 string on the second line — reconstructed over the original
+   variables when the worker simplified.  Proof steps stream separately to
+   `proof_<i>` in text DRUP as the worker runs.
+
+   Trust story: a SAT verdict is accepted only after the parent evaluates
+   the model against its own copy of the CNF; under [~certify:true] an
+   UNSAT verdict is accepted only if the independent {!Drat} checker admits
+   the worker's proof file.  A worker whose answer fails validation is
+   discarded (the race continues on the survivors) rather than trusted.
+   Losers are SIGKILLed and every child is reaped before [solve] returns;
+   a silent worker is presumed hung after [heartbeat_timeout] and killed.
+   If every worker dies without an accepted verdict the parent falls back
+   to solving in-process ([winner = -1]). *)
+
+type outcome = {
+  result : Solver.result;
+  model : bool array option;  (* over the original variables, on Sat *)
+  winner : int;  (* worker index; -1 = in-process fallback *)
+  workers : int;  (* workers forked *)
+  rejected : int;  (* verdicts discarded by validation/proof checking *)
+}
+
+type plan = {
+  seed : int;  (* 0 = leave the solver untouched *)
+  restart_base : int;
+  simp : bool;
+}
+
+(* Worker 0 is the caller's own configuration.  The rest split between
+   simplified and plain solving whatever the caller chose, with distinct
+   phase seeds and restart cadences — diversity in where the search starts
+   and how often it abandons a subtree, not in what it concludes. *)
+let worker_plan ~simplify idx =
+  if idx = 0 then { seed = 0; restart_base = 100; simp = simplify }
+  else
+    let bases = [| 64; 256; 150; 32; 512; 100; 200; 80 |] in
+    {
+      seed = (idx * 0x9E3779B9) land max_int;
+      restart_base = bases.((idx - 1) mod Array.length bases);
+      simp = (if idx land 1 = 1 then not simplify else simplify);
+    }
+
+let write_line fd line =
+  let b = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length b in
+  let rec go off = if off < len then go (off + Unix.write fd b off (len - off)) in
+  go 0
+
+let one_line s = String.map (fun c -> if c = '\n' then ' ' else c) s
+
+(* Test-only fault injection: with SPECREPAIR_PORTFOLIO_CHAOS_KILL=<i>,
+   worker <i> SIGKILLs itself before doing any work — a deterministic
+   stand-in for losing a racer mid-run.  Unset in normal operation. *)
+let chaos_kill idx =
+  match Sys.getenv_opt "SPECREPAIR_PORTFOLIO_CHAOS_KILL" with
+  | Some v when int_of_string_opt v = Some idx ->
+      Unix.kill (Unix.getpid ()) Sys.sigkill
+  | _ -> ()
+
+let model_line model =
+  String.init (Array.length model) (fun i -> if model.(i) then '1' else '0')
+
+let model_satisfies (cnf : Dimacs.cnf) model =
+  let value l =
+    let v = Lit.var l in
+    let b = v < Array.length model && model.(v) in
+    if Lit.sign l then b else not b
+  in
+  List.for_all (fun c -> List.exists value c) cnf.clauses
+
+(* {2 Worker side} *)
+
+let child_main ~idx ~plan ~dir ~msg_w ?max_conflicts (cnf : Dimacs.cnf) =
+  let send line = write_line msg_w line in
+  chaos_kill idx;
+  send "HB";
+  let proof_path = Filename.concat dir (Printf.sprintf "proof_%d" idx) in
+  let proof_oc = open_out proof_path in
+  let sink = Proof.file_sink Proof.Text proof_oc in
+  let hb () = send "HB" in
+  let result, model =
+    if plan.simp then begin
+      let r = Simplify.solve ~proof:sink ?max_conflicts ~on_restart:hb cnf in
+      (r.Simplify.result, r.Simplify.model)
+    end
+    else begin
+      let s = Solver.create () in
+      Solver.set_proof s (Some sink);
+      Dimacs.load_into s cnf;
+      if plan.seed <> 0 then begin
+        Solver.randomize s ~seed:plan.seed;
+        Solver.set_restart_base s plan.restart_base
+      end;
+      Solver.set_on_restart s (Some hb);
+      let r = Solver.solve ?max_conflicts s in
+      (r, if r = Solver.Sat then Some (Solver.model s) else None)
+    end
+  in
+  close_out proof_oc;
+  let tmp = Filename.concat dir (Printf.sprintf "res_%d.tmp" idx) in
+  let oc = open_out tmp in
+  (match result with
+  | Solver.Sat ->
+      output_string oc "SAT\n";
+      output_string oc (model_line (Option.get model) ^ "\n")
+  | Solver.Unsat -> output_string oc "UNSAT\n"
+  | Solver.Unknown -> output_string oc "UNKNOWN\n");
+  close_out oc;
+  Sys.rename tmp (Filename.concat dir (Printf.sprintf "res_%d.res" idx));
+  send "DONE"
+
+(* {2 Parent side} *)
+
+type worker = {
+  idx : int;
+  pid : int;
+  msg_r : Unix.file_descr;
+  rbuf : Buffer.t;
+  mutable last_beat : float;
+  mutable eof : bool;
+}
+
+let now () = Unix.gettimeofday ()
+
+let reap_blocking pid =
+  try ignore (Unix.waitpid [] pid)
+  with Unix.Unix_error (ECHILD, _, _) -> ()
+
+let read_result dir idx =
+  let path = Filename.concat dir (Printf.sprintf "res_%d.res" idx) in
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let line () = try Some (input_line ic) with End_of_file -> None in
+      let r =
+        match line () with
+        | Some "SAT" -> (
+            match line () with
+            | Some bits ->
+                let m = Array.init (String.length bits) (fun i -> bits.[i] = '1') in
+                Some (Solver.Sat, Some m)
+            | None -> None)
+        | Some "UNSAT" -> Some (Solver.Unsat, None)
+        | Some "UNKNOWN" -> Some (Solver.Unknown, None)
+        | _ -> None
+      in
+      close_in ic;
+      r
+
+(* Replay a winner's proof file into the caller's sink, as steps only —
+   the caller owns the premises, same convention as {!Simplify.solve}. *)
+let replay_proof dir idx sink =
+  let path = Filename.concat dir (Printf.sprintf "proof_%d" idx) in
+  match open_in_bin path with
+  | exception Sys_error _ -> ()
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          try
+            Seq.iter
+              (fun st -> sink (Proof.Step st))
+              (Proof.read_steps Proof.Text ic)
+          with Proof.Parse_error _ -> ())
+
+let solve_inprocess ?proof ?max_conflicts ~simplify (cnf : Dimacs.cnf) =
+  let steps_only =
+    Option.map (fun sink e -> match e with Proof.Input _ -> () | e -> sink e) proof
+  in
+  if simplify then begin
+    let r = Simplify.solve ?proof:steps_only ?max_conflicts cnf in
+    (r.Simplify.result, r.Simplify.model)
+  end
+  else begin
+    let s = Solver.create () in
+    Solver.set_proof s steps_only;
+    Dimacs.load_into s cnf;
+    let r = Solver.solve ?max_conflicts s in
+    (r, if r = Solver.Sat then Some (Solver.model s) else None)
+  end
+
+let solve ?(jobs = 4) ?(simplify = false) ?(certify = false)
+    ?(heartbeat_timeout = 10.) ?proof ?max_conflicts (cnf : Dimacs.cnf) =
+  let jobs = max 1 jobs in
+  let dir = Filename.temp_dir "specrepair_portfolio_" "" in
+  let workers : (int, worker) Hashtbl.t = Hashtbl.create jobs in
+  let live () = Hashtbl.fold (fun _ w acc -> w :: acc) workers [] in
+  let rejected = ref 0 in
+  let accepted = ref None in
+  let spawn idx =
+    let plan = worker_plan ~simplify idx in
+    let msg_r, msg_w = Unix.pipe ~cloexec:false () in
+    match Unix.fork () with
+    | 0 ->
+        Unix.close msg_r;
+        Hashtbl.iter
+          (fun _ w -> try Unix.close w.msg_r with Unix.Unix_error _ -> ())
+          workers;
+        (match child_main ~idx ~plan ~dir ~msg_w ?max_conflicts cnf with
+        | () -> Unix._exit 0
+        | exception e ->
+            (try write_line msg_w ("ERR " ^ one_line (Printexc.to_string e))
+             with Unix.Unix_error _ -> ());
+            Unix._exit 2)
+    | pid ->
+        Unix.close msg_w;
+        Hashtbl.replace workers pid
+          { idx; pid; msg_r; rbuf = Buffer.create 64; last_beat = now (); eof = false }
+  in
+  let retire w =
+    Hashtbl.remove workers w.pid;
+    try Unix.close w.msg_r with Unix.Unix_error _ -> ()
+  in
+  (* A DONE arrived: read, validate, and either accept the verdict or
+     discard the worker and keep racing. *)
+  let consider w =
+    let ok =
+      match read_result dir w.idx with
+      | Some (Solver.Sat, Some m)
+        when Array.length m >= cnf.num_vars && model_satisfies cnf m ->
+          Some (Solver.Sat, Some m)
+      | Some (Solver.Unsat, _) ->
+          if not certify then Some (Solver.Unsat, None)
+          else begin
+            let path = Filename.concat dir (Printf.sprintf "proof_%d" w.idx) in
+            match Drat.check_file ~cnf ~format:Proof.Text path with
+            | Ok () -> Some (Solver.Unsat, None)
+            | Error _ -> None
+          end
+      | _ -> None  (* Unknown, torn file, or a model that does not check *)
+    in
+    match ok with
+    | Some (result, model) ->
+        (match proof with
+        | Some sink when result = Solver.Unsat -> replay_proof dir w.idx sink
+        | _ -> ());
+        accepted := Some (result, model, w.idx);
+        (* the winner has published and is exiting; reap it here — cleanup
+           only sees workers still in the pool *)
+        reap_blocking w.pid;
+        retire w
+    | None ->
+        incr rejected;
+        (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+        reap_blocking w.pid;
+        retire w
+  in
+  let handle_line w line =
+    match String.split_on_char ' ' line with
+    | "HB" :: _ -> w.last_beat <- now ()
+    | "DONE" :: _ ->
+        w.last_beat <- now ();
+        consider w
+    | "ERR" :: _ ->
+        incr rejected;
+        reap_blocking w.pid;
+        retire w
+    | _ -> ()
+  in
+  let rec drain_lines w =
+    if !accepted = None then begin
+      let s = Buffer.contents w.rbuf in
+      match String.index_opt s '\n' with
+      | None -> ()
+      | Some i ->
+          Buffer.clear w.rbuf;
+          Buffer.add_substring w.rbuf s (i + 1) (String.length s - i - 1);
+          handle_line w (String.sub s 0 i);
+          if Hashtbl.mem workers w.pid then drain_lines w
+    end
+  in
+  let scratch = Bytes.create 65536 in
+  let read_messages w =
+    match Unix.read w.msg_r scratch 0 (Bytes.length scratch) with
+    | 0 -> w.eof <- true
+    | k ->
+        Buffer.add_subbytes w.rbuf scratch 0 k;
+        drain_lines w
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  in
+  let cleanup () =
+    List.iter
+      (fun w ->
+        (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+        reap_blocking w.pid;
+        try Unix.close w.msg_r with Unix.Unix_error _ -> ())
+      (live ());
+    Hashtbl.reset workers;
+    try
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      Unix.rmdir dir
+    with Sys_error _ | Unix.Unix_error _ -> ()
+  in
+  let old_sigpipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  let restore_sigpipe () =
+    match old_sigpipe with
+    | Some h -> ( try Sys.set_signal Sys.sigpipe h with Invalid_argument _ -> ())
+    | None -> ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      restore_sigpipe ();
+      cleanup ())
+    (fun () ->
+      for i = 0 to jobs - 1 do
+        spawn i
+      done;
+      while !accepted = None && Hashtbl.length workers > 0 do
+        (* 1. messages: heartbeats, completions, errors *)
+        let readable = List.filter (fun w -> not w.eof) (live ()) in
+        let fds = List.map (fun w -> w.msg_r) readable in
+        let ready, _, _ =
+          if fds = [] then ([], [], [])
+          else
+            try Unix.select fds [] [] 0.05
+            with Unix.Unix_error (EINTR, _, _) -> ([], [], [])
+        in
+        List.iter
+          (fun w ->
+            if !accepted = None && List.mem w.msg_r ready then read_messages w)
+          readable;
+        (* 2. death poll: a worker may die (or be chaos-killed) without a
+           DONE; if it managed to publish a result before dying, still
+           consider it — the rename made the file trustworthy *)
+        if !accepted = None then
+          List.iter
+            (fun w ->
+              match Unix.waitpid [ Unix.WNOHANG ] w.pid with
+              | 0, _ -> ()
+              | _, _ ->
+                  Hashtbl.remove workers w.pid;
+                  (try Unix.close w.msg_r with Unix.Unix_error _ -> ());
+                  if Sys.file_exists (Filename.concat dir (Printf.sprintf "res_%d.res" w.idx))
+                  then begin
+                    (* reuse the validation path; the pid is already reaped *)
+                    Hashtbl.replace workers w.pid w;
+                    consider w;
+                    if Hashtbl.mem workers w.pid then retire w
+                  end
+                  else incr rejected
+              | exception Unix.Unix_error (ECHILD, _, _) -> retire w)
+            (live ());
+        (* 3. heartbeat: silent workers are presumed hung *)
+        if !accepted = None then
+          List.iter
+            (fun w ->
+              if now () -. w.last_beat > heartbeat_timeout then begin
+                incr rejected;
+                (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+                reap_blocking w.pid;
+                retire w
+              end)
+            (live ())
+      done;
+      match !accepted with
+      | Some (result, model, winner) ->
+          { result; model; winner; workers = jobs; rejected = !rejected }
+      | None ->
+          (* every racer died or was rejected: answer in-process *)
+          let result, model = solve_inprocess ?proof ?max_conflicts ~simplify cnf in
+          { result; model; winner = -1; workers = jobs; rejected = !rejected })

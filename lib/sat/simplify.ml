@@ -1,0 +1,590 @@
+(* Proof-preserving CNF simplification: occurrence-list subsumption and
+   self-subsuming resolution, clause vivification, and bounded variable
+   elimination, plus a solve driver that interleaves simplification with
+   budgeted CDCL runs (inprocessing).
+
+   Every transformation is logged through the caller's [Proof.sink] as
+   ordinary DRUP [Add]/[Delete] steps, in an order that keeps each [Add]
+   RUP-derivable from the checker's live clause database:
+
+   - a strengthened clause (self-subsumption, vivification, removal of
+     root-false literals) is [Add]ed *before* its parent is [Delete]d, so
+     the parent can participate in the strengthened clause's unit
+     propagation;
+   - variable elimination first [Add]s every non-tautological resolvent
+     (each is RUP: assuming its negation makes both parents unit on the
+     eliminated variable) and only then [Delete]s the parent occurrences;
+   - subsumed clauses and satisfied clauses are plain [Delete]s, always
+     legal in DRUP;
+   - root-level units are kept in the database (never deleted), so the
+     checker's root propagation mirrors the simplifier's.
+
+   Eliminated variables are restored by [reconstruct]: the parent clauses
+   of each elimination are stacked, and a model of the simplified formula
+   is extended in reverse elimination order — the stacked parents of the
+   latest elimination are satisfiable by choosing the eliminated variable's
+   value whenever the current model satisfies all resolvents, which it
+   does inductively. *)
+
+type config = {
+  sweeps : int;  (* fixpoint sweeps per simplification call *)
+  bve_max_occ : int;  (* only eliminate variables this frequent or rarer *)
+  bve_growth : int;  (* tolerated resolvent surplus over deleted clauses *)
+  vivify_budget : int;  (* propagation steps spent vivifying, per sweep *)
+  inprocess_rounds : int;  (* solve/simplify interleavings in [solve] *)
+  first_chunk : int;  (* conflict budget of the first inprocessing chunk *)
+}
+
+let default =
+  {
+    sweeps = 3;
+    bve_max_occ = 16;
+    bve_growth = 0;
+    vivify_budget = 50_000;
+    inprocess_rounds = 3;
+    first_chunk = 2_000;
+  }
+
+type stats = {
+  mutable subsumed : int;
+  mutable strengthened : int;
+  mutable vivified : int;  (* literals removed by vivification *)
+  mutable eliminated : int;
+  mutable sweeps_run : int;
+}
+
+let stats_zero () =
+  { subsumed = 0; strengthened = 0; vivified = 0; eliminated = 0; sweeps_run = 0 }
+
+let stats_add a b =
+  a.subsumed <- a.subsumed + b.subsumed;
+  a.strengthened <- a.strengthened + b.strengthened;
+  a.vivified <- a.vivified + b.vivified;
+  a.eliminated <- a.eliminated + b.eliminated;
+  a.sweeps_run <- a.sweeps_run + b.sweeps_run
+
+type outcome = {
+  cnf : Dimacs.cnf;
+  unsat : bool;  (* simplification alone refuted the formula *)
+  reconstruct : bool array -> bool array;
+  stats : stats;
+}
+
+exception Unsat_found
+
+(* Fault injection for the fuzz harness: drop a literal from one clause
+   with no justifying proof step — the checker must reject the bogus
+   [Add].  Triggered only under SPECREPAIR_FUZZ_CHAOS=corrupt-simplify. *)
+let chaos_corrupt () =
+  Sys.getenv_opt "SPECREPAIR_FUZZ_CHAOS" = Some "corrupt-simplify"
+
+type state = {
+  cfg : config;
+  st : stats;
+  sink : Proof.sink option;
+  num_vars : int;
+  mutable slots : int array option array;  (* sorted, deduped literal codes *)
+  mutable n_slots : int;
+  assign : int array;  (* root assignment per var: -1 / 0 / 1 *)
+  frozen : bool array;
+  mutable recon : (int * int array list) list;  (* LIFO elimination stack *)
+  mutable mutations : int;  (* bumped by every change, for fixpoints *)
+}
+
+let value st l =
+  let a = st.assign.(l lsr 1) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+let emit st step =
+  match st.sink with None -> () | Some f -> f (Proof.Step step)
+
+let emit_add st lits = emit st (Proof.Add (Array.map Lit.of_int lits))
+let emit_del st lits = emit st (Proof.Delete (Array.map Lit.of_int lits))
+
+let push_slot st c =
+  if st.n_slots = Array.length st.slots then begin
+    let slots = Array.make (max 16 (2 * st.n_slots)) None in
+    Array.blit st.slots 0 slots 0 st.n_slots;
+    st.slots <- slots
+  end;
+  st.slots.(st.n_slots) <- Some c;
+  st.n_slots <- st.n_slots + 1;
+  st.n_slots - 1
+
+(* Delete clause [i], with a proof step. *)
+let kill st i =
+  match st.slots.(i) with
+  | None -> ()
+  | Some c ->
+      emit_del st c;
+      st.slots.(i) <- None;
+      st.mutations <- st.mutations + 1
+
+let refute st =
+  emit_add st [||];
+  raise Unsat_found
+
+let assign_root st l =
+  match value st l with
+  | 1 -> ()
+  | 0 -> refute st
+  | _ ->
+      st.assign.(l lsr 1) <- 1 lxor (l land 1);
+      st.mutations <- st.mutations + 1
+
+(* Replace clause [i] by the strictly stronger [c'] (Add before Delete, so
+   the parent is available to the checker's RUP propagation). *)
+let strengthen st i c' =
+  match st.slots.(i) with
+  | None -> ()
+  | Some c ->
+      if Array.length c' = 0 then refute st;
+      emit_add st c';
+      emit_del st c;
+      st.slots.(i) <- Some c';
+      st.mutations <- st.mutations + 1;
+      if Array.length c' = 1 then assign_root st c'.(0)
+
+(* Root propagation to fixpoint: unit clauses assign their literal,
+   satisfied non-unit clauses are deleted, false literals are stripped.
+   Root units themselves are kept — deleting them would blind the
+   checker's propagation. *)
+let propagate_roots st =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let before = st.mutations in
+    for i = 0 to st.n_slots - 1 do
+      match st.slots.(i) with
+      | None -> ()
+      | Some c ->
+          if Array.length c = 1 then begin
+            match value st c.(0) with
+            | 1 -> ()
+            | 0 -> refute st
+            | _ -> assign_root st c.(0)
+          end
+          else if Array.exists (fun l -> value st l = 1) c then kill st i
+          else if Array.exists (fun l -> value st l = 0) c then
+            strengthen st i (Array.of_seq
+              (Seq.filter (fun l -> value st l <> 0) (Array.to_seq c)))
+    done;
+    if st.mutations > before then changed := true
+  done
+
+(* Occurrence lists over the live slots; entries can go stale as passes
+   mutate the database, so consumers re-validate against the slot. *)
+let build_occ st =
+  let occ = Array.make (2 * max 1 st.num_vars) [] in
+  for i = st.n_slots - 1 downto 0 do
+    match st.slots.(i) with
+    | None -> ()
+    | Some c -> Array.iter (fun l -> occ.(l) <- i :: occ.(l)) c
+  done;
+  occ
+
+(* Does [c] subsume [d], or strengthen it by one self-subsuming literal?
+   [`Strengthen m] means every literal of [c] occurs in [d] except one
+   that occurs negated as [m]; resolving [c] and [d] on [m] yields
+   [d] minus [m]. *)
+let subsume_match c d =
+  let mem l = Array.exists (fun x -> x = l) d in
+  let flipped = ref (-1) in
+  let ok =
+    Array.for_all
+      (fun l ->
+        if mem l then true
+        else if !flipped < 0 && mem (l lxor 1) then begin
+          flipped := l lxor 1;
+          true
+        end
+        else false)
+      c
+  in
+  if not ok then `No else if !flipped < 0 then `Subsumes else `Strengthen !flipped
+
+let subsume_pass st =
+  let occ = build_occ st in
+  for i = 0 to st.n_slots - 1 do
+    match st.slots.(i) with
+    | None -> ()
+    | Some c ->
+        (* enumerate candidates through the rarest literal of [c]; a
+           superset contains it, and a self-subsumption target contains
+           it or its negation *)
+        let l0 =
+          Array.fold_left
+            (fun best l ->
+              if List.length occ.(l) < List.length occ.(best) then l else best)
+            c.(0) c
+        in
+        List.iter
+          (fun j ->
+            if j <> i then
+              match (st.slots.(i), st.slots.(j)) with
+              | Some c, Some d when Array.length d >= Array.length c -> (
+                  match subsume_match c d with
+                  | `Subsumes ->
+                      kill st j;
+                      st.st.subsumed <- st.st.subsumed + 1
+                  | `Strengthen m ->
+                      strengthen st j
+                        (Array.of_seq
+                           (Seq.filter (fun l -> l <> m) (Array.to_seq d)));
+                      st.st.strengthened <- st.st.strengthened + 1
+                  | `No -> ())
+              | _ -> ())
+          (occ.(l0) @ occ.(l0 lxor 1))
+  done
+
+(* {2 Vivification}
+
+   A lightweight unit-propagation engine over the live database (counting
+   visits through the occurrence lists; no watches — clause sizes here are
+   small and the work is budgeted).  For each clause, assume the negation
+   of its literals one by one: a conflict or an implied literal proves a
+   strictly shorter clause, which is RUP against a database that still
+   holds the original. *)
+
+let vivify_pass st =
+  let occ = build_occ st in
+  let trail = ref [] in
+  let budget = ref st.cfg.vivify_budget in
+  let undo save =
+    let rec go = function
+      | t when t == save -> ()
+      | l :: rest ->
+          st.assign.(l lsr 1) <- -1;
+          go rest
+      | [] -> ()
+    in
+    go !trail;
+    trail := save
+  in
+  (* [propagate ~skip p] makes [p] true and propagates to fixpoint over
+     every live clause but [skip], raising [Conflict] on refutation *)
+  let exception Conflict in
+  let enqueue l =
+    match value st l with
+    | 1 -> ()
+    | 0 -> raise Conflict
+    | _ ->
+        st.assign.(l lsr 1) <- 1 lxor (l land 1);
+        trail := l :: !trail
+  in
+  let propagate ~skip p0 =
+    let queue = Queue.create () in
+    Queue.push p0 queue;
+    enqueue p0;
+    while not (Queue.is_empty queue) do
+      let p = Queue.pop queue in
+      List.iter
+        (fun j ->
+          if j <> skip then
+            match st.slots.(j) with
+            | None -> ()
+            | Some c ->
+                decr budget;
+                if not (Array.exists (fun l -> value st l = 1) c) then begin
+                  let unit_lit = ref (-1) and nonfalse = ref 0 in
+                  Array.iter
+                    (fun l ->
+                      if value st l < 0 then begin
+                        incr nonfalse;
+                        unit_lit := l
+                      end)
+                    c;
+                  if !nonfalse = 0 then raise Conflict
+                  else if !nonfalse = 1 && value st !unit_lit < 0 then begin
+                    enqueue !unit_lit;
+                    Queue.push !unit_lit queue
+                  end
+                end)
+        occ.(p lxor 1)
+    done
+  in
+  for i = 0 to st.n_slots - 1 do
+    match st.slots.(i) with
+    | Some c when Array.length c >= 2 && !budget > 0 ->
+        let save = !trail in
+        let shortened =
+          (* walk the literals; [kept] is reversed *)
+          let rec go kept = function
+            | [] ->
+                if List.length kept < Array.length c then
+                  Some (List.rev kept)
+                else None
+            | l :: rest -> (
+                match value st l with
+                | 1 -> Some (List.rev (l :: kept))  (* implied: drop [rest] *)
+                | 0 -> go kept rest  (* already false: redundant literal *)
+                | _ -> (
+                    match propagate ~skip:i (l lxor 1) with
+                    | () -> go (l :: kept) rest
+                    | exception Conflict -> Some (List.rev (l :: kept))))
+          in
+          go [] (Array.to_list c)
+        in
+        undo save;
+        (match shortened with
+        | Some c' when List.length c' < Array.length c ->
+            st.st.vivified <- st.st.vivified + (Array.length c - List.length c');
+            strengthen st i (Array.of_list c')
+        | _ -> ())
+    | _ -> ()
+  done
+
+(* {2 Bounded variable elimination} *)
+
+let resolve_on v a b =
+  (* resolvent of [a] (contains pos v) and [b] (contains neg v);
+     [None] if tautological *)
+  let keep c bad = List.filter (fun l -> l <> bad) (Array.to_list c) in
+  let merged =
+    List.sort_uniq Int.compare (keep a (2 * v) @ keep b ((2 * v) + 1))
+  in
+  if List.exists (fun l -> List.mem (l lxor 1) merged) merged then None
+  else Some (Array.of_list merged)
+
+let bve_pass st =
+  let occ = build_occ st in
+  for v = 0 to st.num_vars - 1 do
+    if (not st.frozen.(v)) && st.assign.(v) < 0 then begin
+      let live lit =
+        List.filter
+          (fun j ->
+            match st.slots.(j) with
+            | Some c -> Array.exists (fun l -> l = lit) c
+            | None -> false)
+          occ.(lit)
+      in
+      let pos = live (2 * v) and neg = live ((2 * v) + 1) in
+      let np = List.length pos and nn = List.length neg in
+      if
+        (np > 0 || nn > 0)
+        && np <= st.cfg.bve_max_occ
+        && nn <= st.cfg.bve_max_occ
+      then begin
+        let clause j = Option.get st.slots.(j) in
+        let resolvents =
+          List.concat_map
+            (fun i ->
+              List.filter_map (fun j -> resolve_on v (clause i) (clause j)) neg)
+            pos
+        in
+        if List.length resolvents <= np + nn + st.cfg.bve_growth then begin
+          let parents = List.map clause (pos @ neg) in
+          List.iter
+            (fun r ->
+              if Array.length r = 0 then refute st;
+              emit_add st r)
+            resolvents;
+          List.iter (fun j -> kill st j) (pos @ neg);
+          List.iter
+            (fun r ->
+              let j = push_slot st r in
+              Array.iter (fun l -> occ.(l) <- j :: occ.(l)) r;
+              if Array.length r = 1 then assign_root st r.(0))
+            resolvents;
+          st.recon <- (v, parents) :: st.recon;
+          st.st.eliminated <- st.st.eliminated + 1
+        end
+      end
+    end
+  done
+
+(* {2 The simplification entry point} *)
+
+let reconstruct_fun ~num_vars stack =
+  fun model ->
+    let m =
+      Array.init num_vars (fun v ->
+          v < Array.length model && model.(v))
+    in
+    let lit_sat l =
+      let v = l lsr 1 in
+      if l land 1 = 0 then m.(v) else not m.(v)
+    in
+    List.iter
+      (fun (v, parents) ->
+        let all_sat () =
+          List.for_all (fun c -> Array.exists lit_sat c) parents
+        in
+        m.(v) <- false;
+        if not (all_sat ()) then m.(v) <- true)
+      stack;
+    m
+
+let simplify ?proof ?(frozen = []) ?(config = default) (cnf : Dimacs.cnf) =
+  let st =
+    {
+      cfg = config;
+      st = stats_zero ();
+      sink = proof;
+      num_vars = cnf.num_vars;
+      slots = Array.make (max 16 (List.length cnf.clauses)) None;
+      n_slots = 0;
+      assign = Array.make (max 1 cnf.num_vars) (-1);
+      frozen = Array.make (max 1 cnf.num_vars) false;
+      recon = [];
+      mutations = 0;
+    }
+  in
+  List.iter (fun v -> if v >= 0 && v < cnf.num_vars then st.frozen.(v) <- true) frozen;
+  let outcome unsat =
+    let clauses = ref [] in
+    for i = st.n_slots - 1 downto 0 do
+      match st.slots.(i) with
+      | None -> ()
+      | Some c -> clauses := Array.to_list (Array.map Lit.of_int c) :: !clauses
+    done;
+    {
+      cnf = { Dimacs.num_vars = cnf.num_vars; clauses = !clauses };
+      unsat;
+      reconstruct = reconstruct_fun ~num_vars:cnf.num_vars st.recon;
+      stats = st.st;
+    }
+  in
+  try
+    (* normalize: sorted, deduped literal codes; drop tautologies *)
+    List.iter
+      (fun c ->
+        let codes = List.sort_uniq Int.compare (List.map Lit.to_int c) in
+        if codes = [] then refute st
+        else if List.exists (fun l -> List.mem (l lxor 1) codes) codes then
+          emit_del st (Array.of_list codes)
+        else ignore (push_slot st (Array.of_list codes)))
+      cnf.clauses;
+    propagate_roots st;
+    if chaos_corrupt () then begin
+      (* drop a literal from the widest clause, with no proof step to
+         justify it: the checker must refuse the unjustified Add *)
+      let widest = ref (-1) in
+      for i = 0 to st.n_slots - 1 do
+        match st.slots.(i) with
+        | Some c
+          when Array.length c >= 2
+               && (!widest < 0
+                  || Array.length c
+                     > Array.length (Option.get st.slots.(!widest))) ->
+            widest := i
+        | _ -> ()
+      done;
+      if !widest >= 0 then
+        let c = Option.get st.slots.(!widest) in
+        strengthen st !widest (Array.sub c 1 (Array.length c - 1))
+    end;
+    let continue = ref true in
+    while !continue && st.st.sweeps_run < st.cfg.sweeps do
+      st.st.sweeps_run <- st.st.sweeps_run + 1;
+      let before = st.mutations in
+      subsume_pass st;
+      propagate_roots st;
+      vivify_pass st;
+      propagate_roots st;
+      bve_pass st;
+      propagate_roots st;
+      continue := st.mutations > before
+    done;
+    outcome false
+  with Unsat_found -> outcome true
+
+(* {2 Inprocessing solve driver} *)
+
+type solve_result = {
+  result : Solver.result;
+  model : bool array option;  (* reconstructed over the original variables *)
+  sstats : stats;
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  reductions : int;
+}
+
+let solve ?proof ?(config = default) ?max_conflicts ?on_restart
+    (cnf : Dimacs.cnf) =
+  (* inner solvers must not replay clauses as Input events: the premises
+     (and every simplified replacement) are already in the proof stream *)
+  let steps_only =
+    Option.map
+      (fun sink -> function Proof.Input _ -> () | e -> sink e)
+      proof
+  in
+  let totals = stats_zero () in
+  let conflicts = ref 0
+  and decisions = ref 0
+  and propagations = ref 0
+  and restarts = ref 0
+  and reductions = ref 0 in
+  let finish result model =
+    {
+      result;
+      model;
+      sstats = totals;
+      conflicts = !conflicts;
+      decisions = !decisions;
+      propagations = !propagations;
+      restarts = !restarts;
+      reductions = !reductions;
+    }
+  in
+  let rec round idx current recons budget_left =
+    let out = simplify ?proof ~config current in
+    stats_add totals out.stats;
+    let recons = out.reconstruct :: recons in
+    if out.unsat then finish Solver.Unsat None
+    else begin
+      let s = Solver.create () in
+      Solver.set_proof s steps_only;
+      (match on_restart with Some f -> Solver.set_on_restart s (Some f) | None -> ());
+      Dimacs.load_into s out.cnf;
+      let last = idx >= config.inprocess_rounds - 1 in
+      let chunk =
+        let grow = config.first_chunk * (1 lsl (2 * idx)) in
+        match (budget_left, last) with
+        | Some b, _ -> Some (if last then b else min b grow)
+        | None, true -> None
+        | None, false -> Some grow
+      in
+      let res = Solver.solve ?max_conflicts:chunk s in
+      conflicts := !conflicts + Solver.n_conflicts s;
+      decisions := !decisions + Solver.n_decisions s;
+      propagations := !propagations + Solver.n_propagations s;
+      restarts := !restarts + Solver.n_restarts s;
+      reductions := !reductions + Solver.n_reductions s;
+      (match on_restart with Some f -> f () | None -> ());
+      match res with
+      | Solver.Sat ->
+          let model =
+            List.fold_left (fun m r -> r m) (Solver.model s) recons
+          in
+          finish Solver.Sat (Some model)
+      | Solver.Unsat -> finish Solver.Unsat None
+      | Solver.Unknown ->
+          let budget_left =
+            Option.map (fun b -> b - Solver.n_conflicts s) budget_left
+          in
+          let exhausted =
+            match budget_left with Some b -> b <= 0 | None -> false
+          in
+          if last || exhausted then finish Solver.Unknown None
+          else begin
+            (* harvest root-implied units for the next simplification
+               round; each is RUP by the checker's own root propagation *)
+            let units = Solver.root_units s in
+            let keep = function
+              | Some sink -> List.iter (fun u -> sink (Proof.Step (Proof.Add [| u |]))) units
+              | None -> ()
+            in
+            keep steps_only;
+            let current =
+              List.map (fun u -> [ u ]) units @ out.cnf.Dimacs.clauses
+            in
+            round (idx + 1)
+              { out.cnf with Dimacs.clauses = current }
+              recons budget_left
+          end
+    end
+  in
+  round 0 cnf [] max_conflicts

@@ -27,38 +27,94 @@ let setup ?proof env scope =
   let ts = Tseitin.create solver in
   (solver, bounds, ts)
 
-let solve_goal ?proof ?max_conflicts env scope goal_of_bounds =
-  let solver, bounds, ts = setup ?proof env scope in
-  Tseitin.assert_formula ts (Translate.spec_fmla bounds);
-  Tseitin.assert_formula ts (goal_of_bounds bounds);
-  match Solver.solve ?max_conflicts solver with
-  | Solver.Sat -> Sat (Bounds.extract bounds (Solver.value solver))
-  | Solver.Unsat -> Unsat
-  | Solver.Unknown -> Unknown
+let solve_goal ?proof ?(simplify = false) ?(portfolio = 1) ?(certify = false)
+    ?stats ?max_conflicts env scope goal_of_bounds =
+  if (not simplify) && portfolio <= 1 then begin
+    let solver, bounds, ts = setup ?proof env scope in
+    Tseitin.assert_formula ts (Translate.spec_fmla bounds);
+    Tseitin.assert_formula ts (goal_of_bounds bounds);
+    match Solver.solve ?max_conflicts solver with
+    | Solver.Sat -> Sat (Bounds.extract bounds (Solver.value solver))
+    | Solver.Unsat -> Unsat
+    | Solver.Unknown -> Unknown
+  end
+  else begin
+    (* Simplified or raced solving cannot run inside the loading solver:
+       the CNF is captured off the proof stream's [Input] events (the
+       loading solver never solves, so it emits nothing else) and handed
+       to {!Simplify.solve} / {!Portfolio.solve}, which stream their
+       derivation steps into the caller's sink over the same premises. *)
+    let captured = ref [] in
+    let tee e =
+      (match e with Proof.Input c -> captured := c :: !captured | _ -> ());
+      match proof with Some sink -> sink e | None -> ()
+    in
+    let solver, bounds, ts = setup ~proof:tee env scope in
+    Tseitin.assert_formula ts (Translate.spec_fmla bounds);
+    Tseitin.assert_formula ts (goal_of_bounds bounds);
+    let cnf =
+      {
+        Dimacs.num_vars = Solver.n_vars solver;
+        clauses = List.rev_map Array.to_list !captured;
+      }
+    in
+    let outcome result model =
+      match (result, model) with
+      | Solver.Sat, Some m ->
+          Sat
+            (Bounds.extract bounds (fun v -> v < Array.length m && m.(v)))
+      | Solver.Sat, None | Solver.Unknown, _ -> Unknown
+      | Solver.Unsat, _ -> Unsat
+    in
+    if portfolio > 1 then begin
+      let out =
+        Portfolio.solve ~jobs:portfolio ~simplify ~certify ?proof
+          ?max_conflicts cnf
+      in
+      outcome out.Portfolio.result out.Portfolio.model
+    end
+    else begin
+      let r = Simplify.solve ?proof ?max_conflicts cnf in
+      (match stats with Some f -> f r | None -> ());
+      outcome r.Simplify.result r.Simplify.model
+    end
+  end
 
-let solve_fmla ?proof ?max_conflicts env scope f =
-  solve_goal ?proof ?max_conflicts env scope (fun bounds ->
-      Translate.fmla bounds [] f)
+let solve_fmla ?proof ?simplify ?portfolio ?certify ?stats ?max_conflicts env
+    scope f =
+  solve_goal ?proof ?simplify ?portfolio ?certify ?stats ?max_conflicts env
+    scope (fun bounds -> Translate.fmla bounds [] f)
 
-let run_pred ?proof ?max_conflicts env scope name =
+let run_pred ?proof ?simplify ?portfolio ?certify ?stats ?max_conflicts env
+    scope name =
   match Ast.find_pred env.Alloy.Typecheck.spec name with
   | None -> invalid_arg (Printf.sprintf "Analyzer.run_pred: unknown predicate %s" name)
   | Some p ->
-      solve_goal ?proof ?max_conflicts env scope (fun bounds ->
-          Translate.pred_goal bounds p)
+      solve_goal ?proof ?simplify ?portfolio ?certify ?stats ?max_conflicts env
+        scope (fun bounds -> Translate.pred_goal bounds p)
 
-let check_assert ?proof ?max_conflicts env scope name =
+let check_assert ?proof ?simplify ?portfolio ?certify ?stats ?max_conflicts env
+    scope name =
   match Ast.find_assert env.Alloy.Typecheck.spec name with
   | None ->
       invalid_arg (Printf.sprintf "Analyzer.check_assert: unknown assertion %s" name)
-  | Some a -> solve_fmla ?proof ?max_conflicts env scope (Ast.Not a.assert_body)
+  | Some a ->
+      solve_fmla ?proof ?simplify ?portfolio ?certify ?stats ?max_conflicts env
+        scope (Ast.Not a.assert_body)
 
-let run_command ?proof ?max_conflicts env (c : Ast.command) =
+let run_command ?proof ?simplify ?portfolio ?certify ?stats ?max_conflicts env
+    (c : Ast.command) =
   let scope = Bounds.scope_of_command c in
   match c.cmd_kind with
-  | Ast.Run_pred name -> run_pred ?proof ?max_conflicts env scope name
-  | Ast.Run_fmla f -> solve_fmla ?proof ?max_conflicts env scope f
-  | Ast.Check name -> check_assert ?proof ?max_conflicts env scope name
+  | Ast.Run_pred name ->
+      run_pred ?proof ?simplify ?portfolio ?certify ?stats ?max_conflicts env
+        scope name
+  | Ast.Run_fmla f ->
+      solve_fmla ?proof ?simplify ?portfolio ?certify ?stats ?max_conflicts env
+        scope f
+  | Ast.Check name ->
+      check_assert ?proof ?simplify ?portfolio ?certify ?stats ?max_conflicts
+        env scope name
 
 let enumerate ?(limit = 10) ?max_conflicts env scope f =
   let solver, bounds, ts = setup env scope in

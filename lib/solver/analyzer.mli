@@ -21,6 +21,10 @@ val outcome_verdict : outcome -> verdict
 
 val solve_fmla :
   ?proof:Specrepair_sat.Proof.sink ->
+  ?simplify:bool ->
+  ?portfolio:int ->
+  ?certify:bool ->
+  ?stats:(Specrepair_sat.Simplify.solve_result -> unit) ->
   ?max_conflicts:int ->
   Alloy.Typecheck.env ->
   Bounds.scope ->
@@ -29,10 +33,27 @@ val solve_fmla :
 (** Satisfiability of [facts /\ implicit /\ f] within the scope.  With
     [?proof], the underlying solver logs its run — original clauses and
     derivations — to the sink, making UNSAT outcomes independently
-    checkable (see {!Specrepair_sat.Drat}). *)
+    checkable (see {!Specrepair_sat.Drat}).
+
+    [~simplify:true] routes the solve through
+    {!Specrepair_sat.Simplify.solve} (proof-preserving pre- and
+    inprocessing; models are reconstructed over the original variables
+    before instance extraction, so [Sat] witnesses remain valid).
+    [~portfolio:n] with [n > 1] races [n] diversified workers through
+    {!Specrepair_sat.Portfolio.solve}; [~certify:true] there makes the
+    parent accept an UNSAT verdict only with a checker-admitted proof.
+    Both keep the proof stream over the same premises the sink already
+    saw, so certification works unchanged.  [?stats], when given, receives
+    the full {!Specrepair_sat.Simplify.solve_result} (solver and
+    simplification counters) of a simplified non-portfolio solve — the
+    oracle aggregates these into session telemetry. *)
 
 val run_pred :
   ?proof:Specrepair_sat.Proof.sink ->
+  ?simplify:bool ->
+  ?portfolio:int ->
+  ?certify:bool ->
+  ?stats:(Specrepair_sat.Simplify.solve_result -> unit) ->
   ?max_conflicts:int ->
   Alloy.Typecheck.env ->
   Bounds.scope ->
@@ -42,6 +63,10 @@ val run_pred :
 
 val check_assert :
   ?proof:Specrepair_sat.Proof.sink ->
+  ?simplify:bool ->
+  ?portfolio:int ->
+  ?certify:bool ->
+  ?stats:(Specrepair_sat.Simplify.solve_result -> unit) ->
   ?max_conflicts:int ->
   Alloy.Typecheck.env ->
   Bounds.scope ->
@@ -51,6 +76,10 @@ val check_assert :
 
 val run_command :
   ?proof:Specrepair_sat.Proof.sink ->
+  ?simplify:bool ->
+  ?portfolio:int ->
+  ?certify:bool ->
+  ?stats:(Specrepair_sat.Simplify.solve_result -> unit) ->
   ?max_conflicts:int ->
   Alloy.Typecheck.env ->
   Alloy.Ast.command ->

@@ -29,6 +29,31 @@ type counters = {
   mutable c_cert_failures : int;
 }
 
+type sat_stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  reductions : int;
+  subsumed : int;
+  strengthened : int;
+  vivified : int;
+  eliminated : int;
+}
+
+(* Counters of solving work done outside the long-lived contexts: the
+   simplified fresh solves report through {!Analyzer}'s [?stats] callback
+   and accumulate here (context solvers keep their own lifetime counters
+   and are read directly in {!sat_stats}). *)
+type fresh_counters = {
+  mutable f_conflicts : int;
+  mutable f_decisions : int;
+  mutable f_propagations : int;
+  mutable f_restarts : int;
+  mutable f_reductions : int;
+  f_sstats : Simplify.stats;
+}
+
 (* The certification state of one long-lived context: an independent DRUP
    checker mirroring the solver's clause stream step by step.  A failed
    step is latched — once the stream has a gap, no later UNSAT from this
@@ -48,19 +73,34 @@ type context = {
 type t = {
   base : Alloy.Typecheck.env;
   certify : bool;
+  simplify : bool;
+  portfolio : int;
   on_certify : (bool -> unit) option;
   contexts : (string, context) Hashtbl.t;
   verdicts : (string, verdict) Hashtbl.t;
   outcomes : (string, Analyzer.outcome) Hashtbl.t;
   instances : (string, Alloy.Instance.t list) Hashtbl.t;
   counters : counters;
+  fresh : fresh_counters;
 }
 
-let create ?(certify = false) ?on_certify base =
+let create ?(certify = false) ?(simplify = false) ?(portfolio = 1) ?on_certify
+    base =
   {
     base;
     certify;
+    simplify;
+    portfolio;
     on_certify;
+    fresh =
+      {
+        f_conflicts = 0;
+        f_decisions = 0;
+        f_propagations = 0;
+        f_restarts = 0;
+        f_reductions = 0;
+        f_sstats = Simplify.stats_zero ();
+      };
     contexts = Hashtbl.create 4;
     verdicts = Hashtbl.create 512;
     outcomes = Hashtbl.create 64;
@@ -217,13 +257,30 @@ let outcome_tag = Analyzer.outcome_verdict
 
 (* Fresh (non-incremental) solve, proof-checked when certifying: covers the
    sig-incompatible fallback and instance-producing queries, so an UNSAT
-   answer is certified no matter which path served it. *)
-let analyzer_run ?max_conflicts t env c =
-  if not t.certify then Analyzer.run_command ?max_conflicts env c
+   answer is certified no matter which path served it.
+
+   [simplify]/[portfolio] are only switched on for verdict-only queries:
+   instance-producing solves stay on the plain analyzer path so the models
+   a session observes are bit-identical whatever the session's solving
+   options (verdicts are solver-path-independent; first models are not). *)
+let record_fresh t (r : Simplify.solve_result) =
+  let f = t.fresh in
+  f.f_conflicts <- f.f_conflicts + r.Simplify.conflicts;
+  f.f_decisions <- f.f_decisions + r.Simplify.decisions;
+  f.f_propagations <- f.f_propagations + r.Simplify.propagations;
+  f.f_restarts <- f.f_restarts + r.Simplify.restarts;
+  f.f_reductions <- f.f_reductions + r.Simplify.reductions;
+  Simplify.stats_add f.f_sstats r.Simplify.sstats
+
+let analyzer_run ?simplify ?portfolio ?max_conflicts t env c =
+  let stats = record_fresh t in
+  if not t.certify then
+    Analyzer.run_command ?simplify ?portfolio ~stats ?max_conflicts env c
   else begin
     let r = Proof.recorder () in
     let o =
-      Analyzer.run_command ~proof:(Proof.recorder_sink r) ?max_conflicts env c
+      Analyzer.run_command ~proof:(Proof.recorder_sink r) ?simplify ?portfolio
+        ~certify:true ~stats ?max_conflicts env c
     in
     (match o with
     | Analyzer.Unsat ->
@@ -282,7 +339,9 @@ let command_verdict ?max_conflicts t (env : Alloy.Typecheck.env)
   | None ->
       let fresh () =
         t.counters.c_fallback_queries <- t.counters.c_fallback_queries + 1;
-        outcome_tag (analyzer_run ?max_conflicts t env c)
+        outcome_tag
+          (analyzer_run ~simplify:t.simplify ~portfolio:t.portfolio
+             ?max_conflicts t env c)
       in
       let v =
         if not (compatible t env) then fresh ()
@@ -337,6 +396,33 @@ let enumerate ?(limit = 10) ?max_conflicts t (env : Alloy.Typecheck.env) scope
       insts
 
 (* {2 Statistics} *)
+
+let sat_stats t =
+  let f = t.fresh in
+  let base =
+    {
+      conflicts = f.f_conflicts;
+      decisions = f.f_decisions;
+      propagations = f.f_propagations;
+      restarts = f.f_restarts;
+      reductions = f.f_reductions;
+      subsumed = f.f_sstats.Simplify.subsumed;
+      strengthened = f.f_sstats.Simplify.strengthened;
+      vivified = f.f_sstats.Simplify.vivified;
+      eliminated = f.f_sstats.Simplify.eliminated;
+    }
+  in
+  Hashtbl.fold
+    (fun _ ctx acc ->
+      {
+        acc with
+        conflicts = acc.conflicts + Solver.n_conflicts ctx.solver;
+        decisions = acc.decisions + Solver.n_decisions ctx.solver;
+        propagations = acc.propagations + Solver.n_propagations ctx.solver;
+        restarts = acc.restarts + Solver.n_restarts ctx.solver;
+        reductions = acc.reductions + Solver.n_reductions ctx.solver;
+      })
+    t.contexts base
 
 let stats t =
   let c = t.counters in

@@ -51,7 +51,12 @@ type stats = {
 }
 
 val create :
-  ?certify:bool -> ?on_certify:(bool -> unit) -> Alloy.Typecheck.env -> t
+  ?certify:bool ->
+  ?simplify:bool ->
+  ?portfolio:int ->
+  ?on_certify:(bool -> unit) ->
+  Alloy.Typecheck.env ->
+  t
 (** A session keyed on the base spec's signature declarations.  Cheap: real
     work happens lazily, per scope, at the first query.
 
@@ -64,7 +69,15 @@ val create :
     counters and, when given, [on_certify] is called with each result
     (the {!Specrepair_engine} session uses this to count certificates in
     its telemetry).  Certification roughly doubles solving cost; leave it
-    off on hot paths and on for auditing runs. *)
+    off on hot paths and on for auditing runs.
+
+    [~simplify:true] and [~portfolio:n] route {e verdict-only fresh
+    solves} (the sig-incompatible fallback path) through the
+    proof-preserving simplifier and the racing portfolio respectively.
+    Instance-producing queries deliberately stay on the plain analyzer
+    path, so the instances a session observes are bit-identical whatever
+    the solving options — verdicts are solver-path-independent, first
+    models are not. *)
 
 val base : t -> Alloy.Typecheck.env
 
@@ -102,6 +115,24 @@ val enumerate :
 
 val stats : t -> stats
 (** Snapshot of the session counters. *)
+
+type sat_stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  reductions : int;
+  subsumed : int;  (** clauses removed by subsumption *)
+  strengthened : int;  (** self-subsuming resolutions *)
+  vivified : int;  (** literals removed by vivification *)
+  eliminated : int;  (** variables eliminated by BVE *)
+}
+
+val sat_stats : t -> sat_stats
+(** Aggregate SAT-solver work under this oracle: the lifetime counters of
+    every incremental context's solver plus the counters reported by
+    simplified fresh solves.  The simplification counters are nonzero only
+    when the oracle was created with [~simplify:true]. *)
 
 val reset_stats : t -> unit
 

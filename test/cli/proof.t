@@ -61,3 +61,31 @@ Malformed proof files fail parsing, with the same exit code:
   $ ../../bin/specrepair.exe check-proof php.cnf garbage.drup
   proof rejected: Proof.read_steps: step not 0-terminated: "1 2"
   [1]
+
+With --simplify the solve runs through the proof-preserving
+inprocessing driver; the certificate it streams (simplification steps
+included) still checks against the original CNF, and the simplifier's
+counters go to stderr, never stdout:
+
+  $ ../../bin/specrepair.exe sat --simplify --proof simp.drup php.cnf 2>/dev/null
+  s UNSATISFIABLE
+  $ ../../bin/specrepair.exe check-proof php.cnf simp.drup
+  proof accepted
+
+--portfolio 1 stays in-process: its stdout is byte-identical to a plain
+solve.  Larger values race forked configurations (a worker summary goes
+to stderr):
+
+  $ ../../bin/specrepair.exe sat --portfolio 1 simple.cnf
+  s SATISFIABLE
+  v -1 2 0
+  $ ../../bin/specrepair.exe sat --portfolio 2 php.cnf 2>/dev/null
+  s UNSATISFIABLE
+
+The flags are validated at the parser, before any solving starts:
+
+  $ ../../bin/specrepair.exe sat --portfolio 0 php.cnf
+  specrepair: option '--portfolio': expected a positive integer
+  Usage: specrepair sat [OPTION]… CNF
+  Try 'specrepair sat --help' or 'specrepair --help' for more information.
+  [124]

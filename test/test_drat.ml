@@ -44,21 +44,11 @@ let check_certified ?assumptions msg result r =
   | Ok () -> ()
   | Error e -> Alcotest.failf "%s: checker rejected the proof: %s" msg e
 
-(* Pigeonhole principle: n+1 pigeons in n holes, unsatisfiable. *)
+(* Pigeonhole principle: n+1 pigeons in n holes, unsatisfiable; shared
+   generator adapted to this file's (nvars, clauses) shape. *)
 let pigeonhole n =
-  let var p h = (p * n) + h in
-  let clauses = ref [] in
-  for p = 0 to n do
-    clauses := List.init n (fun h -> lit (var p h) true) :: !clauses
-  done;
-  for h = 0 to n - 1 do
-    for p1 = 0 to n do
-      for p2 = p1 + 1 to n do
-        clauses := [ lit (var p1 h) false; lit (var p2 h) false ] :: !clauses
-      done
-    done
-  done;
-  ((n + 1) * n, !clauses)
+  let cnf = Hard_cnf.pigeonhole n in
+  (cnf.Dimacs.num_vars, cnf.Dimacs.clauses)
 
 (* {2 Proof format round-trips} *)
 

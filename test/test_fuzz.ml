@@ -1,6 +1,6 @@
 (* Tests for the differential fuzzing harness itself: seeded determinism
    of the generators, the DPLL reference against hand-checkable inputs,
-   zero-discrepancy smoke campaigns for all five targets, the chaos
+   zero-discrepancy smoke campaigns for all six targets, the chaos
    injection path (caught, shrunk, persisted), and regression-corpus
    replay. *)
 
@@ -115,7 +115,7 @@ let test_ref_sat_vs_solver () =
           | Solver.Unknown -> "unknown")
   done
 
-(* {2 Campaign smoke: all five targets, zero discrepancies} *)
+(* {2 Campaign smoke: all six targets, zero discrepancies} *)
 
 let smoke target iters () =
   let dir = tmp_dir "fuzz-smoke" in
@@ -188,6 +188,31 @@ let test_chaos_proof_rejection () =
       | Error msg -> Alcotest.failf "replay of %s failed: %s" path msg)
     (Harness.replay_dir dir)
 
+(* The simplify target under chaos: an unjustified strengthening inside
+   the inprocessing driver must be caught — by the DRUP checker or by the
+   verdict/model comparison — shrunk, and persisted; the entries replay
+   clean once the fault is healed. *)
+let test_chaos_simplify_rejection () =
+  let dir = tmp_dir "fuzz-chaos-simplify" in
+  Unix.putenv "SPECREPAIR_FUZZ_CHAOS" "corrupt-simplify";
+  let r =
+    Fun.protect
+      ~finally:(fun () -> Unix.putenv "SPECREPAIR_FUZZ_CHAOS" "")
+      (fun () ->
+        Harness.run ~corpus_dir:dir Harness.Simplify_target ~seed:42 ~iters:60
+          ())
+  in
+  Alcotest.(check bool) "unjustified simplification caught" true
+    (r.Harness.discrepancies > 0);
+  Alcotest.(check int) "every iteration still completed" 60
+    (r.Harness.checks + r.Harness.skipped);
+  List.iter
+    (fun (path, res) ->
+      match res with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "replay of %s failed: %s" path msg)
+    (Harness.replay_dir dir)
+
 (* {2 Regression corpus replay} *)
 
 (* `dune runtest` runs from the test directory, `dune exec` from the
@@ -231,6 +256,8 @@ let () =
           Alcotest.test_case "oracle" `Quick (smoke Harness.Oracle_target 25);
           Alcotest.test_case "eval" `Quick (smoke Harness.Eval_target 40);
           Alcotest.test_case "proof" `Quick (smoke Harness.Proof_target 100);
+          Alcotest.test_case "simplify" `Quick
+            (smoke Harness.Simplify_target 60);
           Alcotest.test_case "deterministic report" `Quick
             test_report_deterministic;
         ] );
@@ -239,6 +266,8 @@ let () =
           Alcotest.test_case "injection caught" `Quick test_chaos_injection;
           Alcotest.test_case "proof rejection" `Quick
             test_chaos_proof_rejection;
+          Alcotest.test_case "simplify rejection" `Quick
+            test_chaos_simplify_rejection;
         ] );
       ( "corpus",
         [ Alcotest.test_case "regression replay" `Quick test_corpus_replay ] );

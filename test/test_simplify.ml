@@ -1,0 +1,256 @@
+(* Tests for the proof-preserving simplifier: transformation correctness,
+   verdict equivalence against brute force, model reconstruction, and the
+   DRUP checkability of every emitted step. *)
+
+open Specrepair_sat
+
+let lit v sign = if sign then Lit.pos v else Lit.neg v
+
+let brute_force n clauses =
+  let rec try_assignment mask =
+    if mask >= 1 lsl n then false
+    else
+      let value l =
+        let v = Lit.var l in
+        let b = mask land (1 lsl v) <> 0 in
+        if Lit.sign l then b else not b
+      in
+      if List.for_all (fun c -> List.exists value c) clauses then true
+      else try_assignment (mask + 1)
+  in
+  try_assignment 0
+
+let model_satisfies model clauses =
+  let value l =
+    let b = Lit.var l < Array.length model && model.(Lit.var l) in
+    if Lit.sign l then b else not b
+  in
+  List.for_all (fun c -> List.exists value c) clauses
+
+(* Record premises + steps and run [Simplify.solve]; return both. *)
+let solve_recorded ?config (cnf : Dimacs.cnf) =
+  let r = Proof.recorder () in
+  let sink = Proof.recorder_sink r in
+  List.iter (fun c -> sink (Proof.Input (Array.of_list c))) cnf.clauses;
+  let res = Simplify.solve ?config ~proof:sink cnf in
+  (res, r)
+
+let check_proof msg (res : Simplify.solve_result) r =
+  let premises = Proof.inputs r in
+  let steps = List.to_seq (Proof.steps r) in
+  let verdict =
+    match res.result with
+    | Solver.Unsat -> Drat.check ~premises steps
+    | _ -> Drat.check ~require_conflict:false ~premises steps
+  in
+  match verdict with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: checker rejected the proof: %s" msg e
+
+(* {2 Transformation unit tests} *)
+
+let test_subsumption () =
+  let clauses =
+    [
+      [ lit 0 true; lit 1 true ];
+      [ lit 0 true; lit 1 true; lit 2 true ];  (* superset *)
+      [ lit 0 true; lit 1 true ];  (* duplicate *)
+      [ lit 2 true; lit 3 false ];
+    ]
+  in
+  let out = Simplify.simplify { Dimacs.num_vars = 4; clauses } in
+  Alcotest.(check bool) "not unsat" false out.unsat;
+  Alcotest.(check bool)
+    "subsumption fired" true (out.stats.Simplify.subsumed >= 2);
+  Alcotest.(check bool)
+    "clause count shrank" true
+    (List.length out.cnf.Dimacs.clauses < List.length clauses)
+
+let test_self_subsumption () =
+  (* (a | b) and (~a | b | c): resolving on a strengthens the second
+     clause to (b | c) *)
+  let clauses =
+    [ [ lit 0 true; lit 1 true ]; [ lit 0 false; lit 1 true; lit 2 true ] ]
+  in
+  let out = Simplify.simplify { Dimacs.num_vars = 3; clauses } in
+  Alcotest.(check bool)
+    "strengthened" true (out.stats.Simplify.strengthened >= 1);
+  Alcotest.(check bool)
+    "no clause still mentions ~a with b" true
+    (List.for_all
+       (fun c -> not (List.mem (lit 0 false) c && List.mem (lit 1 true) c))
+       out.cnf.Dimacs.clauses)
+
+let test_unsat_during_simplification () =
+  let cnf =
+    { Dimacs.num_vars = 2; clauses = [ [ lit 0 true ]; [ lit 0 false ] ] }
+  in
+  let res, r = solve_recorded cnf in
+  (match res.result with
+  | Solver.Unsat -> ()
+  | _ -> Alcotest.fail "expected unsat");
+  check_proof "unit conflict" res r
+
+let test_bve_reconstruction () =
+  (* a chain x0 -> x1 -> x2 -> x3: interior variables eliminate away and
+     must be restored to values satisfying the original implications *)
+  let clauses =
+    [
+      [ lit 0 true ];
+      [ lit 0 false; lit 1 true ];
+      [ lit 1 false; lit 2 true ];
+      [ lit 2 false; lit 3 true ];
+    ]
+  in
+  let cnf = { Dimacs.num_vars = 4; clauses } in
+  let res, r = solve_recorded cnf in
+  (match res.result with
+  | Solver.Sat -> ()
+  | _ -> Alcotest.fail "expected sat");
+  let model = Option.get res.model in
+  Alcotest.(check bool)
+    "reconstructed model satisfies the original clauses" true
+    (model_satisfies model clauses);
+  check_proof "bve chain" res r
+
+let test_frozen_variables_survive () =
+  let clauses =
+    [ [ lit 0 true; lit 1 true ]; [ lit 0 false; lit 2 true ] ] in
+  let out =
+    Simplify.simplify ~frozen:[ 0; 1; 2 ] { Dimacs.num_vars = 3; clauses }
+  in
+  Alcotest.(check int) "nothing eliminated" 0 out.stats.Simplify.eliminated
+
+let test_redundant_pigeonhole_shrinks () =
+  let base = Hard_cnf.pigeonhole 4 in
+  let padded = Hard_cnf.with_redundancy ~seed:11 ~copies:3 base in
+  let out = Simplify.simplify padded in
+  Alcotest.(check bool) "not refuted outright" true (not out.unsat || true);
+  Alcotest.(check bool)
+    (Printf.sprintf "clauses %d -> %d"
+       (List.length padded.Dimacs.clauses)
+       (List.length out.cnf.Dimacs.clauses))
+    true
+    (out.unsat
+    || List.length out.cnf.Dimacs.clauses
+       < List.length padded.Dimacs.clauses / 2)
+
+let test_certified_unsat_pigeonhole () =
+  let cnf = Hard_cnf.pigeonhole 4 in
+  let res, r = solve_recorded cnf in
+  (match res.result with
+  | Solver.Unsat -> ()
+  | _ -> Alcotest.fail "php(5,4) must be unsat");
+  check_proof "pigeonhole certified through simplification" res r
+
+let test_inprocessing_rounds () =
+  (* tiny chunks force Unknown rounds, unit harvesting and re-simplification;
+     the stitched proof must still check *)
+  let cnf = Hard_cnf.pigeonhole 5 in
+  let config = { Simplify.default with first_chunk = 5; inprocess_rounds = 4 } in
+  let res, r = solve_recorded ~config cnf in
+  (match res.result with
+  | Solver.Unsat -> ()
+  | _ -> Alcotest.fail "php(6,5) must be unsat");
+  check_proof "multi-round inprocessing" res r
+
+let test_budget_respected () =
+  let cnf = Hard_cnf.pigeonhole 8 in
+  let res =
+    Simplify.solve ~max_conflicts:20
+      { cnf with Dimacs.clauses = cnf.Dimacs.clauses }
+  in
+  match res.result with
+  | Solver.Unknown | Solver.Unsat -> ()
+  | Solver.Sat -> Alcotest.fail "php(9,8) cannot be sat"
+
+(* {2 Random CNF properties} *)
+
+let gen_cnf =
+  QCheck2.Gen.(
+    let* n = int_range 1 8 in
+    let* n_clauses = int_range 1 30 in
+    let gen_lit = map2 (fun v s -> (v mod n, s)) (int_bound (n - 1)) bool in
+    let gen_clause = list_size (int_range 1 4) gen_lit in
+    let* clauses = list_repeat n_clauses gen_clause in
+    return (n, clauses))
+
+let prop_simplified_agrees_with_brute_force =
+  QCheck2.Test.make ~count:300
+    ~name:"simplified solving agrees with brute force; proofs check" gen_cnf
+    (fun (n, raw) ->
+      let clauses = List.map (List.map (fun (v, s) -> lit v s)) raw in
+      let cnf = { Dimacs.num_vars = n; clauses } in
+      let expected = brute_force n clauses in
+      let res, r = solve_recorded cnf in
+      let verdict_ok =
+        match res.result with
+        | Solver.Sat -> expected
+        | Solver.Unsat -> not expected
+        | Solver.Unknown -> false
+      in
+      let model_ok =
+        match (res.result, res.model) with
+        | Solver.Sat, Some m -> model_satisfies m clauses
+        | Solver.Sat, None -> false
+        | _ -> true
+      in
+      let proof_ok =
+        let premises = Proof.inputs r in
+        let steps = List.to_seq (Proof.steps r) in
+        match res.result with
+        | Solver.Unsat -> Drat.check ~premises steps = Ok ()
+        | _ -> Drat.check ~require_conflict:false ~premises steps = Ok ()
+      in
+      verdict_ok && model_ok && proof_ok)
+
+let prop_simplify_preserves_satisfiability =
+  QCheck2.Test.make ~count:300
+    ~name:"simplify output equisatisfiable; reconstruction lifts models"
+    gen_cnf (fun (n, raw) ->
+      let clauses = List.map (List.map (fun (v, s) -> lit v s)) raw in
+      let cnf = { Dimacs.num_vars = n; clauses } in
+      let expected = brute_force n clauses in
+      let out = Simplify.simplify cnf in
+      if out.unsat then not expected
+      else begin
+        let s = Solver.create () in
+        Dimacs.load_into s out.cnf;
+        match Solver.solve s with
+        | Solver.Sat ->
+            expected
+            && model_satisfies (out.reconstruct (Solver.model s)) clauses
+        | Solver.Unsat -> not expected
+        | Solver.Unknown -> false
+      end)
+
+let () =
+  Alcotest.run "simplify"
+    [
+      ( "transformations",
+        [
+          Alcotest.test_case "subsumption" `Quick test_subsumption;
+          Alcotest.test_case "self-subsumption" `Quick test_self_subsumption;
+          Alcotest.test_case "unsat during simplification" `Quick
+            test_unsat_during_simplification;
+          Alcotest.test_case "bve model reconstruction" `Quick
+            test_bve_reconstruction;
+          Alcotest.test_case "frozen variables survive" `Quick
+            test_frozen_variables_survive;
+          Alcotest.test_case "redundant pigeonhole shrinks" `Quick
+            test_redundant_pigeonhole_shrinks;
+        ] );
+      ( "proofs",
+        [
+          Alcotest.test_case "certified unsat pigeonhole" `Quick
+            test_certified_unsat_pigeonhole;
+          Alcotest.test_case "multi-round inprocessing" `Quick
+            test_inprocessing_rounds;
+          Alcotest.test_case "conflict budget" `Quick test_budget_respected;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_simplified_agrees_with_brute_force;
+          QCheck_alcotest.to_alcotest prop_simplify_preserves_satisfiability;
+        ] );
+    ]

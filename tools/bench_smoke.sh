@@ -17,12 +17,14 @@ trap 'rm -rf "$workdir"' EXIT
 out="$workdir/BENCH_oracle.json"
 proof="$workdir/BENCH_proof.json"
 par="$workdir/BENCH_parallel.json"
+sat="$workdir/BENCH_sat.json"
 ci_mode="${CI:-0}"
 
 BENCH_SAMPLE="${BENCH_SAMPLE:-1}" BENCH_ORACLE_OUT="$out" \
-    BENCH_PROOF_OUT="$proof" BENCH_PARALLEL_OUT="$par" dune exec bench/main.exe
+    BENCH_PROOF_OUT="$proof" BENCH_PARALLEL_OUT="$par" \
+    BENCH_SAT_OUT="$sat" dune exec bench/main.exe
 
-for f in "$out" "$proof" "$par"; do
+for f in "$out" "$proof" "$par" "$sat"; do
     if [ ! -s "$f" ]; then
         echo "bench_smoke: $f missing or empty" >&2
         exit 1
@@ -30,7 +32,7 @@ for f in "$out" "$proof" "$par"; do
 done
 
 if command -v python3 >/dev/null 2>&1; then
-    CI_MODE="$ci_mode" python3 - "$out" "$proof" "$par" <<'EOF'
+    CI_MODE="$ci_mode" python3 - "$out" "$proof" "$par" "$sat" <<'EOF'
 import json, os, sys
 
 ci = os.environ.get("CI_MODE", "0") == "1"
@@ -119,6 +121,47 @@ if pdata["retries"] != 0 or pdata["workers_lost"] != 0:
 print(f"bench_smoke: parallel ok ({pdata['rows']} rows, "
       f"{pdata['chunks_completed']} chunks over {pdata['jobs']} workers, "
       f"static/dynamic {pdata['static_over_dynamic']}x)")
+
+with open(sys.argv[4]) as f:
+    sdata = json.load(f)
+
+srequired = [
+    "families", "best_simplify_speedup", "best_portfolio_speedup",
+    "verdicts_agree", "certified_unsat", "certificate_failures",
+]
+missing = [k for k in srequired if k not in sdata]
+if missing:
+    sys.exit(f"bench_smoke: BENCH_sat.json lacks keys: {missing}")
+if not sdata["families"]:
+    sys.exit("bench_smoke: SAT stage measured no instance families")
+for fam in sdata["families"]:
+    for k in ["name", "instances", "verdicts", "plain_ms", "simplify_ms",
+              "portfolio_ms", "simplify_speedup", "portfolio_speedup",
+              "certified_unsat"]:
+        if k not in fam:
+            sys.exit(f"bench_smoke: SAT family lacks key {k}")
+if not sdata["verdicts_agree"]:
+    sys.exit("bench_smoke: SAT stage verdicts diverged across solving modes")
+if sdata["certified_unsat"] <= 0:
+    sys.exit("bench_smoke: SAT stage certified no UNSAT instance")
+if sdata["certificate_failures"] != 0:
+    sys.exit("bench_smoke: the checker rejected "
+             f"{sdata['certificate_failures']} SAT-stage certificate(s)")
+if ci:
+    # wall-clock ratios are flaky on shared runners; the deterministic
+    # gates above (verdict agreement, accepted certificates) still ran
+    print(f"bench_smoke: sat ok under CI ({len(sdata['families'])} families, "
+          f"{sdata['certified_unsat']} certified; speedups unchecked)")
+else:
+    if sdata["best_simplify_speedup"] < 1.2:
+        sys.exit("bench_smoke: best simplification speedup "
+                 f"{sdata['best_simplify_speedup']} below 1.2x")
+    if sdata["best_portfolio_speedup"] < 1.5:
+        sys.exit("bench_smoke: best portfolio speedup "
+                 f"{sdata['best_portfolio_speedup']} below 1.5x")
+    print(f"bench_smoke: sat ok (simplify {sdata['best_simplify_speedup']}x, "
+          f"portfolio {sdata['best_portfolio_speedup']}x, "
+          f"{sdata['certified_unsat']} certified)")
 EOF
 else
     # no python3: settle for structural sanity checks
@@ -137,6 +180,13 @@ else
     for key in static_ms dynamic_ms chunks_completed retries workers_lost; do
         if ! grep -q "\"$key\"" "$par"; then
             echo "bench_smoke: BENCH_parallel.json lacks key $key" >&2
+            exit 1
+        fi
+    done
+    for key in best_simplify_speedup best_portfolio_speedup verdicts_agree \
+            certified_unsat certificate_failures; do
+        if ! grep -q "\"$key\"" "$sat"; then
+            echo "bench_smoke: BENCH_sat.json lacks key $key" >&2
             exit 1
         fi
     done
@@ -163,11 +213,14 @@ with open(sys.argv[1]) as f:
 
 required = [
     "tool", "elapsed_ms", "timed_out", "solver_queries",
-    "candidates_generated", "candidates_evaluated", "oracle", "phases",
+    "candidates_generated", "candidates_evaluated", "oracle", "sat",
+    "phases",
 ]
 missing = [k for k in required if k not in data]
 if missing:
     sys.exit(f"bench_smoke: telemetry lacks keys: {missing}")
+if data["sat"]["conflicts"] < 0:
+    sys.exit("bench_smoke: telemetry sat counters are negative")
 if data["solver_queries"] <= 0:
     sys.exit("bench_smoke: telemetry reports no solver queries")
 if data["candidates_evaluated"] <= 0:

@@ -8,8 +8,8 @@
 # locally via `specrepair fuzz --iters 500` — but every discrepancy
 # class the harness knows (SAT verdicts, models, unsat cores, budget
 # behaviour, model-finder vs enumeration, oracle coherence, pinned
-# translation vs evaluation, DRUP certificate checking) is exercised on
-# every run.
+# translation vs evaluation, DRUP certificate checking, proof-preserving
+# simplification) is exercised on every run.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -34,6 +34,7 @@ for pass in 1 2; do
         run oracle "$iters"
         run eval "$iters"
         run proof "$iters"
+        run simplify "$iters"
     } > "$workdir/summary-$pass.json" || {
         echo "fuzz_smoke: discrepancies found (pass $pass):" >&2
         cat "$workdir/summary-$pass.json" >&2
@@ -75,4 +76,19 @@ if ! ls "$workdir/chaos-proof"/*.cnf >/dev/null 2>&1; then
     exit 1
 fi
 
-echo "fuzz_smoke: ok (seed $seed; sat x$sat_iters, solver/oracle/eval/proof x$iters, twice, byte-identical; chaos hooks caught)"
+# A third hook strengthens one clause inside the simplifier without
+# emitting the justifying proof step: the independent checker (or the
+# verdict/model comparison) must notice and fail the run.
+if SPECREPAIR_FUZZ_CHAOS=corrupt-simplify dune exec bin/specrepair.exe -- fuzz \
+    --target simplify --iters 50 --seed "$seed" \
+    --corpus-dir "$workdir/chaos-simplify" \
+    > "$workdir/chaos-simplify.json" 2>&1; then
+    echo "fuzz_smoke: unjustified simplification was not detected" >&2
+    exit 1
+fi
+if ! ls "$workdir/chaos-simplify"/*.cnf >/dev/null 2>&1; then
+    echo "fuzz_smoke: simplify chaos run persisted no corpus entry" >&2
+    exit 1
+fi
+
+echo "fuzz_smoke: ok (seed $seed; sat x$sat_iters, solver/oracle/eval/proof/simplify x$iters, twice, byte-identical; chaos hooks caught)"
