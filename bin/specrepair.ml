@@ -19,9 +19,20 @@ let read_file path =
   close_in ic;
   s
 
+(* Load + frontend-check a spec, rendering positioned diagnostics.
+   Warnings go to stderr; an error renders with its caret line and exits
+   1 (a diagnostic is a verdict on the input, not a usage error). *)
 let load_env path =
-  let spec = Alloy.Parser.parse (read_file path) in
-  Alloy.Typecheck.check spec
+  let src = read_file path in
+  match Alloy.Frontend.check ~file:path src with
+  | Ok ok ->
+      List.iter
+        (fun w -> prerr_endline (Alloy.Diagnostic.render ~source:src w))
+        ok.Alloy.Frontend.warnings;
+      ok.Alloy.Frontend.env
+  | Error d ->
+      prerr_endline (Alloy.Diagnostic.render ~source:src d);
+      exit 1
 
 (* [--jobs 0], negative [--jobs] and [--sample 0] are always mistakes:
    reject them at parse time with a usage error instead of forking zero
@@ -67,18 +78,46 @@ let portfolio_arg =
 
 let parse_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
-  let run file =
-    match load_env file with
-    | env ->
-        print_string (Alloy.Pretty.spec_to_string env.Alloy.Typecheck.spec);
+  let pretty =
+    Arg.(
+      value & flag
+      & info [ "pretty" ]
+          ~doc:"Reprint the parsed specification as Alloy source on stdout")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json-diagnostics" ]
+          ~doc:
+            "Report diagnostics as a JSON array on stdout instead of \
+             rendering them on stderr")
+  in
+  let run file pretty json =
+    let src = read_file file in
+    let print_json ds =
+      print_endline
+        ("[" ^ String.concat "," (List.map Alloy.Diagnostic.to_json ds) ^ "]")
+    in
+    match Alloy.Frontend.check ~file src with
+    | Ok ok ->
+        if json then print_json ok.Alloy.Frontend.warnings
+        else
+          List.iter
+            (fun w -> prerr_endline (Alloy.Diagnostic.render ~source:src w))
+            ok.Alloy.Frontend.warnings;
+        if pretty then print_string (Alloy.Pretty.source ok.Alloy.Frontend.spec);
         `Ok ()
-    | exception Alloy.Parser.Parse_error msg -> `Error (false, msg)
-    | exception Alloy.Lexer.Lex_error msg -> `Error (false, msg)
-    | exception Alloy.Typecheck.Type_error msg -> `Error (false, msg)
+    | Error d ->
+        if json then print_json [ d ]
+        else prerr_endline (Alloy.Diagnostic.render ~source:src d);
+        exit 1
   in
   Cmd.v
-    (Cmd.info "parse" ~doc:"Parse and type-check a specification, reprint it")
-    Term.(ret (const run $ file))
+    (Cmd.info "parse"
+       ~doc:
+         "Parse, elaborate and type-check a specification through the Alloy \
+          4.2 frontend; exit 0 if it is well-formed")
+    Term.(ret (const run $ file $ pretty $ json))
 
 (* {2 analyze} *)
 
@@ -105,9 +144,6 @@ let analyze_cmd =
               | Solver.Analyzer.Unknown -> Format.printf "%s: UNKNOWN@." label)
             env.Alloy.Typecheck.spec.commands;
         `Ok ()
-    | exception Alloy.Parser.Parse_error msg -> `Error (false, msg)
-    | exception Alloy.Lexer.Lex_error msg -> `Error (false, msg)
-    | exception Alloy.Typecheck.Type_error msg -> `Error (false, msg)
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run every command of a specification")
@@ -182,9 +218,6 @@ let repair_cmd =
                ~extra:[ ("tool", result.Repair.Common.tool) ]
                session);
         `Ok ()
-    | exception Alloy.Parser.Parse_error msg -> `Error (false, msg)
-    | exception Alloy.Lexer.Lex_error msg -> `Error (false, msg)
-    | exception Alloy.Typecheck.Type_error msg -> `Error (false, msg)
   in
   Cmd.v
     (Cmd.info "repair"
@@ -484,7 +517,8 @@ let fuzz_cmd =
       & info [ "target" ] ~docv:"TARGET"
           ~doc:
             "Fuzz a single target ($(b,sat), $(b,solver), $(b,oracle), \
-             $(b,eval), $(b,proof) or $(b,simplify)); default: all six.")
+             $(b,eval), $(b,proof), $(b,simplify) or $(b,parse)); \
+             default: all seven.")
   in
   let seed =
     Arg.(
@@ -522,8 +556,8 @@ let fuzz_cmd =
     (Cmd.info "fuzz"
        ~doc:
          "Differential fuzzing: cross-check the \
-          SAT/solver/oracle/eval/proof/simplify stack against independent \
-          reference oracles")
+          SAT/solver/oracle/eval/proof/simplify/parse stack against \
+          independent reference oracles")
     Term.(const run $ seed $ iters $ target $ corpus_dir)
 
 let () =

@@ -1,0 +1,345 @@
+(* Elaboration: lowers the located {!Surface} AST to the kernel
+   {!Ast.t}.
+
+   The lowering replicates the normalizations the historical token-array
+   parser performed inline, so kernel terms are bit-identical for the
+   language subset it accepted:
+
+   - statement blocks fold left into [And], seeded with [True] (an empty
+     block is [True]);
+   - [c => t else e] desugars to [(c && t) || (!c && e)];
+   - boxed join [e[a, b]] folds to [b.(a.e)];
+   - a bare expression in formula position is reinterpreted as a
+     predicate call ([p] or [p[a, b]]), or rejected;
+   - an unannotated final field column defaults to [one] for binary
+     fields and [set] for higher arity.
+
+   Surface-only constructs lower as:
+
+   - [univ = univ] / [univ != univ] fold to [True] / [False], making
+     parse ∘ print ∘ parse a fixpoint (the printer spells the boolean
+     constants that way);
+   - [k op #e] flips into [#e op' k];
+   - [disj x, y: A] adds pairwise disequalities to the quantifier body
+     (antecedent under [all], conjunct otherwise);
+   - [disj f, g: ...] field groups add a per-atom disjointness fact;
+   - a signature fact [sig A {...} { F }] becomes the fact
+     [A$fact: all this: A | F];
+   - [open] headers, command labels, [exactly] scopes and [disj]
+     parameters of functions elaborate to warnings;
+   - subset signatures ([sig A in B]) are rejected with a positioned
+     error. *)
+
+module S = Surface
+open Ast
+
+type result = {
+  spec : Ast.spec;
+  warnings : Diagnostic.t list;
+  spans : (Typecheck.decl * Loc.span) list;
+      (* source span of every kernel declaration, for positioned
+         typecheck diagnostics (see {!Frontend}) *)
+}
+
+let flip_intcmp = function
+  | Ilt -> Igt
+  | Ile -> Ige
+  | Igt -> Ilt
+  | Ige -> Ile
+  | Ieq -> Ieq
+  | Ineq -> Ineq
+
+(* Reinterpret an expression as a predicate call: [p] becomes
+   [Call(p, [])] and [p[a, b]] — elaborated to b.(a.p) — becomes
+   [Call(p, [a; b])]. *)
+let expr_to_call e =
+  let rec split = function
+    | Rel name -> Some (name, [])
+    | Binop (Join, arg, rest) -> (
+        match split rest with
+        | Some (name, args) -> Some (name, arg :: args)
+        | None -> None)
+    | _ -> None
+  in
+  match split e with
+  | Some (name, args) -> Some (Call (name, List.rev args))
+  | None -> None
+
+let rec expr (e : S.expr) =
+  match e.Loc.it with
+  | S.Ename n -> Rel n
+  | S.Euniv -> Univ
+  | S.Eiden -> Iden
+  | S.Enone -> None_
+  | S.Eunop (op, a) -> Unop (op, expr a)
+  | S.Ebinop (op, a, b) -> Binop (op, expr a, expr b)
+  | S.Ebox (f, args) ->
+      List.fold_left (fun acc arg -> Binop (Join, expr arg, acc)) (expr f) args
+  | S.Ecompr (groups, body) ->
+      let body' = with_disj ~under_all:false groups (fmla body) in
+      Compr (decl_pairs groups, body')
+
+and decl_pairs groups =
+  List.concat_map
+    (fun g ->
+      let bound = expr g.S.d_bound in
+      List.map (fun n -> (n.Loc.it, bound)) g.S.d_names)
+    groups
+
+(* Pairwise disequalities of every [disj] group, folded left. *)
+and disj_constraint groups =
+  let pairs g =
+    let rec go = function
+      | [] -> []
+      | x :: rest ->
+          List.map (fun y -> Cmp (Cneq, Rel x.Loc.it, Rel y.Loc.it)) rest
+          @ go rest
+    in
+    if g.S.d_disj then go g.S.d_names else []
+  in
+  match List.concat_map pairs groups with
+  | [] -> None
+  | f :: rest -> Some (List.fold_left (fun acc g -> And (acc, g)) f rest)
+
+and with_disj ~under_all groups body =
+  match disj_constraint groups with
+  | None -> body
+  | Some d -> if under_all then Implies (d, body) else And (d, body)
+
+and fmla (f : S.fmla) =
+  match f.Loc.it with
+  | S.Fcmp (op, a, b) -> (
+      match (op, expr a, expr b) with
+      | Ceq, Univ, Univ -> True
+      | Cneq, Univ, Univ -> False
+      | op, a, b -> Cmp (op, a, b))
+  | S.Fmult (m, e) -> Multf (m, expr e)
+  | S.Fcard (op, e, k) -> Card (op, expr e, k)
+  | S.Fcard_rev (op, k, e) -> Card (flip_intcmp op, expr e, k)
+  | S.Fnot g -> Not (fmla g)
+  | S.Fand (a, b) -> (
+      (* a left [True] conjunct cannot survive printing (the block
+         printer drops it from the And-spine), so fold it away here:
+         without this, [univ = univ && f] breaks the parse ∘ print
+         fixpoint.  [True] only arises from a literal [univ = univ],
+         so real sources are unaffected. *)
+      match (fmla a, fmla b) with
+      | True, g -> g
+      | f, g -> And (f, g))
+  | S.For_ (a, b) -> Or (fmla a, fmla b)
+  | S.Fimplies (a, b) -> Implies (fmla a, fmla b)
+  | S.Fimplies_else (c, t, e) ->
+      let c' = fmla c in
+      Or (And (c', fmla t), And (Not c', fmla e))
+  | S.Fiff (a, b) -> Iff (fmla a, fmla b)
+  | S.Fquant (q, groups, body) ->
+      let body' = with_disj ~under_all:(q = Qall) groups (fmla body) in
+      Quant (q, decl_pairs groups, body')
+  | S.Flet (n, v, body) -> Let (n.Loc.it, expr v, fmla body)
+  | S.Fblock lines ->
+      List.fold_left
+        (fun acc line ->
+          let g = fmla line in
+          match acc with True -> g | _ -> And (acc, g))
+        True lines
+  | S.Fexpr e -> (
+      match expr_to_call (expr e) with
+      | Some call -> call
+      | None ->
+          Diagnostic.fail e.Loc.loc
+            "this expression is not a formula (expected a comparison or a predicate call)")
+
+(* {2 Paragraphs} *)
+
+let field_mult cols =
+  match List.rev cols with
+  | (Some m, _) :: _ -> m
+  | (None, _) :: _ -> if List.length cols = 1 then Mone else Mset
+  | [] -> assert false
+
+(* The statement-block fold, for generated fact bodies. *)
+let conj = function
+  | [] -> True
+  | f :: rest -> List.fold_left (fun acc g -> And (acc, g)) f rest
+
+let this_join name = Binop (Join, Rel "this", Rel name)
+
+(* Per-atom disjointness of a [disj f, g: ...] field group:
+   [all this: S | no this.f & this.g], pairwise. *)
+let disj_fields_fact sig_name names =
+  let rec pairs = function
+    | [] -> []
+    | x :: rest ->
+        List.map
+          (fun y -> Multf (Fno, Binop (Inter, this_join x, this_join y)))
+          rest
+        @ pairs rest
+  in
+  {
+    fact_name = Some (sig_name ^ "$disj");
+    fact_body = Quant (Qall, [ ("this", Rel sig_name) ], conj (pairs names));
+  }
+
+let spec (s : S.spec) =
+  let warnings = ref [] in
+  let warn d = warnings := d :: !warnings in
+  let spans = ref [] in
+  let span_of d sp = spans := (d, sp) :: !spans in
+  List.iter
+    (fun (o : S.open_decl) ->
+      warn
+        (Diagnostic.warning o.S.o_span
+           "open %s is ignored: module imports are not modeled" o.S.o_path))
+    s.S.sp_opens;
+  let sigs = ref [] in
+  let facts = ref [] in
+  let preds = ref [] in
+  let funs = ref [] in
+  let asserts = ref [] in
+  let commands = ref [] in
+  let fact_idx = ref 0 in
+  let cmd_idx = ref 0 in
+  let push_fact span f =
+    span_of (Typecheck.Dfact (!fact_idx, f.fact_name)) span;
+    incr fact_idx;
+    facts := f :: !facts
+  in
+  let elab_sig (sd : S.sig_decl) =
+    (match sd.S.s_parent with
+    | Some (S.Pin n) ->
+        Diagnostic.fail n.Loc.loc
+          "subset signatures (sig ... in ...) are not supported"
+    | _ -> ());
+    if List.length sd.S.s_names > 1 && sd.S.s_fields <> [] then
+      Diagnostic.fail sd.S.s_span
+        "a signature declaration with several names cannot declare fields";
+    let parent =
+      match sd.S.s_parent with
+      | Some (S.Pextends p) -> Some p.Loc.it
+      | _ -> None
+    in
+    let fields =
+      List.concat_map
+        (fun (f : S.field) ->
+          let cols = List.map (fun (_, e) -> expr e) f.S.f_cols in
+          let mult = field_mult f.S.f_cols in
+          List.map
+            (fun n -> { fld_name = n.Loc.it; fld_cols = cols; fld_mult = mult })
+            f.S.f_names)
+        sd.S.s_fields
+    in
+    List.iter
+      (fun name ->
+        let name = name.Loc.it in
+        span_of (Typecheck.Dsig name) sd.S.s_span;
+        sigs :=
+          {
+            sig_name = name;
+            sig_parent = parent;
+            sig_abstract = sd.S.s_abstract;
+            sig_mult = sd.S.s_mult;
+            sig_fields = fields;
+          }
+          :: !sigs;
+        List.iter
+          (fun (f : S.field) ->
+            if f.S.f_disj && List.length f.S.f_names > 1 then
+              push_fact f.S.f_span
+                (disj_fields_fact name (List.map (fun n -> n.Loc.it) f.S.f_names)))
+          sd.S.s_fields;
+        match sd.S.s_fact with
+        | Some body ->
+            push_fact sd.S.s_span
+              {
+                fact_name = Some (name ^ "$fact");
+                fact_body = Quant (Qall, [ ("this", Rel name) ], fmla body);
+              }
+        | None -> ())
+      sd.S.s_names
+  in
+  let elab_params span what params =
+    if List.exists (fun g -> g.S.d_disj) params then
+      warn
+        (Diagnostic.warning span "disj is ignored on %s parameters" what);
+    decl_pairs params
+  in
+  List.iter
+    (fun para ->
+      match para with
+      | S.Psig sd -> elab_sig sd
+      | S.Pfact fa ->
+          push_fact fa.S.fa_span
+            {
+              fact_name = Option.map (fun n -> n.Loc.it) fa.S.fa_name;
+              fact_body = fmla fa.S.fa_body;
+            }
+      | S.Ppred p ->
+          let name = p.S.p_name.Loc.it in
+          span_of (Typecheck.Dpred name) p.S.p_span;
+          (* disj parameters constrain the body, as in Alloy *)
+          let body = with_disj ~under_all:false p.S.p_params (fmla p.S.p_body) in
+          preds :=
+            {
+              pred_name = name;
+              pred_params = decl_pairs p.S.p_params;
+              pred_body = body;
+            }
+            :: !preds
+      | S.Pfun f ->
+          let name = f.S.fn_name.Loc.it in
+          span_of (Typecheck.Dfun name) f.S.fn_span;
+          funs :=
+            {
+              fun_name = name;
+              fun_params = elab_params f.S.fn_span "function" f.S.fn_params;
+              fun_result = expr (snd f.S.fn_result);
+              fun_body = expr f.S.fn_body;
+            }
+            :: !funs
+      | S.Passert a ->
+          let name = a.S.a_name.Loc.it in
+          span_of (Typecheck.Dassert name) a.S.a_span;
+          asserts := { assert_name = name; assert_body = fmla a.S.a_body } :: !asserts
+      | S.Pcommand c ->
+          (match c.S.c_label with
+          | Some l ->
+              warn
+                (Diagnostic.warning l.Loc.loc "command label %s is ignored"
+                   l.Loc.it)
+          | None -> ());
+          let scopes =
+            List.map
+              (fun (exactly, name, k) ->
+                if exactly then
+                  warn
+                    (Diagnostic.warning name.Loc.loc
+                       "exactly is treated as an upper bound for %s" name.Loc.it);
+                (name.Loc.it, k))
+              c.S.c_scopes
+          in
+          let kind =
+            match c.S.c_kind with
+            | S.Crun_pred n -> Run_pred n.Loc.it
+            | S.Crun_fmla f -> Run_fmla (fmla f)
+            | S.Ccheck n -> Check n.Loc.it
+          in
+          span_of (Typecheck.Dcommand !cmd_idx) c.S.c_span;
+          incr cmd_idx;
+          commands :=
+            { cmd_kind = kind; cmd_scope = c.S.c_scope; cmd_scopes = scopes }
+            :: !commands)
+    s.S.sp_paragraphs;
+  {
+    spec =
+      {
+        module_name = Option.map (fun n -> n.Loc.it) s.S.sp_module;
+        sigs = List.rev !sigs;
+        facts = List.rev !facts;
+        preds = List.rev !preds;
+        funs = List.rev !funs;
+        asserts = List.rev !asserts;
+        commands = List.rev !commands;
+      };
+    warnings = List.rev !warnings;
+    spans = List.rev !spans;
+  }

@@ -1,0 +1,52 @@
+(* The frontend pipeline, end to end: lex → parse → elaborate →
+   typecheck, every failure a positioned {!Diagnostic.t}.
+
+   Typecheck errors carry no spans of their own (the kernel AST is
+   position-free); they are mapped back to source through the
+   declaration-span table built during elaboration, so a bad join deep
+   inside a predicate still points at that predicate's source range. *)
+
+type ok = {
+  surface : Surface.spec;
+  spec : Ast.spec;
+  env : Typecheck.env;
+  warnings : Diagnostic.t list;
+  spans : (Typecheck.decl * Loc.span) list;
+}
+
+(* Fallback span for errors with no better anchor: the first character
+   of the file. *)
+let file_span file =
+  Loc.make ~file ~start_line:1 ~start_col:1 ~end_line:1 ~end_col:1
+
+let decl_span ~file spans = function
+  | Some d -> (
+      match List.assoc_opt d spans with
+      | Some span -> span
+      | None -> file_span file)
+  | None -> file_span file
+
+let check ?(file = "<string>") src =
+  match
+    let surface = Parser.parse_surface ~file src in
+    let { Elab.spec; warnings; spans } = Elab.spec surface in
+    match Typecheck.check_named spec with
+    | Ok env -> Ok { surface; spec; env; warnings; spans }
+    | Error (decl, msg) ->
+        let notes =
+          match decl with
+          | Some d -> [ "in " ^ Typecheck.decl_to_string d ]
+          | None -> []
+        in
+        Error (Diagnostic.error ~notes (decl_span ~file spans decl) "%s" msg)
+  with
+  | result -> result
+  | exception Diagnostic.Error d -> Error d
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_file path = check ~file:path (read_file path)

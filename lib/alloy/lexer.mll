@@ -1,0 +1,140 @@
+(* ocamllex lexer for Alloy 4.2 concrete syntax.
+
+   Position tracking rides on [Lexing]: every newline calls
+   [Lexing.new_line], so token spans (file, line, column) come straight
+   from the lexbuf and feed {!Loc.of_lexbuf}.  Malformed input raises
+   {!Diagnostic.Error} with the exact offending span — there is no
+   stringly error path left. *)
+
+{
+let keywords = Hashtbl.create 64
+
+let () =
+  List.iter
+    (fun (w, t) -> Hashtbl.replace keywords w t)
+    [
+      ("module", Token.Tmodule);
+      ("open", Token.Topen);
+      ("as", Token.Tas);
+      ("sig", Token.Tsig);
+      ("abstract", Token.Tabstract);
+      ("extends", Token.Textends);
+      ("one", Token.Tone);
+      ("lone", Token.Tlone);
+      ("some", Token.Tsome);
+      ("set", Token.Tset);
+      ("all", Token.Tall);
+      ("no", Token.Tno);
+      ("disj", Token.Tdisj);
+      ("exactly", Token.Texactly);
+      ("fact", Token.Tfact);
+      ("pred", Token.Tpred);
+      ("fun", Token.Tfun);
+      ("let", Token.Tlet);
+      ("assert", Token.Tassert);
+      ("check", Token.Tcheck);
+      ("run", Token.Trun);
+      ("for", Token.Tfor);
+      ("but", Token.Tbut);
+      ("in", Token.Tin);
+      ("not", Token.Tnot);
+      ("and", Token.Tand);
+      ("or", Token.Tor);
+      ("implies", Token.Timplies);
+      ("iff", Token.Tiff);
+      ("else", Token.Telse);
+      ("univ", Token.Tuniv);
+      ("iden", Token.Tiden);
+      ("none", Token.Tnone);
+    ]
+
+let fail lexbuf fmt = Diagnostic.fail (Loc.of_lexbuf lexbuf) fmt
+}
+
+(* '$' admits atom names such as Node$0, which the evaluator resolves to
+   singleton sets (as in the Alloy evaluator REPL); '\'' admits primed
+   names common in dynamic-model idioms. *)
+let ident_start = ['a'-'z' 'A'-'Z' '_']
+let ident_char = ['a'-'z' 'A'-'Z' '0'-'9' '_' '\'' '$']
+let digit = ['0'-'9']
+
+rule read = parse
+  | [' ' '\t' '\r']+      { read lexbuf }
+  | '\n'                  { Lexing.new_line lexbuf; read lexbuf }
+  | "//" [^ '\n']*        { read lexbuf }
+  | "--" [^ '\n']*        { read lexbuf }
+  | "/*"                  { block_comment (Loc.of_lexbuf lexbuf) lexbuf; read lexbuf }
+  | ident_start ident_char* as word
+      { match Hashtbl.find_opt keywords word with
+        | Some kw -> kw
+        | None -> Token.Tident word }
+  | digit+ as num
+      { match int_of_string_opt num with
+        | Some k -> Token.Tint k
+        | None -> fail lexbuf "integer literal %s is out of range" num }
+  | "<=>"                 { Token.Tiffarrow }
+  | "++"                  { Token.Tplusplus }
+  | "->"                  { Token.Tarrow }
+  | "<:"                  { Token.Tdomres }
+  | ":>"                  { Token.Tranres }
+  | "!="                  { Token.Tneq }
+  (* Alloy 4.2 writes less-or-equal [=<]; the historical Mini-Alloy
+     spelling [<=] is accepted as a synonym. *)
+  | "=<"                  { Token.Tle }
+  | "<="                  { Token.Tle }
+  | ">="                  { Token.Tge }
+  | "&&"                  { Token.Tampamp }
+  | "||"                  { Token.Tbarbar }
+  | "=>"                  { Token.Tfatarrow }
+  | '{'                   { Token.Tlbrace }
+  | '}'                   { Token.Trbrace }
+  | '['                   { Token.Tlbrack }
+  | ']'                   { Token.Trbrack }
+  | '('                   { Token.Tlparen }
+  | ')'                   { Token.Trparen }
+  | ':'                   { Token.Tcolon }
+  | ','                   { Token.Tcomma }
+  | '.'                   { Token.Tdot }
+  | '|'                   { Token.Tbar }
+  | '/'                   { Token.Tslash }
+  | '+'                   { Token.Tplus }
+  | '-'                   { Token.Tminus }
+  | '&'                   { Token.Tamp }
+  | '~'                   { Token.Ttilde }
+  | '^'                   { Token.Tcaret }
+  | '*'                   { Token.Tstar }
+  | '#'                   { Token.Thash }
+  | '='                   { Token.Teq }
+  | '<'                   { Token.Tlt }
+  | '>'                   { Token.Tgt }
+  | '!'                   { Token.Tbang }
+  | eof                   { Token.Teof }
+  | _ as c                { fail lexbuf "unexpected character %C" c }
+
+and block_comment start = parse
+  | "*/"                  { () }
+  | '\n'                  { Lexing.new_line lexbuf; block_comment start lexbuf }
+  | eof                   { raise (Diagnostic.Error
+                              (Diagnostic.error start "unterminated block comment")) }
+  | _                     { block_comment start lexbuf }
+
+{
+(* {2 Driver} *)
+
+let lexbuf_of ?(file = "<string>") src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf file;
+  lexbuf
+
+(* The whole token stream of [src], spans included, ending with a
+   [Teof] whose span sits at the end of input. *)
+let tokenize ?file src =
+  let lexbuf = lexbuf_of ?file src in
+  let rec go acc =
+    let tok = read lexbuf in
+    let span = Loc.of_lexbuf lexbuf in
+    if tok = Token.Teof then List.rev ((tok, span) :: acc)
+    else go ((tok, span) :: acc)
+  in
+  Array.of_list (go [])
+}

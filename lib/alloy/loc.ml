@@ -1,0 +1,67 @@
+(* Source positions and spans for the Alloy 4.2 frontend.
+
+   Every token, surface-AST node and diagnostic carries a [span]: a file
+   name plus 1-based start/end line and column.  Spans are half-open on
+   the right in the column direction ([end_col] is the column one past
+   the last character), matching [Lexing.position] conventions. *)
+
+type span = {
+  file : string;
+  start_line : int;
+  start_col : int;  (** 1-based column of the first character *)
+  end_line : int;
+  end_col : int;  (** 1-based column one past the last character *)
+}
+
+let none = { file = "<none>"; start_line = 0; start_col = 0; end_line = 0; end_col = 0 }
+
+let is_none s = s.start_line = 0
+
+let make ~file ~start_line ~start_col ~end_line ~end_col =
+  { file; start_line; start_col; end_line; end_col }
+
+(* [Lexing.position] columns are 0-based offsets from [pos_bol]. *)
+let of_positions (a : Lexing.position) (b : Lexing.position) =
+  {
+    file = a.pos_fname;
+    start_line = a.pos_lnum;
+    start_col = a.pos_cnum - a.pos_bol + 1;
+    end_line = b.pos_lnum;
+    end_col = b.pos_cnum - b.pos_bol + 1;
+  }
+
+let of_lexbuf (lexbuf : Lexing.lexbuf) =
+  of_positions (Lexing.lexeme_start_p lexbuf) (Lexing.lexeme_end_p lexbuf)
+
+(* The smallest span covering both arguments (undefined across files;
+   keeps the first file). *)
+let merge a b =
+  if is_none a then b
+  else if is_none b then a
+  else
+    let start_line, start_col =
+      if
+        a.start_line < b.start_line
+        || (a.start_line = b.start_line && a.start_col <= b.start_col)
+      then (a.start_line, a.start_col)
+      else (b.start_line, b.start_col)
+    in
+    let end_line, end_col =
+      if a.end_line > b.end_line || (a.end_line = b.end_line && a.end_col >= b.end_col)
+      then (a.end_line, a.end_col)
+      else (b.end_line, b.end_col)
+    in
+    { file = a.file; start_line; start_col; end_line; end_col }
+
+let to_string s =
+  if is_none s then s.file
+  else if s.start_line = s.end_line then
+    if s.end_col - s.start_col <= 1 then
+      Printf.sprintf "%s:%d:%d" s.file s.start_line s.start_col
+    else
+      Printf.sprintf "%s:%d:%d-%d" s.file s.start_line s.start_col (s.end_col - 1)
+  else Printf.sprintf "%s:%d:%d-%d:%d" s.file s.start_line s.start_col s.end_line (s.end_col - 1)
+
+type 'a located = { it : 'a; loc : span }
+
+let locate it loc = { it; loc }

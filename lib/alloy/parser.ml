@@ -1,11 +1,31 @@
-open Lexer
+(* Recursive-descent parser for Alloy 4.2 concrete syntax, over the
+   position-carrying token stream of {!Lexer}.  Produces the located
+   {!Surface} AST; {!Elab} lowers that to the kernel {!Ast.t}.
 
-exception Parse_error of string
+   The grammar is not LALR(1) — [some x: A | f] vs the multiplicity
+   formula [some e], and parenthesised formulas vs parenthesised
+   expressions opening a comparison, both need unbounded lookahead or
+   backtracking — which is why this stays hand-written recursive
+   descent rather than a generated parser (menhir is additionally not
+   part of the build environment; see DESIGN.md).
 
-type state = { tokens : (token * int) array; mutable pos : int }
+   Precedence, tightest first, for expressions: unary [~ ^ *], join
+   [. and box []], restriction [<: :>], product [->], intersection [&],
+   override [++], union/difference [+ -].  For formulas, loosest first:
+   quantifiers/let, [||], [<=>], [=>] (right-assoc, with [else]), [&&],
+   [! not].
+
+   All errors are positioned: malformed input raises {!Diagnostic.Error}
+   carrying the span of the offending token. *)
+
+open Token
+
+type state = { tokens : (Token.t * Loc.span) array; mutable pos : int }
 
 let current st = fst st.tokens.(st.pos)
-let current_line st = snd st.tokens.(st.pos)
+let current_span st = snd st.tokens.(st.pos)
+let prev_span st = snd st.tokens.(max 0 (st.pos - 1))
+
 let peek_at st k =
   let i = st.pos + k in
   if i < Array.length st.tokens then fst st.tokens.(i) else Teof
@@ -13,10 +33,8 @@ let peek_at st k =
 let advance st = st.pos <- st.pos + 1
 
 let fail st msg =
-  raise
-    (Parse_error
-       (Printf.sprintf "line %d: %s (found %s)" (current_line st) msg
-          (token_to_string (current st))))
+  Diagnostic.fail (current_span st) "%s (found %s)" msg
+    (Token.to_string (current st))
 
 let expect st tok msg =
   if current st = tok then advance st else fail st ("expected " ^ msg)
@@ -24,8 +42,9 @@ let expect st tok msg =
 let expect_ident st msg =
   match current st with
   | Tident s ->
+      let span = current_span st in
       advance st;
-      s
+      Loc.locate s span
   | _ -> fail st ("expected " ^ msg)
 
 let accept st tok =
@@ -34,6 +53,9 @@ let accept st tok =
     true
   end
   else false
+
+let mk it loc = Loc.locate it loc
+let loc_of (n : _ Loc.located) = n.Loc.loc
 
 (* Is the upcoming token sequence a quantifier declaration, i.e.
    ident (, ident)* : ...?  Distinguishes "some x: A | f" from "some e". *)
@@ -45,6 +67,11 @@ let rec looks_like_decls st k =
       | Tcomma -> looks_like_decls st (k + 2)
       | _ -> false)
   | _ -> false
+
+(* A quantifier keyword opens declarations when followed by [disj] or by
+   a name list ending in a colon. *)
+let opens_decls st =
+  (peek_at st 1 = Tdisj && looks_like_decls st 2) || looks_like_decls st 1
 
 let quant_of_token = function
   | Tall -> Some Ast.Qall
@@ -61,145 +88,160 @@ let fmult_of_token = function
   | Tone -> Some Ast.Fone
   | _ -> None
 
-(* {2 Expressions}
+let intcmp_of_token = function
+  | Teq -> Some Ast.Ieq
+  | Tneq -> Some Ast.Ineq
+  | Tlt -> Some Ast.Ilt
+  | Tle -> Some Ast.Ile
+  | Tgt -> Some Ast.Igt
+  | Tge -> Some Ast.Ige
+  | _ -> None
 
-   Precedence, tightest first: unary [~ ^ "*"], join [. and box],
-   restriction [<: :>], product [->], intersection [&], override [++],
-   union/difference [+ -]. *)
+(* A possibly qualified name, [a/b/c], as used by module headers and
+   open declarations. *)
+let parse_qname st what =
+  let first = expect_ident st what in
+  let rec loop acc span =
+    if current st = Tslash then begin
+      advance st;
+      let next = expect_ident st what in
+      loop (acc ^ "/" ^ next.Loc.it) (Loc.merge span (loc_of next))
+    end
+    else mk acc span
+  in
+  loop first.Loc.it (loc_of first)
+
+(* {2 Expressions} *)
 
 let rec parse_expr_prec st = parse_union st
 
+and binop_chain st next table =
+  let rec loop acc =
+    match List.assoc_opt (current st) table with
+    | Some op ->
+        advance st;
+        let rhs = next st in
+        loop (mk (Surface.Ebinop (op, acc, rhs)) (Loc.merge (loc_of acc) (loc_of rhs)))
+    | None -> acc
+  in
+  loop (next st)
+
 and parse_union st =
-  let rec loop acc =
-    if accept st Tplus then loop (Ast.Binop (Union, acc, parse_override st))
-    else if accept st Tminus then loop (Ast.Binop (Diff, acc, parse_override st))
-    else acc
-  in
-  loop (parse_override st)
+  binop_chain st parse_override [ (Tplus, Ast.Union); (Tminus, Ast.Diff) ]
 
-and parse_override st =
-  let rec loop acc =
-    if accept st Tplusplus then loop (Ast.Binop (Override, acc, parse_inter st))
-    else acc
-  in
-  loop (parse_inter st)
-
-and parse_inter st =
-  let rec loop acc =
-    if accept st Tamp then loop (Ast.Binop (Inter, acc, parse_product st))
-    else acc
-  in
-  loop (parse_product st)
+and parse_override st = binop_chain st parse_inter [ (Tplusplus, Ast.Override) ]
+and parse_inter st = binop_chain st parse_product [ (Tamp, Ast.Inter) ]
 
 and parse_product st =
-  let rec loop acc =
-    (* field declarations also use ->, but those are parsed separately *)
-    if accept st Tarrow then loop (Ast.Binop (Product, acc, parse_restrict st))
-    else acc
-  in
-  loop (parse_restrict st)
+  (* field declarations also use ->, but those are parsed separately *)
+  binop_chain st parse_restrict [ (Tarrow, Ast.Product) ]
 
 and parse_restrict st =
-  let rec loop acc =
-    if accept st Tdomres then loop (Ast.Binop (Domrestr, acc, parse_join st))
-    else if accept st Tranres then loop (Ast.Binop (Ranrestr, acc, parse_join st))
-    else acc
-  in
-  loop (parse_join st)
+  binop_chain st parse_join
+    [ (Tdomres, Ast.Domrestr); (Tranres, Ast.Ranrestr) ]
 
 and parse_join st =
   let rec loop acc =
-    if accept st Tdot then loop (Ast.Binop (Join, acc, parse_unary st))
+    if accept st Tdot then
+      let rhs = parse_unary st in
+      loop (mk (Surface.Ebinop (Ast.Join, acc, rhs)) (Loc.merge (loc_of acc) (loc_of rhs)))
     else if current st = Tlbrack then begin
       (* box join: e[a, b] = b.(a.e) *)
       advance st;
       let args = parse_expr_list st in
       expect st Trbrack "]";
-      let joined =
-        List.fold_left (fun acc arg -> Ast.Binop (Join, arg, acc)) acc args
-      in
-      loop joined
+      loop (mk (Surface.Ebox (acc, args)) (Loc.merge (loc_of acc) (prev_span st)))
     end
     else acc
   in
   loop (parse_unary st)
 
 and parse_unary st =
+  let unop op =
+    let span = current_span st in
+    advance st;
+    let inner = parse_unary st in
+    mk (Surface.Eunop (op, inner)) (Loc.merge span (loc_of inner))
+  in
   match current st with
-  | Ttilde ->
-      advance st;
-      Ast.Unop (Transpose, parse_unary st)
-  | Tcaret ->
-      advance st;
-      Ast.Unop (Closure, parse_unary st)
-  | Tstar ->
-      advance st;
-      Ast.Unop (Rclosure, parse_unary st)
+  | Ttilde -> unop Ast.Transpose
+  | Tcaret -> unop Ast.Closure
+  | Tstar -> unop Ast.Rclosure
   | _ -> parse_primary st
 
 and parse_primary st =
+  let span = current_span st in
   match current st with
   | Tlbrace ->
       (* set comprehension: { x: A, y: B | f } *)
       advance st;
-      let rec parse_decls () =
-        let name = expect_ident st "comprehension variable" in
-        expect st Tcolon ":";
-        let bound = parse_expr_prec st in
-        if accept st Tcomma then (name, bound) :: parse_decls ()
-        else [ (name, bound) ]
-      in
-      let decls = parse_decls () in
+      let decls = parse_decl_groups st in
       expect st Tbar "|";
       let body = parse_fmla_prec st in
       expect st Trbrace "}";
-      Ast.Compr (decls, body)
+      mk (Surface.Ecompr (decls, body)) (Loc.merge span (prev_span st))
   | Tident name ->
       advance st;
-      Ast.Rel name
+      mk (Surface.Ename name) span
   | Tuniv ->
       advance st;
-      Ast.Univ
+      mk Surface.Euniv span
   | Tiden ->
       advance st;
-      Ast.Iden
+      mk Surface.Eiden span
   | Tnone ->
       advance st;
-      Ast.None_
+      mk Surface.Enone span
   | Tlparen ->
       advance st;
       let e = parse_expr_prec st in
       expect st Trparen ")";
-      e
+      mk e.Loc.it (Loc.merge span (prev_span st))
   | _ -> fail st "expected an expression"
 
 and parse_expr_list st =
   let e = parse_expr_prec st in
   if accept st Tcomma then e :: parse_expr_list st else [ e ]
 
-(* {2 Formulas}
+(* decls := disj? names ':' expr (',' decls)?   names := ident (',' ident)*
+   Commas before the colon separate names of one group; a comma after a
+   bound starts a fresh group. *)
+and parse_decl_groups st =
+  let rec group () =
+    let disj = accept st Tdisj in
+    let rec names acc =
+      let n = expect_ident st "variable name" in
+      let acc = n :: acc in
+      if accept st Tcomma then names acc else acc
+    in
+    let names = List.rev (names []) in
+    expect st Tcolon ":";
+    let bound = parse_expr_prec st in
+    let g = { Surface.d_disj = disj; d_names = names; d_bound = bound } in
+    if accept st Tcomma then g :: group () else [ g ]
+  in
+  group ()
 
-   Alloy precedence, loosest first: quantified formulas, then [||], [<=>],
-   [=>] (right-assoc, with [else]), [&&], [!]. *)
+(* {2 Formulas} *)
 
 and parse_fmla_prec st = parse_or st
 
-and parse_or st =
-  let lhs = parse_iff st in
+and fmla_chain st next toks build =
   let rec loop acc =
-    if accept st Tbarbar || accept st Tor then loop (Ast.Or (acc, parse_iff st))
+    if List.mem (current st) toks then begin
+      advance st;
+      let rhs = next st in
+      loop (mk (build acc rhs) (Loc.merge (loc_of acc) (loc_of rhs)))
+    end
     else acc
   in
-  loop lhs
+  loop (next st)
+
+and parse_or st =
+  fmla_chain st parse_iff [ Tbarbar; Tor ] (fun a b -> Surface.For_ (a, b))
 
 and parse_iff st =
-  let lhs = parse_implies st in
-  let rec loop acc =
-    if accept st Tiffarrow || accept st Tiff then
-      loop (Ast.Iff (acc, parse_implies st))
-    else acc
-  in
-  loop lhs
+  fmla_chain st parse_implies [ Tiffarrow; Tiff ] (fun a b -> Surface.Fiff (a, b))
 
 and parse_implies st =
   let lhs = parse_and st in
@@ -207,97 +249,103 @@ and parse_implies st =
     let thn = parse_implies st in
     if accept st Telse then
       let els = parse_implies st in
-      Ast.Or (Ast.And (lhs, thn), Ast.And (Ast.Not lhs, els))
-    else Ast.Implies (lhs, thn)
+      mk (Surface.Fimplies_else (lhs, thn, els)) (Loc.merge (loc_of lhs) (loc_of els))
+    else mk (Surface.Fimplies (lhs, thn)) (Loc.merge (loc_of lhs) (loc_of thn))
   end
   else lhs
 
 and parse_and st =
-  let lhs = parse_neg st in
-  let rec loop acc =
-    if accept st Tampamp || accept st Tand then loop (Ast.And (acc, parse_neg st))
-    else acc
-  in
-  loop lhs
+  fmla_chain st parse_neg [ Tampamp; Tand ] (fun a b -> Surface.Fand (a, b))
 
 and parse_neg st =
-  if accept st Tbang || accept st Tnot then Ast.Not (parse_neg st)
+  if current st = Tbang || current st = Tnot then begin
+    let span = current_span st in
+    advance st;
+    let inner = parse_neg st in
+    mk (Surface.Fnot inner) (Loc.merge span (loc_of inner))
+  end
   else parse_atom st
 
-and parse_quantified st quant =
-  (* decls := names ':' expr (',' decls)?   names := ident (',' ident)*
-     Commas before the colon separate names of one group; a comma after a
-     bound starts a fresh group. *)
-  let rec parse_decls () =
-    let rec parse_names acc =
-      let name = expect_ident st "variable name" in
-      let acc = name :: acc in
-      if accept st Tcomma then parse_names acc else acc
-    in
-    let names = parse_names [] in
-    expect st Tcolon ":";
-    let bound = parse_expr_prec st in
-    let decls = List.rev_map (fun n -> (n, bound)) names in
-    if accept st Tcomma then decls @ parse_decls () else decls
-  in
-  let decls = parse_decls () in
+and parse_quantified st quant start =
+  let decls = parse_decl_groups st in
   let body =
     if accept st Tbar then parse_fmla_prec st
     else if current st = Tlbrace then parse_block st
     else fail st "expected | or { after quantifier declarations"
   in
-  Ast.Quant (quant, decls, body)
+  mk (Surface.Fquant (quant, decls, body)) (Loc.merge start (loc_of body))
 
 and parse_atom st =
+  let span = current_span st in
   match current st with
   | Tlet ->
+      (* let x = e (, y = e')* (| f | { f }) — chained bindings nest *)
       advance st;
-      let name = expect_ident st "let-bound name" in
-      expect st Teq "=";
-      let value = parse_expr_prec st in
+      let rec bindings () =
+        let name = expect_ident st "let-bound name" in
+        expect st Teq "=";
+        let value = parse_expr_prec st in
+        if accept st Tcomma then (name, value) :: bindings ()
+        else [ (name, value) ]
+      in
+      let binds = bindings () in
       let body =
         if accept st Tbar then parse_fmla_prec st
         else if current st = Tlbrace then parse_block st
         else fail st "expected | or { after let binding"
       in
-      Ast.Let (name, value, body)
-  | Tlbrace when looks_like_decls st 1 ->
+      List.fold_right
+        (fun (name, value) body ->
+          mk (Surface.Flet (name, value, body)) (Loc.merge span (loc_of body)))
+        binds body
+  | Tlbrace
+    when looks_like_decls st 1 || (peek_at st 1 = Tdisj && looks_like_decls st 2)
+    ->
       (* a comprehension expression opening a comparison *)
       parse_comparison st
   | Tlbrace -> parse_block st
   | Tall | Tsome | Tno | Tlone | Tone -> (
       let tok = current st in
-      if looks_like_decls st 1 then begin
+      if opens_decls st then begin
         advance st;
         match quant_of_token tok with
-        | Some q -> parse_quantified st q
+        | Some q -> parse_quantified st q span
         | None -> assert false
       end
       else
         match fmult_of_token tok with
         | Some m ->
             advance st;
-            Ast.Multf (m, parse_expr_prec st)
+            let e = parse_expr_prec st in
+            mk (Surface.Fmult (m, e)) (Loc.merge span (loc_of e))
         | None -> fail st "'all' requires variable declarations")
   | Thash ->
+      (* #e op k *)
       advance st;
       let e = parse_expr_prec st in
       let op =
-        match current st with
-        | Teq -> Ast.Ieq
-        | Tneq -> Ast.Ineq
-        | Tlt -> Ast.Ilt
-        | Tle -> Ast.Ile
-        | Tgt -> Ast.Igt
-        | Tge -> Ast.Ige
-        | _ -> fail st "expected a comparison operator after #expr"
+        match intcmp_of_token (current st) with
+        | Some op -> op
+        | None -> fail st "expected a comparison operator after #expr"
       in
       advance st;
       (match current st with
       | Tint k ->
           advance st;
-          Ast.Card (op, e, k)
+          mk (Surface.Fcard (op, e, k)) (Loc.merge span (prev_span st))
       | _ -> fail st "expected an integer literal in cardinality comparison")
+  | Tint k ->
+      (* k op #e — the reversed spelling of a cardinality bound *)
+      advance st;
+      let op =
+        match intcmp_of_token (current st) with
+        | Some op -> op
+        | None -> fail st "expected a comparison operator after an integer"
+      in
+      advance st;
+      expect st Thash "# in cardinality comparison";
+      let e = parse_expr_prec st in
+      mk (Surface.Fcard_rev (op, k, e)) (Loc.merge span (loc_of e))
   | Tlparen ->
       (* Could be a parenthesised formula or a parenthesised expression that
          begins a comparison.  Try the formula reading first; back off when
@@ -310,7 +358,7 @@ and parse_atom st =
           let f = parse_fmla_prec st in
           expect st Trparen ")";
           Some f
-        with Parse_error _ -> None
+        with Diagnostic.Error _ -> None
       in
       let continues_expr () =
         match current st with
@@ -328,54 +376,32 @@ and parse_atom st =
   | _ -> parse_comparison st
 
 and parse_block st =
+  let span = current_span st in
   expect st Tlbrace "{";
   let rec loop acc =
-    if accept st Trbrace then acc
-    else
-      let f = parse_fmla_prec st in
-      let acc = match acc with Ast.True -> f | _ -> Ast.And (acc, f) in
-      loop acc
+    if accept st Trbrace then List.rev acc
+    else loop (parse_fmla_prec st :: acc)
   in
-  loop Ast.True
+  let lines = loop [] in
+  mk (Surface.Fblock lines) (Loc.merge span (prev_span st))
 
-(* expr (in | not in | = | !=) expr, or a predicate call *)
+(* expr (in | not in | = | !=) expr, or a bare expression (which must
+   later elaborate to a predicate call) *)
 and parse_comparison st =
   let lhs = parse_expr_prec st in
+  let cmp op =
+    advance st;
+    let rhs = parse_expr_prec st in
+    mk (Surface.Fcmp (op, lhs, rhs)) (Loc.merge (loc_of lhs) (loc_of rhs))
+  in
   match current st with
-  | Tin ->
-      advance st;
-      Ast.Cmp (Cin, lhs, parse_expr_prec st)
+  | Tin -> cmp Ast.Cin
   | Tnot | Tbang when peek_at st 1 = Tin ->
       advance st;
-      advance st;
-      Ast.Cmp (Cnotin, lhs, parse_expr_prec st)
-  | Teq ->
-      advance st;
-      Ast.Cmp (Ceq, lhs, parse_expr_prec st)
-  | Tneq ->
-      advance st;
-      Ast.Cmp (Cneq, lhs, parse_expr_prec st)
-  | _ -> (
-      (* No comparison: the expression must denote a predicate call. *)
-      match expr_to_call lhs with
-      | Some f -> f
-      | None -> fail st "expected a comparison operator")
-
-(* Reinterpret a parsed expression as a predicate call: [p] becomes
-   [Call(p, [])] and [p[a, b]] — parsed as b.(a.p) — becomes
-   [Call(p, [a; b])]. *)
-and expr_to_call e =
-  let rec split = function
-    | Ast.Rel name -> Some (name, [])
-    | Ast.Binop (Join, arg, rest) -> (
-        match split rest with
-        | Some (name, args) -> Some (name, arg :: args)
-        | None -> None)
-    | _ -> None
-  in
-  match split e with
-  | Some (name, args) -> Some (Ast.Call (name, List.rev args))
-  | None -> None
+      cmp Ast.Cnotin
+  | Teq -> cmp Ast.Ceq
+  | Tneq -> cmp Ast.Cneq
+  | _ -> mk (Surface.Fexpr lhs) (loc_of lhs)
 
 (* {2 Paragraphs} *)
 
@@ -395,36 +421,45 @@ let parse_mult_opt st =
       Some Ast.Mset
   | _ -> None
 
-(* field declaration: name : [mult] col (-> [mult] col)*.  Only the
-   multiplicity of the final column is retained; an unannotated binary field
-   ("f: A") defaults to [one] as in Alloy, higher-arity fields default to
-   [set]. *)
+(* field declaration: disj? names : [mult] col (-> [mult] col)* *)
 let parse_field st =
-  let name = expect_ident st "field name" in
+  let span = current_span st in
+  let disj = accept st Tdisj in
+  let rec names acc =
+    let n = expect_ident st "field name" in
+    let acc = n :: acc in
+    if accept st Tcomma then names acc else acc
+  in
+  let names = List.rev (names []) in
   expect st Tcolon ":";
-  let rec parse_cols acc =
+  let rec cols acc =
     let m = parse_mult_opt st in
     (* columns parse at restriction level so arrows remain column breaks;
        looser column expressions require parentheses *)
     let col = parse_restrict st in
-    if accept st Tarrow then parse_cols ((col, m) :: acc)
-    else (col, m) :: acc
+    if accept st Tarrow then cols ((m, col) :: acc) else List.rev ((m, col) :: acc)
   in
-  let cols_rev = parse_cols [] in
-  let cols = List.rev_map fst cols_rev in
-  let mult =
-    match cols_rev with
-    | (_, Some m) :: _ -> m
-    | (_, None) :: _ -> if List.length cols = 1 then Ast.Mone else Ast.Mset
-    | [] -> assert false
-  in
-  { Ast.fld_name = name; fld_cols = cols; fld_mult = mult }
+  let cols = cols [] in
+  {
+    Surface.f_disj = disj;
+    f_names = names;
+    f_cols = cols;
+    f_span = Loc.merge span (prev_span st);
+  }
 
-let parse_sig st ~is_abstract ~mult =
+let parse_sig st ~start ~is_abstract ~mult =
   expect st Tsig "sig";
-  let name = expect_ident st "signature name" in
+  let rec sig_names acc =
+    let n = expect_ident st "signature name" in
+    let acc = n :: acc in
+    if accept st Tcomma then sig_names acc else acc
+  in
+  let names = List.rev (sig_names []) in
   let parent =
-    if accept st Textends then Some (expect_ident st "parent signature name")
+    if accept st Textends then
+      Some (Surface.Pextends (expect_ident st "parent signature name"))
+    else if accept st Tin then
+      Some (Surface.Pin (expect_ident st "superset signature name"))
     else None
   in
   expect st Tlbrace "{";
@@ -436,62 +471,117 @@ let parse_sig st ~is_abstract ~mult =
     in
     loop ()
   end;
+  (* an appended block is the signature fact *)
+  let sfact = if current st = Tlbrace then Some (parse_block st) else None in
   {
-    Ast.sig_name = name;
-    sig_parent = parent;
-    sig_abstract = is_abstract;
-    sig_mult = mult;
-    sig_fields = List.rev !fields;
+    Surface.s_names = names;
+    s_parent = parent;
+    s_abstract = is_abstract;
+    s_mult = mult;
+    s_fields = List.rev !fields;
+    s_fact = sfact;
+    s_span = Loc.merge start (prev_span st);
   }
 
 let parse_params st close =
-  let rec loop () =
-    let name = expect_ident st "parameter name" in
-    expect st Tcolon ":";
-    let bound = parse_expr_prec st in
-    if accept st Tcomma then (name, bound) :: loop () else [ (name, bound) ]
-  in
-  let params = if current st = close then [] else loop () in
+  let params = if current st = close then [] else parse_decl_groups st in
   expect st close (if close = Trbrack then "]" else ")");
   params
 
 let parse_scopes st =
-  if accept st Tfor then begin
-    let scope =
+  (* scopes := for INT (but sig-scopes)? | for sig-scopes
+     sig-scopes := exactly? INT SigName (',' exactly? INT SigName)* *)
+  let parse_sig_scopes st =
+    let overrides = ref [] in
+    let rec loop () =
+      let exactly = accept st Texactly in
+      (match current st with
+      | Tint k ->
+          advance st;
+          let name = expect_ident st "signature name" in
+          overrides := (exactly, name, k) :: !overrides
+      | _ -> fail st "expected INT SigName in scope override");
+      if accept st Tcomma then loop ()
+    in
+    loop ();
+    List.rev !overrides
+  in
+  let is_sig_scope_start st =
+    match current st with
+    | Texactly -> true
+    | Tint _ -> ( match peek_at st 1 with Tident _ -> true | _ -> false)
+    | _ -> false
+  in
+  if accept st Tfor then
+    if is_sig_scope_start st then (3, parse_sig_scopes st)
+    else
       match current st with
       | Tint k ->
           advance st;
-          k
+          let overrides = if accept st Tbut then parse_sig_scopes st else [] in
+          (k, overrides)
       | _ -> fail st "expected a scope"
-    in
-    let overrides = ref [] in
-    if accept st Tbut then begin
-      let rec loop () =
-        (match current st with
-        | Tint k ->
-            advance st;
-            let name = expect_ident st "signature name" in
-            overrides := (name, k) :: !overrides
-        | _ -> fail st "expected INT SigName in scope override");
-        if accept st Tcomma then loop ()
-      in
-      loop ()
-    end;
-    (scope, List.rev !overrides)
-  end
   else (3, [])
+
+let parse_command st ~start ~label =
+  let kind =
+    match current st with
+    | Trun -> (
+        advance st;
+        match current st with
+        | Tident _ -> Surface.Crun_pred (expect_ident st "predicate name")
+        | Tlbrace -> Surface.Crun_fmla (parse_block st)
+        | _ -> fail st "expected predicate name or block after run")
+    | Tcheck ->
+        advance st;
+        Surface.Ccheck (expect_ident st "assertion name")
+    | _ -> fail st "expected run or check"
+  in
+  let scope, scopes = parse_scopes st in
+  {
+    Surface.c_label = label;
+    c_kind = kind;
+    c_scope = scope;
+    c_scopes = scopes;
+    c_span = Loc.merge start (prev_span st);
+  }
+
+let parse_open st =
+  let start = current_span st in
+  expect st Topen "open";
+  let path = parse_qname st "module path" in
+  let args =
+    if accept st Tlbrack then begin
+      let rec loop () =
+        let a = parse_qname st "module argument" in
+        if accept st Tcomma then a.Loc.it :: loop () else [ a.Loc.it ]
+      in
+      let args = loop () in
+      expect st Trbrack "]";
+      args
+    end
+    else []
+  in
+  let alias = if accept st Tas then Some (expect_ident st "alias name").Loc.it else None in
+  {
+    Surface.o_path = path.Loc.it;
+    o_args = args;
+    o_alias = alias;
+    o_span = Loc.merge start (prev_span st);
+  }
 
 let parse_spec st =
   let module_name =
-    if accept st Tmodule then Some (expect_ident st "module name") else None
+    if accept st Tmodule then Some (parse_qname st "module name") else None
   in
-  let sigs = ref [] in
-  let facts = ref [] in
-  let preds = ref [] in
-  let funs = ref [] in
-  let asserts = ref [] in
-  let commands = ref [] in
+  let opens = ref [] in
+  while current st = Topen do
+    opens := parse_open st :: !opens
+  done;
+  let paras = ref [] in
+  let push p = paras := p :: !paras in
   let rec loop () =
+    let start = current_span st in
     match current st with
     | Teof -> ()
     | Tabstract ->
@@ -499,28 +589,32 @@ let parse_spec st =
         let mult =
           match parse_mult_opt st with Some m -> m | None -> Ast.Mset
         in
-        sigs := parse_sig st ~is_abstract:true ~mult :: !sigs;
+        push (Surface.Psig (parse_sig st ~start ~is_abstract:true ~mult));
         loop ()
     | Tone | Tlone | Tsome when peek_at st 1 = Tsig ->
         let mult =
           match parse_mult_opt st with Some m -> m | None -> Ast.Mset
         in
-        sigs := parse_sig st ~is_abstract:false ~mult :: !sigs;
+        push (Surface.Psig (parse_sig st ~start ~is_abstract:false ~mult));
         loop ()
     | Tsig ->
-        sigs := parse_sig st ~is_abstract:false ~mult:Ast.Mset :: !sigs;
+        push (Surface.Psig (parse_sig st ~start ~is_abstract:false ~mult:Ast.Mset));
         loop ()
     | Tfact ->
         advance st;
         let name =
           match current st with
-          | Tident s ->
-              advance st;
-              Some s
+          | Tident _ -> Some (expect_ident st "fact name")
           | _ -> None
         in
         let body = parse_block st in
-        facts := { Ast.fact_name = name; fact_body = body } :: !facts;
+        push
+          (Surface.Pfact
+             {
+               fa_name = name;
+               fa_body = body;
+               fa_span = Loc.merge start (prev_span st);
+             });
         loop ()
     | Tpred ->
         advance st;
@@ -531,9 +625,14 @@ let parse_spec st =
           else []
         in
         let body = parse_block st in
-        preds :=
-          { Ast.pred_name = name; pred_params = params; pred_body = body }
-          :: !preds;
+        push
+          (Surface.Ppred
+             {
+               p_name = name;
+               p_params = params;
+               p_body = body;
+               p_span = Loc.merge start (prev_span st);
+             });
         loop ()
     | Tfun ->
         (* fun name [params] : result-bound { body-expr } *)
@@ -545,69 +644,69 @@ let parse_spec st =
           else []
         in
         expect st Tcolon ":";
-        (* an optional leading multiplicity keyword on the result is noise *)
-        ignore (parse_mult_opt st);
+        let result_mult = parse_mult_opt st in
         let result = parse_expr_prec st in
         expect st Tlbrace "{";
         let body = parse_expr_prec st in
         expect st Trbrace "}";
-        funs :=
-          {
-            Ast.fun_name = name;
-            fun_params = params;
-            fun_result = result;
-            fun_body = body;
-          }
-          :: !funs;
+        push
+          (Surface.Pfun
+             {
+               fn_name = name;
+               fn_params = params;
+               fn_result = (result_mult, result);
+               fn_body = body;
+               fn_span = Loc.merge start (prev_span st);
+             });
         loop ()
     | Tassert ->
         advance st;
         let name = expect_ident st "assertion name" in
         let body = parse_block st in
-        asserts := { Ast.assert_name = name; assert_body = body } :: !asserts;
+        push
+          (Surface.Passert
+             {
+               a_name = name;
+               a_body = body;
+               a_span = Loc.merge start (prev_span st);
+             });
         loop ()
-    | Trun ->
-        advance st;
-        let kind =
-          match current st with
-          | Tident s ->
-              advance st;
-              Ast.Run_pred s
-          | Tlbrace -> Ast.Run_fmla (parse_block st)
-          | _ -> fail st "expected predicate name or block after run"
-        in
-        let scope, scopes = parse_scopes st in
-        commands :=
-          { Ast.cmd_kind = kind; cmd_scope = scope; cmd_scopes = scopes }
-          :: !commands;
+    | Trun | Tcheck ->
+        push (Surface.Pcommand (parse_command st ~start ~label:None));
         loop ()
-    | Tcheck ->
-        advance st;
-        let name = expect_ident st "assertion name" in
-        let scope, scopes = parse_scopes st in
-        commands :=
-          { Ast.cmd_kind = Check name; cmd_scope = scope; cmd_scopes = scopes }
-          :: !commands;
+    | Tident _
+      when peek_at st 1 = Tcolon
+           && (peek_at st 2 = Trun || peek_at st 2 = Tcheck) ->
+        (* labeled command: name: run ... *)
+        let label = expect_ident st "command label" in
+        expect st Tcolon ":";
+        push (Surface.Pcommand (parse_command st ~start ~label:(Some label)));
         loop ()
-    | _ -> fail st "expected a paragraph (sig, fact, pred, assert, run, check)"
+    | _ ->
+        fail st "expected a paragraph (sig, fact, pred, fun, assert, run, check)"
   in
   loop ();
   {
-    Ast.module_name;
-    sigs = List.rev !sigs;
-    facts = List.rev !facts;
-    preds = List.rev !preds;
-    funs = List.rev !funs;
-    asserts = List.rev !asserts;
-    commands = List.rev !commands;
+    Surface.sp_module = module_name;
+    sp_opens = List.rev !opens;
+    sp_paragraphs = List.rev !paras;
   }
 
-let with_state src f =
-  let st = { tokens = Lexer.tokenize src; pos = 0 } in
+(* {2 Entry points} *)
+
+let with_tokens ?file src f =
+  let st = { tokens = Lexer.tokenize ?file src; pos = 0 } in
   let result = f st in
   if current st <> Teof then fail st "trailing input";
   result
 
-let parse src = with_state src parse_spec
-let parse_fmla src = with_state src parse_fmla_prec
-let parse_expr src = with_state src parse_expr_prec
+let parse_surface ?file src = with_tokens ?file src parse_spec
+let parse_surface_fmla ?file src = with_tokens ?file src parse_fmla_prec
+let parse_surface_expr ?file src = with_tokens ?file src parse_expr_prec
+
+(* Kernel-producing conveniences: parse then elaborate, discarding
+   warnings.  Use {!Frontend} when warnings or declaration spans
+   matter. *)
+let parse ?file src = (Elab.spec (parse_surface ?file src)).Elab.spec
+let parse_fmla ?file src = Elab.fmla (parse_surface_fmla ?file src)
+let parse_expr ?file src = Elab.expr (parse_surface_expr ?file src)

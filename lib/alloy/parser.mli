@@ -1,21 +1,29 @@
-(** Recursive-descent parser for Mini-Alloy.
+(** Recursive-descent parser for Alloy 4.2 concrete syntax.
 
-    The accepted grammar is the Alloy kernel (see DESIGN.md): signature
-    declarations with fields, [fact]/[pred]/[assert] paragraphs and
-    [run]/[check] commands.  Operator precedence follows Alloy: negation
-    binds tightest, then [&&], then [=>]/[implies] (right-associative, with
-    optional [else]), then [<=>], then [||]; quantifier bodies extend as far
-    right as possible. *)
+    Built on the position-carrying {!Lexer}; produces the located
+    {!Surface} AST, or (via {!Elab}) the kernel {!Ast.t} directly.
+    Operator precedence follows Alloy: negation binds tightest, then
+    [&&], then [=>]/[implies] (right-associative, with optional [else]),
+    then [<=>], then [||]; quantifier bodies extend as far right as
+    possible.
 
-exception Parse_error of string
+    All entry points raise {!Diagnostic.Error} with a positioned message
+    on malformed input; [file] (default ["<string>"]) names the source
+    in spans. *)
 
-val parse : string -> Ast.spec
-(** Parses a complete specification.  Raises {!Parse_error} or
-    {!Lexer.Lex_error} with a line-numbered message on malformed input. *)
+val parse_surface : ?file:string -> string -> Surface.spec
+(** Parses a complete specification to the located surface AST. *)
 
-val parse_fmla : string -> Ast.fmla
+val parse_surface_fmla : ?file:string -> string -> Surface.fmla
+val parse_surface_expr : ?file:string -> string -> Surface.expr
+
+val parse : ?file:string -> string -> Ast.spec
+(** [Elab.spec] composed over {!parse_surface}, discarding warnings.
+    Use {!Frontend.check} when warnings or declaration spans matter. *)
+
+val parse_fmla : ?file:string -> string -> Ast.fmla
 (** Parses a single formula (used by tests and by the LLM response
     extractor). *)
 
-val parse_expr : string -> Ast.expr
+val parse_expr : ?file:string -> string -> Ast.expr
 (** Parses a single relational expression. *)

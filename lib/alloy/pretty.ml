@@ -270,3 +270,10 @@ let pp_spec ppf spec =
 let expr_to_string e = buffer_with (fun ppf -> pp_expr ppf e)
 let fmla_to_string f = buffer_with (fun ppf -> pp_fmla ppf f)
 let spec_to_string s = buffer_with (fun ppf -> pp_spec ppf s)
+
+(* Concrete Alloy 4.2 source for a kernel spec.  The contract with the
+   frontend is the round-trip fixpoint: [Parser.parse (source s)] equals
+   [s] for any parser-produced [s].  [True]/[False] print as
+   [univ = univ] / [univ != univ], which elaboration folds back to the
+   boolean constants. *)
+let source = spec_to_string

@@ -16,3 +16,8 @@ val pp_spec : Format.formatter -> Ast.spec -> unit
 val expr_to_string : Ast.expr -> string
 val fmla_to_string : Ast.fmla -> string
 val spec_to_string : Ast.spec -> string
+
+val source : Ast.spec -> string
+(** Concrete Alloy 4.2 source.  Round-trip contract:
+    [Parser.parse (source s)] is structurally equal to [s] for any
+    parser-produced [s] (parse ∘ print ∘ parse is a fixpoint). *)

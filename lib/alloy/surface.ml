@@ -1,0 +1,123 @@
+(* Located surface AST for Alloy 4.2 concrete syntax.
+
+   This is what the parser produces: every node carries a {!Loc.span},
+   and surface-only constructs (boxed joins, [disj] declarations, sig
+   facts, [open] headers, implies-[else], reversed cardinalities,
+   statement blocks) are kept explicit.  {!Elab} lowers this tree to the
+   kernel {!Ast.t}, erasing positions and desugaring exactly as the
+   historical token-array parser did, so downstream phases see
+   bit-identical kernel terms. *)
+
+type ident = string Loc.located
+
+type expr = expr_node Loc.located
+
+and fmla = fmla_node Loc.located
+
+and expr_node =
+  | Ename of string
+  | Euniv
+  | Eiden
+  | Enone
+  | Eunop of Ast.unop * expr
+  | Ebinop of Ast.binop * expr * expr
+  | Ebox of expr * expr list  (* e[a, b] — boxed join, a.e then b.(a.e) *)
+  | Ecompr of decl list * fmla
+
+and fmla_node =
+  | Fcmp of Ast.cmpop * expr * expr
+  | Fmult of Ast.fmult * expr
+  | Fcard of Ast.intcmp * expr * int  (* #e op k *)
+  | Fcard_rev of Ast.intcmp * int * expr  (* k op #e *)
+  | Fnot of fmla
+  | Fand of fmla * fmla
+  | For_ of fmla * fmla
+  | Fimplies of fmla * fmla
+  | Fimplies_else of fmla * fmla * fmla
+  | Fiff of fmla * fmla
+  | Fquant of Ast.quant * decl list * fmla
+  | Flet of ident * expr * fmla
+  | Fblock of fmla list  (* { f1 f2 ... } — conjunction of statements *)
+  | Fexpr of expr
+      (* a bare expression in formula position; must elaborate to a
+         predicate call ([p] or [p[a, b]]) *)
+
+(* One declaration group [disj? x, y: bound], as used by quantifiers,
+   comprehensions and pred/fun parameter lists. *)
+and decl = { d_disj : bool; d_names : ident list; d_bound : expr }
+
+(* {2 Paragraphs} *)
+
+type field = {
+  f_disj : bool;
+  f_names : ident list;
+  f_cols : (Ast.mult option * expr) list;
+      (* columns right of the colon; arrows separate columns, each may
+         carry a multiplicity keyword (only the last one is meaningful
+         to the kernel) *)
+  f_span : Loc.span;
+}
+
+type sig_parent =
+  | Pextends of ident
+  | Pin of ident  (* subset signature — rejected during elaboration *)
+
+type sig_decl = {
+  s_names : ident list;  (* [sig A, B { ... }] declares several *)
+  s_parent : sig_parent option;
+  s_abstract : bool;
+  s_mult : Ast.mult;
+  s_fields : field list;
+  s_fact : fmla option;  (* appended constraint block *)
+  s_span : Loc.span;
+}
+
+type fact_decl = { fa_name : ident option; fa_body : fmla; fa_span : Loc.span }
+
+type pred_decl = {
+  p_name : ident;
+  p_params : decl list;
+  p_body : fmla;
+  p_span : Loc.span;
+}
+
+type fun_decl = {
+  fn_name : ident;
+  fn_params : decl list;
+  fn_result : Ast.mult option * expr;
+  fn_body : expr;
+  fn_span : Loc.span;
+}
+
+type assert_decl = { a_name : ident; a_body : fmla; a_span : Loc.span }
+
+type cmd_kind = Crun_pred of ident | Crun_fmla of fmla | Ccheck of ident
+
+type command = {
+  c_label : ident option;  (* [name: run ...] — dropped with a warning *)
+  c_kind : cmd_kind;
+  c_scope : int;  (* default bound; 3 when no [for] clause *)
+  c_scopes : (bool * ident * int) list;  (* but overrides: exactly?, sig, bound *)
+  c_span : Loc.span;
+}
+
+type open_decl = {
+  o_path : string;
+  o_args : string list;
+  o_alias : string option;
+  o_span : Loc.span;
+}
+
+type paragraph =
+  | Psig of sig_decl
+  | Pfact of fact_decl
+  | Ppred of pred_decl
+  | Pfun of fun_decl
+  | Passert of assert_decl
+  | Pcommand of command
+
+type spec = {
+  sp_module : ident option;
+  sp_opens : open_decl list;
+  sp_paragraphs : paragraph list;
+}

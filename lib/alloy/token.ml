@@ -1,0 +1,144 @@
+(* Tokens of Alloy 4.2 concrete syntax, produced by the ocamllex lexer
+   ({!Lexer}) and consumed by the located parser ({!Parser}). *)
+
+type t =
+  | Tident of string
+  | Tint of int
+  | Tmodule
+  | Topen
+  | Tas
+  | Tsig
+  | Tabstract
+  | Textends
+  | Tone
+  | Tlone
+  | Tsome
+  | Tset
+  | Tall
+  | Tno
+  | Tdisj
+  | Texactly
+  | Tfact
+  | Tpred
+  | Tfun
+  | Tlet
+  | Tassert
+  | Tcheck
+  | Trun
+  | Tfor
+  | Tbut
+  | Tin
+  | Tnot
+  | Tand
+  | Tor
+  | Timplies
+  | Tiff
+  | Telse
+  | Tuniv
+  | Tiden
+  | Tnone
+  | Tlbrace
+  | Trbrace
+  | Tlbrack
+  | Trbrack
+  | Tlparen
+  | Trparen
+  | Tcolon
+  | Tcomma
+  | Tdot
+  | Tbar
+  | Tslash
+  | Tplus
+  | Tminus
+  | Tamp
+  | Tplusplus
+  | Tarrow
+  | Tdomres
+  | Tranres
+  | Ttilde
+  | Tcaret
+  | Tstar
+  | Thash
+  | Teq
+  | Tneq
+  | Tlt
+  | Tle
+  | Tgt
+  | Tge
+  | Tbang
+  | Tampamp
+  | Tbarbar
+  | Tfatarrow
+  | Tiffarrow
+  | Teof
+
+let to_string = function
+  | Tident s -> s
+  | Tint k -> string_of_int k
+  | Tmodule -> "module"
+  | Topen -> "open"
+  | Tas -> "as"
+  | Tsig -> "sig"
+  | Tabstract -> "abstract"
+  | Textends -> "extends"
+  | Tone -> "one"
+  | Tlone -> "lone"
+  | Tsome -> "some"
+  | Tset -> "set"
+  | Tall -> "all"
+  | Tno -> "no"
+  | Tdisj -> "disj"
+  | Texactly -> "exactly"
+  | Tfact -> "fact"
+  | Tpred -> "pred"
+  | Tfun -> "fun"
+  | Tlet -> "let"
+  | Tassert -> "assert"
+  | Tcheck -> "check"
+  | Trun -> "run"
+  | Tfor -> "for"
+  | Tbut -> "but"
+  | Tin -> "in"
+  | Tnot -> "not"
+  | Tand -> "and"
+  | Tor -> "or"
+  | Timplies -> "implies"
+  | Tiff -> "iff"
+  | Telse -> "else"
+  | Tuniv -> "univ"
+  | Tiden -> "iden"
+  | Tnone -> "none"
+  | Tlbrace -> "{"
+  | Trbrace -> "}"
+  | Tlbrack -> "["
+  | Trbrack -> "]"
+  | Tlparen -> "("
+  | Trparen -> ")"
+  | Tcolon -> ":"
+  | Tcomma -> ","
+  | Tdot -> "."
+  | Tbar -> "|"
+  | Tslash -> "/"
+  | Tplus -> "+"
+  | Tminus -> "-"
+  | Tamp -> "&"
+  | Tplusplus -> "++"
+  | Tarrow -> "->"
+  | Tdomres -> "<:"
+  | Tranres -> ":>"
+  | Ttilde -> "~"
+  | Tcaret -> "^"
+  | Tstar -> "*"
+  | Thash -> "#"
+  | Teq -> "="
+  | Tneq -> "!="
+  | Tlt -> "<"
+  | Tle -> "<="
+  | Tgt -> ">"
+  | Tge -> ">="
+  | Tbang -> "!"
+  | Tampamp -> "&&"
+  | Tbarbar -> "||"
+  | Tfatarrow -> "=>"
+  | Tiffarrow -> "<=>"
+  | Teof -> "<eof>"

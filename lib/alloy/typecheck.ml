@@ -2,6 +2,32 @@ open Ast
 
 exception Type_error of string
 
+(* The declaration a type error was found in, so messages (and the
+   positioned diagnostics built by {!Frontend}) can name the enclosing
+   paragraph.  Facts and commands are identified by position since they
+   can be anonymous. *)
+type decl =
+  | Dsig of string
+  | Dfact of int * string option
+  | Dpred of string
+  | Dfun of string
+  | Dassert of string
+  | Dcommand of int
+
+let decl_to_string = function
+  | Dsig n -> "sig " ^ n
+  | Dfact (_, Some n) -> "fact " ^ n
+  | Dfact (i, None) -> Printf.sprintf "fact #%d" (i + 1)
+  | Dpred n -> "pred " ^ n
+  | Dfun n -> "fun " ^ n
+  | Dassert n -> "assert " ^ n
+  | Dcommand i -> Printf.sprintf "command #%d" (i + 1)
+
+(* Internal: a [Type_error] tagged with its enclosing declaration. *)
+exception Error_in of decl * string
+
+let in_decl d f = try f () with Type_error msg -> raise (Error_in (d, msg))
+
 type env = {
   spec : Ast.spec;
   sig_order : string list;
@@ -134,12 +160,14 @@ let build_tables spec =
   let children = Hashtbl.create 32 in
   List.iter
     (fun s ->
+      in_decl (Dsig s.sig_name) @@ fun () ->
       if Hashtbl.mem arity s.sig_name then
         err "duplicate signature name %s" s.sig_name;
       Hashtbl.add arity s.sig_name 1)
     spec.sigs;
   List.iter
     (fun s ->
+      in_decl (Dsig s.sig_name) @@ fun () ->
       (match s.sig_parent with
       | Some p ->
           if not (Hashtbl.mem arity p) then
@@ -176,10 +204,10 @@ let order_sigs spec =
       order := s.sig_name :: !order
     end
   in
-  List.iter (visit []) spec.sigs;
+  List.iter (fun s -> in_decl (Dsig s.sig_name) (fun () -> visit [] s)) spec.sigs;
   List.rev !order
 
-let check spec =
+let check_raw spec =
   let arity, owner, children = build_tables spec in
   let sig_order = order_sigs spec in
   let top_sigs =
@@ -191,6 +219,7 @@ let check spec =
   (* field column domains are arity-1 expressions over signatures *)
   List.iter
     (fun s ->
+      in_decl (Dsig s.sig_name) @@ fun () ->
       List.iter
         (fun f ->
           List.iter
@@ -205,6 +234,7 @@ let check spec =
      unknown names, which also rules out recursion *)
   List.iter
     (fun (f : fun_decl) ->
+      in_decl (Dfun f.fun_name) @@ fun () ->
       if Hashtbl.mem env.arity f.fun_name then
         err "duplicate name %s (function)" f.fun_name;
       let vars =
@@ -224,9 +254,14 @@ let check spec =
       Hashtbl.add env.arity f.fun_name (List.length f.fun_params + body_arity))
     spec.funs;
   (* paragraph bodies *)
-  List.iter (fun f -> check_fmla env [] f.fact_body) spec.facts;
+  List.iteri
+    (fun i f ->
+      in_decl (Dfact (i, f.fact_name)) @@ fun () ->
+      check_fmla env [] f.fact_body)
+    spec.facts;
   List.iter
     (fun p ->
+      in_decl (Dpred p.pred_name) @@ fun () ->
       let vars =
         List.map
           (fun (name, bound) ->
@@ -238,10 +273,15 @@ let check spec =
       in
       check_fmla env vars p.pred_body)
     spec.preds;
-  List.iter (fun a -> check_fmla env [] a.assert_body) spec.asserts;
-  (* commands *)
   List.iter
-    (fun c ->
+    (fun a ->
+      in_decl (Dassert a.assert_name) (fun () ->
+          check_fmla env [] a.assert_body))
+    spec.asserts;
+  (* commands *)
+  List.iteri
+    (fun i c ->
+      in_decl (Dcommand i) @@ fun () ->
       (match c.cmd_kind with
       | Run_pred name ->
           if find_pred spec name = None then
@@ -260,7 +300,22 @@ let check spec =
     spec.commands;
   env
 
+(* Public entry: errors name their enclosing declaration. *)
+let check spec =
+  try check_raw spec
+  with Error_in (d, msg) ->
+    raise (Type_error (Printf.sprintf "in %s: %s" (decl_to_string d) msg))
+
 let check_result spec =
   match check spec with
   | env -> Ok env
   | exception Type_error msg -> Error msg
+
+(* Structured variant for positioned diagnostics: the failing
+   declaration is returned separately so callers can map it to a source
+   span. *)
+let check_named spec =
+  match check_raw spec with
+  | env -> Ok env
+  | exception Error_in (d, msg) -> Error (Some d, msg)
+  | exception Type_error msg -> Error (None, msg)

@@ -11,6 +11,19 @@
 
 exception Type_error of string
 
+(** The declaration a type error was found in; facts and commands are
+    identified by position since they can be anonymous. *)
+type decl =
+  | Dsig of string
+  | Dfact of int * string option
+  | Dpred of string
+  | Dfun of string
+  | Dassert of string
+  | Dcommand of int
+
+val decl_to_string : decl -> string
+(** ["pred p"], ["fact #2"], ... — as used in error messages. *)
+
 type env = {
   spec : Ast.spec;
   sig_order : string list;  (** all signature names, parents first *)
@@ -22,9 +35,14 @@ type env = {
 
 val check : Ast.spec -> env
 (** Full check of a specification; raises {!Type_error} with a message
-    naming the offending construct. *)
+    naming the offending construct and its enclosing declaration. *)
 
 val check_result : Ast.spec -> (env, string) result
+
+val check_named : Ast.spec -> (env, decl option * string) result
+(** Like {!check_result}, but the enclosing declaration is returned
+    separately, for callers that map it to a source span (see
+    {!Frontend}). *)
 
 val expr_arity : env -> (string * int) list -> Ast.expr -> int
 (** [expr_arity env vars e] is the arity of [e] where [vars] gives arities

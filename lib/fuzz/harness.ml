@@ -14,6 +14,7 @@ type target =
   | Eval_target
   | Proof_target
   | Simplify_target
+  | Parse_target
 
 let all_targets =
   [
@@ -23,6 +24,7 @@ let all_targets =
     Eval_target;
     Proof_target;
     Simplify_target;
+    Parse_target;
   ]
 
 let target_name = function
@@ -32,6 +34,7 @@ let target_name = function
   | Eval_target -> "eval"
   | Proof_target -> "proof"
   | Simplify_target -> "simplify"
+  | Parse_target -> "parse"
 
 type report = {
   target : string;
@@ -282,6 +285,89 @@ let check_simplify_case { y_cnf = cnf; y_budget = budget } =
                      cnf.Dimacs.clauses)
               then `Fail "reconstructed model falsifies an original clause"
               else check_steps ~unsat:false))
+
+(* {2 Parse target} *)
+
+type parse_case = { r_spec : Ast.spec }
+
+let gen_parse_case rng =
+  { r_spec = (Gen.spec ~with_commands:true rng).Alloy.Typecheck.spec }
+
+(* Byte offset of a 1-based (line, col) position in [src]. *)
+let byte_offset src line col =
+  let rec bol off l =
+    if l >= line then off
+    else
+      match String.index_from_opt src off '\n' with
+      | Some j -> bol (j + 1) (l + 1)
+      | None -> String.length src
+  in
+  min (String.length src) (bol 0 1 + col - 1)
+
+(* Replace one randomly chosen token of [src] with ['%'] (a character no
+   Alloy token contains), recording the corrupted span: the frontend must
+   reject the result with a diagnostic pointing exactly there. *)
+let corrupt_one_token rng src =
+  let tokens = Alloy.Lexer.tokenize src in
+  let n = Array.length tokens - 1 (* keep Teof intact *) in
+  if n <= 0 then None
+  else
+    let _, (span : Alloy.Loc.span) = tokens.(Rng.int rng n) in
+    let start = byte_offset src span.Alloy.Loc.start_line span.Alloy.Loc.start_col in
+    let stop = byte_offset src span.Alloy.Loc.end_line span.Alloy.Loc.end_col in
+    Some
+      ( String.sub src 0 start ^ "%"
+        ^ String.sub src stop (String.length src - stop),
+        span )
+
+(* One printer/parser round trip: the printed source must parse, parse ∘
+   print must be a fixpoint from the first parse on, and the parsed spec
+   must still type-check.  Under [SPECREPAIR_FUZZ_CHAOS=corrupt-token]
+   one token of the printed source is additionally replaced with garbage,
+   and the frontend must reject it with a positioned diagnostic at the
+   corrupted token — unlike the other chaos hooks, a correct frontend
+   makes the chaos campaign {e pass}, because rejection is the desired
+   behaviour. *)
+let check_parse_case rng { r_spec = spec0 } =
+  let printed = Alloy.Pretty.source spec0 in
+  match Alloy.Parser.parse printed with
+  | exception Alloy.Diagnostic.Error d ->
+      `Fail
+        (Printf.sprintf "printer emitted source the parser rejects: %s"
+           (Alloy.Diagnostic.render ~source:printed d))
+  | a1 -> (
+      let printed1 = Alloy.Pretty.source a1 in
+      match Alloy.Parser.parse printed1 with
+      | exception Alloy.Diagnostic.Error d ->
+          `Fail
+            (Printf.sprintf "reprint of a parsed spec no longer parses: %s"
+               (Alloy.Diagnostic.render ~source:printed1 d))
+      | a2 -> (
+          if not (Ast.equal_spec a1 a2) then
+            `Fail "parse-print-parse is not a fixpoint"
+          else
+            match Alloy.Typecheck.check_result a1 with
+            | Error m -> `Fail ("parsed spec no longer type-checks: " ^ m)
+            | Ok _ -> (
+                match Sys.getenv_opt "SPECREPAIR_FUZZ_CHAOS" with
+                | Some "corrupt-token" -> (
+                    match corrupt_one_token rng printed with
+                    | None -> `Skip
+                    | Some (bad, span) -> (
+                        match Alloy.Parser.parse bad with
+                        | _ -> `Fail "corrupted source parsed cleanly"
+                        | exception Alloy.Diagnostic.Error d ->
+                            let ds = d.Alloy.Diagnostic.span in
+                            if Alloy.Loc.is_none ds then
+                              `Fail "corrupted source rejected without a position"
+                            else if
+                              ds.Alloy.Loc.start_line = span.Alloy.Loc.start_line
+                              && ds.Alloy.Loc.start_col = span.Alloy.Loc.start_col
+                            then `Ok
+                            else
+                              `Fail
+                                "rejection does not point at the corrupted token"))
+                | _ -> `Ok)))
 
 (* {2 Model-finder target} *)
 
@@ -596,6 +682,28 @@ let run ?(corpus_dir = "artifacts/fuzz") target ~seed ~iters () =
                 in
                 Corpus.save_spec ~dir:corpus_dir ~name ~seed
                   (spec_with_goal case.e_env case.e_scope goal)))
+    | Parse_target -> (
+        let case = gen_parse_case rng in
+        match guard (fun () -> check_parse_case rng case) with
+        | `Skip -> incr skipped
+        | `Ok -> incr checks
+        | `Fail _ ->
+            incr checks;
+            fail_and_persist (fun () ->
+                let still_fails spec' =
+                  (* only consider shrinks that still type-check, so the
+                     persisted entry reproduces the round-trip failure and
+                     not a typing one *)
+                  match retypecheck spec' with
+                  | Some _ ->
+                      guard (fun () -> check_parse_case rng { r_spec = spec' })
+                      <> `Ok
+                  | None -> false
+                in
+                let shrunk =
+                  Shrink.run Shrink.spec_candidates still_fails case.r_spec
+                in
+                Corpus.save_spec ~dir:corpus_dir ~name ~seed shrunk))
     | Simplify_target -> (
         let case = gen_simplify_case rng in
         match guard (fun () -> check_simplify_case case) with
@@ -678,6 +786,17 @@ let replay path =
     match Corpus.load_spec path with
     | exception e -> Error (Printexc.to_string e)
     | env ->
+        let* () =
+          (* every spec entry also round-trips through the frontend *)
+          match
+            guard (fun () ->
+                check_parse_case
+                  (Rng.of_context ~seed:0 [ "replay"; path ])
+                  { r_spec = env.Alloy.Typecheck.spec })
+          with
+          | `Ok | `Skip -> Ok ()
+          | `Fail m -> Error m
+        in
         List.fold_left
           (fun acc (c : Ast.command) ->
             let* () = acc in

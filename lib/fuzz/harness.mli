@@ -1,7 +1,7 @@
 (** The differential fuzzing campaigns: generate, cross-check, shrink,
     persist.
 
-    Six targets, each pitting a production component against an
+    Seven targets, each pitting a production component against an
     independent reference:
 
     - [Sat_target] — the CDCL solver vs. the DPLL reference
@@ -34,6 +34,15 @@
       CNF as premises.  Under [SPECREPAIR_FUZZ_CHAOS=corrupt-simplify]
       one clause is strengthened without a justifying proof step, and the
       checker (or the model/verdict comparison) must trip.
+    - [Parse_target] — the frontend ({!Specrepair_alloy.Parser}) vs. the
+      pretty printer ({!Specrepair_alloy.Pretty.source}): a generated
+      spec's printed source must parse, parse ∘ print must be a fixpoint
+      from the first parse on, and the result must still type-check.
+      Under [SPECREPAIR_FUZZ_CHAOS=corrupt-token] one token of the
+      printed source is replaced with garbage and the frontend must
+      reject it with a diagnostic positioned exactly at the corruption —
+      the one chaos hook under which a correct implementation makes the
+      campaign {e pass}, because rejection is the desired behaviour.
 
     Every iteration derives its own {!Rng} stream from (seed, target,
     iteration index), so campaigns are bit-reproducible and every failure
@@ -47,12 +56,13 @@ type target =
   | Eval_target
   | Proof_target
   | Simplify_target
+  | Parse_target
 
 val all_targets : target list
 
 val target_name : target -> string
 (** CLI spelling: ["sat"], ["solver"], ["oracle"], ["eval"], ["proof"],
-    ["simplify"]. *)
+    ["simplify"], ["parse"]. *)
 
 type report = {
   target : string;
@@ -81,8 +91,8 @@ val replay : string -> (unit, string) result
     through the SAT cross-check (with their recorded assumptions), a
     proof-logged solve whose certificate must check, and — when the entry
     recorded no assumptions — the simplify cross-check; [.als] files through
-    the model-finder and oracle cross-checks for every command.  [Error]
-    describes the first disagreement. *)
+    the frontend round-trip plus the model-finder and oracle cross-checks
+    for every command.  [Error] describes the first disagreement. *)
 
 val replay_dir : string -> (string * (unit, string) result) list
 (** {!replay} over {!Corpus.files}. *)

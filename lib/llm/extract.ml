@@ -47,8 +47,7 @@ let try_parse src =
       match Alloy.Typecheck.check_result spec with
       | Ok _ -> Some spec
       | Error _ -> None)
-  | exception Alloy.Parser.Parse_error _ -> None
-  | exception Alloy.Lexer.Lex_error _ -> None
+  | exception Alloy.Diagnostic.Error _ -> None
 
 let spec_of_response text =
   let candidates = code_blocks text in

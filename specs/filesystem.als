@@ -1,0 +1,45 @@
+// A small file-system spec exercising the Alloy 4.2 surface syntax the
+// frontend must accept: module header, open (ignored with a warning),
+// abstract sigs with extends, multiplicity-qualified sigs, disj field
+// declarations, appended sig facts, disj quantifier declarations,
+// labelled commands and exactly scopes.
+module filesystem
+
+open util/ordering
+
+abstract sig Object {}
+
+sig File extends Object {}
+
+sig Dir extends Object {
+  disj contents, links: set Object
+} {
+  // appended sig fact: a directory never contains itself directly
+  this not in this.contents
+}
+
+one sig Root extends Dir {}
+
+fact Reachability {
+  // every object hangs off the root through containment
+  Object in Root.*contents
+}
+
+fact NoSharing {
+  // distinct directories never share direct contents
+  all disj d1, d2: Dir | no d1.contents & d2.contents
+}
+
+pred nonEmpty {
+  some File
+}
+
+assert RootIsTop {
+  no contents.Root
+}
+
+check RootIsTop for 4
+
+check RootIsTop for exactly 3 Dir, 4 Object
+
+run nonEmpty for 3

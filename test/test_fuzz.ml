@@ -1,6 +1,6 @@
 (* Tests for the differential fuzzing harness itself: seeded determinism
    of the generators, the DPLL reference against hand-checkable inputs,
-   zero-discrepancy smoke campaigns for all six targets, the chaos
+   zero-discrepancy smoke campaigns for all seven targets, the chaos
    injection path (caught, shrunk, persisted), and regression-corpus
    replay. *)
 
@@ -213,6 +213,25 @@ let test_chaos_simplify_rejection () =
       | Error msg -> Alcotest.failf "replay of %s failed: %s" path msg)
     (Harness.replay_dir dir)
 
+(* The parse target under chaos: one token of each printed spec is
+   replaced with garbage, and the frontend must reject every corrupted
+   source with a diagnostic placed exactly at the corruption.  Unlike the
+   other hooks, correct behaviour here is rejection, so the campaign must
+   finish with zero discrepancies. *)
+let test_chaos_parse_rejection () =
+  let dir = tmp_dir "fuzz-chaos-parse" in
+  Unix.putenv "SPECREPAIR_FUZZ_CHAOS" "corrupt-token";
+  let r =
+    Fun.protect
+      ~finally:(fun () -> Unix.putenv "SPECREPAIR_FUZZ_CHAOS" "")
+      (fun () ->
+        Harness.run ~corpus_dir:dir Harness.Parse_target ~seed:42 ~iters:60 ())
+  in
+  Alcotest.(check int) "every corrupted source rejected with a position" 0
+    r.Harness.discrepancies;
+  Alcotest.(check int) "every iteration completed" 60
+    (r.Harness.checks + r.Harness.skipped)
+
 (* {2 Regression corpus replay} *)
 
 (* `dune runtest` runs from the test directory, `dune exec` from the
@@ -258,6 +277,7 @@ let () =
           Alcotest.test_case "proof" `Quick (smoke Harness.Proof_target 100);
           Alcotest.test_case "simplify" `Quick
             (smoke Harness.Simplify_target 60);
+          Alcotest.test_case "parse" `Quick (smoke Harness.Parse_target 150);
           Alcotest.test_case "deterministic report" `Quick
             test_report_deterministic;
         ] );
@@ -268,6 +288,8 @@ let () =
             test_chaos_proof_rejection;
           Alcotest.test_case "simplify rejection" `Quick
             test_chaos_simplify_rejection;
+          Alcotest.test_case "parse rejection" `Quick
+            test_chaos_parse_rejection;
         ] );
       ( "corpus",
         [ Alcotest.test_case "regression replay" `Quick test_corpus_replay ] );

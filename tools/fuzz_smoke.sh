@@ -9,7 +9,8 @@
 # class the harness knows (SAT verdicts, models, unsat cores, budget
 # behaviour, model-finder vs enumeration, oracle coherence, pinned
 # translation vs evaluation, DRUP certificate checking, proof-preserving
-# simplification) is exercised on every run.
+# simplification, frontend print/parse round-trips) is exercised on
+# every run.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -35,6 +36,7 @@ for pass in 1 2; do
         run eval "$iters"
         run proof "$iters"
         run simplify "$iters"
+        run parse "$iters"
     } > "$workdir/summary-$pass.json" || {
         echo "fuzz_smoke: discrepancies found (pass $pass):" >&2
         cat "$workdir/summary-$pass.json" >&2
@@ -91,4 +93,17 @@ if ! ls "$workdir/chaos-simplify"/*.cnf >/dev/null 2>&1; then
     exit 1
 fi
 
-echo "fuzz_smoke: ok (seed $seed; sat x$sat_iters, solver/oracle/eval/proof/simplify x$iters, twice, byte-identical; chaos hooks caught)"
+# The parse chaos hook corrupts one token of each printed spec; the
+# frontend must reject every corrupted source with a diagnostic placed
+# exactly at the corruption.  Unlike the hooks above, correct behaviour
+# here is rejection, so the campaign must report zero discrepancies and
+# exit 0.
+if ! SPECREPAIR_FUZZ_CHAOS=corrupt-token dune exec bin/specrepair.exe -- fuzz \
+    --target parse --iters 50 --seed "$seed" \
+    --corpus-dir "$workdir/chaos-parse" > "$workdir/chaos-parse.json" 2>&1; then
+    echo "fuzz_smoke: a corrupted token was not rejected with a positioned diagnostic" >&2
+    cat "$workdir/chaos-parse.json" >&2
+    exit 1
+fi
+
+echo "fuzz_smoke: ok (seed $seed; sat x$sat_iters, solver/oracle/eval/proof/simplify/parse x$iters, twice, byte-identical; chaos hooks caught)"
