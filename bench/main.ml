@@ -17,6 +17,9 @@
                         artifact (default BENCH_parallel.json).
      BENCH_SAT_OUT      where to write the hard-instance SAT stage's JSON
                         artifact (default BENCH_sat.json).
+     BENCH_SERVE_OUT    where to write the daemon serving stage's JSON
+                        artifact (default BENCH_serve.json).
+     BENCH_SERVE_REPEATS warm repeats per spec in the serve stage (default 5).
      BENCH_JOBS         worker count for the parallel stage (default 4). *)
 
 open Bechamel
@@ -601,6 +604,218 @@ let () =
   output_string oc json;
   close_out oc;
   Printf.printf "parallel artifact written to %s\n\n%!" path
+
+(* {2 Serve stage: cold vs warm requests through the daemon}
+
+   A daemon is forked onto a private Unix socket and the same evaluate
+   requests are sent twice over one persistent connection: a cold pass
+   (every request builds its warm per-worker session) and a warm pass
+   repeating each request several times (every repeat is answered from
+   the worker's digest-keyed caches).  Warm replies must be
+   byte-identical to cold ones apart from the [warm] flag, and the
+   daemon's own counters must account for every hit — those counter
+   identities are what CI gates on; the wall-clock speedup is reported
+   for off-CI runs. *)
+
+let () =
+  let repeats =
+    match Sys.getenv_opt "BENCH_SERVE_REPEATS" with
+    | Some s -> (
+        match int_of_string_opt s with Some n when n > 0 -> n | _ -> 5)
+    | None -> 5
+  in
+  let sources =
+    variants
+    |> List.filteri (fun i _ -> i < 4)
+    |> List.map (fun (v : S.Benchmarks.Generate.variant) ->
+           (v.id, S.Alloy.Pretty.source v.injected.faulty))
+  in
+  let sock = Printf.sprintf "/tmp/specrepair_bench_%d.sock" (Unix.getpid ()) in
+  (try Unix.unlink sock with Unix.Unix_error _ -> ());
+  let daemon =
+    match Unix.fork () with
+    | 0 ->
+        (* the daemon's chatter must not interleave with the bench report *)
+        let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+        Unix.dup2 devnull Unix.stdout;
+        Unix.close devnull;
+        (match
+           S.Serve.Daemon.run
+             {
+               S.Serve.Daemon.default_config with
+               socket = Some sock;
+               workers = 2;
+             }
+         with
+        | () -> Unix._exit 0
+        | exception _ -> Unix._exit 2)
+    | pid -> pid
+  in
+  let rec await n =
+    if Sys.file_exists sock then ()
+    else if n = 0 then failwith "serve stage: daemon socket never appeared"
+    else begin
+      Unix.sleepf 0.05;
+      await (n - 1)
+    end
+  in
+  await 200;
+  let conn =
+    match S.Serve.Client.connect (S.Serve.Client.Unix_sock sock) with
+    | Ok c -> c
+    | Error m -> failwith ("serve stage: " ^ m)
+  in
+  let ask line =
+    match S.Serve.Client.roundtrip conn line with
+    | Ok r -> r
+    | Error m -> failwith ("serve stage: " ^ m)
+  in
+  let request id source =
+    S.Serve.Json.(
+      to_string
+        (Obj
+           [
+             ("id", Str id);
+             ("method", Str "evaluate");
+             ("params", Obj [ ("source", Str source); ("file", Str id) ]);
+           ]))
+  in
+  (* compare replies with the warmth flag neutralised *)
+  let strip_warm s =
+    let hot = {|"warm":true|} and cold = {|"warm":false|} in
+    let buf = Buffer.create (String.length s) in
+    let i = ref 0 in
+    let n = String.length s in
+    let matches p =
+      let k = String.length p in
+      !i + k <= n && String.sub s !i k = p
+    in
+    while !i < n do
+      if matches hot || matches cold then begin
+        Buffer.add_string buf {|"warm":_|};
+        i := !i + String.length (if matches hot then hot else cold)
+      end
+      else begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  in
+  let cold_replies, cold_ms =
+    time_ms (fun () -> List.map (fun (id, src) -> ask (request id src)) sources)
+  in
+  let warm_replies, warm_ms =
+    time_ms (fun () ->
+        List.concat_map
+          (fun (id, src) -> List.init repeats (fun _ -> ask (request id src)))
+          sources)
+  in
+  let requests_cold = List.length sources in
+  let requests_warm = requests_cold * repeats in
+  let contains sub s =
+    let k = String.length sub and n = String.length s in
+    let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun r ->
+      if not (S.Serve.Protocol.reply_is_ok r) then
+        failwith ("serve stage: request failed: " ^ r))
+    (cold_replies @ warm_replies);
+  if not (List.for_all (contains {|"warm":true|}) warm_replies) then
+    failwith "serve stage: a warm repeat was not answered from warm state";
+  let replies_match =
+    List.for_all2
+      (fun (id, _) cold ->
+        List.filter (contains ("\"id\":\"" ^ id ^ "\"")) warm_replies
+        |> List.for_all (fun w -> strip_warm w = strip_warm cold))
+      sources cold_replies
+  in
+  if not replies_match then
+    failwith "serve stage: warm replies differ from cold ones";
+  let status =
+    ask
+      S.Serve.Json.(
+        to_string
+          (Obj [ ("id", Str "st"); ("method", Str "status"); ("params", Obj []) ]))
+  in
+  let counter name =
+    match S.Serve.Json.parse status with
+    | Ok j -> (
+        match Option.bind (S.Serve.Json.member "result" j)
+                (S.Serve.Json.mem_int name)
+        with
+        | Some v -> v
+        | None -> failwith ("serve stage: status lacks " ^ name))
+    | Error _ -> failwith "serve stage: status reply is not JSON"
+  in
+  let cache_hits = counter "cache_hits" in
+  let cache_misses = counter "cache_misses" in
+  let worker_respawns = counter "worker_respawns" in
+  let queue_high_water = counter "queue_high_water" in
+  if cache_hits <> requests_warm then
+    failwith
+      (Printf.sprintf "serve stage: expected %d cache hits, daemon counted %d"
+         requests_warm cache_hits);
+  if cache_misses <> requests_cold then
+    failwith
+      (Printf.sprintf
+         "serve stage: expected %d cache misses, daemon counted %d"
+         requests_cold cache_misses);
+  if worker_respawns <> 0 then
+    failwith "serve stage: a worker was lost during a clean benchmark";
+  S.Serve.Client.close conn;
+  Unix.kill daemon Sys.sigterm;
+  let clean_shutdown =
+    match Unix.waitpid [] daemon with
+    | _, Unix.WEXITED 0 -> true
+    | _ -> false
+  in
+  if not clean_shutdown then failwith "serve stage: daemon did not exit 0";
+  if Sys.file_exists sock then
+    failwith "serve stage: socket file survived shutdown";
+  let cold_rps = float_of_int requests_cold /. (cold_ms /. 1000.) in
+  let warm_rps = float_of_int requests_warm /. (warm_ms /. 1000.) in
+  let warm_speedup = warm_rps /. cold_rps in
+  Printf.printf
+    "SERVE (%d specs x %d warm repeats over a Unix socket, 2 workers)\n\n\
+    \  cold pass:   %8.1f ms  (%.1f requests/s)\n\
+    \  warm pass:   %8.1f ms  (%.1f requests/s, %.2fx)\n\
+    \  counters:    %d hits, %d misses, %d respawns, queue high-water %d\n\
+    \  shutdown:    clean (exit 0, socket unlinked)\n\n%!"
+    requests_cold repeats cold_ms cold_rps warm_ms warm_rps warm_speedup
+    cache_hits cache_misses worker_respawns queue_high_water;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"specs\": %d,\n\
+      \  \"repeats\": %d,\n\
+      \  \"requests_cold\": %d,\n\
+      \  \"requests_warm\": %d,\n\
+      \  \"cold_ms\": %.3f,\n\
+      \  \"warm_ms\": %.3f,\n\
+      \  \"cold_rps\": %.3f,\n\
+      \  \"warm_rps\": %.3f,\n\
+      \  \"warm_speedup\": %.3f,\n\
+      \  \"replies_match\": %b,\n\
+      \  \"cache_hits\": %d,\n\
+      \  \"cache_misses\": %d,\n\
+      \  \"worker_respawns\": %d,\n\
+      \  \"queue_high_water\": %d,\n\
+      \  \"clean_shutdown\": %b\n\
+       }\n"
+      requests_cold repeats requests_cold requests_warm cold_ms warm_ms
+      cold_rps warm_rps warm_speedup replies_match cache_hits cache_misses
+      worker_respawns queue_high_water clean_shutdown
+  in
+  let path =
+    Option.value (Sys.getenv_opt "BENCH_SERVE_OUT") ~default:"BENCH_serve.json"
+  in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "serve artifact written to %s\n\n%!" path
 
 (* {2 Timed benchmarks} *)
 

@@ -560,6 +560,304 @@ let fuzz_cmd =
           independent reference oracles")
     Term.(const run $ seed $ iters $ target $ corpus_dir)
 
+(* {2 serve / client} *)
+
+let serve_socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path")
+
+let serve_tcp_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tcp" ] ~docv:"PORT" ~doc:"TCP port on 127.0.0.1")
+
+let serve_cmd =
+  let module Serve = Specrepair_serve in
+  let workers =
+    Arg.(
+      value & opt positive_int 2
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Worker processes.  Requests route stickily (by payload digest) \
+             over the workers, so warm caches accrue per worker.")
+  in
+  let max_sessions =
+    Arg.(
+      value & opt positive_int 32
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:"Warm sessions kept per worker (LRU beyond this bound)")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt positive_int 64
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Admission bound on requests in the system (dispatched + \
+             queued); beyond it requests are refused with an immediate \
+             $(b,overloaded) reply")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt positive_int 64
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:"Bound on the wait queue alone")
+  in
+  let max_request_bytes =
+    Arg.(
+      value
+      & opt positive_int (8 * 1024 * 1024)
+      & info [ "max-request-bytes" ] ~docv:"N"
+          ~doc:"Request lines beyond this are refused as $(b,oversized)")
+  in
+  let hard_timeout_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "hard-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Hard SIGKILL backstop for requests without their own \
+             deadline_ms (requests with one get 3 x deadline + 2 s)")
+  in
+  let telemetry =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE"
+          ~doc:"Append per-request telemetry as JSON lines to FILE")
+  in
+  let run socket tcp workers max_sessions max_inflight queue_depth
+      max_request_bytes hard_timeout_ms telemetry =
+    match (socket, tcp) with
+    | None, None -> `Error (true, "serve needs --socket PATH or --tcp PORT")
+    | _ ->
+        Serve.Daemon.run
+          {
+            Serve.Daemon.socket;
+            tcp;
+            workers;
+            max_sessions;
+            max_inflight;
+            queue_depth;
+            max_request_bytes;
+            hard_timeout_ms;
+            telemetry;
+          };
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the repair daemon: answer concurrent repair / evaluate / sat \
+          / status requests over a Unix-domain socket (or TCP) as \
+          newline-delimited JSON, from warm per-worker sessions; SIGTERM \
+          shuts down cleanly")
+    Term.(
+      ret
+        (const run $ serve_socket_arg $ serve_tcp_arg $ workers $ max_sessions
+       $ max_inflight $ queue_depth $ max_request_bytes $ hard_timeout_ms
+       $ telemetry))
+
+let client_cmd =
+  let module Serve = Specrepair_serve in
+  let meth =
+    Arg.(
+      value
+      & pos 0
+          (some
+             (enum
+                [
+                  ("repair", `Repair);
+                  ("evaluate", `Evaluate);
+                  ("sat", `Sat);
+                  ("status", `Status);
+                ]))
+          None
+      & info [] ~docv:"METHOD"
+          ~doc:"repair, evaluate, sat, or status (omit with $(b,--raw))")
+  in
+  let payload =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:
+            "Payload file: an Alloy spec for repair/evaluate, a DIMACS CNF \
+             for sat")
+  in
+  let tool =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tool" ]
+          ~doc:"Repair engine: beafix, atr, multi-round, or portfolio")
+  in
+  let seed = Arg.(value & opt (some int) None & info [ "seed" ]) in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Per-request wall-clock deadline, enforced by the daemon")
+  in
+  let id =
+    Arg.(
+      value & opt string ""
+      & info [ "id" ] ~doc:"Correlation id echoed in the reply")
+  in
+  let raw =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "raw" ] ~docv:"JSON"
+          ~doc:"Send this exact request line instead of building one")
+  in
+  let chaos =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:
+            "Fault injection (honoured only by daemons running with \
+             SPECREPAIR_SERVE_CHAOS=1): $(b,kill) or $(b,sleep:<ms>)")
+  in
+  let repeat =
+    Arg.(
+      value & opt positive_int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:"Send the request N times sequentially over one connection")
+  in
+  let burst =
+    Arg.(
+      value & opt positive_int 1
+      & info [ "burst" ] ~docv:"N"
+          ~doc:
+            "Send N copies concurrently, one forked connection per copy \
+             (overrides --repeat)")
+  in
+  let run meth socket tcp payload tool seed deadline_ms id raw chaos repeat
+      burst simplify portfolio =
+    let module J = Serve.Json in
+    let addr =
+      match (socket, tcp) with
+      | Some path, _ -> Ok (Serve.Client.Unix_sock path)
+      | None, Some port -> Ok (Serve.Client.Tcp ("127.0.0.1", port))
+      | None, None -> Error "client needs --socket PATH or --tcp PORT"
+    in
+    let opt_field name v f ps =
+      match v with None -> ps | Some x -> ps @ [ (name, f x) ]
+    in
+    let line =
+      match raw with
+      | Some l -> Ok l
+      | None -> (
+          match meth with
+          | None ->
+              Error "client needs a METHOD (repair|evaluate|sat|status) or --raw"
+          | Some m ->
+              let name =
+                match m with
+                | `Repair -> "repair"
+                | `Evaluate -> "evaluate"
+                | `Sat -> "sat"
+                | `Status -> "status"
+              in
+              let params =
+                match m with
+                | `Status -> Ok []
+                | `Sat -> (
+                    match payload with
+                    | None -> Error "sat needs --file CNF"
+                    | Some f ->
+                        Ok
+                          (opt_field "chaos" chaos
+                             (fun c -> J.Str c)
+                             [ ("dimacs", J.Str (read_file f)) ]))
+                | `Repair | `Evaluate -> (
+                    match payload with
+                    | None -> Error (name ^ " needs --file SPEC")
+                    | Some f ->
+                        let ps =
+                          [ ("source", J.Str (read_file f)); ("file", J.Str f) ]
+                        in
+                        let ps =
+                          if m = `Repair then
+                            opt_field "tool" tool (fun t -> J.Str t) ps
+                            |> opt_field "seed" seed (fun s ->
+                                   J.Num (float_of_int s))
+                          else ps
+                        in
+                        let ps =
+                          opt_field "deadline_ms" deadline_ms
+                            (fun d -> J.Num d)
+                            ps
+                        in
+                        let ps =
+                          if simplify then ps @ [ ("simplify", J.Bool true) ]
+                          else ps
+                        in
+                        let ps =
+                          if portfolio > 1 then
+                            ps
+                            @ [ ("portfolio", J.Num (float_of_int portfolio)) ]
+                          else ps
+                        in
+                        Ok (opt_field "chaos" chaos (fun c -> J.Str c) ps))
+              in
+              Result.map
+                (fun ps ->
+                  J.to_string
+                    (J.Obj
+                       [
+                         ("id", J.Str id);
+                         ("method", J.Str name);
+                         ("params", J.Obj ps);
+                       ]))
+                params)
+    in
+    match (addr, line) with
+    | Error m, _ | _, Error m -> `Error (true, m)
+    | Ok addr, Ok line -> (
+        let replies =
+          if burst > 1 then
+            Serve.Client.burst addr (List.init burst (fun _ -> line))
+          else
+            match Serve.Client.connect addr with
+            | Error m -> Error m
+            | Ok c ->
+                let rec go acc n =
+                  if n = 0 then Ok (List.rev acc)
+                  else
+                    match Serve.Client.roundtrip c line with
+                    | Ok r -> go (r :: acc) (n - 1)
+                    | Error m -> Error m
+                in
+                let r = go [] repeat in
+                Serve.Client.close c;
+                r
+        in
+        match replies with
+        | Error m ->
+            Printf.eprintf "client: %s\n" m;
+            exit 1
+        | Ok rs ->
+            List.iter print_endline rs;
+            if List.for_all Serve.Protocol.reply_is_ok rs then `Ok ()
+            else exit 1)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send requests to a running repair daemon and print the reply \
+          lines; exit 0 only if every reply reports ok")
+    Term.(
+      ret
+        (const run $ meth $ serve_socket_arg $ serve_tcp_arg $ payload $ tool
+       $ seed $ deadline_ms $ id $ raw $ chaos $ repeat $ burst $ simplify_flag
+       $ portfolio_arg))
+
 let () =
   let info =
     Cmd.info "specrepair" ~version:"1.0.0"
@@ -579,4 +877,6 @@ let () =
             sat_cmd;
             check_proof_cmd;
             fuzz_cmd;
+            serve_cmd;
+            client_cmd;
           ]))

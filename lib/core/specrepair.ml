@@ -99,6 +99,18 @@ module Benchmarks = struct
   module Generate = Specrepair_benchmarks.Generate
 end
 
+(** The repair-as-a-service daemon: wire protocol, warm-session registry,
+    fork-worker pool, event-loop daemon, and the line client. *)
+module Serve = struct
+  module Json = Specrepair_serve.Json
+  module Protocol = Specrepair_serve.Protocol
+  module Registry = Specrepair_serve.Registry
+  module Handler = Specrepair_serve.Handler
+  module Pool = Specrepair_serve.Pool
+  module Daemon = Specrepair_serve.Daemon
+  module Client = Specrepair_serve.Client
+end
+
 (** The study runner and the table/figure renderers. *)
 module Eval = struct
   module Technique = Specrepair_eval.Technique

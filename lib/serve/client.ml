@@ -1,0 +1,136 @@
+(* Serve-protocol client plumbing.  Everything is blocking and
+   line-oriented; concurrency comes from [burst], which forks one child
+   per request so the daemon genuinely sees overlapping connections. *)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+type conn = { fd : Unix.file_descr; rbuf : Buffer.t }
+
+let connect addr =
+  match
+    match addr with
+    | Unix_sock path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd
+    | Tcp (host, port) ->
+        let ip =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (
+            match Unix.gethostbyname host with
+            | { Unix.h_addr_list = [||]; _ } -> failwith ("no address for " ^ host)
+            | h -> h.Unix.h_addr_list.(0))
+        in
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (ip, port));
+        fd
+  with
+  | fd -> Ok { fd; rbuf = Buffer.create 1024 }
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "connect failed: %s" (Unix.error_message e))
+  | exception Failure msg -> Error msg
+  | exception Not_found -> Error "host not found"
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let rec go off = if off < len then go (off + Unix.write fd b off (len - off)) in
+  go 0
+
+let send_partial c s =
+  try write_all c.fd s with Unix.Unix_error _ -> ()
+
+let read_line c =
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    let text = Buffer.contents c.rbuf in
+    match String.index_opt text '\n' with
+    | Some i ->
+        Buffer.clear c.rbuf;
+        Buffer.add_substring c.rbuf text (i + 1) (String.length text - i - 1);
+        Ok (String.sub text 0 i)
+    | None -> (
+        match Unix.read c.fd buf 0 (Bytes.length buf) with
+        | 0 -> Error "connection closed by the daemon"
+        | k ->
+            Buffer.add_subbytes c.rbuf buf 0 k;
+            go ()
+        | exception Unix.Unix_error (EINTR, _, _) -> go ()
+        | exception Unix.Unix_error (e, _, _) ->
+            Error (Printf.sprintf "read failed: %s" (Unix.error_message e)))
+  in
+  go ()
+
+let roundtrip c line =
+  match write_all c.fd (line ^ "\n") with
+  | () -> read_line c
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "write failed: %s" (Unix.error_message e))
+
+let oneshot addr line =
+  match connect addr with
+  | Error _ as e -> e
+  | Ok c ->
+      let r = roundtrip c line in
+      close c;
+      r
+
+(* One forked child per request: each opens its own connection, performs
+   the round-trip, and streams the reply back to the parent over a pipe,
+   so the daemon sees genuinely concurrent clients. *)
+let burst addr lines =
+  let children =
+    List.map
+      (fun line ->
+        let r, w = Unix.pipe ~cloexec:false () in
+        match Unix.fork () with
+        | 0 -> (
+            Unix.close r;
+            let status =
+              match oneshot addr line with
+              | Ok reply ->
+                  (try write_all w (reply ^ "\n") with Unix.Unix_error _ -> ());
+                  0
+              | Error msg ->
+                  (try write_all w ("!" ^ msg ^ "\n") with Unix.Unix_error _ -> ());
+                  1
+            in
+            Unix._exit status)
+        | pid ->
+            Unix.close w;
+            (pid, r))
+      lines
+  in
+  let results =
+    List.map
+      (fun (pid, r) ->
+        let buf = Buffer.create 1024 in
+        let chunk = Bytes.create 65536 in
+        let rec drain () =
+          match Unix.read r chunk 0 (Bytes.length chunk) with
+          | 0 -> ()
+          | k ->
+              Buffer.add_subbytes buf chunk 0 k;
+              drain ()
+          | exception Unix.Unix_error (EINTR, _, _) -> drain ()
+          | exception Unix.Unix_error _ -> ()
+        in
+        drain ();
+        (try Unix.close r with Unix.Unix_error _ -> ());
+        (try ignore (Unix.waitpid [] pid)
+         with Unix.Unix_error (ECHILD, _, _) -> ());
+        match String.split_on_char '\n' (Buffer.contents buf) with
+        | line :: _ when String.length line > 0 && line.[0] = '!' ->
+            Error (String.sub line 1 (String.length line - 1))
+        | line :: _ when line <> "" -> Ok line
+        | _ -> Error "no reply from burst child")
+      children
+  in
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | Ok r :: rest -> collect (r :: acc) rest
+    | Error msg :: _ -> Error msg
+  in
+  collect [] results

@@ -1,0 +1,32 @@
+(** Client-side plumbing for the serve protocol: connect, one-line
+    round-trips, and a forked concurrent burst.  Used by the
+    [specrepair client] subcommand, the SERVE bench stage and the smoke
+    scripts. *)
+
+type addr =
+  | Unix_sock of string  (** Unix-domain socket path *)
+  | Tcp of string * int  (** host, port *)
+
+type conn
+
+val connect : addr -> (conn, string) result
+(** One attempt; no retry (callers wait for the socket file / port). *)
+
+val roundtrip : conn -> string -> (string, string) result
+(** Send one request line, read one reply line.  [Error] on a closed or
+    broken connection. *)
+
+val send_partial : conn -> string -> unit
+(** Write raw bytes without a terminating newline — only for tests of the
+    daemon's disconnect-mid-request behaviour. *)
+
+val close : conn -> unit
+
+val oneshot : addr -> string -> (string, string) result
+(** [connect] + {!roundtrip} + {!close}. *)
+
+val burst : addr -> string list -> (string list, string) result
+(** Fire all request lines concurrently, one forked child and one fresh
+    connection per line; blocks until every child is done.  [Ok replies]
+    has one reply per request, in request order.  [Error] if any child
+    failed to connect or read a reply. *)

@@ -1,0 +1,51 @@
+(** A minimal JSON codec for the serve wire protocol.
+
+    The repository deliberately carries no third-party JSON dependency:
+    telemetry and diagnostics are {e printed} by hand.  The daemon also has
+    to {e read} JSON — every request is one newline-delimited JSON object —
+    so this module adds the smallest strict reader/printer that covers the
+    protocol: objects, arrays, strings (with escapes), numbers, booleans
+    and null.  Errors carry the byte offset at which parsing failed, which
+    the protocol layer turns into a positioned error reply. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+  | Raw of string
+      (** Preformatted JSON emitted verbatim by {!to_string} — the bridge
+          for JSON other modules already render (e.g.
+          [Specrepair_alloy.Diagnostic.to_json]).  Never produced by
+          {!parse}. *)
+
+val parse : string -> (t, int * string) result
+(** Strict parse of exactly one JSON value (surrounding whitespace
+    allowed; trailing garbage is an error).  [Error (pos, msg)] gives the
+    0-based byte offset of the failure. *)
+
+val to_string : t -> string
+(** One line, no newlines: control characters in strings are escaped, so
+    the result is safe for a newline-delimited protocol. *)
+
+val escape : string -> string
+(** The string-escaping used by {!to_string}, exposed for hand-rendered
+    replies. *)
+
+(** {2 Accessors} — all total, returning [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing field {e or} non-object. *)
+
+val to_str : t -> string option
+val to_num : t -> float option
+val to_int : t -> int option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+
+val mem_str : string -> t -> string option
+val mem_int : string -> t -> int option
+val mem_num : string -> t -> float option
+val mem_bool : string -> t -> bool option

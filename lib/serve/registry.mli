@@ -1,0 +1,30 @@
+(** The warm-state registry of a serve worker: a bounded LRU of cache
+    entries keyed by request digest ({!Protocol.cache_key}).
+
+    Each worker process owns one registry.  Entries hold whatever warm
+    state the handler wants to amortize — in practice a type-checked
+    environment plus its incremental {!Specrepair_solver.Oracle.t}, whose
+    digest-keyed verdict/instance caches and activation-literal memos are
+    the ~4x of [BENCH_oracle.json].  The LRU bound ([--max-sessions] on
+    the daemon) caps memory: the least-recently-used entry is dropped when
+    a fresh key would exceed it. *)
+
+type 'a t
+
+type stats = {
+  hits : int;  (** lookups served from the registry *)
+  misses : int;  (** lookups that built a fresh entry *)
+  evictions : int;  (** entries dropped by the LRU bound *)
+}
+
+val create : max:int -> 'a t
+(** [max < 1] is clamped to 1. *)
+
+val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a * bool
+(** [find_or_add t key build] returns the entry for [key], building (and
+    caching) it on a miss.  The boolean is [true] on a hit — the request
+    ran against warm state.  Both outcomes promote the key to
+    most-recently-used. *)
+
+val size : 'a t -> int
+val stats : 'a t -> stats

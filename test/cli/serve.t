@@ -1,0 +1,72 @@
+The repair daemon and its client.  Unix-domain socket paths are limited
+to ~104 bytes, so the socket lives under /tmp, not the cram sandbox:
+
+  $ workdir=$(mktemp -d /tmp/serve_cram.XXXXXX)
+  $ sock="$workdir/d.sock"
+  $ SPECREPAIR_SERVE_CHAOS=1 ../../bin/specrepair.exe serve --socket "$sock" --workers 2 > "$workdir/daemon.log" 2>&1 &
+  $ daemon=$!
+  $ for i in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.1; done
+
+Missing listener configuration is a usage error, not a hang:
+
+  $ ../../bin/specrepair.exe serve 2>&1 | head -1
+  specrepair: serve needs --socket PATH or --tcp PORT
+
+A repair request round-trips as one JSON reply line:
+
+  $ ../../bin/specrepair.exe client repair --socket "$sock" --file ../../specs/graph_faulty.als --tool beafix | grep -o '"repaired":true'
+  "repaired":true
+
+Repeated evaluate requests hit the warm per-worker session — the first
+is cold, every repeat is warm:
+
+  $ ../../bin/specrepair.exe client evaluate --socket "$sock" --file ../../specs/graph.als --repeat 3 | grep -c '"warm":true'
+  2
+
+SAT requests answer DIMACS verdicts:
+
+  $ printf 'p cnf 2 4\n1 2 0\n-1 2 0\n1 -2 0\n-1 -2 0\n' > unsat.cnf
+  $ ../../bin/specrepair.exe client sat --socket "$sock" --file unsat.cnf | grep -o '"verdict":"unsat"'
+  "verdict":"unsat"
+
+Protocol errors are structured replies with a nonzero client exit, and
+the correlation id survives even malformed requests:
+
+  $ ../../bin/specrepair.exe client --socket "$sock" --raw 'not json' > reply.json; echo "client exit $?"
+  client exit 1
+  $ grep -o '"code":"parse_error"' reply.json
+  "code":"parse_error"
+  $ ../../bin/specrepair.exe client --socket "$sock" --raw '{"id":"x9","method":"warp","params":{}}' | grep -o '"id":"x9","ok":false,"error":{"code":"unknown_method"'
+  "id":"x9","ok":false,"error":{"code":"unknown_method"
+
+A spec that fails the frontend earns positioned diagnostics in the
+reply, not a dead connection:
+
+  $ echo 'sig {}' > bad.als
+  $ ../../bin/specrepair.exe client repair --socket "$sock" --file bad.als > reply.json; echo "client exit $?"
+  client exit 1
+  $ grep -o '"code":"spec_error"' reply.json
+  "code":"spec_error"
+  $ grep -o '"diagnostics":\[' reply.json
+  "diagnostics":[
+
+A chaos-killed worker costs exactly the request it was serving; the
+daemon respawns the slot and keeps answering:
+
+  $ ../../bin/specrepair.exe client evaluate --socket "$sock" --file ../../specs/graph.als --chaos kill > reply.json; echo "client exit $?"
+  client exit 1
+  $ grep -o '"code":"worker_crashed"' reply.json
+  "code":"worker_crashed"
+  $ ../../bin/specrepair.exe client evaluate --socket "$sock" --file ../../specs/graph.als | grep -o '"ok":true'
+  "ok":true
+  $ ../../bin/specrepair.exe client status --socket "$sock" | grep -o '"worker_respawns":1'
+  "worker_respawns":1
+
+SIGTERM shuts the daemon down cleanly and unlinks the socket:
+
+  $ kill -TERM "$daemon" && wait "$daemon"
+  $ [ -S "$sock" ] && echo still-there || echo gone
+  gone
+  $ grep -c 'serve: shutdown' "$workdir/daemon.log"
+  1
+  $ rm -rf "$workdir"

@@ -3,10 +3,14 @@
 # sample and check that the oracle, proof-certification and parallel stages
 # produced well-formed artifacts.  Exits nonzero on any failure.
 #
-# Wall-clock thresholds (the oracle's >= 2x speedup) are only enforced on
-# quiet local machines; under CI=1 the script gates on the stages' cache
-# and scheduler counters instead, which are deterministic, because shared
-# CI runners make wall-clock ratios flaky.
+# Wall-clock thresholds (the oracle's >= 2x speedup, the daemon's >= 2x
+# warm-request speedup) are only enforced on quiet local machines; under
+# CI=1 the script gates on the stages' cache and scheduler counters
+# instead, which are deterministic, because shared CI runners make
+# wall-clock ratios flaky.
+#
+# Set BENCH_ARTIFACTS_DIR to keep the BENCH_*.json artifacts (e.g. for a
+# CI artifact upload); by default they live and die in a temp directory.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -18,21 +22,27 @@ out="$workdir/BENCH_oracle.json"
 proof="$workdir/BENCH_proof.json"
 par="$workdir/BENCH_parallel.json"
 sat="$workdir/BENCH_sat.json"
+serve="$workdir/BENCH_serve.json"
 ci_mode="${CI:-0}"
 
 BENCH_SAMPLE="${BENCH_SAMPLE:-1}" BENCH_ORACLE_OUT="$out" \
     BENCH_PROOF_OUT="$proof" BENCH_PARALLEL_OUT="$par" \
-    BENCH_SAT_OUT="$sat" dune exec bench/main.exe
+    BENCH_SAT_OUT="$sat" BENCH_SERVE_OUT="$serve" dune exec bench/main.exe
 
-for f in "$out" "$proof" "$par" "$sat"; do
+for f in "$out" "$proof" "$par" "$sat" "$serve"; do
     if [ ! -s "$f" ]; then
         echo "bench_smoke: $f missing or empty" >&2
         exit 1
     fi
 done
 
+if [ -n "${BENCH_ARTIFACTS_DIR:-}" ]; then
+    mkdir -p "$BENCH_ARTIFACTS_DIR"
+    cp "$out" "$proof" "$par" "$sat" "$serve" "$BENCH_ARTIFACTS_DIR/"
+fi
+
 if command -v python3 >/dev/null 2>&1; then
-    CI_MODE="$ci_mode" python3 - "$out" "$proof" "$par" "$sat" <<'EOF'
+    CI_MODE="$ci_mode" python3 - "$out" "$proof" "$par" "$sat" "$serve" <<'EOF'
 import json, os, sys
 
 ci = os.environ.get("CI_MODE", "0") == "1"
@@ -162,6 +172,46 @@ else:
     print(f"bench_smoke: sat ok (simplify {sdata['best_simplify_speedup']}x, "
           f"portfolio {sdata['best_portfolio_speedup']}x, "
           f"{sdata['certified_unsat']} certified)")
+
+with open(sys.argv[5]) as f:
+    vdata = json.load(f)
+
+vrequired = [
+    "specs", "repeats", "requests_cold", "requests_warm", "cold_ms",
+    "warm_ms", "cold_rps", "warm_rps", "warm_speedup", "replies_match",
+    "cache_hits", "cache_misses", "worker_respawns", "queue_high_water",
+    "clean_shutdown",
+]
+missing = [k for k in vrequired if k not in vdata]
+if missing:
+    sys.exit(f"bench_smoke: BENCH_serve.json lacks keys: {missing}")
+if vdata["requests_cold"] <= 0 or vdata["requests_warm"] <= 0:
+    sys.exit("bench_smoke: serve stage sent no requests")
+if not vdata["replies_match"]:
+    sys.exit("bench_smoke: warm serve replies diverged from cold replies")
+if not vdata["clean_shutdown"]:
+    sys.exit("bench_smoke: the daemon did not shut down cleanly on SIGTERM")
+# the cache identities are exact regardless of runner noise: every warm
+# repeat must hit, every cold request must miss, and nothing may crash
+if vdata["cache_hits"] != vdata["requests_warm"]:
+    sys.exit("bench_smoke: serve cache hits "
+             f"{vdata['cache_hits']} != warm requests {vdata['requests_warm']}")
+if vdata["cache_misses"] != vdata["requests_cold"]:
+    sys.exit("bench_smoke: serve cache misses "
+             f"{vdata['cache_misses']} != cold requests {vdata['requests_cold']}")
+if vdata["worker_respawns"] != 0:
+    sys.exit("bench_smoke: undisturbed serve run reports "
+             f"{vdata['worker_respawns']} worker respawn(s)")
+if ci:
+    print(f"bench_smoke: serve ok under CI ({vdata['cache_hits']} warm hits "
+          f"over {vdata['requests_warm']} repeats; wall-clock speedup "
+          f"{vdata['warm_speedup']}x unchecked)")
+else:
+    if vdata["warm_speedup"] < 2.0:
+        sys.exit(f"bench_smoke: warm serve speedup {vdata['warm_speedup']} "
+                 "below 2x")
+    print(f"bench_smoke: serve ok (warm {vdata['warm_rps']} req/s vs cold "
+          f"{vdata['cold_rps']} req/s, {vdata['warm_speedup']}x)")
 EOF
 else
     # no python3: settle for structural sanity checks
@@ -190,6 +240,13 @@ else
             exit 1
         fi
     done
+    for key in warm_speedup replies_match cache_hits worker_respawns \
+            clean_shutdown; do
+        if ! grep -q "\"$key\"" "$serve"; then
+            echo "bench_smoke: BENCH_serve.json lacks key $key" >&2
+            exit 1
+        fi
+    done
     echo "bench_smoke: ok (grep-level check; python3 unavailable)"
 fi
 
@@ -202,6 +259,10 @@ dune exec bin/specrepair.exe -- repair specs/graph_faulty.als \
 if [ ! -s "$telem" ]; then
     echo "bench_smoke: --telemetry produced no output" >&2
     exit 1
+fi
+
+if [ -n "${BENCH_ARTIFACTS_DIR:-}" ]; then
+    cp "$telem" "$BENCH_ARTIFACTS_DIR/repair_telemetry.json"
 fi
 
 if command -v python3 >/dev/null 2>&1; then

@@ -106,4 +106,15 @@ if ! SPECREPAIR_FUZZ_CHAOS=corrupt-token dune exec bin/specrepair.exe -- fuzz \
     exit 1
 fi
 
+# Keep the campaign summaries (e.g. for a CI artifact upload) if asked.
+if [ -n "${FUZZ_ARTIFACTS_DIR:-}" ]; then
+    mkdir -p "$FUZZ_ARTIFACTS_DIR"
+    cp "$workdir/summary-1.json" "$FUZZ_ARTIFACTS_DIR/fuzz_summary.json"
+    for c in chaos chaos-proof chaos-simplify chaos-parse; do
+        if [ -s "$workdir/$c.json" ]; then
+            cp "$workdir/$c.json" "$FUZZ_ARTIFACTS_DIR/fuzz_$c.json"
+        fi
+    done
+fi
+
 echo "fuzz_smoke: ok (seed $seed; sat x$sat_iters, solver/oracle/eval/proof/simplify/parse x$iters, twice, byte-identical; chaos hooks caught)"
