@@ -314,8 +314,261 @@ let evaluate_cmd =
       & info [ "telemetry" ] ~docv:"FILE"
           ~doc:"Write per-row telemetry as JSON lines to FILE")
   in
+  let run_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "run-dir" ] ~docv:"DIR"
+          ~doc:
+            "Stream the study through the checkpoint/resume scheduler: \
+             result shards and a manifest land in $(docv) as chunks \
+             complete, so a crashed run can be picked up with \
+             $(b,--resume).  Tables are rendered from the merged shards.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume the checkpointed run in $(b,--run-dir): validate the \
+             manifest and its shards, then compute only the pending rows.")
+  in
   let run sample seed jobs retries quiet what csv_out csv_in artifacts_dir
+      deadline_ms telemetry_out simplify portfolio run_dir resume =
+    (* conflicting corpus selections are usage errors, caught before any
+       work: the streamed corpus is an index range, a per-domain sample is
+       not, and a resumed run's corpus is fixed by its manifest *)
+    if resume && Option.is_none run_dir then
+      `Error (true, "--resume requires --run-dir (the checkpoint to resume)")
+    else if Option.is_some sample && resume then
+      `Error
+        ( true,
+          "--sample cannot be combined with --resume: the resumed corpus is \
+           fixed by the run directory's manifest" )
+    else if Option.is_some sample && Option.is_some run_dir then
+      `Error
+        ( true,
+          "--sample cannot be combined with --run-dir: streamed runs index \
+           the full corpus" )
+    else begin
+      let telemetry_chan = Option.map open_out telemetry_out in
+      let telemetry =
+        Option.map
+          (fun oc line ->
+            output_string oc line;
+            output_char oc '\n')
+          telemetry_chan
+      in
+      let progress =
+        if quiet then fun _ -> () else fun msg -> Printf.eprintf "  %s\n%!" msg
+      in
+      let results =
+        match csv_in with
+        | Some path -> Eval.Study.of_csv (read_file path)
+        | None -> (
+            match run_dir with
+            | Some dir ->
+                let total = Eval.Corpus_stream.natural_total () in
+                if not quiet then
+                  Printf.eprintf
+                    "streaming %d variants x %d techniques into %s%s...\n%!"
+                    total
+                    (List.length Eval.Technique.all)
+                    dir
+                    (if resume then " (resume)" else "");
+                ignore
+                  (Eval.Study.run_stream ~seed ~jobs ~max_retries:retries
+                     ?deadline_ms ?telemetry ~simplify ~portfolio ~progress
+                     ~resume ~dir ~total ());
+                (* lazy merge of the shards, then the usual renderers *)
+                let buf = Buffer.create 65536 in
+                ignore
+                  (Eval.Scheduler.fold_shards ~dir
+                     (fun n _i line ->
+                       Buffer.add_string buf line;
+                       Buffer.add_char buf '\n';
+                       n + 1)
+                     0);
+                Eval.Study.of_csv (Buffer.contents buf)
+            | None ->
+                let variants =
+                  match sample with
+                  | Some n -> Benchmarks.Generate.sample ~seed ~per_domain:n ()
+                  | None -> Benchmarks.Generate.all ~seed ()
+                in
+                if not quiet then
+                  Printf.eprintf "running %d variants x %d techniques...\n%!"
+                    (List.length variants)
+                    (List.length Eval.Technique.all);
+                Eval.Study.run_parallel ~seed ~jobs ~max_retries:retries
+                  ?deadline_ms ?telemetry ~simplify ~portfolio ~progress
+                  variants)
+      in
+      Option.iter close_out telemetry_chan;
+      (match csv_out with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc (Eval.Study.to_csv results);
+          close_out oc
+      | None -> ());
+      (match artifacts_dir with
+      | Some dir ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          List.iter
+            (fun (name, text) ->
+              let oc = open_out (Filename.concat dir name) in
+              output_string oc text;
+              close_out oc)
+            [
+              ("table1.csv", Eval.Tables.table1_csv results);
+              ("fig2.csv", Eval.Tables.fig2_csv results);
+              ("fig3.csv", Eval.Tables.fig3_csv results);
+              ("table2.csv", Eval.Tables.table2_csv results);
+            ]
+      | None -> ());
+      let what = if what = [] then [ `T1; `F2; `F3; `T2; `S ] else what in
+      List.iter
+        (fun w ->
+          let text =
+            match w with
+            | `T1 -> Eval.Tables.table1 results
+            | `F2 -> Eval.Tables.fig2 results
+            | `F3 -> Eval.Tables.fig3 results
+            | `T2 -> Eval.Tables.table2 results
+            | `S -> Eval.Tables.summary results
+          in
+          print_endline text)
+        what;
+      `Ok ()
+    end
+  in
+  let run sample seed jobs retries quiet what csv_out csv_in artifacts_dir
+      deadline_ms telemetry_out simplify portfolio run_dir resume =
+    try
+      run sample seed jobs retries quiet what csv_out csv_in artifacts_dir
+        deadline_ms telemetry_out simplify portfolio run_dir resume
+    with Eval.Manifest.Corrupt msg ->
+      Printf.eprintf "evaluate: checkpoint rejected: %s\n%!" msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "evaluate"
+       ~doc:"Run the study and regenerate the paper's tables and figures")
+    Term.(
+      ret
+        (const run $ sample $ seed $ jobs $ retries $ quiet $ what $ csv_out
+        $ csv_in $ artifacts_dir $ deadline_ms $ telemetry_out $ simplify_flag
+        $ portfolio_arg $ run_dir $ resume))
+
+(* {2 study} *)
+
+let study_cmd =
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Checkpoint directory: receives the manifest and one result \
+             shard per completed chunk.  Must be empty (or absent) unless \
+             $(b,--resume) is given.")
+  in
+  let total =
+    Arg.(
+      value
+      & opt (some positive_int) None
+      & info [ "total" ] ~docv:"N"
+          ~doc:
+            "Corpus size: rows are derived on demand from global variant \
+             indices 0..N-1, so N can exceed the natural corpus (indices \
+             wrap into fresh derivation epochs).  Default: the natural \
+             corpus size.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ]) in
+  let jobs =
+    Arg.(
+      value
+      & opt positive_int 1
+      & info [ "jobs"; "j" ] ~doc:"Parallel worker processes")
+  in
+  let retries =
+    Arg.(
+      value
+      & opt nonneg_int 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "How many times a chunk may be requeued after its worker dies \
+             before the run fails")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Pick up a crashed run: validate DIR's manifest and every \
+             recorded shard, then compute only the pending rows.")
+  in
+  let techniques =
+    let tech_conv =
+      Arg.conv
+        ( (fun s ->
+            match Eval.Technique.of_name s with
+            | Some t -> Ok t
+            | None ->
+                Error
+                  (`Msg
+                     (Printf.sprintf "unknown technique %S (expected one of %s)"
+                        s
+                        (String.concat ", "
+                           (List.map Eval.Technique.name Eval.Technique.all))))),
+          fun ppf t -> Format.pp_print_string ppf (Eval.Technique.name t) )
+    in
+    Arg.(
+      value
+      & opt_all tech_conv []
+      & info [ "technique" ] ~docv:"NAME"
+          ~doc:
+            "Restrict the study to this technique (repeatable; default: all \
+             twelve)")
+  in
+  let csv_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:
+            "Where to write the merged results CSV once the run is complete \
+             (default: DIR/results.csv)")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet" ] ~doc:"Suppress progress messages on stderr")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Per-row wall-clock deadline (monotonic clock)")
+  in
+  let telemetry_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE"
+          ~doc:"Write scheduler telemetry as JSON lines to FILE")
+  in
+  let run dir total seed jobs retries resume techniques csv_out quiet
       deadline_ms telemetry_out simplify portfolio =
+    let techniques =
+      if techniques = [] then Eval.Technique.all else techniques
+    in
+    let total =
+      match total with
+      | Some n -> n
+      | None -> Eval.Corpus_stream.natural_total ()
+    in
     let telemetry_chan = Option.map open_out telemetry_out in
     let telemetry =
       Option.map
@@ -324,68 +577,41 @@ let evaluate_cmd =
           output_char oc '\n')
         telemetry_chan
     in
-    let results =
-      match csv_in with
-      | Some path -> Eval.Study.of_csv (read_file path)
-      | None ->
-          let variants =
-            match sample with
-            | Some n -> Benchmarks.Generate.sample ~seed ~per_domain:n ()
-            | None -> Benchmarks.Generate.all ~seed ()
-          in
-          let progress =
-            if quiet then fun _ -> ()
-            else fun msg -> Printf.eprintf "  %s\n%!" msg
-          in
-          if not quiet then
-            Printf.eprintf "running %d variants x %d techniques...\n%!"
-              (List.length variants)
-              (List.length Eval.Technique.all);
-          Eval.Study.run_parallel ~seed ~jobs ~max_retries:retries ?deadline_ms
-            ?telemetry ~simplify ~portfolio ~progress variants
+    let progress =
+      if quiet then fun _ -> () else fun msg -> Printf.eprintf "  %s\n%!" msg
     in
+    if not quiet then
+      Printf.eprintf "study: %d variants x %d techniques -> %s%s\n%!" total
+        (List.length techniques) dir
+        (if resume then " (resume)" else "");
+    (try
+       ignore
+         (Eval.Study.run_stream ~seed ~jobs ~max_retries:retries ?deadline_ms
+            ?telemetry ~simplify ~portfolio ~techniques ~progress ~resume ~dir
+            ~total ())
+     with
+     | Eval.Manifest.Corrupt msg ->
+         Printf.eprintf "study: checkpoint rejected: %s\n%!" msg;
+         exit 1
+     | Failure msg ->
+         Printf.eprintf "study: %s\n%!" msg;
+         exit 1);
     Option.iter close_out telemetry_chan;
-    (match csv_out with
-    | Some path ->
-        let oc = open_out path in
-        output_string oc (Eval.Study.to_csv results);
-        close_out oc
-    | None -> ());
-    (match artifacts_dir with
-    | Some dir ->
-        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-        List.iter
-          (fun (name, text) ->
-            let oc = open_out (Filename.concat dir name) in
-            output_string oc text;
-            close_out oc)
-          [
-            ("table1.csv", Eval.Tables.table1_csv results);
-            ("fig2.csv", Eval.Tables.fig2_csv results);
-            ("fig3.csv", Eval.Tables.fig3_csv results);
-            ("table2.csv", Eval.Tables.table2_csv results);
-          ]
-    | None -> ());
-    let what = if what = [] then [ `T1; `F2; `F3; `T2; `S ] else what in
-    List.iter
-      (fun w ->
-        let text =
-          match w with
-          | `T1 -> Eval.Tables.table1 results
-          | `F2 -> Eval.Tables.fig2 results
-          | `F3 -> Eval.Tables.fig3 results
-          | `T2 -> Eval.Tables.table2 results
-          | `S -> Eval.Tables.summary results
-        in
-        print_endline text)
-      what
+    let csv = Option.value csv_out ~default:(Filename.concat dir "results.csv") in
+    let oc = open_out csv in
+    let rows = Eval.Study.write_stream_csv ~dir oc in
+    close_out oc;
+    Printf.printf "study: %d rows -> %s\n%!" rows csv
   in
   Cmd.v
-    (Cmd.info "evaluate"
-       ~doc:"Run the study and regenerate the paper's tables and figures")
+    (Cmd.info "study"
+       ~doc:
+         "Run a streaming study with checkpoint/resume: rows are generated \
+          on demand, results land in sharded files as chunks complete, and \
+          a killed run restarts from its manifest with $(b,--resume)")
     Term.(
-      const run $ sample $ seed $ jobs $ retries $ quiet $ what $ csv_out
-      $ csv_in $ artifacts_dir $ deadline_ms $ telemetry_out $ simplify_flag
+      const run $ dir $ total $ seed $ jobs $ retries $ resume $ techniques
+      $ csv_out $ quiet $ deadline_ms $ telemetry_out $ simplify_flag
       $ portfolio_arg)
 
 (* {2 sat / check-proof} *)
@@ -517,8 +743,8 @@ let fuzz_cmd =
       & info [ "target" ] ~docv:"TARGET"
           ~doc:
             "Fuzz a single target ($(b,sat), $(b,solver), $(b,oracle), \
-             $(b,eval), $(b,proof), $(b,simplify) or $(b,parse)); \
-             default: all seven.")
+             $(b,eval), $(b,proof), $(b,simplify), $(b,parse) or \
+             $(b,stream)); default: all eight.")
   in
   let seed =
     Arg.(
@@ -556,7 +782,7 @@ let fuzz_cmd =
     (Cmd.info "fuzz"
        ~doc:
          "Differential fuzzing: cross-check the \
-          SAT/solver/oracle/eval/proof/simplify/parse stack against \
+          SAT/solver/oracle/eval/proof/simplify/parse/stream stack against \
           independent reference oracles")
     Term.(const run $ seed $ iters $ target $ corpus_dir)
 
@@ -874,6 +1100,7 @@ let () =
             repair_cmd;
             domains_cmd;
             evaluate_cmd;
+            study_cmd;
             sat_cmd;
             check_proof_cmd;
             fuzz_cmd;

@@ -19,6 +19,8 @@ let make_variant ~seed (d : Domains.t) index =
     injected = Fault.inject ~seed d ~index;
   }
 
+let variant_at ?(seed = 42) (d : Domains.t) index = make_variant ~seed d index
+
 let cache : (int * string, variant list) Hashtbl.t = Hashtbl.create 32
 
 let variants ?(seed = 42) (d : Domains.t) =

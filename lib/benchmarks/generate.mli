@@ -13,7 +13,15 @@ type variant = {
 }
 
 val variants : ?seed:int -> Domains.t -> variant list
-(** The domain's [count] variants. *)
+(** The domain's [count] variants (memoized per [(seed, domain)]). *)
+
+val variant_at : ?seed:int -> Domains.t -> int -> variant
+(** The [index]-th variant of a domain, derived on demand and never
+    cached: the building block of streaming corpus producers, which must
+    stay O(1)-memory no matter how many variants they touch.  For
+    [index < count] this is bit-identical to the corresponding element of
+    {!variants}; larger indices extend the domain beyond its Table I
+    size (same deterministic derivation, fresh fault streams). *)
 
 val benchmark : ?seed:int -> Domains.benchmark -> variant list
 

@@ -115,6 +115,8 @@ end
 module Eval = struct
   module Technique = Specrepair_eval.Technique
   module Scheduler = Specrepair_eval.Scheduler
+  module Manifest = Specrepair_eval.Manifest
+  module Corpus_stream = Specrepair_eval.Corpus_stream
   module Study = Specrepair_eval.Study
   module Tables = Specrepair_eval.Tables
   module Portfolio = Specrepair_eval.Portfolio

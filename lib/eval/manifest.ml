@@ -1,0 +1,201 @@
+(* The checkpoint manifest: a one-line JSON file recording which row
+   ranges of a streamed run are complete.  Writes are atomic
+   (write-then-rename); reads are strict (anything we would not have
+   written ourselves raises [Corrupt]). *)
+
+type t = {
+  fingerprint : string;
+  total : int;
+  completed : (int * int) list;
+}
+
+exception Corrupt of string
+
+let version = 1
+
+let path ~dir = Filename.concat dir "manifest.json"
+
+let create ~fingerprint ~total = { fingerprint; total; completed = [] }
+
+(* {2 Ranges} *)
+
+let rows_done t =
+  List.fold_left (fun n (lo, hi) -> n + (hi - lo)) 0 t.completed
+
+let is_complete t = rows_done t = t.total
+
+let add t ~lo ~hi =
+  if lo < 0 || hi > t.total || lo >= hi then
+    invalid_arg
+      (Printf.sprintf "Manifest.add: bad range [%d, %d) of %d" lo hi t.total);
+  (* insert sorted; ranges stay 1:1 with the result shards on disk, so
+     no coalescing — [shard_<lo>_<hi>.res] exists iff [(lo, hi)] does *)
+  let rec insert = function
+    | [] -> [ (lo, hi) ]
+    | (a, b) :: rest when hi <= a -> (lo, hi) :: (a, b) :: rest
+    | (a, b) :: rest when b <= lo -> (a, b) :: insert rest
+    | (a, b) :: _ ->
+        invalid_arg
+          (Printf.sprintf "Manifest.add: [%d, %d) overlaps completed [%d, %d)"
+             lo hi a b)
+  in
+  { t with completed = insert t.completed }
+
+let pending t =
+  let rec gaps cursor = function
+    | [] -> if cursor < t.total then [ (cursor, t.total) ] else []
+    | (lo, hi) :: rest ->
+        if cursor < lo then (cursor, lo) :: gaps hi rest else gaps hi rest
+  in
+  gaps 0 t.completed
+
+(* {2 Serialization}
+
+   The JSON is fixed-shape, so the parser is a tiny strict scanner for
+   exactly that shape rather than a general JSON reader: every deviation
+   is [Corrupt], including trailing bytes. *)
+
+let to_json t =
+  Printf.sprintf
+    "{\"specrepair_manifest\":%d,\"fingerprint\":%S,\"total\":%d,\"completed\":[%s]}"
+    version t.fingerprint t.total
+    (String.concat ","
+       (List.map (fun (lo, hi) -> Printf.sprintf "[%d,%d]" lo hi) t.completed))
+
+let save ~dir t =
+  let final = path ~dir in
+  let tmp = final ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (to_json t);
+  output_char oc '\n';
+  close_out oc;
+  Sys.rename tmp final
+
+type cursor = { text : string; mutable pos : int }
+
+let corrupt c fmt =
+  Printf.ksprintf
+    (fun msg -> raise (Corrupt (Printf.sprintf "%s (at byte %d)" msg c.pos)))
+    fmt
+
+let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let expect c s =
+  let n = String.length s in
+  if c.pos + n <= String.length c.text && String.sub c.text c.pos n = s then
+    c.pos <- c.pos + n
+  else corrupt c "expected %S" s
+
+let parse_int c =
+  let start = c.pos in
+  (match peek c with Some '-' -> c.pos <- c.pos + 1 | _ -> ());
+  while match peek c with Some '0' .. '9' -> true | _ -> false do
+    c.pos <- c.pos + 1
+  done;
+  if c.pos = start then corrupt c "expected an integer";
+  match int_of_string_opt (String.sub c.text start (c.pos - start)) with
+  | Some n -> n
+  | None -> corrupt c "integer out of range"
+
+(* Only what [%S] emits: printable ASCII with backslash escapes. *)
+let parse_string c =
+  expect c "\"";
+  let buf = Buffer.create 32 in
+  let rec go () =
+    match peek c with
+    | None -> corrupt c "unterminated string"
+    | Some '"' -> c.pos <- c.pos + 1
+    | Some '\\' -> (
+        c.pos <- c.pos + 1;
+        match peek c with
+        | Some (('\\' | '"') as ch) ->
+            Buffer.add_char buf ch;
+            c.pos <- c.pos + 1;
+            go ()
+        | Some 'n' ->
+            Buffer.add_char buf '\n';
+            c.pos <- c.pos + 1;
+            go ()
+        | Some 't' ->
+            Buffer.add_char buf '\t';
+            c.pos <- c.pos + 1;
+            go ()
+        | _ -> corrupt c "unknown escape")
+    | Some ch ->
+        Buffer.add_char buf ch;
+        c.pos <- c.pos + 1;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let of_json text =
+  let c = { text; pos = 0 } in
+  expect c "{\"specrepair_manifest\":";
+  let v = parse_int c in
+  if v <> version then
+    raise (Corrupt (Printf.sprintf "unknown manifest version %d (want %d)" v version));
+  expect c ",\"fingerprint\":";
+  let fingerprint = parse_string c in
+  expect c ",\"total\":";
+  let total = parse_int c in
+  if total < 0 then corrupt c "negative total";
+  expect c ",\"completed\":[";
+  let ranges = ref [] in
+  (if peek c = Some ']' then c.pos <- c.pos + 1
+   else
+     let rec ranges_loop () =
+       expect c "[";
+       let lo = parse_int c in
+       expect c ",";
+       let hi = parse_int c in
+       expect c "]";
+       ranges := (lo, hi) :: !ranges;
+       match peek c with
+       | Some ',' ->
+           c.pos <- c.pos + 1;
+           ranges_loop ()
+       | _ -> expect c "]"
+     in
+     ranges_loop ());
+  expect c "}";
+  (match peek c with
+  | None -> ()
+  | Some '\n' when c.pos = String.length text - 1 -> ()
+  | Some _ -> corrupt c "trailing bytes after manifest object");
+  let completed = List.rev !ranges in
+  let rec check prev = function
+    | [] -> ()
+    | (lo, hi) :: rest ->
+        if lo < 0 || hi > total || lo >= hi then
+          raise
+            (Corrupt
+               (Printf.sprintf "malformed range [%d, %d) of %d" lo hi total));
+        if lo < prev then
+          raise
+            (Corrupt
+               (Printf.sprintf "ranges unsorted or overlapping at [%d, %d)" lo
+                  hi));
+        check hi rest
+  in
+  check 0 completed;
+  { fingerprint; total; completed }
+
+let load ~dir =
+  let p = path ~dir in
+  let text =
+    match open_in_bin p with
+    | exception Sys_error msg -> raise (Corrupt ("cannot read manifest: " ^ msg))
+    | ic ->
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+  in
+  try of_json text
+  with Corrupt msg -> raise (Corrupt (Printf.sprintf "%s: %s" p msg))
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt msg -> Some ("Manifest.Corrupt: " ^ msg)
+    | _ -> None)

@@ -1,6 +1,6 @@
 (* A dynamic, fault-tolerant work scheduler over forked workers.
 
-   The parent owns a chunked queue of work-item indices.  Chunk sizes are
+   The parent owns a chunked queue of work-item ranges.  Chunk sizes are
    adaptive (a fraction of the remaining work, "guided self-scheduling"),
    so the queue starts coarse and ends fine — slow items stop creating
    stragglers because no worker is pinned to a static slice.
@@ -23,6 +23,17 @@
    (telemetry), and the parent cross-checks received vs expected row
    counts before merging.
 
+   Two merge modes share the scheduling loop:
+
+   - {!map} collects rows into an in-memory array (scratch directory
+     deleted afterwards) — the classic study runner.
+   - {!map_checkpointed} keeps every verified chunk as a result shard
+     `shard_<lo>_<hi>.res` in a caller-owned run directory and records
+     the range in an atomically-replaced checkpoint manifest
+     ({!Manifest}); rows never enter parent memory, so the corpus size
+     is bounded only by disk, and [~resume] restarts a killed run from
+     the manifest's pending complement.
+
    Fault tolerance: the parent polls `waitpid WNOHANG` on every live
    worker and tracks a per-chunk heartbeat.  A dead or silent worker has
    its in-flight chunk requeued (bounded by [max_retries]) and a
@@ -35,7 +46,9 @@ type stats = Telemetry.Scheduler.t
 
 exception Chunk_failed of { indices : int list; attempts : int; reason : string }
 
-type chunk = { id : int; indices : int list; mutable attempts : int }
+type chunk = { id : int; lo : int; hi : int; mutable attempts : int }
+
+let chunk_indices c = List.init (c.hi - c.lo) (fun k -> c.lo + k)
 
 type worker = {
   pid : int;
@@ -51,6 +64,9 @@ type worker = {
 let now () = Unix.gettimeofday ()
 
 let res_path dir id = Filename.concat dir (Printf.sprintf "chunk_%d.res" id)
+
+let shard_path dir ~lo ~hi =
+  Filename.concat dir (Printf.sprintf "shard_%d_%d.res" lo hi)
 
 (* {2 Worker side} *)
 
@@ -75,6 +91,17 @@ let chaos_kill () =
   | Some item, Some mark when mark <> "" ->
       Option.map (fun k -> (k, mark)) (int_of_string_opt item)
   | _ -> None
+
+(* Test-only crash injection for the checkpointed mode: with
+   SPECREPAIR_SCHED_CRASH_AFTER_CHUNKS=<k>, the *parent* SIGKILLs its own
+   process group the moment the k-th chunk of this run has been verified
+   and checkpointed — the deterministic stand-in for the machine (or the
+   operator) killing a long study mid-flight, which [~resume] must then
+   recover from.  Unset in normal operation. *)
+let chaos_crash_after () =
+  Option.bind
+    (Sys.getenv_opt "SPECREPAIR_SCHED_CRASH_AFTER_CHUNKS")
+    int_of_string_opt
 
 let child_main ~dir ~f ~cmd_r ~msg_w =
   let ic = Unix.in_channel_of_descr cmd_r in
@@ -124,6 +151,44 @@ let child_main ~dir ~f ~cmd_r ~msg_w =
   in
   loop ()
 
+(* {2 Result files} *)
+
+(* Parse a chunk/shard file into its rows and telemetry sideband.  [None]
+   on a missing, torn or garbled file — the caller recomputes (merge
+   paths) or fails loudly (resume validation). *)
+let parse_res_file ~max_index path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic -> (
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let rows = ref [] and tlines = ref [] and bad = ref false in
+      List.iter
+        (fun line ->
+          if line = "" then ()
+          else if String.length line > 2 && String.sub line 0 2 = "T " then
+            tlines := String.sub line 2 (String.length line - 2) :: !tlines
+          else if String.length line > 2 && String.sub line 0 2 = "R " then begin
+            let rest = String.sub line 2 (String.length line - 2) in
+            match String.index_opt rest ' ' with
+            | Some sp -> (
+                match int_of_string_opt (String.sub rest 0 sp) with
+                | Some i when i >= 0 && i < max_index ->
+                    rows :=
+                      (i, String.sub rest (sp + 1) (String.length rest - sp - 1))
+                      :: !rows
+                | _ -> bad := true)
+            | None -> bad := true
+          end
+          else bad := true)
+        (String.split_on_char '\n' text);
+      if !bad then None else Some (List.rev !rows, List.rev !tlines))
+
+(* Do [rows] cover exactly [lo, hi), each index once? *)
+let rows_cover ~lo ~hi rows =
+  List.length rows = hi - lo
+  && List.for_all (fun i -> List.mem_assoc i rows) (List.init (hi - lo) (fun k -> lo + k))
+
 (* {2 Parent side} *)
 
 let status_to_string = function
@@ -131,41 +196,49 @@ let status_to_string = function
   | Unix.WSIGNALED n -> Printf.sprintf "killed by signal %d" n
   | Unix.WSTOPPED n -> Printf.sprintf "stopped by signal %d" n
 
-let map ~jobs ?(max_retries = 2) ?(heartbeat_timeout_ms = 300_000.)
-    ?(progress = fun _ -> ()) ?(emit = fun _ -> ()) ~f n =
+(* The shared scheduling loop.  [pending] is the sorted list of row
+   ranges still to compute out of [0, total); [on_verified] consumes each
+   cross-checked chunk result file (its path still present) and either
+   keeps it (checkpoint mode renames it to a shard) or folds it into
+   memory; [keep_dir] controls scratch cleanup. *)
+let run_core ~jobs ~max_retries ~heartbeat_timeout_ms ~progress ~emit ~dir
+    ~keep_dir ~pending ~total ~on_verified ~f () =
   let stats = Telemetry.Scheduler.create () in
-  if n = 0 then ([||], stats)
+  let todo = List.fold_left (fun n (lo, hi) -> n + (hi - lo)) 0 pending in
+  if todo = 0 then stats
   else begin
-    let jobs = max 1 (min jobs n) in
-    let dir = Filename.temp_dir "specrepair_sched_" "" in
-    let results : string option array = Array.make n None in
-    let merged = ref 0 in
-    (* the work queue: a cursor into [0, n) plus requeued chunks *)
-    let cursor = ref 0 in
+    let jobs = max 1 (min jobs todo) in
+    let started = now () in
+    (* the work queue: a list of pending ranges plus requeued chunks *)
+    let ranges = ref pending in
+    let remaining = ref todo in
     let next_id = ref 0 in
     let requeued : chunk Queue.t = Queue.create () in
-    let pending_work () = (not (Queue.is_empty requeued)) || !cursor < n in
+    let pending_work () = (not (Queue.is_empty requeued)) || !ranges <> [] in
     let next_chunk () =
       if not (Queue.is_empty requeued) then Some (Queue.pop requeued)
-      else if !cursor >= n then None
-      else begin
-        let remaining = n - !cursor in
-        (* guided self-scheduling: a fraction of the remaining work, capped
-           so a CHUNK message stays a short pipe write and a lost worker
-           forfeits a bounded amount of recompute *)
-        let size = min remaining (min 512 (max 1 (remaining / (jobs * 2)))) in
-        let indices = List.init size (fun k -> !cursor + k) in
-        cursor := !cursor + size;
-        let id = !next_id in
-        incr next_id;
-        Some { id; indices; attempts = 0 }
-      end
+      else
+        match !ranges with
+        | [] -> None
+        | (lo, hi) :: rest ->
+            (* guided self-scheduling: a fraction of the remaining work,
+               capped so a CHUNK message stays a short pipe write and a
+               lost worker forfeits a bounded amount of recompute *)
+            let size =
+              min (hi - lo) (min 512 (max 1 (!remaining / (jobs * 2))))
+            in
+            ranges := if lo + size < hi then (lo + size, hi) :: rest else rest;
+            remaining := !remaining - size;
+            let id = !next_id in
+            incr next_id;
+            Some { id; lo; hi = lo + size; attempts = 0 }
     in
     let requeue_chunk ~reason (c : chunk) =
       c.attempts <- c.attempts + 1;
       stats.retries <- stats.retries + 1;
       if c.attempts > max_retries then
-        raise (Chunk_failed { indices = c.indices; attempts = c.attempts; reason })
+        raise
+          (Chunk_failed { indices = chunk_indices c; attempts = c.attempts; reason })
       else begin
         progress
           (Printf.sprintf "requeueing chunk %d, attempt %d/%d (%s)" c.id
@@ -227,7 +300,7 @@ let map ~jobs ?(max_retries = 2) ?(heartbeat_timeout_ms = 300_000.)
           ignore
             (send_to w
                (Printf.sprintf "CHUNK %d %s" c.id
-                  (String.concat " " (List.map string_of_int c.indices))))
+                  (String.concat " " (List.map string_of_int (chunk_indices c)))))
       | None ->
           w.quitting <- true;
           ignore (send_to w "QUIT")
@@ -250,57 +323,34 @@ let map ~jobs ?(max_retries = 2) ?(heartbeat_timeout_ms = 300_000.)
       try ignore (Unix.waitpid [] pid)
       with Unix.Unix_error (ECHILD, _, _) -> ()
     in
+    let merged = ref 0 in
     let merge_chunk w (c : chunk) ~reported =
       let path = res_path dir c.id in
-      let parsed =
-        match open_in_bin path with
-        | exception Sys_error _ -> None
-        | ic -> (
-            let text = really_input_string ic (in_channel_length ic) in
-            close_in ic;
-            let rows = ref [] and tlines = ref [] and bad = ref false in
-            List.iter
-              (fun line ->
-                if line = "" then ()
-                else if String.length line > 2 && String.sub line 0 2 = "T " then
-                  tlines := String.sub line 2 (String.length line - 2) :: !tlines
-                else if String.length line > 2 && String.sub line 0 2 = "R " then begin
-                  let rest = String.sub line 2 (String.length line - 2) in
-                  match String.index_opt rest ' ' with
-                  | Some sp -> (
-                      match int_of_string_opt (String.sub rest 0 sp) with
-                      | Some i when i >= 0 && i < n ->
-                          rows :=
-                            (i, String.sub rest (sp + 1) (String.length rest - sp - 1))
-                            :: !rows
-                      | _ -> bad := true)
-                  | None -> bad := true
-                end
-                else bad := true)
-              (String.split_on_char '\n' text);
-            if !bad then None else Some (List.rev !rows, List.rev !tlines))
-      in
-      (try Sys.remove path with Sys_error _ -> ());
+      let parsed = parse_res_file ~max_index:total path in
       match parsed with
       | Some (rows, tlines)
-        when List.length rows = List.length c.indices
-             && reported = List.length rows
-             && List.for_all (fun i -> List.mem_assoc i rows) c.indices ->
-          List.iter (fun (i, r) -> results.(i) <- Some r) rows;
+        when reported = List.length rows && rows_cover ~lo:c.lo ~hi:c.hi rows ->
+          on_verified c ~path ~rows ~tlines;
           List.iter emit tlines;
           merged := !merged + List.length rows;
           stats.chunks_completed <- stats.chunks_completed + 1;
           stats.rows_completed <- stats.rows_completed + List.length rows;
+          let elapsed = now () -. started in
+          let rate = float_of_int !merged /. max 1e-9 elapsed in
+          let eta = float_of_int (todo - !merged) /. max 1e-9 rate in
           progress
-            (Printf.sprintf "%d/%d rows done (chunk %d, %d rows, worker %d)"
-               !merged n c.id (List.length rows) w.pid)
+            (Printf.sprintf
+               "%d/%d rows done (chunk %d, %d rows, worker %d; %.1f rows/s, \
+                ETA %.0fs)"
+               !merged todo c.id (List.length rows) w.pid rate eta)
       | _ ->
           (* expected vs received cross-check failed: the file is missing,
              torn, or short a row — recompute the chunk *)
+          (try Sys.remove path with Sys_error _ -> ());
           requeue_chunk
             ~reason:
               (Printf.sprintf "chunk %d: result rows do not match the %d expected"
-                 c.id (List.length c.indices))
+                 c.id (c.hi - c.lo))
             c
     in
     let handle_line w line =
@@ -320,7 +370,7 @@ let map ~jobs ?(max_retries = 2) ?(heartbeat_timeout_ms = 300_000.)
           let indices, attempts =
             match w.inflight with
             | Some c when int_of_string_opt id = Some c.id ->
-                (c.indices, c.attempts + 1)
+                (chunk_indices c, c.attempts + 1)
             | _ -> ([], 1)
           in
           raise
@@ -356,12 +406,13 @@ let map ~jobs ?(max_retries = 2) ?(heartbeat_timeout_ms = 300_000.)
           (try Unix.close w.msg_r with Unix.Unix_error _ -> ()))
         (live_workers ());
       Hashtbl.reset workers;
-      (try
-         Array.iter
-           (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
-           (Sys.readdir dir);
-         Unix.rmdir dir
-       with Sys_error _ | Unix.Unix_error _ -> ())
+      if not keep_dir then (
+        try
+          Array.iter
+            (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+            (Sys.readdir dir);
+          Unix.rmdir dir
+        with Sys_error _ | Unix.Unix_error _ -> ())
     in
     (* the parent writes into worker pipes that may vanish under it: turn
        SIGPIPE into EPIPE for the duration of the run *)
@@ -379,7 +430,7 @@ let map ~jobs ?(max_retries = 2) ?(heartbeat_timeout_ms = 300_000.)
         restore_sigpipe ();
         cleanup ())
       (fun () ->
-        while !merged < n do
+        while !merged < todo do
           (* keep the pool at strength while there is queued work; [assign]
              immediately hands each fresh worker a chunk *)
           while
@@ -441,21 +492,149 @@ let map ~jobs ?(max_retries = 2) ?(heartbeat_timeout_ms = 300_000.)
             (try Unix.close w.msg_r with Unix.Unix_error _ -> ()))
           (live_workers ());
         Hashtbl.reset workers;
-        ( Array.mapi
-            (fun i r ->
-              match r with
-              | Some line -> line
-              | None ->
-                  raise
-                    (Chunk_failed
-                       {
-                         indices = [ i ];
-                         attempts = 0;
-                         reason = "internal: row never merged";
-                       }))
-            results,
-          stats ))
+        stats)
   end
+
+let map ~jobs ?(max_retries = 2) ?(heartbeat_timeout_ms = 300_000.)
+    ?(progress = fun _ -> ()) ?(emit = fun _ -> ()) ~f n =
+  if n = 0 then ([||], Telemetry.Scheduler.create ())
+  else begin
+    let dir = Filename.temp_dir "specrepair_sched_" "" in
+    let results : string option array = Array.make n None in
+    let on_verified _c ~path ~rows ~tlines:_ =
+      List.iter (fun (i, r) -> results.(i) <- Some r) rows;
+      try Sys.remove path with Sys_error _ -> ()
+    in
+    let stats =
+      run_core ~jobs ~max_retries ~heartbeat_timeout_ms ~progress ~emit ~dir
+        ~keep_dir:false
+        ~pending:[ (0, n) ]
+        ~total:n ~on_verified ~f ()
+    in
+    ( Array.mapi
+        (fun i r ->
+          match r with
+          | Some line -> line
+          | None ->
+              raise
+                (Chunk_failed
+                   {
+                     indices = [ i ];
+                     attempts = 0;
+                     reason = "internal: row never merged";
+                   }))
+        results,
+      stats )
+  end
+
+(* {2 Checkpointed streaming mode} *)
+
+(* Verify that the shard backing a completed range still parses and
+   covers exactly its rows; anything less means the checkpoint lies. *)
+let verify_shard ~dir ~total (lo, hi) =
+  let path = shard_path dir ~lo ~hi in
+  match parse_res_file ~max_index:total path with
+  | None ->
+      raise
+        (Manifest.Corrupt
+           (Printf.sprintf
+              "manifest records [%d, %d) complete but %s is missing or torn" lo
+              hi path))
+  | Some (rows, _) ->
+      if not (rows_cover ~lo ~hi rows) then
+        raise
+          (Manifest.Corrupt
+             (Printf.sprintf "%s does not cover its recorded range [%d, %d)"
+                path lo hi))
+
+(* Leftover chunk files (a crash between a worker's rename and the
+   parent's checkpoint) are recomputed, never trusted. *)
+let sweep_stray_chunks dir =
+  Array.iter
+    (fun f ->
+      if String.length f >= 6 && String.sub f 0 6 = "chunk_" then
+        try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir)
+
+let map_checkpointed ~jobs ?(max_retries = 2) ?(heartbeat_timeout_ms = 300_000.)
+    ?(progress = fun _ -> ()) ?(emit = fun _ -> ()) ?(resume = false) ~dir
+    ~fingerprint ~f n =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let manifest =
+    if resume then begin
+      let m = Manifest.load ~dir in
+      if m.Manifest.fingerprint <> fingerprint then
+        raise
+          (Manifest.Corrupt
+             (Printf.sprintf
+                "run parameters changed: manifest fingerprint %S, expected %S"
+                m.Manifest.fingerprint fingerprint));
+      if m.Manifest.total <> n then
+        raise
+          (Manifest.Corrupt
+             (Printf.sprintf "manifest total %d, expected %d" m.Manifest.total n));
+      List.iter (verify_shard ~dir ~total:n) m.Manifest.completed;
+      progress
+        (Printf.sprintf "resuming: %d/%d rows already checkpointed"
+           (Manifest.rows_done m) n);
+      ref m
+    end
+    else begin
+      (match Manifest.load ~dir with
+      | exception Manifest.Corrupt _ -> ()
+      | m when Manifest.rows_done m > 0 ->
+          failwith
+            (Printf.sprintf
+               "Scheduler.map_checkpointed: %s already holds a checkpoint with \
+                %d completed rows; pass ~resume:true to continue it or use a \
+                fresh directory"
+               dir (Manifest.rows_done m))
+      | _ -> ());
+      let m = Manifest.create ~fingerprint ~total:n in
+      Manifest.save ~dir m;
+      ref m
+    end
+  in
+  sweep_stray_chunks dir;
+  let crash_after = chaos_crash_after () in
+  let completed_this_run = ref 0 in
+  let on_verified (c : chunk) ~path ~rows:_ ~tlines:_ =
+    (* shard first, checkpoint second: the manifest only ever vouches for
+       a shard that is already in place *)
+    Sys.rename path (shard_path dir ~lo:c.lo ~hi:c.hi);
+    manifest := Manifest.add !manifest ~lo:c.lo ~hi:c.hi;
+    Manifest.save ~dir !manifest;
+    incr completed_this_run;
+    match crash_after with
+    | Some k when !completed_this_run >= k ->
+        Unix.kill (Unix.getpid ()) Sys.sigkill
+    | _ -> ()
+  in
+  let pending = Manifest.pending !manifest in
+  let stats =
+    run_core ~jobs ~max_retries ~heartbeat_timeout_ms ~progress ~emit ~dir
+      ~keep_dir:true ~pending ~total:n ~on_verified ~f ()
+  in
+  stats
+
+let fold_shards ~dir f acc =
+  let m = Manifest.load ~dir in
+  if not (Manifest.is_complete m) then
+    failwith
+      (Printf.sprintf
+         "Scheduler.fold_shards: run in %s is incomplete (%d/%d rows); resume \
+          it first"
+         dir (Manifest.rows_done m) m.Manifest.total);
+  List.fold_left
+    (fun acc (lo, hi) ->
+      verify_shard ~dir ~total:m.Manifest.total (lo, hi);
+      match parse_res_file ~max_index:m.Manifest.total (shard_path dir ~lo ~hi) with
+      | None -> assert false (* verify_shard just accepted it *)
+      | Some (rows, _) ->
+          (* one shard (≤ 512 rows) in memory at a time *)
+          let in_order = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+          List.fold_left (fun acc (i, r) -> f acc i r) acc in_order)
+    acc m.Manifest.completed
 
 let () =
   Printexc.register_printer (function

@@ -41,3 +41,37 @@ val map :
     without finishing an item before the parent presumes it hung and
     kills it.  [jobs] is clamped to [n]; [jobs <= 1] still forks (use the
     caller's sequential path to avoid forking entirely). *)
+
+val map_checkpointed :
+  jobs:int ->
+  ?max_retries:int ->
+  ?heartbeat_timeout_ms:float ->
+  ?progress:(string -> unit) ->
+  ?emit:(string -> unit) ->
+  ?resume:bool ->
+  dir:string ->
+  fingerprint:string ->
+  f:(emit:(string -> unit) -> int -> string) ->
+  int ->
+  stats
+(** The streaming twin of {!map}: same worker pool, chunk protocol and
+    fault tolerance, but results never enter parent memory.  Each
+    verified chunk is kept as a result shard [shard_<lo>_<hi>.res] in
+    [dir] and its range recorded in the atomically-replaced checkpoint
+    manifest [dir/manifest.json] ({!Manifest}) — shard rename first,
+    manifest second, so the manifest only ever vouches for shards that
+    exist.  Parent memory is O(jobs + pending ranges) whatever [n].
+
+    With [~resume:true] the manifest is loaded, validated against
+    [fingerprint] and [n], every recorded shard re-checked, and only the
+    pending complement computed; a truncated or tampered checkpoint
+    raises {!Manifest.Corrupt} (never a silent re-run or skip).  Without
+    [~resume], a directory already holding a non-empty checkpoint is
+    refused.  Progress lines carry this run's rows/s and an ETA.  Read
+    the rows back with {!fold_shards}. *)
+
+val fold_shards : dir:string -> ('a -> int -> string -> 'a) -> 'a -> 'a
+(** [fold_shards ~dir f acc] streams every result row of a {e complete}
+    checkpointed run to [f] in global row order, one shard in memory at
+    a time (the lazy merge).  Fails if the run is incomplete; raises
+    {!Manifest.Corrupt} if the checkpoint cannot be trusted. *)

@@ -296,6 +296,110 @@ let run_parallel ?(seed = 42) ?(budget = Repair.Common.default_budget)
     Array.to_list (Array.map row_of_line lines)
   end
 
+(* {2 Streaming runner}
+
+   The million-variant mode: the corpus is a {!Corpus_stream} index range
+   (variants derived on demand in the workers, never materialized) and the
+   results live as checkpointed shards in a run directory
+   ({!Scheduler.map_checkpointed}), so both sides of the study are
+   O(chunk) memory whatever the total.  A killed run resumes from the
+   manifest's pending complement. *)
+
+let stream_fingerprint ?(seed = 42) ?(simplify = false) ?(portfolio = 1)
+    ~source ~techniques ~total () =
+  Corpus_stream.fingerprint ~source ~seed ~total:(total * List.length techniques)
+    ~options:
+      [
+        "variants=" ^ string_of_int total;
+        "techniques=" ^ String.concat "+" (List.map Technique.name techniques);
+        Printf.sprintf "simplify=%b" simplify;
+        Printf.sprintf "portfolio=%d" portfolio;
+      ]
+
+let run_stream ?(seed = 42) ?(budget = Repair.Common.default_budget)
+    ?deadline_ms ?telemetry ?simplify ?portfolio ?(techniques = Technique.all)
+    ?(jobs = 1) ?(max_retries = 2) ?heartbeat_timeout_ms ?on_stats
+    ?(progress = fun _ -> ()) ?(source = Corpus_stream.Injected)
+    ?(resume = false) ~dir ~total () =
+  if techniques = [] then invalid_arg "Study.run_stream: no techniques";
+  if total <= 0 then invalid_arg "Study.run_stream: total must be positive";
+  let ntech = List.length techniques in
+  let tech = Array.of_list techniques in
+  let nrows = total * ntech in
+  let fingerprint =
+    stream_fingerprint ~seed ?simplify ?portfolio ~source ~techniques ~total ()
+  in
+  let want_telemetry = Option.is_some telemetry in
+  (* worker-local memo: work items are variant-major, so a chunk asks for
+     each variant's [ntech] rows consecutively — derive it once, not once
+     per technique.  Lives in the worker process (f runs post-fork). *)
+  let last = ref None in
+  let f ~emit i =
+    let vi = i / ntech and ti = i mod ntech in
+    let v =
+      match !last with
+      | Some (j, v) when j = vi -> v
+      | _ ->
+          let v = Corpus_stream.variant ~source ~seed vi in
+          last := Some (vi, v);
+          v
+    in
+    let telemetry = if want_telemetry then Some emit else None in
+    row_to_line
+      (run_one ~seed ~budget ?deadline_ms ?telemetry ?simplify ?portfolio
+         tech.(ti) v)
+  in
+  let stats =
+    Scheduler.map_checkpointed ~jobs ~max_retries ?heartbeat_timeout_ms
+      ~progress ?emit:telemetry ~resume ~dir ~fingerprint ~f nrows
+  in
+  Option.iter
+    (fun sink ->
+      sink
+        ("{\"scheduler\":"
+        ^ Specrepair_engine.Telemetry.Scheduler.to_json ~jobs stats
+        ^ "}"))
+    telemetry;
+  Option.iter (fun g -> g stats) on_stats;
+  progress
+    (Printf.sprintf
+       "%d rows this run (%d total) from %d worker(s): %d chunks, %d retries, \
+        %d workers lost"
+       stats.rows_completed nrows jobs stats.chunks_completed stats.retries
+       stats.workers_lost);
+  stats
+
+(* The lazy merge: stream the shards of a complete run into [oc] in
+   global row order, one shard in memory at a time.  [~timings:false]
+   re-normalizes each row through the CSV codec to zero [time_ms], the
+   same byte-stability contract as {!to_csv}.
+
+   Every row is re-parsed on the way through — the scheduler's shard
+   verification checks the framing (indices, coverage), but only this
+   layer knows the payload is a study row, and a shard truncated inside
+   a payload would otherwise slip into the merged CSV.  An unparsable
+   row means a shard changed after it was checkpointed: that is a
+   corrupt checkpoint, reported as such. *)
+let write_stream_csv ?(timings = true) ~dir oc =
+  output_string oc header;
+  output_char oc '\n';
+  Scheduler.fold_shards ~dir
+    (fun count i line ->
+      let row =
+        try row_of_line line
+        with Failure msg ->
+          raise
+            (Manifest.Corrupt
+               (Printf.sprintf
+                  "%s: merged row %d does not parse (%s) — a shard was \
+                   modified after checkpointing"
+                  dir i msg))
+      in
+      output_string oc (if timings then line else row_to_line ~timings row);
+      output_char oc '\n';
+      count + 1)
+    0
+
 (* The pre-scheduler runner: a static round-robin partition over forked
    workers, one slice each, no fault tolerance (any worker failure aborts
    the whole run).  Kept as the baseline that [bench/main.ml] compares the
@@ -324,30 +428,39 @@ let run_parallel_static ?(seed = 42) ?(budget = Repair.Common.default_budget)
           let tpath = path ^ ".telemetry" in
           match Unix.fork () with
           | 0 ->
-              (* worker *)
-              let tchan = if want_telemetry then Some (open_out tpath) else None in
-              let telemetry =
-                Option.map
-                  (fun oc line ->
-                    output_string oc line;
-                    output_char oc '\n')
-                  tchan
-              in
-              let rows =
-                run ~seed ~budget ?deadline_ms ?telemetry ~techniques (slice w)
-              in
-              Option.iter close_out tchan;
-              let oc = open_out path in
-              output_string oc (to_csv rows);
-              close_out oc;
+              (* worker; an exception must exit this process, never escape
+                 into the parent's continuation of a forked child *)
+              (try
+                 let tchan =
+                   if want_telemetry then Some (open_out tpath) else None
+                 in
+                 let telemetry =
+                   Option.map
+                     (fun oc line ->
+                       output_string oc line;
+                       output_char oc '\n')
+                     tchan
+                 in
+                 let rows =
+                   run ~seed ~budget ?deadline_ms ?telemetry ~techniques
+                     (slice w)
+                 in
+                 Option.iter close_out tchan;
+                 let oc = open_out path in
+                 output_string oc (to_csv rows);
+                 close_out oc
+               with e ->
+                 Printf.eprintf "static worker %d/%d: %s\n%!" w jobs
+                   (Printexc.to_string e);
+                 Unix._exit 3);
               Stdlib.exit 0
-          | pid -> (pid, path, tpath))
+          | pid -> (w, pid, path, tpath))
     in
     (* On any failure: reap every remaining child (no zombies outlive the
        call) and remove every temp file before re-raising. *)
     let reap_all () =
       List.iter
-        (fun (pid, _, _) ->
+        (fun (_, pid, _, _) ->
           match Unix.waitpid [] pid with
           | _ -> ()
           | exception Unix.Unix_error (_, _, _) -> () (* already reaped *))
@@ -355,7 +468,7 @@ let run_parallel_static ?(seed = 42) ?(budget = Repair.Common.default_budget)
     in
     let remove_temp_files () =
       List.iter
-        (fun (_, path, tpath) ->
+        (fun (_, _, path, tpath) ->
           List.iter
             (fun p ->
               if Sys.file_exists p then
@@ -367,11 +480,30 @@ let run_parallel_static ?(seed = 42) ?(budget = Repair.Common.default_budget)
     let results =
       try
         List.concat_map
-          (fun (pid, path, tpath) ->
+          (fun (w, pid, path, tpath) ->
             let _, status = Unix.waitpid [] pid in
+            (* name the casualty like the dynamic scheduler's Chunk_failed
+               does: which slice, which pid, how it died *)
             (match status with
             | Unix.WEXITED 0 -> ()
-            | _ -> failwith "Study.run_parallel_static: worker failed");
+            | Unix.WEXITED code ->
+                failwith
+                  (Printf.sprintf
+                     "Study.run_parallel_static: worker %d/%d (pid %d, slice \
+                      %d mod %d) exited %d"
+                     (w + 1) jobs pid w jobs code)
+            | Unix.WSIGNALED sg ->
+                failwith
+                  (Printf.sprintf
+                     "Study.run_parallel_static: worker %d/%d (pid %d, slice \
+                      %d mod %d) killed by signal %d"
+                     (w + 1) jobs pid w jobs sg)
+            | Unix.WSTOPPED sg ->
+                failwith
+                  (Printf.sprintf
+                     "Study.run_parallel_static: worker %d/%d (pid %d, slice \
+                      %d mod %d) stopped by signal %d"
+                     (w + 1) jobs pid w jobs sg));
             let ic = open_in_bin path in
             let text = really_input_string ic (in_channel_length ic) in
             close_in ic;

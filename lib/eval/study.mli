@@ -78,6 +78,57 @@ val run_parallel :
     [{"scheduler":…}] summary line; [?on_stats] receives the scheduler's
     counters after the merge. *)
 
+val run_stream :
+  ?seed:int ->
+  ?budget:Specrepair_repair.Common.budget ->
+  ?deadline_ms:float ->
+  ?telemetry:(string -> unit) ->
+  ?simplify:bool ->
+  ?portfolio:int ->
+  ?techniques:Technique.t list ->
+  ?jobs:int ->
+  ?max_retries:int ->
+  ?heartbeat_timeout_ms:float ->
+  ?on_stats:(Scheduler.stats -> unit) ->
+  ?progress:(string -> unit) ->
+  ?source:Corpus_stream.source ->
+  ?resume:bool ->
+  dir:string ->
+  total:int ->
+  unit ->
+  Scheduler.stats
+(** The streaming study: [total] corpus variants ({!Corpus_stream},
+    derived on demand in the workers — indices past the natural corpus
+    wrap into fresh epochs) times the technique list, checkpointed into
+    [dir] through {!Scheduler.map_checkpointed}.  Memory is O(chunk)
+    regardless of [total]; a crashed or [kill -9]ed run restarts with
+    [~resume:true] and recomputes only the manifest's pending complement.
+    The checkpoint fingerprint covers source, seed, total, techniques and
+    solving options, so a resume under different parameters is rejected
+    ({!Manifest.Corrupt}).  Progress lines carry rows/s and an ETA; rows
+    stream back with {!write_stream_csv}. *)
+
+val write_stream_csv : ?timings:bool -> dir:string -> out_channel -> int
+(** Lazily merge a {e complete} streamed run into one CSV (header plus
+    rows in corpus order, one shard in memory at a time); returns the row
+    count.  The output is byte-identical to {!to_csv} of the equivalent
+    in-memory run modulo the wall-clock [time_ms] column —
+    [~timings:false] zeroes it on both sides, making the equality exact.
+    Fails loudly on an incomplete run; raises {!Manifest.Corrupt} on an
+    untrustworthy checkpoint. *)
+
+val stream_fingerprint :
+  ?seed:int ->
+  ?simplify:bool ->
+  ?portfolio:int ->
+  source:Corpus_stream.source ->
+  techniques:Technique.t list ->
+  total:int ->
+  unit ->
+  string
+(** The run-parameter fingerprint {!run_stream} stores in the manifest;
+    exposed so operators can pre-check a directory's compatibility. *)
+
 val run_parallel_static :
   ?seed:int ->
   ?budget:Specrepair_repair.Common.budget ->

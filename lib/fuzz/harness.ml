@@ -15,6 +15,7 @@ type target =
   | Proof_target
   | Simplify_target
   | Parse_target
+  | Stream_target
 
 let all_targets =
   [
@@ -25,6 +26,7 @@ let all_targets =
     Proof_target;
     Simplify_target;
     Parse_target;
+    Stream_target;
   ]
 
 let target_name = function
@@ -35,6 +37,7 @@ let target_name = function
   | Proof_target -> "proof"
   | Simplify_target -> "simplify"
   | Parse_target -> "parse"
+  | Stream_target -> "stream"
 
 type report = {
   target : string;
@@ -548,6 +551,72 @@ let spec_with_goal env (scope : Bounds.scope) goal =
       ];
   }
 
+(* {2 Stream target} *)
+
+module Corpus_stream = Specrepair_eval.Corpus_stream
+
+(* The streaming corpus producer's contract: the rows of a seed range are
+   a pure function of (source, seed, index), so any split of the range
+   into sub-ranges must reproduce exactly the unsplit rows — this is what
+   makes checkpoint/resume sound (a resumed run's chunk boundaries never
+   match the crashed run's). *)
+type stream_case = {
+  w_source : Corpus_stream.source;
+  w_seed : int;
+  w_lo : int;
+  w_hi : int;
+  w_splits : int list;  (** interior cut points, strictly inside (lo, hi) *)
+}
+
+let gen_stream_case rng =
+  (* mostly the generator-priced fuzzed source; one in eight exercises
+     the real injected corpus (epoch wrap included) on a tiny range *)
+  let w_source, w_lo, len =
+    if Rng.int rng 8 = 0 then
+      let natural = Corpus_stream.natural_total () in
+      (* a range that may straddle the epoch boundary *)
+      (Corpus_stream.Injected, Rng.int rng (natural + 2), Rng.range rng 1 3)
+    else (Stream_source.fuzzed, Rng.int rng 10_000, Rng.range rng 4 24)
+  in
+  let w_hi = w_lo + len in
+  let splits =
+    if len < 2 then []
+    else
+      List.sort_uniq compare
+        (List.init (Rng.int rng 4) (fun _ -> Rng.range rng (w_lo + 1) (w_hi - 1)))
+  in
+  { w_source; w_seed = Rng.int rng 1_000_000; w_lo; w_hi; w_splits = splits }
+
+(* A row's identity: index, variant id, and a digest of the faulty spec
+   (the payload a study would evaluate). *)
+let stream_rows ~source ~seed lo hi =
+  List.init (hi - lo) (fun k ->
+      let i = lo + k in
+      let v = Corpus_stream.variant ~source ~seed i in
+      Printf.sprintf "%d|%s|%s" i v.Specrepair_benchmarks.Generate.id
+        (Digest.to_hex
+           (Digest.string
+              (Alloy.Pretty.spec_to_string
+                 v.Specrepair_benchmarks.Generate.injected
+                   .Specrepair_benchmarks.Fault.faulty))))
+
+let check_stream_case c =
+  let whole = stream_rows ~source:c.w_source ~seed:c.w_seed c.w_lo c.w_hi in
+  let bounds = (c.w_lo :: c.w_splits) @ [ c.w_hi ] in
+  let rec segments = function
+    | a :: (b :: _ as rest) ->
+        stream_rows ~source:c.w_source ~seed:c.w_seed a b @ segments rest
+    | _ -> []
+  in
+  let parts = segments bounds in
+  if parts <> whole then
+    Error
+      (Printf.sprintf "split at [%s] yields different rows than the unsplit range"
+         (String.concat ";" (List.map string_of_int c.w_splits)))
+  else if stream_rows ~source:c.w_source ~seed:c.w_seed c.w_lo c.w_hi <> whole
+  then Error "the same range streamed twice differs (nondeterministic producer)"
+  else Ok ()
+
 (* Every check is wrapped: an exception is itself a discrepancy (the two
    sides are total on well-typed inputs). *)
 let guard f =
@@ -704,6 +773,26 @@ let run ?(corpus_dir = "artifacts/fuzz") target ~seed ~iters () =
                   Shrink.run Shrink.spec_candidates still_fails case.r_spec
                 in
                 Corpus.save_spec ~dir:corpus_dir ~name ~seed shrunk))
+    | Stream_target -> (
+        let case = gen_stream_case rng in
+        match
+          guard (fun () ->
+              match check_stream_case case with Ok () -> `Ok | Error m -> `Fail m)
+        with
+        | `Skip -> incr skipped
+        | `Ok -> incr checks
+        | `Fail _ ->
+            incr checks;
+            fail_and_persist (fun () ->
+                (* range splits have no shrink lattice; persist the first
+                   row's faulty spec so the producer bug is replayable *)
+                let v =
+                  Corpus_stream.variant ~source:case.w_source ~seed:case.w_seed
+                    case.w_lo
+                in
+                Corpus.save_spec ~dir:corpus_dir ~name ~seed
+                  v.Specrepair_benchmarks.Generate.injected
+                    .Specrepair_benchmarks.Fault.faulty))
     | Simplify_target -> (
         let case = gen_simplify_case rng in
         match guard (fun () -> check_simplify_case case) with

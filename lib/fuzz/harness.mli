@@ -1,7 +1,7 @@
 (** The differential fuzzing campaigns: generate, cross-check, shrink,
     persist.
 
-    Seven targets, each pitting a production component against an
+    Eight targets, each pitting a production component against an
     independent reference:
 
     - [Sat_target] — the CDCL solver vs. the DPLL reference
@@ -43,6 +43,15 @@
       reject it with a diagnostic positioned exactly at the corruption —
       the one chaos hook under which a correct implementation makes the
       campaign {e pass}, because rejection is the desired behaviour.
+    - [Stream_target] — the streaming corpus producer
+      ({!Specrepair_eval.Corpus_stream}): a seed range cut at random
+      interior points must yield, segment by segment, exactly the rows of
+      the unsplit range (the invariant checkpoint/resume relies on, since
+      a resumed run's chunk boundaries never match the crashed run's),
+      and streaming the same range twice must be bit-identical.  Mostly
+      the fuzz-generated source ({!Stream_source}); one case in eight
+      hits the real injected benchmark corpus, including ranges that
+      straddle the epoch boundary.
 
     Every iteration derives its own {!Rng} stream from (seed, target,
     iteration index), so campaigns are bit-reproducible and every failure
@@ -57,12 +66,13 @@ type target =
   | Proof_target
   | Simplify_target
   | Parse_target
+  | Stream_target
 
 val all_targets : target list
 
 val target_name : target -> string
 (** CLI spelling: ["sat"], ["solver"], ["oracle"], ["eval"], ["proof"],
-    ["simplify"], ["parse"]. *)
+    ["simplify"], ["parse"], ["stream"]. *)
 
 type report = {
   target : string;

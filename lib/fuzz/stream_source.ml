@@ -1,0 +1,84 @@
+module Alloy = Specrepair_alloy
+module Mutate = Specrepair_mutation.Mutate
+module Benchmarks = Specrepair_benchmarks
+module Domains = Benchmarks.Domains
+module Corpus_stream = Specrepair_eval.Corpus_stream
+
+let max_attempts = 20
+
+(* Pick the first mutation, scanning from a seeded start, whose result
+   differs from the ground truth and still type-checks on its own (the
+   contract every consumer of [injected.faulty] relies on). *)
+let pick_mutation rng env gt =
+  let muts = Mutate.all_mutations env gt () in
+  let n = List.length muts in
+  if n = 0 then None
+  else begin
+    let arr = Array.of_list muts in
+    let start = Rng.int rng n in
+    let rec scan k =
+      if k >= n then None
+      else
+        let m = arr.((start + k) mod n) in
+        match Mutate.apply gt m with
+        | exception (Not_found | Invalid_argument _) -> scan (k + 1)
+        | faulty ->
+            if faulty = gt then scan (k + 1)
+            else (
+              match Alloy.Typecheck.check_result faulty with
+              | Ok _ -> Some (m, faulty)
+              | Error _ -> scan (k + 1))
+    in
+    scan 0
+  end
+
+let variant ~seed i =
+  if i < 0 then invalid_arg "Stream_source.variant: negative index";
+  let rec attempt a =
+    if a >= max_attempts then
+      failwith
+        (Printf.sprintf
+           "Stream_source: no mutable spec for index %d after %d attempts \
+            (seed %d)"
+           i max_attempts seed)
+    else
+      let rng =
+        Rng.of_context ~seed
+          [ "stream-fuzzed"; string_of_int i; string_of_int a ]
+      in
+      let env = Gen.spec ~with_commands:true rng in
+      let gt = env.Alloy.Typecheck.spec in
+      match pick_mutation rng env gt with
+      | None -> attempt (a + 1)
+      | Some (m, faulty) ->
+          let id = Printf.sprintf "fuzzed_%06d" i in
+          let domain : Domains.t =
+            {
+              name = id;
+              benchmark = Domains.A4F;
+              source = Alloy.Pretty.source gt;
+              count = 1;
+              fault_mix = [];
+              familiarity = 1.0;
+            }
+          in
+          {
+            Benchmarks.Generate.id;
+            domain;
+            ground_truth = gt;
+            injected =
+              {
+                Benchmarks.Fault.faulty;
+                mutations = [ m ];
+                sites = [ m.Mutate.site ];
+                revert_classes = [ m.Mutate.op ];
+                description =
+                  Printf.sprintf "revert the %s mutation in %s" m.Mutate.op
+                    (Specrepair_mutation.Location.site_to_string m.Mutate.site);
+                class_name = "fuzzed";
+              };
+          }
+  in
+  attempt 0
+
+let fuzzed = Corpus_stream.Custom { name = "fuzzed"; produce = variant }

@@ -23,7 +23,8 @@ flag parser, before any campaign starts:
 
   $ ../../bin/specrepair.exe fuzz --target dpll
   specrepair: option '--target': invalid value 'dpll', expected one of 'sat',
-              'solver', 'oracle', 'eval', 'proof', 'simplify' or 'parse'
+              'solver', 'oracle', 'eval', 'proof', 'simplify', 'parse' or
+              'stream'
   Usage: specrepair fuzz [OPTION]…
   Try 'specrepair fuzz --help' or 'specrepair --help' for more information.
   [124]

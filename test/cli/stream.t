@@ -1,0 +1,74 @@
+Streaming studies: checkpointed runs, crash recovery with --resume, and
+the flag conflicts the parser must reject before any work starts.
+
+A tiny checkpointed study runs to completion and merges its shards:
+
+  $ ../../bin/specrepair.exe study --dir run1 --total 3 --technique ATR --seed 7 --quiet
+  study: 3 rows -> run1/results.csv
+  $ ls run1
+  manifest.json
+  results.csv
+  shard_0_1.res
+  shard_1_2.res
+  shard_2_3.res
+  $ head -1 run1/results.csv
+  variant_id,domain,benchmark,technique,rep,tm,sm,tool_claimed,time_ms
+  $ grep -c ',ATR,' run1/results.csv
+  3
+
+The crash hook kills the run after one checkpointed chunk (exactly a
+mid-study `kill -9`); --resume finishes from the manifest and the merged
+CSV matches an uninterrupted run modulo the wall-clock column:
+
+  $ SPECREPAIR_SCHED_CRASH_AFTER_CHUNKS=1 ../../bin/specrepair.exe study --dir run2 --total 3 --jobs 2 --technique ATR --seed 7 --quiet
+  Killed
+  [137]
+  $ test -f run2/manifest.json && test ! -f run2/results.csv
+  $ ../../bin/specrepair.exe study --dir run2 --total 3 --jobs 2 --technique ATR --seed 7 --quiet --resume
+  study: 3 rows -> run2/results.csv
+  $ cut -d, -f1-8 run1/results.csv > run1.cols && cut -d, -f1-8 run2/results.csv > run2.cols
+  $ diff run1.cols run2.cols
+
+Resuming a directory that holds no checkpoint is an error, not a silent
+fresh start:
+
+  $ ../../bin/specrepair.exe study --dir run3 --total 3 --resume --quiet
+  study: checkpoint rejected: cannot read manifest: run3/manifest.json: No such file or directory
+  [1]
+
+So is a manifest that does not parse exactly:
+
+  $ mkdir -p run4 && echo garbage > run4/manifest.json
+  $ ../../bin/specrepair.exe study --dir run4 --total 3 --resume --quiet
+  study: checkpoint rejected: run4/manifest.json: expected "{\"specrepair_manifest\":" (at byte 0)
+  [1]
+
+And rerunning a completed directory without --resume refuses to clobber
+the checkpoint:
+
+  $ ../../bin/specrepair.exe study --dir run1 --total 3 --technique ATR --seed 7 --quiet 2>&1 | grep -c 'already holds a checkpoint with 3 completed rows'
+  1
+
+`evaluate` exposes the same streaming machinery behind --run-dir, and
+conflicting corpus selections are usage errors caught at the parser:
+
+  $ ../../bin/specrepair.exe evaluate --resume
+  specrepair: --resume requires --run-dir (the checkpoint to resume)
+  Usage: specrepair evaluate [OPTION]…
+  Try 'specrepair evaluate --help' or 'specrepair --help' for more information.
+  [124]
+  $ ../../bin/specrepair.exe evaluate --sample 1 --run-dir run5 --resume
+  specrepair: --sample cannot be combined with --resume: the resumed corpus is fixed by the run directory's manifest
+  Usage: specrepair evaluate [OPTION]…
+  Try 'specrepair evaluate --help' or 'specrepair --help' for more information.
+  [124]
+  $ ../../bin/specrepair.exe evaluate --sample 1 --run-dir run5
+  specrepair: --sample cannot be combined with --run-dir: streamed runs index the full corpus
+  Usage: specrepair evaluate [OPTION]…
+  Try 'specrepair evaluate --help' or 'specrepair --help' for more information.
+  [124]
+
+Unknown techniques are rejected with the full menu:
+
+  $ ../../bin/specrepair.exe study --dir run6 --technique NoSuchTool 2>&1 | head -1
+  specrepair: option '--technique': unknown technique "NoSuchTool" (expected

@@ -9,8 +9,8 @@
 # class the harness knows (SAT verdicts, models, unsat cores, budget
 # behaviour, model-finder vs enumeration, oracle coherence, pinned
 # translation vs evaluation, DRUP certificate checking, proof-preserving
-# simplification, frontend print/parse round-trips) is exercised on
-# every run.
+# simplification, frontend print/parse round-trips, streaming-corpus
+# split invariance) is exercised on every run.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -37,6 +37,7 @@ for pass in 1 2; do
         run proof "$iters"
         run simplify "$iters"
         run parse "$iters"
+        run stream "$iters"
     } > "$workdir/summary-$pass.json" || {
         echo "fuzz_smoke: discrepancies found (pass $pass):" >&2
         cat "$workdir/summary-$pass.json" >&2
@@ -117,4 +118,4 @@ if [ -n "${FUZZ_ARTIFACTS_DIR:-}" ]; then
     done
 fi
 
-echo "fuzz_smoke: ok (seed $seed; sat x$sat_iters, solver/oracle/eval/proof/simplify/parse x$iters, twice, byte-identical; chaos hooks caught)"
+echo "fuzz_smoke: ok (seed $seed; sat x$sat_iters, solver/oracle/eval/proof/simplify/parse/stream x$iters, twice, byte-identical; chaos hooks caught)"
