@@ -74,6 +74,24 @@ let portfolio_arg =
            schedule, phase polarity, simplification) in forked workers; \
            the first verdict wins.  $(b,1) (the default) solves in-process.")
 
+(* The simulated-LLM profile, shared by [repair], [evaluate] and
+   [hybrid-table].  An [Arg.enum] over the panel registry rejects unknown
+   names at parse time (usage error, exit 124) — a typoed profile must
+   never fall back silently to the default model. *)
+let profile_conv =
+  Arg.enum
+    (List.map (fun (p : Llm.Model.profile) -> (p.Llm.Model.name, p)) Llm.Model.panel)
+
+let profile_arg =
+  Arg.(
+    value
+    & opt profile_conv Llm.Model.gpt4
+    & info [ "profile" ] ~docv:"NAME"
+        ~doc:
+          (Printf.sprintf
+             "Simulated LLM profile for the LLM-backed engines: one of %s."
+             (String.concat ", " Llm.Model.panel_names)))
+
 (* {2 parse} *)
 
 let parse_cmd =
@@ -184,7 +202,30 @@ let repair_cmd =
       & info [ "telemetry" ]
           ~doc:"Print the session's telemetry as one JSON line on stderr")
   in
-  let run file tool seed deadline_ms telemetry simplify portfolio =
+  let learned =
+    Arg.(
+      value & flag
+      & info [ "learned" ]
+          ~doc:
+            "With $(b,--tool portfolio): order the runnable techniques by \
+             the mined statistics in $(b,--stats) (expected value per \
+             millisecond for the task's defect class) and race the top of \
+             the ranking under the deadline.  Without statistics for the \
+             class the static ATR $(i,then) Multi-Round pipeline runs \
+             unchanged.")
+  in
+  let stats_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "stats" ] ~docv:"FILE"
+          ~doc:
+            "Learned-portfolio statistics file (written by \
+             $(b,hybrid-table --stats-out) or mined from telemetry).  A \
+             tampered or truncated file is rejected loudly.")
+  in
+  let run file tool seed deadline_ms telemetry learned stats_file profile
+      simplify portfolio =
     match load_env file with
     | env ->
         let session =
@@ -199,13 +240,37 @@ let repair_cmd =
                 Llm.Task.make ~spec_id:file ~domain:"cli"
                   ~faulty:env.Alloy.Typecheck.spec ()
               in
-              Llm.Multi_round.repair ~session task Llm.Multi_round.Generic
+              Llm.Multi_round.repair ~session ~profile task
+                Llm.Multi_round.Generic
           | `Portfolio ->
               let task =
                 Llm.Task.make ~spec_id:file ~domain:"cli"
                   ~faulty:env.Alloy.Typecheck.spec ()
               in
-              fst (Eval.Portfolio.repair ~session task)
+              if learned || Option.is_some stats_file then begin
+                let stats =
+                  match stats_file with
+                  | None -> None
+                  | Some path -> (
+                      try Some (Eval.Learned.load path)
+                      with Eval.Learned.Corrupt_stats msg ->
+                        Printf.eprintf "repair: statistics rejected: %s\n%!"
+                          msg;
+                        exit 1)
+                in
+                let o =
+                  Eval.Portfolio.repair_learned ~session ~profile ?stats task
+                in
+                Printf.eprintf "plan: class %s, %s%s\n%!"
+                  o.Eval.Portfolio.chosen_plan.Eval.Portfolio.defect_class
+                  (if o.chosen_plan.Eval.Portfolio.learned then "learned"
+                   else "cold start (static pipeline)")
+                  (match o.attempted with
+                  | [] -> ""
+                  | ts -> "; attempted " ^ String.concat ", " ts);
+                o.Eval.Portfolio.result
+              end
+              else fst (Eval.Portfolio.repair ~session ~profile task)
         in
         Format.printf
           "tool: %s@.repaired: %b@.candidates tried: %d@.timed out: %b@.@.%s"
@@ -224,8 +289,8 @@ let repair_cmd =
        ~doc:"Repair a faulty specification against its own commands")
     Term.(
       ret
-        (const run $ file $ tool $ seed $ deadline_ms $ telemetry
-       $ simplify_flag $ portfolio_arg))
+        (const run $ file $ tool $ seed $ deadline_ms $ telemetry $ learned
+       $ stats_file $ profile_arg $ simplify_flag $ portfolio_arg))
 
 (* {2 domains} *)
 
@@ -281,8 +346,22 @@ let evaluate_cmd =
   let what =
     Arg.(
       value
-      & opt_all (enum [ ("table1", `T1); ("fig2", `F2); ("fig3", `F3); ("table2", `T2); ("summary", `S) ]) []
-      & info [ "show" ] ~doc:"Artifacts to print (default: all)")
+      & opt_all (enum [ ("table1", `T1); ("fig2", `F2); ("fig3", `F3); ("table2", `T2); ("table3", `T3); ("summary", `S) ]) []
+      & info [ "show" ]
+          ~doc:
+            "Artifacts to print (default: all of table1, fig2, fig3, \
+             table2, summary; $(b,table3) — the model-panel union coverage \
+             — is opt-in)")
+  in
+  let profiles =
+    Arg.(
+      value
+      & opt_all profile_conv []
+      & info [ "profile" ] ~docv:"NAME"
+          ~doc:
+            "Add this simulated-LLM profile's techniques to the study \
+             roster (repeatable).  Default: the paper's roster, i.e. the \
+             gpt-4 profile only.")
   in
   let csv_out =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write raw results CSV")
@@ -333,8 +412,9 @@ let evaluate_cmd =
             "Resume the checkpointed run in $(b,--run-dir): validate the \
              manifest and its shards, then compute only the pending rows.")
   in
-  let run sample seed jobs retries quiet what csv_out csv_in artifacts_dir
-      deadline_ms telemetry_out simplify portfolio run_dir resume =
+  let run sample seed jobs retries quiet what profiles csv_out csv_in
+      artifacts_dir deadline_ms telemetry_out simplify portfolio run_dir
+      resume =
     (* conflicting corpus selections are usage errors, caught before any
        work: the streamed corpus is an index range, a per-domain sample is
        not, and a resumed run's corpus is fixed by its manifest *)
@@ -351,6 +431,16 @@ let evaluate_cmd =
           "--sample cannot be combined with --run-dir: streamed runs index \
            the full corpus" )
     else begin
+      (* the paper's twelve-technique roster unless profiles widen it: the
+         four traditional engines plus each requested profile's LLM
+         techniques (labelled with an @profile suffix past the default) *)
+      let techniques =
+        match profiles with
+        | [] -> Eval.Technique.all
+        | ps ->
+            Eval.Technique.traditional
+            @ List.concat_map Eval.Technique.llm_for ps
+      in
       let telemetry_chan = Option.map open_out telemetry_out in
       let telemetry =
         Option.map
@@ -373,13 +463,13 @@ let evaluate_cmd =
                   Printf.eprintf
                     "streaming %d variants x %d techniques into %s%s...\n%!"
                     total
-                    (List.length Eval.Technique.all)
+                    (List.length techniques)
                     dir
                     (if resume then " (resume)" else "");
                 ignore
                   (Eval.Study.run_stream ~seed ~jobs ~max_retries:retries
-                     ?deadline_ms ?telemetry ~simplify ~portfolio ~progress
-                     ~resume ~dir ~total ());
+                     ?deadline_ms ?telemetry ~simplify ~portfolio ~techniques
+                     ~progress ~resume ~dir ~total ());
                 (* lazy merge of the shards, then the usual renderers *)
                 let buf = Buffer.create 65536 in
                 ignore
@@ -399,10 +489,10 @@ let evaluate_cmd =
                 if not quiet then
                   Printf.eprintf "running %d variants x %d techniques...\n%!"
                     (List.length variants)
-                    (List.length Eval.Technique.all);
+                    (List.length techniques);
                 Eval.Study.run_parallel ~seed ~jobs ~max_retries:retries
-                  ?deadline_ms ?telemetry ~simplify ~portfolio ~progress
-                  variants)
+                  ?deadline_ms ?telemetry ~simplify ~portfolio ~techniques
+                  ~progress variants)
       in
       Option.iter close_out telemetry_chan;
       (match csv_out with
@@ -435,6 +525,7 @@ let evaluate_cmd =
             | `F2 -> Eval.Tables.fig2 results
             | `F3 -> Eval.Tables.fig3 results
             | `T2 -> Eval.Tables.table2 results
+            | `T3 -> Eval.Tables.panel_table results
             | `S -> Eval.Tables.summary results
           in
           print_endline text)
@@ -442,11 +533,13 @@ let evaluate_cmd =
       `Ok ()
     end
   in
-  let run sample seed jobs retries quiet what csv_out csv_in artifacts_dir
-      deadline_ms telemetry_out simplify portfolio run_dir resume =
+  let run sample seed jobs retries quiet what profiles csv_out csv_in
+      artifacts_dir deadline_ms telemetry_out simplify portfolio run_dir
+      resume =
     try
-      run sample seed jobs retries quiet what csv_out csv_in artifacts_dir
-        deadline_ms telemetry_out simplify portfolio run_dir resume
+      run sample seed jobs retries quiet what profiles csv_out csv_in
+        artifacts_dir deadline_ms telemetry_out simplify portfolio run_dir
+        resume
     with Eval.Manifest.Corrupt msg ->
       Printf.eprintf "evaluate: checkpoint rejected: %s\n%!" msg;
       exit 1
@@ -456,9 +549,93 @@ let evaluate_cmd =
        ~doc:"Run the study and regenerate the paper's tables and figures")
     Term.(
       ret
-        (const run $ sample $ seed $ jobs $ retries $ quiet $ what $ csv_out
-        $ csv_in $ artifacts_dir $ deadline_ms $ telemetry_out $ simplify_flag
-        $ portfolio_arg $ run_dir $ resume))
+        (const run $ sample $ seed $ jobs $ retries $ quiet $ what $ profiles
+        $ csv_out $ csv_in $ artifacts_dir $ deadline_ms $ telemetry_out
+        $ simplify_flag $ portfolio_arg $ run_dir $ resume))
+
+(* {2 hybrid-table} *)
+
+let hybrid_table_cmd =
+  let sample =
+    Arg.(
+      value & opt positive_int 1
+      & info [ "sample" ] ~docv:"N"
+          ~doc:"Variants per domain for the panel study (default 1)")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ]) in
+  let csv_in =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "from-csv" ] ~docv:"FILE"
+          ~doc:
+            "Render from a cached results CSV (e.g. a full \
+             $(b,evaluate --profile …) run) instead of running the panel \
+             study")
+  in
+  let csv_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Write the raw panel-study CSV")
+  in
+  let table_csv_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "table-csv" ] ~docv:"FILE"
+          ~doc:"Write the coverage table itself as CSV")
+  in
+  let stats_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-out" ] ~docv:"FILE"
+          ~doc:
+            "Mine the results into a learned-portfolio statistics file \
+             (digest-protected; feed it back via $(b,repair --tool \
+             portfolio --stats))")
+  in
+  let run sample seed csv_in csv_out table_csv_out stats_out =
+    let results =
+      match csv_in with
+      | Some path -> Eval.Study.of_csv (read_file path)
+      | None ->
+          (* one Multi-Round/Auto run per panel profile: the cheapest
+             roster that still exercises every profile on every sampled
+             variant, deterministic for the given seed *)
+          let variants = Benchmarks.Generate.sample ~seed ~per_domain:sample () in
+          let techniques =
+            List.map
+              (fun p -> Eval.Technique.Multi (Llm.Multi_round.Auto, p))
+              Llm.Model.panel
+          in
+          Eval.Study.run ~seed ~techniques variants
+    in
+    let write path text =
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc
+    in
+    Option.iter (fun p -> write p (Eval.Study.to_csv results)) csv_out;
+    Option.iter (fun p -> write p (Eval.Tables.panel_table_csv results)) table_csv_out;
+    Option.iter
+      (fun p ->
+        let stats = Eval.Learned.empty () in
+        Eval.Learned.add_rows stats results;
+        Eval.Learned.save stats p)
+      stats_out;
+    print_string (Eval.Tables.panel_table results)
+  in
+  Cmd.v
+    (Cmd.info "hybrid-table"
+       ~doc:
+         "Run the model-panel study and print the hybrid coverage table \
+          (the paper's Table II union analysis extended across the \
+          profile panel), optionally mining the results into a \
+          learned-portfolio statistics file")
+    Term.(
+      const run $ sample $ seed $ csv_in $ csv_out $ table_csv_out $ stats_out)
 
 (* {2 study} *)
 
@@ -743,8 +920,8 @@ let fuzz_cmd =
       & info [ "target" ] ~docv:"TARGET"
           ~doc:
             "Fuzz a single target ($(b,sat), $(b,solver), $(b,oracle), \
-             $(b,eval), $(b,proof), $(b,simplify), $(b,parse) or \
-             $(b,stream)); default: all eight.")
+             $(b,eval), $(b,proof), $(b,simplify), $(b,parse), \
+             $(b,stream) or $(b,panel)); default: all nine.")
   in
   let seed =
     Arg.(
@@ -782,8 +959,8 @@ let fuzz_cmd =
     (Cmd.info "fuzz"
        ~doc:
          "Differential fuzzing: cross-check the \
-          SAT/solver/oracle/eval/proof/simplify/parse/stream stack against \
-          independent reference oracles")
+          SAT/solver/oracle/eval/proof/simplify/parse/stream/panel stack \
+          against independent reference oracles")
     Term.(const run $ seed $ iters $ target $ corpus_dir)
 
 (* {2 serve / client} *)
@@ -920,6 +1097,18 @@ let client_cmd =
       & info [ "tool" ]
           ~doc:"Repair engine: beafix, atr, multi-round, or portfolio")
   in
+  let profile =
+    (* a plain string, validated daemon-side: the client forwards the
+       request and the protocol layer rejects unknown profiles with an
+       invalid_request reply listing the panel *)
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile" ] ~docv:"NAME"
+          ~doc:
+            "Simulated-LLM profile for repair/evaluate requests (validated \
+             by the daemon against its panel registry)")
+  in
   let seed = Arg.(value & opt (some int) None & info [ "seed" ]) in
   let deadline_ms =
     Arg.(
@@ -963,8 +1152,8 @@ let client_cmd =
             "Send N copies concurrently, one forked connection per copy \
              (overrides --repeat)")
   in
-  let run meth socket tcp payload tool seed deadline_ms id raw chaos repeat
-      burst simplify portfolio =
+  let run meth socket tcp payload tool profile seed deadline_ms id raw chaos
+      repeat burst simplify portfolio =
     let module J = Serve.Json in
     let addr =
       match (socket, tcp) with
@@ -1014,6 +1203,9 @@ let client_cmd =
                             |> opt_field "seed" seed (fun s ->
                                    J.Num (float_of_int s))
                           else ps
+                        in
+                        let ps =
+                          opt_field "profile" profile (fun p -> J.Str p) ps
                         in
                         let ps =
                           opt_field "deadline_ms" deadline_ms
@@ -1081,8 +1273,8 @@ let client_cmd =
     Term.(
       ret
         (const run $ meth $ serve_socket_arg $ serve_tcp_arg $ payload $ tool
-       $ seed $ deadline_ms $ id $ raw $ chaos $ repeat $ burst $ simplify_flag
-       $ portfolio_arg))
+       $ profile $ seed $ deadline_ms $ id $ raw $ chaos $ repeat $ burst
+       $ simplify_flag $ portfolio_arg))
 
 let () =
   let info =
@@ -1100,6 +1292,7 @@ let () =
             repair_cmd;
             domains_cmd;
             evaluate_cmd;
+            hybrid_table_cmd;
             study_cmd;
             sat_cmd;
             check_proof_cmd;

@@ -21,7 +21,7 @@ let () =
       variants
   in
   let atr = repaired_by Eval.Technique.ATR in
-  let multi = repaired_by (Eval.Technique.Multi Llm.Multi_round.No_feedback) in
+  let multi = repaired_by (Eval.Technique.Multi (Llm.Multi_round.No_feedback, Llm.Model.gpt4)) in
   let union = List.sort_uniq compare (atr @ multi) in
   let overlap =
     List.length (List.filter (fun id -> List.mem id multi) atr)

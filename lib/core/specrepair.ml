@@ -119,5 +119,6 @@ module Eval = struct
   module Corpus_stream = Specrepair_eval.Corpus_stream
   module Study = Specrepair_eval.Study
   module Tables = Specrepair_eval.Tables
+  module Learned = Specrepair_eval.Learned
   module Portfolio = Specrepair_eval.Portfolio
 end

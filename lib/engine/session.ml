@@ -103,6 +103,18 @@ let deadline_ms t = t.deadline_rel_ms
 
 let elapsed_ms t = Int64.to_float (Int64.sub (now_ns ()) t.started_ns) /. 1e6
 
+(* Clock-reading but latch-preserving: an already-expired session always
+   answers [Some 0.].  The learned portfolio budgets its technique plan
+   against this. *)
+let remaining_ms t =
+  match t.deadline_ns with
+  | None -> None
+  | Some _ when !(t.expiry) -> Some 0.
+  | Some deadline ->
+      Some
+        (Float.max 0.
+           (Int64.to_float (Int64.sub deadline (now_ns ())) /. 1e6))
+
 let time t phase f =
   let t0 = now_ns () in
   Fun.protect

@@ -102,6 +102,11 @@ val timed_out : t -> bool
 val deadline_ms : t -> float option
 (** The configured deadline, relative to session creation. *)
 
+val remaining_ms : t -> float option
+(** Milliseconds left before the deadline ([None] without one, [Some 0.]
+    once expired — the latch is honoured without re-reading the clock).
+    The learned portfolio sizes its technique plan against this. *)
+
 (** {2 Clock} *)
 
 val now_ns : unit -> int64

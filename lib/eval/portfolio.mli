@@ -21,4 +21,41 @@ val repair :
     example one of two compound faults already fixed) is preserved.  One
     session spans both stages — shared oracle, aggregated telemetry, one
     deadline across the pipeline.  Without [?session] a default one is
-    created from the task's faulty spec. *)
+    created from the task's faulty spec, identically for every profile and
+    entry point (pinned by test against an explicit session). *)
+
+(** {2 Learned ordering} *)
+
+type plan = {
+  defect_class : string;  (** {!Learned.defect_class_of_task} *)
+  ordering : (Technique.t * float) list;
+      (** techniques with statistics for the class, best
+          expected-value-per-ms first *)
+  learned : bool;  (** [false] = cold start, the static pipeline runs *)
+}
+
+val plan : ?stats:Learned.t -> Llm.Task.t -> plan
+(** The ordering {!repair_learned} would race, without running anything. *)
+
+type learned_outcome = {
+  result : Common.result;
+  stage : stage;
+  chosen_plan : plan;
+  attempted : string list;  (** technique labels actually run, in order *)
+}
+
+val repair_learned :
+  ?session:Specrepair_repair.Session.t ->
+  ?profile:Llm.Model.profile ->
+  ?stats:Learned.t ->
+  ?top_k:int ->
+  Llm.Task.t ->
+  learned_outcome
+(** Orders the runnable techniques (ATR, BeAFix and the full LLM panel —
+    ARepair/ICEBAR need a test suite a bare task does not carry) by the
+    statistics' expected value per millisecond for the task's defect
+    class, then races the top [top_k] (default 3) sequentially under the
+    session's single deadline: first success wins, expiry aborts the
+    remainder.  Without statistics for the class — no [?stats], empty
+    mining, unseen class — it falls back to the static {!repair},
+    bit-identically (pinned by test). *)

@@ -63,9 +63,11 @@ let aunit_suite (d : Benchmarks.Domains.t) =
       s
 
 (* The model profile for a domain: familiarity sharpens (or flattens) the
-   proposal distribution. *)
-let profile_for (d : Benchmarks.Domains.t) =
-  { Llm.Model.gpt4 with temperature = 1.0 /. d.familiarity }
+   proposal distribution.  The same adjustment applies to every panel
+   member; with the default [gpt4] base this is the pre-panel profile,
+   bit-identically. *)
+let profile_for ?(base = Llm.Model.gpt4) (d : Benchmarks.Domains.t) =
+  { base with Llm.Model.temperature = base.Llm.Model.temperature /. d.familiarity }
 
 (* Per-tool budget calibration: the knobs that align each engine's search
    effort with the scale of its real counterpart (see EXPERIMENTS.md). *)
@@ -101,11 +103,13 @@ let apply_technique ~session technique (v : Benchmarks.Generate.variant) =
       Repair.Icebar.repair ~session (faulty_env ()) (aunit_suite v.domain)
   | Technique.BeAFix -> Repair.Beafix.repair ~session (faulty_env ())
   | Technique.ATR -> Repair.Atr.repair ~session (faulty_env ())
-  | Technique.Single setting ->
-      Llm.Single_round.repair ~session ~profile:(profile_for v.domain)
+  | Technique.Single (setting, profile) ->
+      Llm.Single_round.repair ~session
+        ~profile:(profile_for ~base:profile v.domain)
         (Benchmarks.Generate.to_task v) setting
-  | Technique.Multi fb ->
-      Llm.Multi_round.repair ~session ~profile:(profile_for v.domain)
+  | Technique.Multi (fb, profile) ->
+      Llm.Multi_round.repair ~session
+        ~profile:(profile_for ~base:profile v.domain)
         (Benchmarks.Generate.to_task v) fb
 
 let run_one ?(seed = 42) ?(budget = Repair.Common.default_budget) ?deadline_ms
@@ -141,6 +145,7 @@ let run_one ?(seed = 42) ?(budget = Repair.Common.default_budget) ?deadline_ms
              [
                ("variant_id", v.id);
                ("technique", Technique.name technique);
+               ("defect_class", v.injected.Benchmarks.Fault.class_name);
                ("tool", result.Repair.Common.tool);
                ("repaired", string_of_bool result.Repair.Common.repaired);
              ]

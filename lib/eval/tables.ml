@@ -1,5 +1,6 @@
 module Benchmarks = Specrepair_benchmarks
 module Metrics = Specrepair_metrics
+module Llm = Specrepair_llm
 
 let techniques_in results =
   let seen = Hashtbl.create 16 in
@@ -84,6 +85,40 @@ let hybrid results ~traditional ~llm =
   let b = repaired_set results llm in
   let overlap = List.length (List.filter (fun x -> List.mem x b) a) in
   (List.length a, overlap, List.length a + List.length b - overlap)
+
+(* {2 Panel coverage} *)
+
+(* The profile behind a study column label: Some "gemini-pro" for
+   "Multi-Round_Auto@gemini-pro", Some "gpt-4" for the bare labels, None
+   for traditional tools and foreign labels. *)
+let profile_of_label label =
+  match Technique.of_name label with
+  | Some t ->
+      Option.map
+        (fun (p : Llm.Model.profile) -> p.name)
+        (Technique.profile_of t)
+  | None -> None
+
+let union_sets sets = List.sort_uniq compare (List.concat sets)
+
+let panel_coverage results =
+  let labels = techniques_in results in
+  let per_profile =
+    List.filter_map
+      (fun (p : Llm.Model.profile) ->
+        let mine =
+          List.filter (fun l -> profile_of_label l = Some p.name) labels
+        in
+        if mine = [] then None
+        else
+          Some
+            ( p.name,
+              List.length mine,
+              union_sets (List.map (repaired_set results) mine) ))
+      Llm.Model.panel
+  in
+  let union = union_sets (List.map (fun (_, _, s) -> s) per_profile) in
+  (per_profile, union)
 
 (* {2 Text rendering} *)
 
@@ -275,6 +310,49 @@ let summary results =
       in
       add "  %-24s %8.1f ms\n" t mean_ms)
     techniques;
+  Buffer.contents buf
+
+let panel_table results =
+  let per_profile, union = panel_coverage results in
+  let nspec =
+    List.length
+      (List.sort_uniq compare
+         (List.map (fun (r : Study.spec_result) -> r.variant_id) results))
+  in
+  let pct n = 100. *. float_of_int n /. float_of_int (max 1 nspec) in
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "TABLE III: model-panel coverage (union analysis across profiles)\n\n";
+  add "%-14s %6s %8s %9s\n" "Profile" "techs" "repairs" "coverage";
+  List.iter
+    (fun (name, ntechs, set) ->
+      add "%-14s %6d %8d %8.1f%%\n" name ntechs (List.length set)
+        (pct (List.length set)))
+    per_profile;
+  let ntechs = List.fold_left (fun acc (_, n, _) -> acc + n) 0 per_profile in
+  add "%-14s %6d %8d %8.1f%%\n" "Panel union" ntechs (List.length union)
+    (pct (List.length union));
+  let strictly =
+    per_profile <> []
+    && List.for_all
+         (fun (_, _, set) -> List.length set < List.length union)
+         per_profile
+  in
+  add "\nPanel union strictly exceeds every single profile: %b\n" strictly;
+  Buffer.contents buf
+
+let panel_table_csv results =
+  let per_profile, union = panel_coverage results in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "profile,techniques,repairs\n";
+  List.iter
+    (fun (name, ntechs, set) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%d\n" name ntechs (List.length set)))
+    per_profile;
+  let ntechs = List.fold_left (fun acc (_, n, _) -> acc + n) 0 per_profile in
+  Buffer.add_string buf
+    (Printf.sprintf "union,%d,%d\n" ntechs (List.length union));
   Buffer.contents buf
 
 (* {2 CSV artifacts} *)

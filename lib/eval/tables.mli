@@ -35,9 +35,24 @@ val hybrid :
   Study.spec_result list -> traditional:string -> llm:string -> int * int * int
 (** (traditional repairs, overlap, unique union). *)
 
+(** {2 Panel coverage (Table III)} *)
+
+val panel_coverage :
+  Study.spec_result list -> (string * int * string list) list * string list
+(** Per-profile (name, LLM techniques present, repaired variant-id set) in
+    panel order, plus the panel union set — the data behind
+    {!panel_table}.  A profile with no techniques in the results is
+    omitted. *)
+
+val panel_table : Study.spec_result list -> string
+(** The hybrid coverage table extending the paper's union analysis across
+    the model panel: per-profile repair coverage and the panel union, with
+    a final strictly-exceeds verdict line. *)
+
 (** {2 Machine-readable artifacts (CSV)} *)
 
 val table1_csv : Study.spec_result list -> string
 val fig2_csv : Study.spec_result list -> string
 val fig3_csv : Study.spec_result list -> string
 val table2_csv : Study.spec_result list -> string
+val panel_table_csv : Study.spec_result list -> string

@@ -5,23 +5,52 @@ type t =
   | ICEBAR
   | BeAFix
   | ATR
-  | Single of Llm.Prompt.single_setting
-  | Multi of Llm.Multi_round.feedback
+  | Single of Llm.Prompt.single_setting * Llm.Model.profile
+  | Multi of Llm.Multi_round.feedback * Llm.Model.profile
 
 let traditional = [ ARepair; ICEBAR; BeAFix; ATR ]
 
-let llm_based =
-  List.map (fun s -> Single s) Llm.Prompt.all_single_settings
-  @ List.map (fun f -> Multi f) Llm.Multi_round.all_feedbacks
+let llm_for profile =
+  List.map (fun s -> Single (s, profile)) Llm.Prompt.all_single_settings
+  @ List.map (fun f -> Multi (f, profile)) Llm.Multi_round.all_feedbacks
+
+let llm_based = llm_for Llm.Model.gpt4
 
 let all = traditional @ llm_based
+
+let profile_of = function
+  | Single (_, p) | Multi (_, p) -> Some p
+  | ARepair | ICEBAR | BeAFix | ATR -> None
+
+let with_profile p = function
+  | Single (s, _) -> Single (s, p)
+  | Multi (f, _) -> Multi (f, p)
+  | t -> t
+
+(* The default profile keeps the bare paper labels ("Multi-Round_Auto"),
+   so CSVs and tables from panel-free runs stay byte-identical to the
+   pre-panel baseline; other panel members are suffixed "@<profile>". *)
+let suffix (p : Llm.Model.profile) =
+  if p.name = Llm.Model.gpt4.name then "" else "@" ^ p.name
 
 let name = function
   | ARepair -> "ARepair"
   | ICEBAR -> "ICEBAR"
   | BeAFix -> "BeAFix"
   | ATR -> "ATR"
-  | Single s -> Llm.Single_round.tool_name s
-  | Multi f -> Llm.Multi_round.tool_name f
+  | Single (s, p) -> Llm.Single_round.tool_name s ^ suffix p
+  | Multi (f, p) -> Llm.Multi_round.tool_name f ^ suffix p
 
-let of_name n = List.find_opt (fun t -> name t = n) all
+let of_name n =
+  match String.index_opt n '@' with
+  | None -> List.find_opt (fun t -> name t = n) all
+  | Some i -> (
+      let base = String.sub n 0 i in
+      let pname = String.sub n (i + 1) (String.length n - i - 1) in
+      match Llm.Model.profile_of_name pname with
+      | None -> None
+      | Some p -> (
+          match List.find_opt (fun t -> name t = base) all with
+          | Some (Single _ as t) | Some (Multi _ as t) ->
+              Some (with_profile p t)
+          | Some _ | None -> None))

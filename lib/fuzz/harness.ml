@@ -16,6 +16,7 @@ type target =
   | Simplify_target
   | Parse_target
   | Stream_target
+  | Panel_target
 
 let all_targets =
   [
@@ -27,6 +28,7 @@ let all_targets =
     Simplify_target;
     Parse_target;
     Stream_target;
+    Panel_target;
   ]
 
 let target_name = function
@@ -38,6 +40,7 @@ let target_name = function
   | Simplify_target -> "simplify"
   | Parse_target -> "parse"
   | Stream_target -> "stream"
+  | Panel_target -> "panel"
 
 type report = {
   target : string;
@@ -617,6 +620,111 @@ let check_stream_case c =
   then Error "the same range streamed twice differs (nondeterministic producer)"
   else Ok ()
 
+(* {2 Panel target} *)
+
+module Llm = Specrepair_llm
+module Learned = Specrepair_eval.Learned
+
+(* Fuzzed tasks through every profile of the model panel: each sampled
+   proposal must be well-typed, must differ from the faulty spec, and must
+   respect the guidance blocklist (grown with each accepted proposal so
+   the blocklist property is exercised, not vacuous). *)
+type panel_case = { n_env : Alloy.Typecheck.env }
+
+let gen_panel_case rng = { n_env = Gen.spec ~with_commands:true rng }
+
+let read_all path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_all path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* Under [SPECREPAIR_FUZZ_CHAOS=corrupt-stats] the target feeds the
+   learned portfolio a tampered statistics file: a pristine save must
+   round-trip, and any of three corruptions (an appended row, flipped
+   digits, truncation) must be rejected loudly with [Corrupt_stats] — a
+   damaged stats file silently reordering the portfolio would be the real
+   bug, so failure to reject counts as a discrepancy. *)
+let check_corrupt_stats rng =
+  let stats = Learned.empty () in
+  Learned.observe stats ~defect_class:"binop-swap" ~technique:"ATR"
+    ~repaired:true ~time_ms:12.5;
+  Learned.observe stats ~defect_class:"compound"
+    ~technique:"Multi-Round_Auto" ~repaired:false ~time_ms:41.25;
+  let path = Filename.temp_file "specrepair_fuzz_stats" ".stats" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Learned.save stats path;
+      match Learned.load path with
+      | exception Learned.Corrupt_stats m ->
+          `Fail ("pristine statistics file rejected: " ^ m)
+      | loaded ->
+          if Learned.cells loaded <> Learned.cells stats then
+            `Fail "statistics changed across a save/load round-trip"
+          else begin
+            let src = read_all path in
+            let tampered =
+              match Rng.int rng 3 with
+              | 0 -> src ^ "graphs|BeAFix|3|1|9.0\n"
+              | 1 -> String.map (function '1' -> '2' | c -> c) src
+              | _ -> String.sub src 0 (String.length src - 3)
+            in
+            write_all path tampered;
+            match Learned.load path with
+            | exception Learned.Corrupt_stats _ -> `Ok
+            | _ -> `Fail "tampered statistics file loaded cleanly"
+          end)
+
+let check_panel_case rng { n_env = env } =
+  match Sys.getenv_opt "SPECREPAIR_FUZZ_CHAOS" with
+  | Some "corrupt-stats" -> check_corrupt_stats rng
+  | _ ->
+      let task =
+        Llm.Task.make ~spec_id:"fuzz-panel" ~domain:"fuzz"
+          ~faulty:env.Alloy.Typecheck.spec ()
+      in
+      let check_profile (p : Llm.Model.profile) =
+        (* the fuzz harness and the model each have their own splitmix
+           stream type; bridge with a seed drawn from the campaign rng *)
+        let prng =
+          Llm.Rng.of_context ~seed:(Rng.int rng 1_000_000)
+            [ "panel"; p.Llm.Model.name ]
+        in
+        let rec rounds blocked k =
+          if k = 0 then Ok ()
+          else
+            let guidance = { Llm.Model.no_guidance with Llm.Model.blocked } in
+            match Llm.Model.propose p ~rng:prng ~hints:[] guidance task with
+            | None -> Ok () (* giving up is allowed; nothing to verify *)
+            | Some prop ->
+                if Ast.equal_spec prop task.Llm.Task.faulty then
+                  Error (p.Llm.Model.name ^ ": proposal equals the faulty spec")
+                else if List.exists (Ast.equal_spec prop) blocked then
+                  Error (p.Llm.Model.name ^ ": proposal violates the blocklist")
+                else (
+                  match Alloy.Typecheck.check_result prop with
+                  | Error m ->
+                      Error (p.Llm.Model.name ^ ": ill-typed proposal: " ^ m)
+                  | Ok _ -> rounds (prop :: blocked) (k - 1))
+        in
+        rounds [] 3
+      in
+      let rec over = function
+        | [] -> `Ok
+        | p :: rest -> (
+            match check_profile p with
+            | Ok () -> over rest
+            | Error m -> `Fail m)
+      in
+      over Llm.Model.panel
+
 (* Every check is wrapped: an exception is itself a discrepancy (the two
    sides are total on well-typed inputs). *)
 let guard f =
@@ -793,6 +901,29 @@ let run ?(corpus_dir = "artifacts/fuzz") target ~seed ~iters () =
                 Corpus.save_spec ~dir:corpus_dir ~name ~seed
                   v.Specrepair_benchmarks.Generate.injected
                     .Specrepair_benchmarks.Fault.faulty))
+    | Panel_target -> (
+        let case = gen_panel_case rng in
+        match guard (fun () -> check_panel_case rng case) with
+        | `Skip -> incr skipped
+        | `Ok -> incr checks
+        | `Fail _ ->
+            incr checks;
+            fail_and_persist (fun () ->
+                let still_fails spec' =
+                  match retypecheck spec' with
+                  | Some env' ->
+                      guard (fun () ->
+                          check_panel_case
+                            (Rng.of_context ~seed [ "panel-shrink"; name ])
+                            { n_env = env' })
+                      <> `Ok
+                  | None -> false
+                in
+                let shrunk =
+                  Shrink.run Shrink.spec_candidates still_fails
+                    case.n_env.Alloy.Typecheck.spec
+                in
+                Corpus.save_spec ~dir:corpus_dir ~name ~seed shrunk))
     | Simplify_target -> (
         let case = gen_simplify_case rng in
         match guard (fun () -> check_simplify_case case) with

@@ -1,7 +1,7 @@
 (** The differential fuzzing campaigns: generate, cross-check, shrink,
     persist.
 
-    Eight targets, each pitting a production component against an
+    Nine targets, each pitting a production component against an
     independent reference:
 
     - [Sat_target] — the CDCL solver vs. the DPLL reference
@@ -52,6 +52,17 @@
       the fuzz-generated source ({!Stream_source}); one case in eight
       hits the real injected benchmark corpus, including ranges that
       straddle the epoch boundary.
+    - [Panel_target] — fuzzed repair tasks pushed through {e every}
+      profile of the simulated-LLM panel ({!Specrepair_llm.Model.panel}):
+      each sampled proposal must be well-typed, must differ from the
+      faulty spec, and must respect the guidance blocklist (grown with
+      every accepted proposal, so the property is never vacuous).  Under
+      [SPECREPAIR_FUZZ_CHAOS=corrupt-stats] the target instead feeds the
+      learned portfolio a tampered statistics file: a pristine save must
+      round-trip, and an appended row, flipped digits, or truncation must
+      all raise {!Specrepair_eval.Learned.Corrupt_stats} — like
+      [corrupt-token], a correct implementation makes the chaos campaign
+      {e pass}, because loud rejection is the desired behaviour.
 
     Every iteration derives its own {!Rng} stream from (seed, target,
     iteration index), so campaigns are bit-reproducible and every failure
@@ -67,12 +78,13 @@ type target =
   | Simplify_target
   | Parse_target
   | Stream_target
+  | Panel_target
 
 val all_targets : target list
 
 val target_name : target -> string
 (** CLI spelling: ["sat"], ["solver"], ["oracle"], ["eval"], ["proof"],
-    ["simplify"], ["parse"], ["stream"]. *)
+    ["simplify"], ["parse"], ["stream"], ["panel"]. *)
 
 type report = {
   target : string;

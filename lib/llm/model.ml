@@ -70,6 +70,95 @@ let gpt35 =
     pattern_prior = default_priors;
   }
 
+(* Shift a handful of operator priors without touching the rest: the panel
+   profiles differ in *which* edit families come naturally, not just in how
+   sharply they sample. *)
+let reprior overrides priors =
+  List.map
+    (fun (op, w) ->
+      match List.assoc_opt op overrides with
+      | Some w' -> (op, w')
+      | None -> (op, w))
+    priors
+
+(* Panel member in the spirit of the Gemini runs of the multi-LLM
+   comparison (arXiv:2404.11050): disciplined output, a taste for
+   structural rewrites, and competence concentrated on the data-structure
+   half of the corpus (ARepair's trees/lists) at the cost of the Alloy4Fun
+   teaching models. *)
+let gemini =
+  {
+    name = "gemini-pro";
+    temperature = 1.25;
+    malformed_rate = 0.06;
+    compound_rate = 0.20;
+    self_check_samples = 4;
+    domain_competence =
+      [
+        ("balancedBST", 1.6);
+        ("ctree", 1.5);
+        ("dll", 1.5);
+        ("arr", 1.4);
+        ("student", 1.3);
+        ("classroom", 0.7);
+        ("cv", 0.7);
+        ("graphs", 0.8);
+        ("trash", 0.8);
+      ];
+    pattern_prior =
+      reprior
+        [
+          ("expr-replace", 0.9);
+          ("junct-add-and", 1.2);
+          ("junct-add-or", 0.8);
+          ("closure-swap", 3.0);
+          ("quant-swap", 2.0);
+        ]
+        default_priors;
+  }
+
+(* Open-weights panel member in the spirit of the Llama baselines: hot
+   sampling, frequent truncation, shallow self-checking, but unusually
+   comfortable with relational/graph vocabulary — the complement of
+   [gemini]'s competence map, so the panel's union covers defects neither
+   member reaches alone. *)
+let llama3 =
+  {
+    name = "llama-3";
+    temperature = 1.9;
+    malformed_rate = 0.14;
+    compound_rate = 0.08;
+    self_check_samples = 2;
+    domain_competence =
+      [
+        ("graphs", 1.6);
+        ("lts", 1.5);
+        ("fsm", 1.5);
+        ("production", 1.3);
+        ("farmer", 1.3);
+        ("balancedBST", 0.7);
+        ("ctree", 0.7);
+        ("addr", 0.8);
+        ("grade", 0.8);
+      ];
+    pattern_prior =
+      reprior
+        [
+          ("closure-swap", 3.5);
+          ("closure-drop", 3.0);
+          ("closure-add", 3.0);
+          ("transpose-drop", 2.5);
+          ("negation-drop", 2.5);
+          ("expr-replace", 0.15);
+          ("binop-swap", 3.5);
+        ]
+        default_priors;
+  }
+
+let panel = [ gpt4; gpt35; gemini; llama3 ]
+let panel_names = List.map (fun p -> p.name) panel
+let profile_of_name n = List.find_opt (fun p -> p.name = n) panel
+
 type guidance = {
   site_boost : (Location.site * float) list;
   op_boost : (string * float) list;

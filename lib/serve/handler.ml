@@ -96,6 +96,8 @@ let handle_repair t ~id (p : Protocol.repair_params) =
   let session =
     Repair.Session.create ~oracle ~seed:p.seed ?deadline_ms:p.deadline_ms env
   in
+  (* validated by Protocol.parse_request against the panel registry *)
+  let profile = Option.get (Llm.Model.profile_of_name p.profile) in
   let result =
     match p.tool with
     | "beafix" -> Repair.Beafix.repair ~session env
@@ -105,13 +107,13 @@ let handle_repair t ~id (p : Protocol.repair_params) =
           Llm.Task.make ~spec_id:p.file ~domain:"serve"
             ~faulty:env.Alloy.Typecheck.spec ()
         in
-        Llm.Multi_round.repair ~session task Llm.Multi_round.Generic
+        Llm.Multi_round.repair ~session ~profile task Llm.Multi_round.Generic
     | "portfolio" ->
         let task =
           Llm.Task.make ~spec_id:p.file ~domain:"serve"
             ~faulty:env.Alloy.Typecheck.spec ()
         in
-        fst (Eval.Portfolio.repair ~session task)
+        fst (Eval.Portfolio.repair ~session ~profile task)
     | _ -> assert false (* validated by Protocol.parse_request *)
   in
   let reply =

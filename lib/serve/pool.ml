@@ -116,6 +116,11 @@ let spawn t (s : slot) =
   | pid ->
       Unix.close cmd_r;
       Unix.close msg_w;
+      (* Non-blocking parent end: a respawn recycles fd numbers, so a
+         caller holding a pre-respawn readable set from select could
+         otherwise block forever reading the fresh worker's silent pipe.
+         drain already treats EAGAIN as "nothing there". *)
+      Unix.set_nonblock msg_r;
       s.pid <- pid;
       s.cmd_w <- cmd_w;
       s.msg_r <- msg_r;

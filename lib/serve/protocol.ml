@@ -8,6 +8,7 @@ type repair_params = {
   source : string;
   file : string;
   tool : string;
+  profile : string;  (* a Specrepair_llm.Model.panel name *)
   seed : int;
   deadline_ms : float option;
   simplify : bool;
@@ -18,6 +19,7 @@ type repair_params = {
 type evaluate_params = {
   e_source : string;
   e_file : string;
+  e_profile : string;
   e_deadline_ms : float option;
   e_simplify : bool;
   e_portfolio : int;
@@ -98,6 +100,10 @@ let method_name = function
 
 let valid_tools = [ "beafix"; "atr"; "multi-round"; "portfolio" ]
 
+let valid_profiles = Specrepair_llm.Model.panel_names
+
+let default_profile = Specrepair_llm.Model.gpt4.Specrepair_llm.Model.name
+
 (* {2 Request validation} *)
 
 exception Bad of error_code * string
@@ -143,6 +149,16 @@ let opt_pos_ms obj key =
       | Some _ -> raise (Bad (Invalid_request, "params." ^ key ^ " must be positive"))
       | None -> raise (Bad (Invalid_request, "params." ^ key ^ " must be a number")))
 
+let opt_profile obj =
+  let profile = opt_str obj "profile" ~default:default_profile in
+  if not (List.mem profile valid_profiles) then
+    raise
+      (Bad
+         ( Invalid_request,
+           Printf.sprintf "params.profile must be one of: %s"
+             (String.concat ", " valid_profiles) ));
+  profile
+
 let parse_call ~meth ~params =
   match meth with
   | "status" -> Status
@@ -162,6 +178,7 @@ let parse_call ~meth ~params =
           source = required_str params "source";
           file = opt_str params "file" ~default:"<request>";
           tool;
+          profile = opt_profile params;
           seed = opt_int params "seed" ~default:42;
           deadline_ms = opt_pos_ms params "deadline_ms";
           simplify = opt_bool params "simplify" ~default:false;
@@ -176,6 +193,7 @@ let parse_call ~meth ~params =
         {
           e_source = required_str params "source";
           e_file = opt_str params "file" ~default:"<request>";
+          e_profile = opt_profile params;
           e_deadline_ms = opt_pos_ms params "deadline_ms";
           e_simplify = opt_bool params "simplify" ~default:false;
           e_portfolio = portfolio;
@@ -223,22 +241,26 @@ let parse_request line =
 
 (* {2 Cache keys}
 
-   Repair and evaluate requests over the same source and solving options
-   share one warm oracle (the verdict caches are technique-agnostic); sat
-   requests are keyed on the CNF text.  Seed, tool and deadline are
-   per-request session state, not oracle state, so they stay out of the
-   key. *)
+   Repair and evaluate requests over the same source, solving options and
+   model profile share one warm oracle (the verdict caches are
+   technique-agnostic); sat requests are keyed on the CNF text.  Seed,
+   tool and deadline are per-request session state, not oracle state, so
+   they stay out of the key.  The profile is in the key so a profile
+   change never lands on a stale warm session: panel members answer from
+   their own warm state, not each other's. *)
 
 let cache_key = function
-  | Repair { source; simplify; portfolio; _ } ->
+  | Repair { source; simplify; portfolio; profile; _ } ->
       Some
         (Digest.to_hex
            (Digest.string
-              (Printf.sprintf "spec:%b:%d:%s" simplify portfolio source)))
-  | Evaluate { e_source; e_simplify; e_portfolio; _ } ->
+              (Printf.sprintf "spec:%b:%d:%s:%s" simplify portfolio profile
+                 source)))
+  | Evaluate { e_source; e_simplify; e_portfolio; e_profile; _ } ->
       Some
         (Digest.to_hex
            (Digest.string
-              (Printf.sprintf "spec:%b:%d:%s" e_simplify e_portfolio e_source)))
+              (Printf.sprintf "spec:%b:%d:%s:%s" e_simplify e_portfolio
+                 e_profile e_source)))
   | Sat { dimacs; _ } -> Some (Digest.to_hex (Digest.string ("cnf:" ^ dimacs)))
   | Status -> None

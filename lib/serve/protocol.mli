@@ -7,12 +7,14 @@
     the reply; it defaults to [""].  Parameters per method:
 
     - [repair]: [source] (Alloy source, required), [tool] ("beafix",
-      "atr", "multi-round" or "portfolio"; default "beafix"), [seed]
-      (default 42), [deadline_ms], [simplify], [portfolio] (int, default
-      1), [file] (a display name for diagnostics, default "<request>").
-    - [evaluate]: [source] (required), [deadline_ms], [simplify],
-      [portfolio], [file] — answers the verdict of every command of the
-      spec through the warm oracle.
+      "atr", "multi-round" or "portfolio"; default "beafix"), [profile]
+      (a model-panel name from {!Specrepair_llm.Model.panel_names};
+      default "gpt-4"), [seed] (default 42), [deadline_ms], [simplify],
+      [portfolio] (int, default 1), [file] (a display name for
+      diagnostics, default "<request>").
+    - [evaluate]: [source] (required), [profile], [deadline_ms],
+      [simplify], [portfolio], [file] — answers the verdict of every
+      command of the spec through the warm oracle.
     - [sat]: [dimacs] (a DIMACS CNF, required).
     - [status]: no parameters; answered by the daemon itself.
 
@@ -32,6 +34,7 @@ type repair_params = {
   source : string;
   file : string;  (** display name used in diagnostics *)
   tool : string;  (** validated: beafix | atr | multi-round | portfolio *)
+  profile : string;  (** validated against {!Specrepair_llm.Model.panel_names} *)
   seed : int;
   deadline_ms : float option;
   simplify : bool;
@@ -42,6 +45,7 @@ type repair_params = {
 type evaluate_params = {
   e_source : string;
   e_file : string;
+  e_profile : string;
   e_deadline_ms : float option;
   e_simplify : bool;
   e_portfolio : int;
@@ -87,10 +91,12 @@ val method_name : call -> string
 (** "repair" | "evaluate" | "sat" | "status". *)
 
 val cache_key : call -> string option
-(** The warm-state cache key of the request: a digest of the payload and
-    the solving options (repair and evaluate requests for the same source
-    share one warm oracle; sat requests are keyed on the CNF).  [None] for
-    [status]. *)
+(** The warm-state cache key of the request: a digest of the payload, the
+    solving options and the model profile (repair and evaluate requests
+    for the same source, options and profile share one warm oracle; sat
+    requests are keyed on the CNF).  A profile change misses the cache by
+    construction — it must never answer from another profile's warm
+    session.  [None] for [status]. *)
 
 val reply_is_ok : string -> bool
 (** Does a reply line (in the exact shape built by {!ok_reply} /

@@ -23,8 +23,8 @@ flag parser, before any campaign starts:
 
   $ ../../bin/specrepair.exe fuzz --target dpll
   specrepair: option '--target': invalid value 'dpll', expected one of 'sat',
-              'solver', 'oracle', 'eval', 'proof', 'simplify', 'parse' or
-              'stream'
+              'solver', 'oracle', 'eval', 'proof', 'simplify', 'parse',
+              'stream' or 'panel'
   Usage: specrepair fuzz [OPTION]…
   Try 'specrepair fuzz --help' or 'specrepair --help' for more information.
   [124]

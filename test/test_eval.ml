@@ -14,8 +14,8 @@ let mini_techniques =
   [
     Eval.Technique.ATR;
     Eval.Technique.BeAFix;
-    Eval.Technique.Single Llm.Prompt.SLoc;
-    Eval.Technique.Multi Llm.Multi_round.No_feedback;
+    Eval.Technique.Single (Llm.Prompt.SLoc, Llm.Model.gpt4);
+    Eval.Technique.Multi (Llm.Multi_round.No_feedback, Llm.Model.gpt4);
   ]
 
 let mini_results =
@@ -49,7 +49,7 @@ let test_repaired_high_similarity () =
 
 let test_determinism () =
   let variants = B.Generate.sample ~per_domain:1 () in
-  let t = [ Eval.Technique.Multi Llm.Multi_round.No_feedback ] in
+  let t = [ Eval.Technique.Multi (Llm.Multi_round.No_feedback, Llm.Model.gpt4) ] in
   let a = Eval.Study.run ~techniques:t variants in
   let b = Eval.Study.run ~techniques:t variants in
   List.iter2
@@ -188,6 +188,50 @@ let test_portfolio_stage_strings () =
   Alcotest.(check string) "unrepaired" "unrepaired"
     (Eval.Portfolio.stage_to_string Eval.Portfolio.Unrepaired)
 
+(* The default session and an explicit [Session.for_spec] must agree for
+   every panel profile — both entry points share one default-session
+   construction (the regression this pins had [repair] building its
+   session from a pre-checked env, diverging from [repair_learned]). *)
+let test_portfolio_default_session_agrees () =
+  let task = Lazy.force simple_faulty_task in
+  List.iter
+    (fun (p : Llm.Model.profile) ->
+      let d_result, d_stage = Eval.Portfolio.repair ~profile:p task in
+      let session =
+        Specrepair_repair.Session.for_spec task.Llm.Task.faulty
+      in
+      let e_result, e_stage =
+        Eval.Portfolio.repair ~session ~profile:p task
+      in
+      Alcotest.(check bool)
+        (p.Llm.Model.name ^ ": default and explicit sessions agree")
+        true
+        (d_result = e_result
+        && Eval.Portfolio.stage_to_string d_stage
+           = Eval.Portfolio.stage_to_string e_stage))
+    Llm.Model.panel
+
+(* Learning disabled: [repair_learned] without statistics is bit-identical
+   to the static pipeline, and the default study roster still prints the
+   paper's bare column labels (no "@<profile>" suffix), so PR-9 CSVs and
+   tables are unchanged. *)
+let test_learned_off_bit_identity () =
+  let task = Lazy.force simple_faulty_task in
+  let static, stage = Eval.Portfolio.repair task in
+  let o = Eval.Portfolio.repair_learned task in
+  Alcotest.(check bool) "result bit-identical" true
+    (static = o.Eval.Portfolio.result);
+  Alcotest.(check string) "stage identical"
+    (Eval.Portfolio.stage_to_string stage)
+    (Eval.Portfolio.stage_to_string o.Eval.Portfolio.stage);
+  List.iter
+    (fun t ->
+      Alcotest.(check bool)
+        (Eval.Technique.name t ^ " keeps its paper label")
+        false
+        (String.contains (Eval.Technique.name t) '@'))
+    Eval.Technique.all
+
 let test_multi_round_ablations_run () =
   let task = Lazy.force simple_faulty_task in
   let full = Llm.Multi_round.repair task Llm.Multi_round.No_feedback in
@@ -232,6 +276,10 @@ let () =
         [
           Alcotest.test_case "repairs" `Quick test_portfolio_repairs;
           Alcotest.test_case "stage strings" `Quick test_portfolio_stage_strings;
+          Alcotest.test_case "default session agrees" `Quick
+            test_portfolio_default_session_agrees;
+          Alcotest.test_case "learned off bit-identity" `Quick
+            test_learned_off_bit_identity;
           Alcotest.test_case "ablations run" `Quick test_multi_round_ablations_run;
         ] );
     ]

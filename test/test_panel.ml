@@ -1,0 +1,224 @@
+(* Tests for the model panel: per-profile determinism, cross-profile
+   divergence, temperature sharpening, the malformed-output channel, and
+   the guidance blocklist contract. *)
+
+open Specrepair_alloy
+module Llm = Specrepair_llm
+module Rng = Llm.Rng
+module Model = Llm.Model
+module Location = Specrepair_mutation.Location
+
+let faulty_src =
+  {|
+sig Node {
+  edges: set Node
+}
+fact Acyclic {
+  some n: Node | n in n.^edges
+}
+assert NoLoop {
+  all n: Node | n not in n.^edges
+}
+check NoLoop for 3
+run { some edges } for 3
+|}
+
+let task =
+  lazy
+    (Llm.Task.make ~spec_id:"panel_test" ~domain:"graphs"
+       ~faulty:(Parser.parse faulty_src)
+       ~fault_sites:[ Location.Fact_site 0 ]
+       ~fault_paths:[ (Location.Fact_site 0, []) ]
+       ~fault_classes:[ "quant-swap" ]
+       ~fix_description:"the quantifier in fact#0 is wrong"
+       ~check_names:[ "NoLoop" ] ())
+
+(* [n] proposals drawn left-to-right from one stream, rendered to sources
+   so list comparison is a byte-for-byte comparison of the proposals. *)
+let stream ?(context = "panel") profile ~seed n =
+  let t = Lazy.force task in
+  let rng = Rng.of_context ~seed [ context; profile.Model.name ] in
+  let rec go i acc =
+    if i = n then List.rev acc
+    else
+      let rendered =
+        match Model.propose profile ~rng ~hints:[] Model.no_guidance t with
+        | Some s -> Pretty.spec_to_string s
+        | None -> "<none>"
+      in
+      go (i + 1) (rendered :: acc)
+  in
+  go 0 []
+
+(* Same profile, same seed: the proposal stream is byte-identical. *)
+let test_stream_deterministic () =
+  List.iter
+    (fun p ->
+      Alcotest.(check (list string))
+        (p.Model.name ^ " stream reproducible") (stream p ~seed:11 40)
+        (stream p ~seed:11 40))
+    Model.panel
+
+(* Distinct profiles, same seed and context: the streams diverge — the
+   competence maps, priors and temperatures are behaviourally distinct,
+   not just differently named. *)
+let test_profiles_diverge () =
+  let streams =
+    List.map (fun p -> (p.Model.name, stream ~context:"div" p ~seed:7 30)) Model.panel
+  in
+  List.iteri
+    (fun i (ni, si) ->
+      List.iteri
+        (fun j (nj, sj) ->
+          if i < j then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s and %s diverge" ni nj)
+              false (si = sj))
+        streams)
+    streams
+
+(* Temperature -> 0 sharpens sampling towards the argmax of the weighted
+   pattern space; a hot profile spreads over many distinct proposals. *)
+let test_temperature_sharpens () =
+  let base =
+    {
+      Model.gpt4 with
+      Model.name = "temp-probe";
+      compound_rate = 0.;
+      malformed_rate = 0.;
+      self_check_samples = 1;
+    }
+  in
+  let distinct temperature =
+    let t = Lazy.force task in
+    let profile = { base with Model.temperature } in
+    let tbl = Hashtbl.create 64 in
+    for seed = 1 to 80 do
+      let rng = Rng.of_context ~seed [ "temp"; string_of_float temperature ] in
+      match Model.propose profile ~rng ~hints:[] Model.no_guidance t with
+      | Some s ->
+          let key = Pretty.spec_to_string s in
+          Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+      | None -> ()
+    done;
+    let modal = Hashtbl.fold (fun _ n acc -> max n acc) tbl 0 in
+    (Hashtbl.length tbl, modal)
+  in
+  let cold_distinct, cold_modal = distinct 0.001 in
+  let hot_distinct, hot_modal = distinct 10.0 in
+  (* observed at these pinned seeds: cold 6 distinct / modal 35-of-80,
+     hot 73 distinct / modal 3-of-80 — assert with a 4x margin *)
+  if not (cold_distinct * 4 < hot_distinct) then
+    Alcotest.failf "cold sampling not sharper: %d distinct vs %d hot"
+      cold_distinct hot_distinct;
+  if not (cold_modal > 4 * hot_modal) then
+    Alcotest.failf "cold mode not dominant: modal %d vs %d hot" cold_modal
+      hot_modal
+
+(* malformed_rate = 0: every answer that proposes a spec re-parses.  The
+   model may still give up in prose (no spec to parse), but it must never
+   emit a truncated specification. *)
+let test_zero_malformed_reparses () =
+  let t = Lazy.force task in
+  let prompt = Llm.Prompt.single t Llm.Prompt.SLoc_fix in
+  List.iter
+    (fun p ->
+      let profile = { p with Model.malformed_rate = 0. } in
+      let parsed = ref 0 in
+      for seed = 1 to 50 do
+        let rng = Rng.of_context ~seed [ "reparse"; p.Model.name ] in
+        let response = Model.respond profile ~rng Model.no_guidance prompt in
+        match Llm.Extract.spec_of_response response with
+        | Some _ -> incr parsed
+        | None ->
+            (* the only legitimate spec-free answer is an explicit give-up *)
+            let gave_up =
+              let needle = "could not determine" in
+              let nl = String.length needle and rl = String.length response in
+              let rec find i =
+                i + nl <= rl
+                && (String.sub response i nl = needle || find (i + 1))
+              in
+              find 0
+            in
+            if not gave_up then
+              Alcotest.failf "%s: unparseable response at seed %d:\n%s"
+                p.Model.name seed response
+      done;
+      if !parsed < 25 then
+        Alcotest.failf "%s: only %d/50 responses carried a spec" p.Model.name
+          !parsed)
+    Model.panel
+
+(* ... and a profile with the channel wide open must actually truncate. *)
+let test_malformed_channel_exists () =
+  let t = Lazy.force task in
+  let prompt = Llm.Prompt.single t Llm.Prompt.SLoc_fix in
+  let profile = { Model.gpt4 with Model.malformed_rate = 0.9 } in
+  let failures = ref 0 in
+  for seed = 1 to 30 do
+    let rng = Rng.of_context ~seed [ "malformed" ] in
+    let response = Model.respond profile ~rng Model.no_guidance prompt in
+    if Llm.Extract.spec_of_response response = None then incr failures
+  done;
+  Alcotest.(check bool) "some responses are malformed" true (!failures > 0)
+
+(* Guidance blocklist: across 1000 sampled proposals per profile, with the
+   blocklist rolling over the most recent accepted proposals, no proposal
+   ever equals the faulty spec or a blocked spec, and every proposal
+   type-checks. *)
+let test_blocklist_never_violated () =
+  let t = Lazy.force task in
+  List.iter
+    (fun p ->
+      let rng = Rng.of_context ~seed:3 [ "blocked"; p.Model.name ] in
+      let blocked = ref [ t.Llm.Task.faulty ] in
+      let accepted = ref 0 in
+      for i = 1 to 1000 do
+        let guidance = { Model.no_guidance with Model.blocked = !blocked } in
+        match Model.propose p ~rng ~hints:[] guidance t with
+        | None -> ()
+        | Some prop ->
+            incr accepted;
+            if Ast.equal_spec prop t.Llm.Task.faulty then
+              Alcotest.failf "%s: proposal %d equals the faulty spec"
+                p.Model.name i;
+            if List.exists (Ast.equal_spec prop) !blocked then
+              Alcotest.failf "%s: proposal %d violates the blocklist"
+                p.Model.name i;
+            (match Typecheck.check_result prop with
+            | Ok _ -> ()
+            | Error _ ->
+                Alcotest.failf "%s: proposal %d does not type-check"
+                  p.Model.name i);
+            blocked :=
+              prop :: List.filteri (fun j _ -> j < 5) !blocked
+      done;
+      if !accepted = 0 then
+        Alcotest.failf "%s: no proposal accepted in 1000 draws" p.Model.name)
+    Model.panel
+
+let () =
+  Alcotest.run "panel"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "stream reproducible" `Quick
+            test_stream_deterministic;
+          Alcotest.test_case "profiles diverge" `Quick test_profiles_diverge;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "temperature sharpens" `Quick
+            test_temperature_sharpens;
+          Alcotest.test_case "zero malformed re-parses" `Quick
+            test_zero_malformed_reparses;
+          Alcotest.test_case "malformed channel exists" `Quick
+            test_malformed_channel_exists;
+        ] );
+      ( "guidance",
+        [
+          Alcotest.test_case "blocklist never violated" `Quick
+            test_blocklist_never_violated;
+        ] );
+    ]

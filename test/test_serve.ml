@@ -260,7 +260,10 @@ let test_handler_errors_and_warmth () =
 
 let rec pool_events ?(deadline = 10.) pool =
   let readable, _, _ = Unix.select (Pool.fds pool) [] [] 0.2 in
-  match Pool.drain pool readable @ Pool.reap pool with
+  (* drain strictly before reap: reap respawns dead slots, and the fresh
+     pipes recycle fd numbers, which would invalidate [readable] *)
+  let drained = Pool.drain pool readable in
+  match drained @ Pool.reap pool with
   | [] when deadline > 0. -> pool_events ~deadline:(deadline -. 0.2) pool
   | evs -> evs
 

@@ -114,7 +114,7 @@ let test_generous_deadline_identical_rows () =
     [
       Eval.Technique.ATR;
       Eval.Technique.BeAFix;
-      Eval.Technique.Multi Llm.Multi_round.No_feedback;
+      Eval.Technique.Multi (Llm.Multi_round.No_feedback, Llm.Model.gpt4);
     ]
   in
   let a = Eval.Study.run ~techniques variants in

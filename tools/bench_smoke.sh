@@ -4,10 +4,10 @@
 # produced well-formed artifacts.  Exits nonzero on any failure.
 #
 # Wall-clock thresholds (the oracle's >= 2x speedup, the daemon's >= 2x
-# warm-request speedup) are only enforced on quiet local machines; under
-# CI=1 the script gates on the stages' cache and scheduler counters
-# instead, which are deterministic, because shared CI runners make
-# wall-clock ratios flaky.
+# warm-request speedup, the learned portfolio's >= 1.2x time-to-first-
+# repair) are only enforced on quiet local machines; under CI=1 the script
+# gates on the stages' cache and scheduler counters instead, which are
+# deterministic, because shared CI runners make wall-clock ratios flaky.
 #
 # Set BENCH_ARTIFACTS_DIR to keep the BENCH_*.json artifacts (e.g. for a
 # CI artifact upload); by default they live and die in a temp directory.
@@ -24,6 +24,7 @@ par="$workdir/BENCH_parallel.json"
 sat="$workdir/BENCH_sat.json"
 serve="$workdir/BENCH_serve.json"
 stream="$workdir/BENCH_stream.json"
+hybrid="$workdir/BENCH_hybrid.json"
 ci_mode="${CI:-0}"
 
 # The stream stage's full-size corpus (1k vs 100k rows) is for committed
@@ -32,11 +33,11 @@ ci_mode="${CI:-0}"
 BENCH_SAMPLE="${BENCH_SAMPLE:-1}" BENCH_ORACLE_OUT="$out" \
     BENCH_PROOF_OUT="$proof" BENCH_PARALLEL_OUT="$par" \
     BENCH_SAT_OUT="$sat" BENCH_SERVE_OUT="$serve" \
-    BENCH_STREAM_OUT="$stream" \
+    BENCH_STREAM_OUT="$stream" BENCH_HYBRID_OUT="$hybrid" \
     BENCH_STREAM_SMALL="${BENCH_STREAM_SMALL:-200}" \
     BENCH_STREAM_LARGE="${BENCH_STREAM_LARGE:-2000}" dune exec bench/main.exe
 
-for f in "$out" "$proof" "$par" "$sat" "$serve" "$stream"; do
+for f in "$out" "$proof" "$par" "$sat" "$serve" "$stream" "$hybrid"; do
     if [ ! -s "$f" ]; then
         echo "bench_smoke: $f missing or empty" >&2
         exit 1
@@ -45,11 +46,13 @@ done
 
 if [ -n "${BENCH_ARTIFACTS_DIR:-}" ]; then
     mkdir -p "$BENCH_ARTIFACTS_DIR"
-    cp "$out" "$proof" "$par" "$sat" "$serve" "$stream" "$BENCH_ARTIFACTS_DIR/"
+    cp "$out" "$proof" "$par" "$sat" "$serve" "$stream" "$hybrid" \
+        "$BENCH_ARTIFACTS_DIR/"
 fi
 
 if command -v python3 >/dev/null 2>&1; then
-    CI_MODE="$ci_mode" python3 - "$out" "$proof" "$par" "$sat" "$serve" "$stream" <<'EOF'
+    CI_MODE="$ci_mode" python3 - "$out" "$proof" "$par" "$sat" "$serve" \
+        "$stream" "$hybrid" <<'EOF'
 import json, os, sys
 
 ci = os.environ.get("CI_MODE", "0") == "1"
@@ -252,6 +255,50 @@ else:
     print(f"bench_smoke: stream ok ({wdata['large_rows_per_s']} rows/s at "
           f"{wdata['large_rows']} rows, {wdata['large_over_small']}x of the "
           f"small run, parent peak heap {wdata['parent_peak_heap_mb']} MB)")
+
+with open(sys.argv[7]) as f:
+    hdata = json.load(f)
+
+hrequired = [
+    "sample", "tasks", "defect_classes", "mined_cells", "profiles",
+    "union_repairs", "union_strictly_exceeds", "planned_tasks",
+    "coldstart_identical", "static_ms", "learned_ms", "static_repairs",
+    "learned_repairs", "speedup",
+]
+missing = [k for k in hrequired if k not in hdata]
+if missing:
+    sys.exit(f"bench_smoke: BENCH_hybrid.json lacks keys: {missing}")
+for prof in hdata["profiles"]:
+    for k in ["name", "techniques", "repairs", "rate"]:
+        if k not in prof:
+            sys.exit(f"bench_smoke: hybrid profile entry lacks key {k}")
+if len(hdata["profiles"]) < 4:
+    sys.exit("bench_smoke: hybrid stage covered fewer than 4 panel profiles")
+if not hdata["union_strictly_exceeds"]:
+    sys.exit("bench_smoke: panel union does not strictly exceed every "
+             "single profile's coverage")
+if not hdata["coldstart_identical"]:
+    sys.exit("bench_smoke: cold-start repair_learned diverged from the "
+             "static pipeline")
+if hdata["planned_tasks"] <= 0:
+    sys.exit("bench_smoke: mined statistics produced no learned plan")
+if hdata["learned_repairs"] <= 0:
+    sys.exit("bench_smoke: learned ordering repaired nothing")
+if ci:
+    # wall-clock time-to-first-repair is flaky on shared runners; the
+    # deterministic gates (union coverage, cold-start identity, learned
+    # plans, repair counts) still ran
+    print(f"bench_smoke: hybrid ok under CI ({hdata['planned_tasks']} learned "
+          f"plans over {hdata['defect_classes']} classes, union "
+          f"{hdata['union_repairs']} repairs; speedup {hdata['speedup']}x "
+          "unchecked)")
+else:
+    if hdata["speedup"] < 1.2:
+        sys.exit(f"bench_smoke: learned portfolio speedup {hdata['speedup']} "
+                 "below 1.2x time-to-first-repair")
+    print(f"bench_smoke: hybrid ok (learned {hdata['speedup']}x faster, "
+          f"{hdata['learned_repairs']}/{hdata['tasks']} repaired vs "
+          f"{hdata['static_repairs']} static)")
 EOF
 else
     # no python3: settle for structural sanity checks
@@ -291,6 +338,13 @@ else
             parent_peak_heap_mb; do
         if ! grep -q "\"$key\"" "$stream"; then
             echo "bench_smoke: BENCH_stream.json lacks key $key" >&2
+            exit 1
+        fi
+    done
+    for key in union_strictly_exceeds coldstart_identical planned_tasks \
+            learned_repairs speedup; do
+        if ! grep -q "\"$key\"" "$hybrid"; then
+            echo "bench_smoke: BENCH_hybrid.json lacks key $key" >&2
             exit 1
         fi
     done

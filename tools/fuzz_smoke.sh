@@ -10,7 +10,8 @@
 # behaviour, model-finder vs enumeration, oracle coherence, pinned
 # translation vs evaluation, DRUP certificate checking, proof-preserving
 # simplification, frontend print/parse round-trips, streaming-corpus
-# split invariance) is exercised on every run.
+# split invariance, model-panel proposal contracts) is exercised on
+# every run.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -38,6 +39,7 @@ for pass in 1 2; do
         run simplify "$iters"
         run parse "$iters"
         run stream "$iters"
+        run panel "$iters"
     } > "$workdir/summary-$pass.json" || {
         echo "fuzz_smoke: discrepancies found (pass $pass):" >&2
         cat "$workdir/summary-$pass.json" >&2
@@ -107,15 +109,28 @@ if ! SPECREPAIR_FUZZ_CHAOS=corrupt-token dune exec bin/specrepair.exe -- fuzz \
     exit 1
 fi
 
+# The panel chaos hook tampers a learned-portfolio statistics file three
+# ways (appended row, flipped digits, truncation); Learned.load must
+# reject every corruption with Corrupt_stats.  As with corrupt-token,
+# rejection is correct behaviour: the campaign must report zero
+# discrepancies and exit 0.
+if ! SPECREPAIR_FUZZ_CHAOS=corrupt-stats dune exec bin/specrepair.exe -- fuzz \
+    --target panel --iters 50 --seed "$seed" \
+    --corpus-dir "$workdir/chaos-panel" > "$workdir/chaos-panel.json" 2>&1; then
+    echo "fuzz_smoke: a tampered statistics file was not rejected loudly" >&2
+    cat "$workdir/chaos-panel.json" >&2
+    exit 1
+fi
+
 # Keep the campaign summaries (e.g. for a CI artifact upload) if asked.
 if [ -n "${FUZZ_ARTIFACTS_DIR:-}" ]; then
     mkdir -p "$FUZZ_ARTIFACTS_DIR"
     cp "$workdir/summary-1.json" "$FUZZ_ARTIFACTS_DIR/fuzz_summary.json"
-    for c in chaos chaos-proof chaos-simplify chaos-parse; do
+    for c in chaos chaos-proof chaos-simplify chaos-parse chaos-panel; do
         if [ -s "$workdir/$c.json" ]; then
             cp "$workdir/$c.json" "$FUZZ_ARTIFACTS_DIR/fuzz_$c.json"
         fi
     done
 fi
 
-echo "fuzz_smoke: ok (seed $seed; sat x$sat_iters, solver/oracle/eval/proof/simplify/parse/stream x$iters, twice, byte-identical; chaos hooks caught)"
+echo "fuzz_smoke: ok (seed $seed; sat x$sat_iters, solver/oracle/eval/proof/simplify/parse/stream/panel x$iters, twice, byte-identical; chaos hooks caught)"
